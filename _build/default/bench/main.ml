@@ -1,0 +1,993 @@
+(* Benchmark harness: regenerates every experiment of EXPERIMENTS.md (the
+   demo paper's evaluation claims, §3.1, plus its figures and motivating
+   claims), one section per experiment id, and finishes with Bechamel
+   micro-benchmarks (one Test.make per experiment kernel).
+
+   Run with: dune exec bench/main.exe            (all sections)
+             dune exec bench/main.exe -- E-QUAL  (a subset)            *)
+
+open Wolves_workflow
+module S = Wolves_core.Soundness
+module C = Wolves_core.Corrector
+module E = Wolves_core.Estimator
+module Q = Wolves_core.Quality
+module H = Wolves_core.Hardness
+module P = Wolves_provenance.Provenance
+module Gen = Wolves_workload.Generate
+module Views = Wolves_workload.Views
+module Prng = Wolves_workload.Prng
+module R = Wolves_repository.Repository
+module Table = Wolves_cli.Table
+module Render = Wolves_cli.Render
+module Bitset = Wolves_graph.Bitset
+module Reach = Wolves_graph.Reach
+
+let section id paper_claim =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "%s\n" id;
+  Printf.printf "paper: %s\n" paper_claim;
+  Printf.printf "==================================================================\n"
+
+let fmt_s t =
+  if t < 1e-6 then Printf.sprintf "%.0fns" (t *. 1e9)
+  else if t < 1e-3 then Printf.sprintf "%.1fus" (t *. 1e6)
+  else if t < 1.0 then Printf.sprintf "%.2fms" (t *. 1e3)
+  else Printf.sprintf "%.2fs" t
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* Repeat a thunk until it has consumed ~[budget] seconds and report the mean
+   wall-clock time per run (at least one run). *)
+let time_per_run ?(budget = 0.05) f =
+  let _, first = Render.time f in
+  if first > budget then first
+  else begin
+    let runs = max 1 (int_of_float (budget /. (first +. 1e-9))) in
+    let _, total = Render.time (fun () -> for _ = 1 to runs do ignore (f ()) done) in
+    total /. float_of_int runs
+  end
+
+(* A random correction instance: a composite of [k] random tasks inside a
+   generated workflow (deterministic in [seed]). *)
+let random_instance family ~seed ~size ~k =
+  let spec = Gen.generate family ~seed ~size in
+  let rng = Prng.create (seed lxor 0x5EED) in
+  let members =
+    List.sort compare
+      (List.filteri (fun i _ -> i < k) (Prng.shuffle rng (Spec.tasks spec)))
+  in
+  (spec, members)
+
+(* ------------------------------------------------------------------ *)
+(* E-FIG1                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let e_fig1 () =
+  section "E-FIG1"
+    "Figure 1: the phylogenomics view is unsound at composite 16 and yields \
+     wrong provenance for the output of composite 18";
+  let spec, view = Examples.figure1 () in
+  let report = S.validate view in
+  let unsound_names =
+    List.map (fun (c, _) -> View.composite_name view c) report.S.unsound
+  in
+  Printf.printf "unsound composites: %s (paper: 16)\n"
+    (String.concat ", " unsound_names);
+  let c18 = Examples.figure1_query_composite view in
+  let spurious = P.spurious_items view c18 in
+  Printf.printf "spurious items in provenance of 18: %s (paper: data of task 3)\n"
+    (String.concat ", "
+       (List.map (Format.asprintf "%a" (P.pp_item spec)) spurious));
+  let corrected, _ = C.correct C.Strong view in
+  let stats = P.evaluate_view corrected in
+  Printf.printf "after correction: %d spurious / %d queries (expected 0)\n"
+    stats.P.spurious stats.P.queries
+
+(* ------------------------------------------------------------------ *)
+(* E-FIG3                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let e_fig3 () =
+  section "E-FIG3"
+    "Figure 3: weak local optimal split = 8 parts, strong = 5, strong is \
+     strictly better; {f,g} not combinable, {c,d,f,g} combinable";
+  let spec, view = Examples.figure3 () in
+  let members = View.members view (Examples.figure3_composite view) in
+  let rows =
+    List.map
+      (fun criterion ->
+        let outcome, elapsed =
+          Render.time (fun () -> C.split_subset criterion spec members)
+        in
+        [ Format.asprintf "%a" C.pp_criterion criterion;
+          string_of_int (List.length outcome.C.parts);
+          string_of_int outcome.C.checks;
+          fmt_s elapsed ])
+      [ C.Weak; C.Strong; C.Optimal ]
+  in
+  print_endline
+    (Table.render
+       ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+       ~header:[ "criterion"; "parts"; "soundness checks"; "time" ]
+       rows);
+  let t n = Spec.task_of_name_exn spec n in
+  Printf.printf "{f,g} combinable: %b (paper: false)\n"
+    (C.combinable spec [ t "f" ] [ t "g" ]);
+  Printf.printf "{c,d,f,g} combinable: %b (paper: true)\n"
+    (C.combinable spec [ t "c"; t "d" ] [ t "f"; t "g" ])
+
+(* ------------------------------------------------------------------ *)
+(* E-QUAL                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let e_qual () =
+  section "E-QUAL"
+    "\xc2\xa73.1: the strongly local optimal corrector often produces views with \
+     similar quality to the optimal corrector (quality = optimal parts / \
+     algorithm parts, 1.0 is best)";
+  (* Instances: the unsound composites found in a corpus of generated
+     workflows with structure-following views perturbed toward unsoundness
+     (the paper's expert + automatic views), capped to the optimal
+     corrector's range. *)
+  let rows = ref [] in
+  List.iter
+    (fun family ->
+      let corpus =
+        Views.unsound_corpus ~seed:42 ~families:[ family ] ~sizes:[ 24; 48 ]
+          ~per_cell:12
+      in
+      let instances =
+        List.concat_map
+          (fun (spec, view) ->
+            List.filter_map
+              (fun (c, _) ->
+                let members = View.members view c in
+                let n = List.length members in
+                if n >= 3 && n <= 16 then Some (spec, members) else None)
+              (S.validate view).S.unsound)
+          corpus
+      in
+      let weak_q = ref [] and strong_q = ref [] in
+      let weak_sub = ref 0 in
+      List.iter
+        (fun (spec, members) ->
+          let cmp = Q.compare_criteria spec members in
+          Option.iter (fun q -> weak_q := q :: !weak_q) cmp.Q.weak_quality;
+          Option.iter
+            (fun q ->
+              if q < 0.999 then incr weak_sub;
+              ignore q)
+            cmp.Q.weak_quality;
+          Option.iter (fun q -> strong_q := q :: !strong_q) cmp.Q.strong_quality)
+        instances;
+      if !weak_q <> [] then
+        rows :=
+          [ Gen.family_name family;
+            string_of_int (List.length !weak_q);
+            Printf.sprintf "%.3f" (mean !weak_q);
+            Printf.sprintf "%.3f" (mean !strong_q);
+            string_of_int !weak_sub ]
+          :: !rows)
+    Gen.all_families;
+  (* The analytic hardness families: the worst case for weak optimality. *)
+  List.iter
+    (fun (blocks, chains) ->
+      let spec, members = H.blocks_instance ~blocks ~chains in
+      let cmp = Q.compare_criteria spec members in
+      rows :=
+        [ Printf.sprintf "blocks(%d,%d)" blocks chains;
+          "1";
+          (match cmp.Q.weak_quality with Some q -> Printf.sprintf "%.3f" q | None -> "-");
+          (match cmp.Q.strong_quality with Some q -> Printf.sprintf "%.3f" q | None -> "-");
+          "1" ]
+        :: !rows)
+    [ (1, 1); (2, 2); (3, 3) ];
+  List.iter
+    (fun width ->
+      let spec, members = H.wide_block_instance ~width in
+      let cmp = Q.compare_criteria spec members in
+      rows :=
+        [ Printf.sprintf "wide-block(%d)" width;
+          "1";
+          (match cmp.Q.weak_quality with Some q -> Printf.sprintf "%.3f" q | None -> "-");
+          (match cmp.Q.strong_quality with Some q -> Printf.sprintf "%.3f" q | None -> "-");
+          "1" ]
+        :: !rows)
+    [ 2; 4; 7 ];
+  (* The pinned strong-vs-optimal separation (see Hardness.strong_gap_instance). *)
+  let gap_spec, gap_members = H.strong_gap_instance () in
+  let gap_cmp = Q.compare_criteria gap_spec gap_members in
+  rows :=
+    [ "strong-gap gadget";
+      "1";
+      (match gap_cmp.Q.weak_quality with Some q -> Printf.sprintf "%.3f" q | None -> "-");
+      (match gap_cmp.Q.strong_quality with Some q -> Printf.sprintf "%.3f" q | None -> "-");
+      "1" ]
+    :: !rows;
+  print_endline
+    (Table.render
+       ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+       ~header:
+         [ "family"; "unsound composites"; "weak quality"; "strong quality";
+           "weak suboptimal" ]
+       (List.rev !rows))
+
+(* ------------------------------------------------------------------ *)
+(* E-TIME                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let e_time () =
+  section "E-TIME"
+    "\xc2\xa73.1: strong is several orders of magnitude faster than optimal and \
+     comparable in efficiency with weak";
+  (* strong* = the polynomial closure algorithm alone; strong+cert adds the
+     exhaustive certification sweep this repo runs by default (see
+     DESIGN.md). The paper's claims concern the polynomial algorithm. *)
+  let no_cert = { C.default_config with C.certify = false } in
+  let seeds = List.init 3 Fun.id in
+  let instance_for seed n =
+    (* Mix a structured hardness instance into every size so the correctors
+       have real work (random subsets are usually near-trivial). *)
+    if seed = 0 && n >= 6 && n mod 2 = 0 then
+      let blocks = max 1 (n / 8) in
+      let chains = (n - 4 * blocks) / 2 in
+      if 4 * blocks + 2 * chains = n && chains >= 0 then
+        H.blocks_instance ~blocks ~chains
+      else random_instance Gen.Layered ~seed:(seed * 37) ~size:(3 * n) ~k:n
+    else random_instance Gen.Layered ~seed:(seed * 37) ~size:(3 * n) ~k:n
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let collect config criterion =
+          mean
+            (List.map
+               (fun seed ->
+                 let spec, members = instance_for seed n in
+                 time_per_run ~budget:0.02 (fun () ->
+                     C.split_subset ~config criterion spec members))
+               seeds)
+        in
+        let weak_t = collect C.default_config C.Weak in
+        let strong_t = collect no_cert C.Strong in
+        let strong_cert_t = collect C.default_config C.Strong in
+        let optimal_t =
+          if n <= 18 then Some (collect C.default_config C.Optimal) else None
+        in
+        [ string_of_int n;
+          fmt_s weak_t;
+          fmt_s strong_t;
+          fmt_s strong_cert_t;
+          (match optimal_t with Some t -> fmt_s t | None -> "(skipped)");
+          (match optimal_t with
+           | Some t -> Printf.sprintf "%.0fx" (t /. strong_t)
+           | None -> "-") ])
+      [ 8; 10; 12; 14; 16; 18; 20 ]
+  in
+  print_endline
+    (Table.render
+       ~align:
+         [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+           Table.Right ]
+       ~header:
+         [ "composite size"; "weak"; "strong*"; "strong+cert"; "optimal";
+           "optimal/strong*" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* E-VALID                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let e_valid () =
+  section "E-VALID"
+    "§2.1: the Prop 2.1 validator is polynomial; directly applying Def 2.1 \
+     by path enumeration is exponential";
+  (* Small sizes: naive path enumeration explodes quickly. *)
+  let naive_rows =
+    List.map
+      (fun size ->
+        let spec = Gen.generate Gen.Layered ~seed:1 ~size in
+        let view = Views.build ~seed:1 (Views.Topological_bands 5) spec in
+        let validator_t = time_per_run (fun () -> S.validate view) in
+        let naive_result, naive_t =
+          Render.time (fun () -> S.naive_preserves_paths ~fuel:20_000_000 view)
+        in
+        [ string_of_int size;
+          fmt_s validator_t;
+          (match naive_result with
+           | Some _ -> fmt_s naive_t
+           | None -> Printf.sprintf ">%s (fuel exhausted)" (fmt_s naive_t)) ])
+      [ 10; 20; 30; 40; 60; 80 ]
+  in
+  print_endline
+    (Table.render
+       ~align:[ Table.Right; Table.Right; Table.Right ]
+       ~header:[ "workflow size"; "validator (Prop 2.1)"; "naive Def 2.1" ]
+       naive_rows);
+  (* Large sizes: the validator scales. *)
+  let big_rows =
+    List.map
+      (fun size ->
+        let spec = Gen.generate Gen.Layered ~seed:2 ~size in
+        let view = Views.build ~seed:2 (Views.Topological_bands 5) spec in
+        let t = time_per_run (fun () -> S.validate view) in
+        [ string_of_int size; string_of_int (View.n_composites view); fmt_s t ])
+      [ 100; 250; 500; 1000; 2000 ]
+  in
+  print_endline "";
+  print_endline
+    (Table.render
+       ~align:[ Table.Right; Table.Right; Table.Right ]
+       ~header:[ "workflow size"; "composites"; "validator time" ]
+       big_rows)
+
+(* ------------------------------------------------------------------ *)
+(* E-PROV                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let e_prov () =
+  section "E-PROV"
+    "§1: unsound views cause incorrect provenance analysis; corrected views \
+     answer every provenance query exactly";
+  let corpus =
+    Views.unsound_corpus ~seed:11 ~families:Gen.all_families
+      ~sizes:[ 20; 40 ] ~per_cell:5
+  in
+  let evaluate (spec, view) =
+    ignore spec;
+    let stats = P.evaluate_view view in
+    (stats, S.is_sound view)
+  in
+  let before = List.map evaluate corpus in
+  let after =
+    List.map
+      (fun (spec, view) ->
+        ignore spec;
+        let corrected, _ = C.correct C.Strong view in
+        evaluate (spec, corrected))
+      corpus
+  in
+  let summarise tag results =
+    let unsound = List.length (List.filter (fun (_, sound) -> not sound) results) in
+    let rates = List.map (fun (s, _) -> P.spurious_rate s) results in
+    let with_spurious =
+      List.length (List.filter (fun (s, _) -> s.P.spurious > 0) results)
+    in
+    [ tag;
+      Printf.sprintf "%d/%d" unsound (List.length results);
+      Printf.sprintf "%d/%d" with_spurious (List.length results);
+      Printf.sprintf "%.2f%%" (100.0 *. mean rates) ]
+  in
+  print_endline
+    (Table.render
+       ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+       ~header:
+         [ "corpus"; "unsound views"; "views w/ spurious answers";
+           "mean spurious rate" ]
+       [ summarise "as designed" before; summarise "after correction" after ])
+
+(* ------------------------------------------------------------------ *)
+(* E-SPEED                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let e_speed () =
+  section "E-SPEED"
+    "\xc2\xa71: provenance analysis at the view level is more efficient than at \
+     the workflow level (smaller graphs, smaller transitive closures)";
+  (* Sound-by-construction compressive views over pipeline workflows: the
+     setting the paper motivates (analyse provenance on the view, correctly). *)
+  let rows =
+    List.map
+      (fun size ->
+        let spec = Gen.generate Gen.Pipeline ~seed:5 ~size in
+        let view = Views.build ~seed:5 (Views.Sound_groups 10) spec in
+        assert (S.is_sound view);
+        let build_wf =
+          time_per_run ~budget:0.05 (fun () ->
+              Reach.compute (Spec.graph spec))
+        in
+        let build_view =
+          time_per_run ~budget:0.05 (fun () ->
+              Reach.compute (View.view_graph view))
+        in
+        let wf_closure = Reach.n_closure_edges (Spec.reach spec) in
+        let view_closure = Reach.n_closure_edges (View.view_reach view) in
+        let task = Spec.n_tasks spec - 1 in
+        let wf_q =
+          time_per_run ~budget:0.02 (fun () -> P.task_ancestors spec task)
+        in
+        let view_q =
+          time_per_run ~budget:0.02 (fun () ->
+              P.composite_ancestors view (View.composite_of_task view task))
+        in
+        [ string_of_int size;
+          string_of_int (View.n_composites view);
+          string_of_int wf_closure;
+          string_of_int view_closure;
+          fmt_s build_wf;
+          fmt_s build_view;
+          fmt_s wf_q;
+          fmt_s view_q;
+          Printf.sprintf "%.1fx" (wf_q /. view_q) ])
+      [ 100; 250; 500; 1000; 2000; 3000 ]
+  in
+  print_endline
+    (Table.render
+       ~align:
+         [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+           Table.Right; Table.Right; Table.Right; Table.Right ]
+       ~header:
+         [ "tasks"; "composites"; "wf closure"; "view closure"; "wf TC build";
+           "view TC build"; "wf query"; "view query"; "query speedup" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* E-EST                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let e_est () =
+  section "E-EST"
+    "§3.2: WOLVES estimates correction time and quality from past runs \
+     grouped by size and substructure";
+  let history = E.create () in
+  let rng = Prng.create 313 in
+  let run_one seed =
+    let family = Prng.pick rng Gen.all_families in
+    let k = 6 + Prng.int rng 8 in
+    let spec, members =
+      if seed mod 3 = 0 then
+        H.blocks_instance ~blocks:(1 + (seed mod 2)) ~chains:(1 + (seed mod 3))
+      else random_instance family ~seed ~size:(3 * k) ~k
+    in
+    let features = E.features_of spec members in
+    let per_criterion =
+      List.map
+        (fun criterion ->
+          let outcome, elapsed =
+            Render.time (fun () -> C.split_subset criterion spec members)
+          in
+          let optimal = C.split_subset C.Optimal spec members in
+          let quality =
+            Q.ratio
+              ~optimal_parts:(List.length optimal.C.parts)
+              ~parts:(List.length outcome.C.parts)
+          in
+          (criterion, elapsed, quality))
+        [ C.Weak; C.Strong ]
+    in
+    (features, per_criterion)
+  in
+  (* Train on 300 corrections. *)
+  for seed = 1 to 300 do
+    let features, runs = run_one seed in
+    List.iter
+      (fun (criterion, elapsed, quality) ->
+        E.record history features criterion ~runtime:elapsed ~quality)
+      runs
+  done;
+  (* Evaluate predictions on 100 fresh corrections. *)
+  let q_errors = ref [] in
+  let t_log_errors = ref [] in
+  let covered = ref 0 and total = ref 0 in
+  for seed = 1001 to 1100 do
+    let features, runs = run_one seed in
+    List.iter
+      (fun (criterion, elapsed, quality) ->
+        incr total;
+        let est = E.estimate history features criterion in
+        match (est.E.expected_runtime, est.E.expected_quality) with
+        | Some rt, Some q ->
+          incr covered;
+          q_errors := abs_float (q -. quality) :: !q_errors;
+          t_log_errors :=
+            abs_float (log10 ((rt +. 1e-9) /. (elapsed +. 1e-9)))
+            :: !t_log_errors
+        | _ -> ())
+      runs
+  done;
+  Printf.printf "history: %d recorded corrections\n" (E.n_records history);
+  Printf.printf "coverage: %d/%d fresh corrections had a matching group\n"
+    !covered !total;
+  Printf.printf "mean |quality error|: %.3f (quality scale 0..1)\n"
+    (mean !q_errors);
+  Printf.printf
+    "mean |log10(predicted/actual runtime)|: %.2f (0 = exact, 1 = 10x off)\n"
+    (mean !t_log_errors);
+  List.iter
+    (fun criterion ->
+      match E.fit_runtime history criterion with
+      | Some fit ->
+        Format.printf "fitted scaling law for %a: %a@." C.pp_criterion criterion
+          E.pp_fit fit
+      | None -> ())
+    [ C.Weak; C.Strong ]
+
+(* ------------------------------------------------------------------ *)
+(* E-AUDIT                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let e_audit () =
+  section "E-AUDIT"
+    "§1: a survey of a curated repository reveals unsound views (synthetic \
+     corpus standing in for Kepler / myExperiment)";
+  let repo = R.synthesize ~seed:2009 ~per_cell:10 ~sizes:[ 16; 32 ] () in
+  let audit = R.audit repo in
+  Format.printf "%a@." R.pp_audit audit
+
+(* ------------------------------------------------------------------ *)
+(* E-INC: ablation — incremental session validation vs full revalidation *)
+(* ------------------------------------------------------------------ *)
+
+let e_inc () =
+  section "E-INC (ablation)"
+    "demo: validating while the user edits the view; incremental per-\
+     composite caching vs re-validating the whole view after every edit";
+  let module Session = Wolves_core.Session in
+  let rows =
+    List.map
+      (fun size ->
+        let spec = Gen.generate Gen.Layered ~seed:13 ~size in
+        let view = Views.build ~seed:13 (Views.Connected_groups 5) spec in
+        let edits = 200 in
+        let rng0 = Prng.create 99 in
+        let moves =
+          List.init edits (fun _ -> Prng.int rng0 size)
+        in
+        (* Incremental: one session, move + query unsound after each edit. *)
+        let _, inc_t =
+          Render.time (fun () ->
+              let s = Session.start view in
+              List.iter
+                (fun task ->
+                  let names = Session.composite_names s in
+                  let target = List.nth names (task mod List.length names) in
+                  (match Session.move_task s task ~into:target with
+                   | Ok () | Error _ -> ());
+                  ignore (Session.unsound s))
+                moves)
+        in
+        let s_stats = Session.start view in
+        let checks_inc =
+          let s = s_stats in
+          List.iter
+            (fun task ->
+              let names = Session.composite_names s in
+              let target = List.nth names (task mod List.length names) in
+              (match Session.move_task s task ~into:target with
+               | Ok () | Error _ -> ());
+              ignore (Session.unsound s))
+            moves;
+          Session.checks_performed s
+        in
+        (* Full: rebuild + validate the whole view after each edit. *)
+        let _, full_t =
+          Render.time (fun () ->
+              let s = Session.start view in
+              List.iter
+                (fun task ->
+                  let names = Session.composite_names s in
+                  let target = List.nth names (task mod List.length names) in
+                  (match Session.move_task s task ~into:target with
+                   | Ok () | Error _ -> ());
+                  ignore (S.validate (Session.current_view s)))
+                moves)
+        in
+        [ string_of_int size;
+          string_of_int edits;
+          string_of_int checks_inc;
+          fmt_s inc_t;
+          fmt_s full_t;
+          Printf.sprintf "%.1fx" (full_t /. inc_t) ])
+      [ 50; 100; 200; 400 ]
+  in
+  print_endline
+    (Table.render
+       ~align:
+         [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+           Table.Right ]
+       ~header:
+         [ "tasks"; "edits"; "incremental checks"; "incremental"; "full";
+           "speedup" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* E-INDEX: ablation — reachability index strategies                    *)
+(* ------------------------------------------------------------------ *)
+
+let e_index () =
+  section "E-INDEX (ablation)"
+    "graph management: bitset transitive closure vs chain-decomposition \
+     index vs per-query BFS, across workflow shapes";
+  let module Chains = Wolves_graph.Chains in
+  let module Interval = Wolves_graph.Interval in
+  let module Algo = Wolves_graph.Algo in
+  let shapes =
+    [ ("pipeline-1000", Gen.generate Gen.Pipeline ~seed:7 ~size:1000);
+      ("layered-1000", Gen.generate Gen.Layered ~seed:7 ~size:1000);
+      ( "narrow-layered-999",
+        Gen.layered ~seed:7 ~layers:333 ~width:3 ~fanout:1.0 );
+      ("series-parallel-1000", Gen.generate Gen.Series_parallel ~seed:7 ~size:1000) ]
+  in
+  let rows =
+    List.map
+      (fun (name, spec) ->
+        let g = Spec.graph spec in
+        let n = Spec.n_tasks spec in
+        let closure_build = time_per_run ~budget:0.1 (fun () -> Reach.compute g) in
+        let chains_build = time_per_run ~budget:0.1 (fun () -> Chains.compute g) in
+        let interval_build =
+          time_per_run ~budget:0.1 (fun () -> Interval.compute g)
+        in
+        let closure = Reach.compute g in
+        let chains = Chains.compute g in
+        let interval = Interval.compute g in
+        let rng = Prng.create 5 in
+        let queries =
+          Array.init 512 (fun _ -> (Prng.int rng n, Prng.int rng n))
+        in
+        let run_queries f =
+          time_per_run ~budget:0.05 (fun () ->
+              Array.iter (fun (u, v) -> ignore (f u v)) queries)
+        in
+        let closure_q = run_queries (Reach.reaches closure) in
+        let chains_q = run_queries (Chains.reaches chains) in
+        let interval_q = run_queries (Interval.reaches interval) in
+        let bfs_q =
+          run_queries (fun u v ->
+              Wolves_graph.Bitset.mem (Algo.reachable_from g [ u ]) v)
+        in
+        let closure_words = n * ((n + 62) / 63) in
+        [ name;
+          string_of_int closure_words;
+          Printf.sprintf "%d (k=%d)" (Chains.index_words chains)
+            (Chains.n_chains chains);
+          Printf.sprintf "%d (max %d/node)"
+            (2 * Interval.n_intervals interval)
+            (Interval.max_intervals_per_node interval);
+          fmt_s closure_build;
+          fmt_s chains_build;
+          fmt_s interval_build;
+          fmt_s (closure_q /. 512.);
+          fmt_s (chains_q /. 512.);
+          fmt_s (interval_q /. 512.);
+          fmt_s (bfs_q /. 512.) ])
+      shapes
+  in
+  print_endline
+    (Table.render
+       ~align:
+         [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+           Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+           Table.Right ]
+       ~header:
+         [ "graph"; "closure words"; "chain words"; "interval words";
+           "closure build"; "chains build"; "interval build"; "closure q";
+           "chains q"; "interval q"; "BFS q" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* E-BB: ablation — anytime branch-and-bound beyond the DP limit        *)
+(* ------------------------------------------------------------------ *)
+
+let e_bb () =
+  section "E-BB (ablation)"
+    "exact correction beyond the subset-DP limit: anytime branch-and-bound \
+     seeded with the strong corrector's split";
+  let rows =
+    List.map
+      (fun (blocks, chains) ->
+        let spec, members = H.blocks_instance ~blocks ~chains in
+        let n = List.length members in
+        let strong =
+          C.split_subset C.Strong spec members
+        in
+        let (outcome, proven), elapsed =
+          Render.time (fun () ->
+              C.split_subset_anytime ~node_budget:2_000_000 spec members)
+        in
+        [ Printf.sprintf "blocks(%d,%d)" blocks chains;
+          string_of_int n;
+          string_of_int (List.length strong.C.parts);
+          string_of_int (List.length outcome.C.parts);
+          (if proven then "yes" else "no");
+          fmt_s elapsed ])
+      [ (2, 2); (3, 2); (3, 4); (4, 4); (5, 4) ]
+  in
+  print_endline
+    (Table.render
+       ~align:
+         [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+           Table.Right ]
+       ~header:
+         [ "instance"; "tasks"; "strong parts"; "B&B parts"; "proven minimum";
+           "time" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* E-MIXED: ablation — split-only vs merge-only vs mixed resolution     *)
+(* ------------------------------------------------------------------ *)
+
+let e_mixed () =
+  section "E-MIXED (ablation)"
+    "the paper's open problem: interaction of splitting and merging; the \
+     mixed resolver picks the cheaper repair per composite";
+  let corpus =
+    Views.unsound_corpus ~seed:23 ~families:Gen.all_families ~sizes:[ 24 ]
+      ~per_cell:5
+  in
+  let stats =
+    List.map
+      (fun (_, view) ->
+        let before = View.n_composites view in
+        let split_view, _ = C.correct C.Strong view in
+        let mixed_view, decisions = C.resolve_auto view in
+        let merges =
+          List.length
+            (List.filter
+               (fun d -> match d.C.action with `Merge _ -> true | `Split _ -> false)
+               decisions)
+        in
+        ( before,
+          View.n_composites split_view,
+          View.n_composites mixed_view,
+          merges ))
+      corpus
+  in
+  let total f = List.fold_left (fun acc x -> acc + f x) 0 stats in
+  Printf.printf "views: %d; composites before: %d\n" (List.length stats)
+    (total (fun (b, _, _, _) -> b));
+  Printf.printf "after split-only  correction: %d composites\n"
+    (total (fun (_, s, _, _) -> s));
+  Printf.printf "after mixed       resolution: %d composites (%d merge decisions)\n"
+    (total (fun (_, _, m, _) -> m))
+    (total (fun (_, _, _, g) -> g));
+  Printf.printf
+    "mixed resolution trades detail for compactness where splitting would \
+     fragment the view\n"
+
+(* ------------------------------------------------------------------ *)
+(* E-SUGGEST: ablation — automatic sound view construction               *)
+(* ------------------------------------------------------------------ *)
+
+let e_suggest () =
+  section "E-SUGGEST (ablation)"
+    "automatic view construction (the role of [2] in the paper): sound-by-\
+     design groupings vs the corpus policies that need correction";
+  let module Suggest = Wolves_core.Suggest in
+  let rows = ref [] in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun size ->
+          let spec = Gen.generate family ~seed:17 ~size in
+          let greedy, greedy_t =
+            Render.time (fun () -> Suggest.greedy_sound_groups spec ~max_size:8)
+          in
+          let banded, banded_t =
+            Render.time (fun () -> Suggest.optimal_sound_banding spec ~max_size:8)
+          in
+          let bands = Views.build ~seed:17 (Views.Topological_bands 8) spec in
+          let bands_unsound =
+            List.length
+              (Wolves_core.Soundness.validate bands).Wolves_core.Soundness.unsound
+          in
+          rows :=
+            [ Printf.sprintf "%s-%d" (Gen.family_name family) size;
+              Printf.sprintf "%.1fx (%s)"
+                (float_of_int size /. float_of_int (List.length greedy))
+                (fmt_s greedy_t);
+              Printf.sprintf "%.1fx (%s)"
+                (float_of_int size /. float_of_int (List.length banded))
+                (fmt_s banded_t);
+              Printf.sprintf "%.1fx / %d unsound"
+                (View.compression bands) bands_unsound ]
+            :: !rows)
+        [ 100; 400 ])
+    Gen.all_families;
+  print_endline
+    (Table.render
+       ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+       ~header:
+         [ "workflow"; "greedy sound (compression)";
+           "optimal banding (compression)"; "naive bands (for contrast)" ]
+       (List.rev !rows));
+  print_endline
+    "greedy/banding views are sound by construction; naive topological bands\n\
+     reach similar compression but are mostly unsound and must be corrected"
+
+(* ------------------------------------------------------------------ *)
+(* E-SCHED: ablation — engine scheduling policies                       *)
+(* ------------------------------------------------------------------ *)
+
+let e_sched () =
+  section "E-SCHED (ablation)"
+    "execution-engine substrate: ready-queue policies vs makespan on \
+     limited workers (critical path = lower bound)";
+  let module Engine = Wolves_engine.Engine in
+  let rows =
+    List.concat_map
+      (fun (family, size) ->
+        List.map
+          (fun workers ->
+            let spec = Gen.generate family ~seed:21 ~size in
+            let base policy =
+              { Engine.default_config with
+                Engine.workers;
+                duration = (fun t -> 1.0 +. float_of_int (t mod 7));
+                policy }
+            in
+            let makespan policy =
+              (Engine.run ~config:(base policy) spec).Engine.makespan
+            in
+            let fifo = makespan Engine.Fifo in
+            let cpf = makespan Engine.Critical_path_first in
+            let sf = makespan Engine.Shortest_first in
+            [ Printf.sprintf "%s-%d" (Gen.family_name family) size;
+              string_of_int workers;
+              Printf.sprintf "%.0f" (Engine.critical_path_length (base Engine.Fifo) spec);
+              Printf.sprintf "%.0f" fifo;
+              Printf.sprintf "%.0f" cpf;
+              Printf.sprintf "%.0f" sf ])
+          [ 2; 4; 8 ])
+      [ (Gen.Layered, 120); (Gen.Erdos_renyi, 120) ]
+  in
+  print_endline
+    (Table.render
+       ~align:
+         [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+           Table.Right ]
+       ~header:
+         [ "workflow"; "workers"; "critical path"; "fifo"; "cp-first";
+           "shortest-first" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* E-TEMPLATES: the realistic corpus — canonical scientific workflows    *)
+(* ------------------------------------------------------------------ *)
+
+let e_templates () =
+  section "E-TEMPLATES"
+    "\xc2\xa71 on real shapes: natural per-stage views of canonical scientific \
+     workflows (Pegasus suite) are unsound and corrupt provenance; WOLVES \
+     repairs them";
+  let module T = Wolves_workload.Templates in
+  let rows =
+    List.concat_map
+      (fun suite ->
+        List.map
+          (fun scale ->
+            let spec = T.generate suite ~scale in
+            let view = T.natural_view suite spec in
+            let report = S.validate view in
+            let stats = P.evaluate_view_items view in
+            let (corrected, _), elapsed =
+              Render.time (fun () -> C.correct C.Strong view)
+            in
+            let stats' = P.evaluate_view_items corrected in
+            [ Printf.sprintf "%s-%d" (T.suite_name suite) scale;
+              string_of_int (Spec.n_tasks spec);
+              Printf.sprintf "%d/%d"
+                (List.length report.S.unsound)
+                (View.n_composites view);
+              Printf.sprintf "%.1f%%" (100.0 *. P.spurious_rate stats);
+              string_of_int (View.n_composites corrected);
+              Printf.sprintf "%.1f%%" (100.0 *. P.spurious_rate stats');
+              fmt_s elapsed ])
+          [ 8; 32 ])
+      T.all_suites
+  in
+  print_endline
+    (Table.render
+       ~align:
+         [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+           Table.Right; Table.Right ]
+       ~header:
+         [ "workflow"; "tasks"; "unsound stages"; "spurious before";
+           "composites after"; "spurious after"; "correction time" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment kernel.      *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let fig1_spec, fig1_view = Examples.figure1 () in
+  ignore fig1_spec;
+  let fig3_spec, fig3_view = Examples.figure3 () in
+  let fig3_members = View.members fig3_view (Examples.figure3_composite fig3_view) in
+  let blocks_spec, blocks_members = H.blocks_instance ~blocks:2 ~chains:2 in
+  let valid_spec = Gen.generate Gen.Layered ~seed:2 ~size:500 in
+  let valid_view = Views.build ~seed:2 (Views.Topological_bands 5) valid_spec in
+  let prov_spec = Gen.generate Gen.Layered ~seed:5 ~size:500 in
+  let prov_view = Views.build ~seed:5 (Views.Topological_bands 10) prov_spec in
+  let prov_task = Spec.n_tasks prov_spec - 1 in
+  [ Test.make ~name:"E-FIG1/validate"
+      (Staged.stage (fun () -> Wolves_core.Soundness.validate fig1_view));
+    Test.make ~name:"E-FIG3/weak"
+      (Staged.stage (fun () -> C.split_subset C.Weak fig3_spec fig3_members));
+    Test.make ~name:"E-FIG3/strong"
+      (Staged.stage (fun () -> C.split_subset C.Strong fig3_spec fig3_members));
+    Test.make ~name:"E-FIG3/optimal"
+      (Staged.stage (fun () -> C.split_subset C.Optimal fig3_spec fig3_members));
+    Test.make ~name:"E-QUAL+E-TIME/blocks22-weak"
+      (Staged.stage (fun () -> C.split_subset C.Weak blocks_spec blocks_members));
+    Test.make ~name:"E-QUAL+E-TIME/blocks22-strong"
+      (Staged.stage (fun () -> C.split_subset C.Strong blocks_spec blocks_members));
+    Test.make ~name:"E-QUAL+E-TIME/blocks22-optimal"
+      (Staged.stage (fun () -> C.split_subset C.Optimal blocks_spec blocks_members));
+    Test.make ~name:"E-VALID/validator-500"
+      (Staged.stage (fun () -> Wolves_core.Soundness.validate valid_view));
+    Test.make ~name:"E-SPEED/workflow-query-500"
+      (Staged.stage (fun () -> P.task_ancestors prov_spec prov_task));
+    Test.make ~name:"E-SPEED/view-query-500"
+      (Staged.stage (fun () ->
+           P.composite_ancestors prov_view
+             (View.composite_of_task prov_view prov_task)));
+    Test.make ~name:"E-PROV/evaluate-fig1"
+      (Staged.stage (fun () -> P.evaluate_view fig1_view)) ]
+
+let e_bechamel () =
+  section "E-MICRO (bechamel)"
+    "per-kernel steady-state timings (OLS on monotonic clock)";
+  let open Bechamel in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |]
+  in
+  let rows =
+    List.map
+      (fun test ->
+        (* Each Test.make above is a single-elt test; analyze its one cell. *)
+        let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" [ test ]) in
+        let analysed = Analyze.all ols instance results in
+        Hashtbl.fold
+          (fun name result acc ->
+            let estimate =
+              match Analyze.OLS.estimates result with
+              | Some [ est ] -> Printf.sprintf "%.1fns" est
+              | Some ests ->
+                String.concat "," (List.map (Printf.sprintf "%.1f") ests)
+              | None -> "-"
+            in
+            [ name; estimate ] :: acc)
+          analysed [])
+      (bechamel_tests ())
+    |> List.concat
+  in
+  print_endline
+    (Table.render ~align:[ Table.Left; Table.Right ]
+       ~header:[ "kernel"; "time/run" ] (List.sort compare rows))
+
+(* ------------------------------------------------------------------ *)
+(* main                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [ ("E-FIG1", e_fig1); ("E-FIG3", e_fig3); ("E-QUAL", e_qual);
+    ("E-TIME", e_time); ("E-VALID", e_valid); ("E-PROV", e_prov);
+    ("E-SPEED", e_speed); ("E-EST", e_est); ("E-AUDIT", e_audit);
+    ("E-INC", e_inc); ("E-INDEX", e_index); ("E-BB", e_bb);
+    ("E-MIXED", e_mixed); ("E-SUGGEST", e_suggest); ("E-SCHED", e_sched);
+    ("E-TEMPLATES", e_templates); ("E-MICRO", e_bechamel) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id sections with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown section %s (known: %s)\n" id
+          (String.concat ", " (List.map fst sections));
+        exit 2)
+    requested;
+  print_newline ()

@@ -1,0 +1,826 @@
+(* The WOLVES command-line interface: every interaction the VLDB'09 demo GUI
+   offered (import, understand, validate, correct, split/merge a single task,
+   provenance analysis, estimation) as subcommands, plus corpus generation
+   and repository audits. *)
+
+open Cmdliner
+open Wolves_workflow
+module S = Wolves_core.Soundness
+module C = Wolves_core.Corrector
+module E = Wolves_core.Estimator
+module Q = Wolves_core.Quality
+module Moml = Wolves_moml.Moml
+module Render = Wolves_cli.Render
+module Table = Wolves_cli.Table
+module R = Wolves_repository.Repository
+module Gen = Wolves_workload.Generate
+module Views = Wolves_workload.Views
+module P = Wolves_provenance.Provenance
+
+let fail fmt = Format.kasprintf (fun msg -> `Error (false, msg)) fmt
+
+(* Format by extension: .wf is the human DSL, anything else is MoML. *)
+let load_view file =
+  if Filename.check_suffix file ".wf" then
+    match Wolves_lang.Wfdsl.load file with
+    | Ok (_, view) -> Ok view
+    | Error e -> Error (Format.asprintf "%s: %a" file Wolves_lang.Wfdsl.pp_error e)
+  else
+    match Moml.load file with
+    | Ok (_, view) -> Ok view
+    | Error e -> Error (Format.asprintf "%s: %a" file Moml.pp_error e)
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents)
+
+let serialize_view path view =
+  if Filename.check_suffix path ".wf" then Wolves_lang.Wfdsl.to_string view
+  else Moml.to_string view
+
+(* --- common arguments --- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.moml"
+         ~doc:"MoML document holding the workflow specification and view.")
+
+let criterion_arg =
+  let criterion_conv =
+    Arg.conv
+      ( (fun s ->
+          match C.criterion_of_string s with
+          | Some c -> Ok c
+          | None -> Error (`Msg (Printf.sprintf "unknown criterion %S" s))),
+        fun ppf c -> C.pp_criterion ppf c )
+  in
+  Arg.(value & opt criterion_conv C.Strong & info [ "criterion"; "c" ] ~docv:"CRITERION"
+         ~doc:"Correction criterion: $(b,weak), $(b,strong) or $(b,optimal).")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
+         ~doc:"Write the resulting view as MoML to this file.")
+
+let dot_arg =
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"OUT.dot"
+         ~doc:"Also write a Graphviz rendering (unsound composites in red).")
+
+let color_arg =
+  Arg.(value & flag & info [ "color" ] ~doc:"Colourise terminal output.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+module Json = Wolves_cli.Json
+
+let validation_json view report =
+  let spec = View.spec view in
+  Json.Obj
+    [ ("workflow", Json.String (Spec.name spec));
+      ("composites", Json.Int (View.n_composites view));
+      ("sound", Json.Bool (report.S.unsound = []));
+      ( "unsound",
+        Json.List
+          (List.map
+             (fun (c, witnesses) ->
+               Json.Obj
+                 [ ("composite", Json.String (View.composite_name view c));
+                   ( "members",
+                     Json.List
+                       (List.map
+                          (fun t -> Json.String (Spec.task_name spec t))
+                          (View.members view c)) );
+                   ( "missing_paths",
+                     Json.List
+                       (List.map
+                          (fun (ti, to_) ->
+                            Json.Obj
+                              [ ("from", Json.String (Spec.task_name spec ti));
+                                ("to", Json.String (Spec.task_name spec to_)) ])
+                          witnesses) ) ])
+             report.S.unsound) ) ]
+
+(* --- show --- *)
+
+let show_cmd =
+  let run file dot =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      print_string (Render.spec_summary (View.spec view));
+      print_newline ();
+      print_string (Render.view_summary view);
+      Option.iter (fun path -> write_file path (Render.view_dot view)) dot;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Display a workflow specification and its view.")
+    Term.(ret (const run $ file_arg $ dot_arg))
+
+(* --- validate --- *)
+
+let validate_cmd =
+  let run file color dot json =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      let report = S.validate view in
+      if json then print_endline (Json.to_string (validation_json view report))
+      else print_string (Render.view_summary ~color view);
+      Option.iter (fun path -> write_file path (Render.view_dot view)) dot;
+      if report.S.unsound = [] then `Ok ()
+      else begin
+        if not json then
+          Printf.printf "view is UNSOUND (%d composite(s))\n"
+            (List.length report.S.unsound);
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Check view soundness (Workflow View Validator). Exits 1 when the \
+          view is unsound; unsound composites and their missing paths are \
+          listed.")
+    Term.(ret (const run $ file_arg $ color_arg $ dot_arg $ json_arg))
+
+(* --- correct --- *)
+
+let correct_cmd =
+  let run file criterion output dot =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      let (corrected, outcomes), elapsed =
+        Render.time (fun () -> C.correct criterion view)
+      in
+      print_string (Render.correction_summary view outcomes);
+      Printf.printf "corrected in %.4fs under the %s criterion\n" elapsed
+        (Format.asprintf "%a" C.pp_criterion criterion);
+      print_string (Render.view_summary corrected);
+      Option.iter (fun path -> write_file path (serialize_view path corrected)) output;
+      Option.iter (fun path -> write_file path (Render.view_dot corrected)) dot;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "correct"
+       ~doc:
+         "Resolve every unsound composite by splitting (Unsound View \
+          Corrector), under the chosen optimality criterion.")
+    Term.(ret (const run $ file_arg $ criterion_arg $ output_arg $ dot_arg))
+
+(* --- split-task --- *)
+
+let task_arg =
+  Arg.(required & opt (some string) None & info [ "task"; "t" ] ~docv:"NAME"
+         ~doc:"Name of the composite task to operate on.")
+
+let split_cmd =
+  let run file task criterion output =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      (match View.composite_of_name view task with
+       | None -> fail "no composite named %S" task
+       | Some c ->
+         let view', outcome = C.split_composite criterion view c in
+         print_string (Render.correction_summary view [ (c, outcome) ]);
+         print_string (Render.view_summary view');
+         Option.iter (fun path -> write_file path (serialize_view path view')) output;
+         `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "split-task"
+       ~doc:"Split one composite task (the demo's Split Task popup action).")
+    Term.(ret (const run $ file_arg $ task_arg $ criterion_arg $ output_arg))
+
+(* --- merge-task --- *)
+
+let merge_cmd =
+  let run file task output =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      (match View.composite_of_name view task with
+       | None -> fail "no composite named %S" task
+       | Some c ->
+         let view', merged = C.merge_resolve view c in
+         Printf.printf
+           "resolved %S by merging; the merged composite %S now has %d tasks\n"
+           task
+           (View.composite_name view' merged)
+           (List.length (View.members view' merged));
+         print_string (Render.view_summary view');
+         Option.iter (fun path -> write_file path (serialize_view path view')) output;
+         `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "merge-task"
+       ~doc:
+         "Resolve an unsound composite by merging it with neighbouring \
+          composites (extension; loses detail instead of adding it).")
+    Term.(ret (const run $ file_arg $ task_arg $ output_arg))
+
+(* --- provenance --- *)
+
+let provenance_cmd =
+  let run file task =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      (match View.composite_of_name view task with
+       | None -> fail "no composite named %S" task
+       | Some c ->
+         print_string (Render.provenance_summary view c);
+         let stats = P.evaluate_view view in
+         Printf.printf
+           "whole-view provenance audit: %d queries, %d spurious, %d missing\n"
+           stats.P.queries stats.P.spurious stats.P.missing;
+         `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "provenance"
+       ~doc:
+         "Analyse the view-level provenance of one composite's output and \
+          report any spurious data items (the paper's Figure 1 walkthrough).")
+    Term.(ret (const run $ file_arg $ task_arg))
+
+(* --- estimate --- *)
+
+let estimate_cmd =
+  let run file task =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      (match View.composite_of_name view task with
+       | None -> fail "no composite named %S" task
+       | Some c ->
+         let spec = View.spec view in
+         let members = View.members view c in
+         let features = E.features_of spec members in
+         (* Build a history from synthetic instances in the same feature
+            group (the demo grouped past corrections by size and
+            substructure). *)
+         let history = E.create () in
+         let rng = Wolves_workload.Prng.create 0xE57 in
+         for _ = 1 to 60 do
+           let seed = Wolves_workload.Prng.int rng 1_000_000 in
+           let size = max 4 (List.length members + Wolves_workload.Prng.int rng 3 - 1) in
+           let family = Wolves_workload.Prng.pick rng Gen.all_families in
+           let spec' = Gen.generate family ~seed ~size in
+           let members' =
+             List.filteri (fun i _ -> i < List.length members)
+               (Wolves_workload.Prng.shuffle rng (Spec.tasks spec'))
+           in
+           let f = E.features_of spec' members' in
+           List.iter
+             (fun criterion ->
+               let cmp, elapsed =
+                 Render.time (fun () -> C.split_subset criterion spec' members')
+               in
+               let quality =
+                 match criterion with
+                 | C.Optimal -> 1.0
+                 | _ ->
+                   let opt = C.split_subset C.Optimal spec' members' in
+                   Q.ratio
+                     ~optimal_parts:(List.length opt.C.parts)
+                     ~parts:(List.length cmp.C.parts)
+               in
+               E.record history f criterion ~runtime:elapsed ~quality)
+             [ C.Weak; C.Strong; C.Optimal ]
+         done;
+         Format.printf "composite %S: %a@." task E.pp_features features;
+         let rows =
+           List.map
+             (fun criterion ->
+               let est = E.estimate history features criterion in
+               [ Format.asprintf "%a" C.pp_criterion criterion;
+                 (match est.E.expected_runtime with
+                  | Some t -> Printf.sprintf "%.6fs" t
+                  | None -> "-");
+                 (match est.E.expected_quality with
+                  | Some q -> Printf.sprintf "%.3f" q
+                  | None -> "-");
+                 string_of_int est.E.samples ])
+             [ C.Weak; C.Strong; C.Optimal ]
+         in
+         print_endline
+           (Table.render
+              ~header:[ "criterion"; "est. time"; "est. quality"; "samples" ]
+              rows);
+         `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:
+         "Estimate correction time and quality per criterion from a history \
+          of past corrections grouped by size and substructure (demo §3.2).")
+    Term.(ret (const run $ file_arg $ task_arg))
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let family_conv =
+    Arg.conv
+      ( (fun s ->
+          match Gen.family_of_string s with
+          | Some f -> Ok f
+          | None -> Error (`Msg (Printf.sprintf "unknown family %S" s))),
+        fun ppf f -> Format.pp_print_string ppf (Gen.family_name f) )
+  in
+  let family =
+    Arg.(value & opt family_conv Gen.Layered & info [ "family" ] ~docv:"FAMILY"
+           ~doc:"Workflow family: layered, erdos-renyi, series-parallel, pipeline.")
+  in
+  let size =
+    Arg.(value & opt int 20 & info [ "size" ] ~docv:"N" ~doc:"Number of tasks.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let group =
+    Arg.(value & opt int 4 & info [ "group" ] ~docv:"K" ~doc:"Composite size.")
+  in
+  let unsound =
+    Arg.(value & flag & info [ "unsound" ]
+           ~doc:"Perturb the view until it is unsound.")
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
+           ~doc:"Output MoML file.")
+  in
+  let suite =
+    let suite_conv =
+      Arg.conv
+        ( (fun s ->
+            match Wolves_workload.Templates.suite_of_string s with
+            | Some f -> Ok f
+            | None -> Error (`Msg (Printf.sprintf "unknown suite %S" s))),
+          fun ppf f ->
+            Format.pp_print_string ppf (Wolves_workload.Templates.suite_name f) )
+    in
+    Arg.(value & opt (some suite_conv) None & info [ "suite" ] ~docv:"SUITE"
+           ~doc:"Scientific-workflow template instead of a random family: \
+                 montage, cybershake, epigenomics, ligo (with its natural \
+                 per-stage view; --size is the scale).")
+  in
+  let run family suite_opt size seed group unsound out =
+    if size < 2 then fail "size must be at least 2"
+    else begin
+      let module T = Wolves_workload.Templates in
+      let spec, view =
+        match suite_opt with
+        | Some s ->
+          let spec = T.generate s ~scale:(max 1 (size / 4)) in
+          (spec, T.natural_view s spec)
+        | None ->
+          let spec = Gen.generate family ~seed ~size in
+          (spec, Views.build ~seed (Views.Connected_groups group) spec)
+      in
+      ignore spec;
+      let view =
+        if unsound then Views.inject_unsoundness ~seed:(seed + 1) ~attempts:(4 * size) view
+        else view
+      in
+      write_file out (serialize_view out view);
+      Printf.printf "wrote %s (%d tasks, %d composites, %s)\n" out
+        (Spec.n_tasks (View.spec view))
+        (View.n_composites view)
+        (if S.is_sound view then "sound" else "unsound");
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate a synthetic workflow and view (MoML or .wf).")
+    Term.(ret (const run $ family $ suite $ size $ seed $ group $ unsound $ out))
+
+(* --- audit --- *)
+
+let audit_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
+           ~doc:"Directory of .moml files.")
+  in
+  let correct_flag =
+    Arg.(value & flag & info [ "correct" ]
+           ~doc:"Also correct every unsound view (strong criterion) in place.")
+  in
+  let run dir correct_ =
+    match R.load_dir dir with
+    | Error msg -> fail "%s" msg
+    | Ok repo ->
+      let audit = R.audit repo in
+      Format.printf "%a@." R.pp_audit audit;
+      if correct_ && audit.R.unsound_views > 0 then begin
+        let repo', repaired = R.correct_all C.Strong repo in
+        match R.save_dir dir repo' with
+        | Ok () ->
+          Printf.printf "corrected and rewrote %d view(s)\n" repaired;
+          `Ok ()
+        | Error msg -> fail "%s" msg
+      end
+      else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Audit a directory of MoML workflows for unsound views.")
+    Term.(ret (const run $ dir_arg $ correct_flag))
+
+(* --- query --- *)
+
+let query_cmd =
+  let expr_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Query expression, e.g. \"ancestors('task') - unsound\".")
+  in
+  let run file expr =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      (match Wolves_query.Query.eval_names view expr with
+       | Error e -> fail "%a" Wolves_query.Query.pp_error e
+       | Ok names ->
+         List.iter print_endline names;
+         Printf.printf "(%d tasks)\n" (List.length names);
+         `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Evaluate a provenance query (set algebra over tasks: ancestors, \
+          descendants, producers, consumers, composites, unsound, sources, \
+          sinks, &, |, -).")
+    Term.(ret (const run $ file_arg $ expr_arg))
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let runs_arg =
+    Arg.(value & opt int 20 & info [ "runs" ] ~docv:"N" ~doc:"Number of runs.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"W"
+           ~doc:"Simulated parallel workers.")
+  in
+  let fail_arg =
+    Arg.(value & opt float 0.05 & info [ "failure-rate" ] ~docv:"P"
+           ~doc:"Per-task crash probability.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"OUT.csv"
+           ~doc:"Persist the recorded runs as CSV.")
+  in
+  let run file runs workers failure_rate save =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      let spec = View.spec view in
+      let module Engine = Wolves_engine.Engine in
+      let module Store = Wolves_provenance.Store in
+      let store = Store.create spec in
+      let makespans = ref [] in
+      let duration = Engine.durations_from_attrs spec in
+      for seed = 1 to runs do
+        let config =
+          { Engine.default_config with
+            Engine.workers;
+            failure_rate;
+            seed;
+            duration;
+            policy = Engine.Critical_path_first }
+        in
+        let trace = Engine.run ~config spec in
+        makespans := trace.Engine.makespan :: !makespans;
+        match Store.record_run store (Engine.statuses trace) with
+        | Ok _ -> ()
+        | Error msg -> failwith msg
+      done;
+      let mean =
+        List.fold_left ( +. ) 0.0 !makespans /. float_of_int runs
+      in
+      Printf.printf "%d runs on %d workers, failure rate %.2f\n" runs workers
+        failure_rate;
+      let base = { Engine.default_config with Engine.duration } in
+      Printf.printf "mean makespan %.2f (critical path %.2f, total work %.2f)\n"
+        mean
+        (Engine.critical_path_length base spec)
+        (Engine.total_work base spec);
+      print_endline "per-task success rates:";
+      List.iter
+        (fun t ->
+          Printf.printf "  %-40s %.0f%%\n" (Spec.task_name spec t)
+            (100.0 *. Store.success_rate store t))
+        (Spec.tasks spec);
+      (match save with
+       | None -> `Ok ()
+       | Some path ->
+         (match Store.save_csv store path with
+          | Ok () ->
+            Printf.printf "saved runs to %s\n" path;
+            `Ok ()
+          | Error msg -> fail "%s" msg))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Execute the workflow repeatedly on the simulation engine, feed the \
+          provenance store, and report makespan and per-task success rates.")
+    Term.(ret (const run $ file_arg $ runs_arg $ workers_arg $ fail_arg $ save_arg))
+
+(* --- diagnose --- *)
+
+let diagnose_cmd =
+  let run file =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      let spec = View.spec view in
+      let report = S.validate view in
+      if report.S.unsound = [] then begin
+        print_endline "view is sound; nothing to diagnose";
+        `Ok ()
+      end
+      else begin
+        List.iter
+          (fun (c, witnesses) ->
+            Printf.printf "composite %S is unsound (%d violating pairs)\n"
+              (View.composite_name view c)
+              (List.length witnesses);
+            let members = View.members view c in
+            let set =
+              Wolves_graph.Bitset.of_list (Spec.n_tasks spec) members
+            in
+            (match S.classify_unsound spec set with
+             | Some kind ->
+               Format.printf "  pattern: %a@." S.pp_unsoundness_kind kind
+             | None -> ());
+            match S.minimal_unsound_core spec set with
+            | None -> ()
+            | Some core ->
+              Printf.printf "  minimal unsound core (%d of %d tasks): {%s}\n"
+                (Wolves_graph.Bitset.cardinal core)
+                (List.length members)
+                (String.concat ", "
+                   (List.map (Spec.task_name spec)
+                      (Wolves_graph.Bitset.elements core)));
+              Printf.printf
+                "  every other member can stay; splitting these apart (or \
+                 absorbing their suppliers/consumers) restores soundness\n")
+          report.S.unsound;
+        `Ok ()
+      end
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:
+         "Explain unsound composites: the minimal subset of tasks that is \
+          still unsound (removing any one of them restores soundness).")
+    Term.(ret (const run $ file_arg))
+
+(* --- resolve --- *)
+
+let resolve_cmd =
+  let run file output =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      let resolved, decisions = C.resolve_auto view in
+      if decisions = [] then print_endline "view already sound"
+      else
+        List.iter
+          (fun d -> Format.printf "%a@." C.pp_decision d)
+          decisions;
+      print_string (Render.view_summary resolved);
+      Option.iter (fun path -> write_file path (serialize_view path resolved)) output;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "resolve"
+       ~doc:
+         "Resolve every unsound composite by whichever of splitting or \
+          merging is cheaper (mixed strategy; the paper's open problem).")
+    Term.(ret (const run $ file_arg $ output_arg))
+
+(* --- report --- *)
+
+let report_cmd =
+  let run file output =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      let spec = View.spec view in
+      let buf = Buffer.create 4096 in
+      let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      add "# WOLVES report: %s\n\n" (Spec.name spec);
+      add "%d tasks, %d dependencies, %d composites (%.1fx compression).\n\n"
+        (Spec.n_tasks spec) (Spec.n_dependencies spec)
+        (View.n_composites view) (View.compression view);
+      (* validation *)
+      let report = S.validate view in
+      add "## Validation\n\n";
+      if report.S.unsound = [] then add "The view is **sound**.\n\n"
+      else begin
+        add "The view is **UNSOUND**: %d of %d composites.\n\n"
+          (List.length report.S.unsound)
+          (View.n_composites view);
+        List.iter
+          (fun (c, witnesses) ->
+            add "- `%s`: %d missing paths" (View.composite_name view c)
+              (List.length witnesses);
+            let members = View.members view c in
+            let set = Wolves_graph.Bitset.of_list (Spec.n_tasks spec) members in
+            (match S.minimal_unsound_core spec set with
+             | Some core ->
+               add " (minimal core: %s)"
+                 (String.concat ", "
+                    (List.map (Spec.task_name spec)
+                       (Wolves_graph.Bitset.elements core)))
+             | None -> ());
+            add "\n")
+          report.S.unsound;
+        add "\n"
+      end;
+      (* provenance damage *)
+      let stats = Wolves_provenance.Provenance.evaluate_view_items view in
+      add "## Provenance impact\n\n";
+      add
+        "Item-granularity audit: %d queries, %d wrong answers (%.1f%%), 0 \
+         missed dependencies.\n\n"
+        stats.Wolves_provenance.Provenance.queries
+        stats.Wolves_provenance.Provenance.spurious
+        (100.0
+        *. Wolves_provenance.Provenance.spurious_rate stats);
+      (* correction *)
+      if report.S.unsound <> [] then begin
+        let corrected, outcomes = C.correct C.Strong view in
+        add "## Correction (strong local optimality)\n\n";
+        List.iter
+          (fun (c, o) ->
+            add "- `%s` split into %d sound parts%s\n"
+              (View.composite_name view c)
+              (List.length o.C.parts)
+              (if o.C.certified_strong then " (certified)" else ""))
+          outcomes;
+        let stats' =
+          Wolves_provenance.Provenance.evaluate_view_items corrected
+        in
+        add
+          "\nAfter correction: %d composites, %d wrong provenance answers.\n\n"
+          (View.n_composites corrected)
+          stats'.Wolves_provenance.Provenance.spurious
+      end;
+      (* interface catalog *)
+      add "%s" (Wolves_core.Interface.to_markdown view);
+      let text = Buffer.contents buf in
+      (match output with
+       | Some path ->
+         write_file path text;
+         Printf.printf "wrote %s\n" path
+       | None -> print_string text);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Produce a markdown report: validation, minimal unsound cores, \
+          provenance impact, correction, and the composite interface catalog.")
+    Term.(ret (const run $ file_arg $ output_arg))
+
+(* --- edit --- *)
+
+let edit_cmd =
+  let script_arg =
+    Arg.(value & opt (some file) None & info [ "script" ] ~docv:"SCRIPT"
+           ~doc:"Run editor commands from a file instead of stdin.")
+  in
+  let run file script output =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      let module Editor = Wolves_cli.Editor in
+      let editor = Editor.create view in
+      (match script with
+       | Some path ->
+         let lines =
+           In_channel.with_open_text path In_channel.input_lines
+         in
+         List.iter print_endline (Editor.run_script editor lines)
+       | None ->
+         print_endline
+           "WOLVES view designer; 'help' lists commands, 'quit' leaves.";
+         let continue_ = ref true in
+         while !continue_ do
+           print_string "wolves> ";
+           (match In_channel.input_line stdin with
+            | None -> continue_ := false
+            | Some line ->
+              (match Editor.execute editor line with
+               | `Ok "" -> ()
+               | `Ok msg -> print_endline msg
+               | `Error msg -> Printf.printf "error: %s\n" msg
+               | `Quit -> continue_ := false))
+         done);
+      let final =
+        Wolves_core.Session.current_view (Editor.session editor)
+      in
+      Option.iter (fun path -> write_file path (serialize_view path final)) output;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "edit"
+       ~doc:
+         "Design a view interactively (the demo GUI as a REPL): create/move/\
+          dissolve composites with instant validation, correct, diagnose, \
+          undo; -o saves the result.")
+    Term.(ret (const run $ file_arg $ script_arg $ output_arg))
+
+(* --- evolve --- *)
+
+let evolve_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD"
+           ~doc:"Old workflow+view document.")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW"
+           ~doc:"New workflow document (its view is ignored).")
+  in
+  let run old_file new_file output =
+    match (load_view old_file, load_view new_file) with
+    | Error msg, _ | _, Error msg -> fail "%s" msg
+    | Ok old_view, Ok new_view ->
+      let module Ev = Wolves_core.Evolution in
+      let old_spec = View.spec old_view in
+      let new_spec = View.spec new_view in
+      let d = Ev.diff old_spec new_spec in
+      Format.printf "%a@." Ev.pp_diff d;
+      if Ev.is_empty d then print_endline "specifications are identical"
+      else begin
+        let report = Ev.impact old_view new_spec in
+        Format.printf "%a@." Ev.pp_impact report;
+        print_string (Render.view_summary report.Ev.new_view);
+        Option.iter
+          (fun path -> write_file path (serialize_view path report.Ev.new_view))
+          output
+      end;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "evolve"
+       ~doc:
+         "Diff two workflow versions, migrate the old view onto the new \
+          specification, and report which composites broke or were repaired.")
+    Term.(ret (const run $ old_arg $ new_arg $ output_arg))
+
+(* --- suggest --- *)
+
+let suggest_cmd =
+  let method_arg =
+    Arg.(value & opt (enum [ ("greedy", `Greedy); ("banding", `Banding);
+                             ("regions", `Regions) ])
+           `Banding
+         & info [ "method" ] ~docv:"METHOD"
+             ~doc:"greedy | banding (optimal contiguous) | regions (fork-join).")
+  in
+  let size_arg =
+    Arg.(value & opt int 8 & info [ "max-size" ] ~docv:"K"
+           ~doc:"Maximum composite size (greedy/banding).")
+  in
+  let run file method_ max_size output =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      let spec = View.spec view in
+      let module Suggest = Wolves_core.Suggest in
+      let groups =
+        match method_ with
+        | `Greedy -> Suggest.greedy_sound_groups spec ~max_size
+        | `Banding -> Suggest.optimal_sound_banding spec ~max_size
+        | `Regions -> Suggest.fork_join_regions spec
+      in
+      let suggested = Suggest.view_of_groups spec groups in
+      Printf.printf
+        "suggested a sound view with %d composites (%.1fx compression)\n"
+        (View.n_composites suggested)
+        (View.compression suggested);
+      print_string (Render.view_summary suggested);
+      Option.iter (fun path -> write_file path (serialize_view path suggested)) output;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "suggest"
+       ~doc:
+         "Construct a sound view automatically (greedy sound groups, optimal \
+          contiguous banding, or fork-join region collapse).")
+    Term.(ret (const run $ file_arg $ method_arg $ size_arg $ output_arg))
+
+let main =
+  let doc =
+    "WOLVES: detect and resolve unsound workflow views for correct \
+     provenance analysis (VLDB'09 demonstration, reproduced)."
+  in
+  Cmd.group
+    (Cmd.info "wolves" ~version:"1.0.0" ~doc)
+    [ show_cmd; validate_cmd; correct_cmd; split_cmd; merge_cmd; resolve_cmd;
+      diagnose_cmd; provenance_cmd; query_cmd; simulate_cmd; suggest_cmd;
+      evolve_cmd; edit_cmd; report_cmd; estimate_cmd; generate_cmd; audit_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/monitoring.ml: Format Fun List Printf Spec View Wolves_core Wolves_engine Wolves_provenance Wolves_query Wolves_workflow Wolves_workload

@@ -1,0 +1,1 @@
+examples/pegasus_audit.ml: Format List Option Printf Spec String View Wolves_cli Wolves_core Wolves_provenance Wolves_workflow Wolves_workload

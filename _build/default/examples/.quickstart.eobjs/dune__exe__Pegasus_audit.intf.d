@@ -1,0 +1,1 @@
+examples/pegasus_audit.mli:

@@ -1,0 +1,1 @@
+examples/phylogenomics.ml: Examples Format List Option Out_channel Printf Spec View Wolves_cli Wolves_core Wolves_graph Wolves_provenance Wolves_workflow

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Spec View Wolves_cli Wolves_core Wolves_moml Wolves_workflow

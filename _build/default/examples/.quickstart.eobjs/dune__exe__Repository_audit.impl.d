@@ -1,0 +1,1 @@
+examples/repository_audit.ml: Filename Format List Printf Wolves_cli Wolves_core Wolves_repository

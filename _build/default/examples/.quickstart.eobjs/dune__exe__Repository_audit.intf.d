@@ -1,0 +1,1 @@
+examples/repository_audit.mli:

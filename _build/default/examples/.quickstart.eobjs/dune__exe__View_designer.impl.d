@@ -1,0 +1,1 @@
+examples/view_designer.ml: Examples Format List Option Printf Spec View Wolves_cli Wolves_core Wolves_moml Wolves_workflow Wolves_workload

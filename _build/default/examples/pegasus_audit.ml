@@ -1,0 +1,81 @@
+(* Auditing the canonical scientific workflows: generate the Pegasus suite
+   shapes at realistic scale, draw the per-stage views a domain user would,
+   measure the provenance damage, and repair.
+
+   Run with: dune exec examples/pegasus_audit.exe *)
+
+open Wolves_workflow
+module T = Wolves_workload.Templates
+module S = Wolves_core.Soundness
+module C = Wolves_core.Corrector
+module P = Wolves_provenance.Provenance
+module Table = Wolves_cli.Table
+
+let () =
+  print_endline
+    "Per-stage views of the Pegasus workflow shapes: the abstraction every";
+  print_endline
+    "domain user draws (\"all the mapping tasks\"), audited by WOLVES.\n";
+
+  let rows =
+    List.map
+      (fun suite ->
+        let spec = T.generate suite ~scale:16 in
+        let view = T.natural_view suite spec in
+        let report = S.validate view in
+        let before = P.evaluate_view_items view in
+        let corrected, outcomes = C.correct C.Strong view in
+        let after = P.evaluate_view_items corrected in
+        assert (after.P.spurious = 0);
+        [ T.suite_name suite;
+          string_of_int (Spec.n_tasks spec);
+          Printf.sprintf "%d/%d"
+            (List.length report.S.unsound)
+            (View.n_composites view);
+          Printf.sprintf "%.1f%%" (100.0 *. P.spurious_rate before);
+          string_of_int (List.length outcomes);
+          string_of_int (View.n_composites corrected) ])
+      T.all_suites
+  in
+  print_endline
+    (Table.render
+       ~align:
+         [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+           Table.Right ]
+       ~header:
+         [ "suite"; "tasks"; "unsound stages"; "wrong provenance answers";
+           "stages split"; "composites after" ]
+       rows);
+
+  (* Zoom into one concrete lie: epigenomics lanes. *)
+  let spec = T.generate T.Epigenomics ~scale:4 in
+  let view = T.natural_view T.Epigenomics spec in
+  let t n = Spec.task_of_name_exn spec n in
+  let item = { P.producer = t "fastQSplit"; consumer = t "filterContams_0" } in
+  let target =
+    Option.get (View.composite_of_name view "map")
+  in
+  Printf.printf
+    "\nexample: does lane 0's filtered data feed the 'map' stage's output?\n";
+  Printf.printf "  view says: %b  (stage-level path exists)\n"
+    (P.view_claims_item view item target);
+  (match P.explain view item target with
+   | P.Genuine path ->
+     Printf.printf "  and it is genuine: %s\n"
+       (String.concat " -> " (List.map (Spec.task_name spec) path))
+   | P.Spurious comps ->
+     Printf.printf "  but it is SPURIOUS, misled by: %s\n"
+       (String.concat " -> " (List.map (View.composite_name view) comps))
+   | P.Not_claimed -> print_endline "  not claimed");
+  (* The actually wrong claim: lane 0 data in the provenance of lane 1's
+     map output item. *)
+  let lane1_item = { P.producer = t "map_1"; consumer = t "mapMerge" } in
+  let stats = P.evaluate_view_items view in
+  Printf.printf
+    "\nat item granularity, %d of %d provenance answers are wrong (%.1f%%),\n"
+    stats.P.spurious stats.P.queries
+    (100.0 *. P.spurious_rate stats);
+  Printf.printf
+    "e.g. lane 0 items are reported in the provenance of %s although the\n"
+    (Format.asprintf "%a" (P.pp_item spec) lane1_item);
+  print_endline "lanes never touch. After strong correction: 0 wrong answers."

@@ -1,0 +1,53 @@
+(* Quickstart: build a workflow, define a view, validate it, correct it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Wolves_workflow
+module Soundness = Wolves_core.Soundness
+module Corrector = Wolves_core.Corrector
+module Render = Wolves_cli.Render
+
+let () =
+  (* 1. Describe a small ETL-style workflow: two ingest branches that are
+     cleaned separately and joined into a report. *)
+  let spec =
+    Spec.of_tasks_exn ~name:"etl"
+      [ "fetch-sales"; "fetch-inventory"; "clean-sales"; "clean-inventory";
+        "join"; "report" ]
+      [ ("fetch-sales", "clean-sales");
+        ("fetch-inventory", "clean-inventory");
+        ("clean-sales", "join");
+        ("clean-inventory", "join");
+        ("join", "report") ]
+  in
+  print_string (Render.spec_summary spec);
+
+  (* 2. A plausible-looking view: group the two "clean" steps together. *)
+  let view =
+    View.make_exn spec
+      [ ("Ingest", [ "fetch-sales"; "fetch-inventory" ]);
+        ("Clean", [ "clean-sales"; "clean-inventory" ]);
+        ("Publish", [ "join"; "report" ]) ]
+  in
+  print_newline ();
+  print_string (Render.view_summary view);
+
+  (* 3. Validate: "Clean" is unsound — sales data never flows into the
+     inventory cleaning step, yet the view implies it might. *)
+  let report = Soundness.validate view in
+  Format.printf "@.%a@.@." Soundness.pp_report report;
+
+  (* 4. Correct it (strong local optimality) and validate again. *)
+  let corrected, outcomes = Corrector.correct Corrector.Strong view in
+  print_string (Render.correction_summary view outcomes);
+  print_newline ();
+  print_string (Render.view_summary corrected);
+  assert (Soundness.is_sound corrected);
+
+  (* 5. Round-trip through MoML, the demo's interchange format. *)
+  let moml = Wolves_moml.Moml.to_string corrected in
+  (match Wolves_moml.Moml.of_string moml with
+   | Ok (_, reloaded) ->
+     Format.printf "@.MoML round-trip OK (%d composites)@."
+       (View.n_composites reloaded)
+   | Error e -> Format.printf "@.MoML error: %a@." Wolves_moml.Moml.pp_error e)

@@ -1,0 +1,103 @@
+(* The demo's interactive loop, scripted: a user designs a view, WOLVES
+   validates it, suggests a correction with estimated cost (§3.2), the user
+   gives feedback by merging some of the resulting composites (Workflow View
+   Feedback module), and the loop re-validates until the user is satisfied.
+
+   Run with: dune exec examples/view_designer.exe *)
+
+open Wolves_workflow
+module S = Wolves_core.Soundness
+module C = Wolves_core.Corrector
+module E = Wolves_core.Estimator
+module Q = Wolves_core.Quality
+module Render = Wolves_cli.Render
+module Gen = Wolves_workload.Generate
+module Prng = Wolves_workload.Prng
+
+let rule title = Printf.printf "\n=== %s ===\n" title
+
+(* Build an estimation history the way the demo did: from previously
+   corrected workflows, grouped by size and substructure. *)
+let build_history () =
+  let history = E.create () in
+  let rng = Prng.create 77 in
+  for _ = 1 to 40 do
+    let seed = Prng.int rng 1_000_000 in
+    let family = Prng.pick rng Gen.all_families in
+    let spec = Gen.generate family ~seed ~size:(12 + Prng.int rng 8) in
+    let members =
+      List.filteri (fun i _ -> i < 8) (Prng.shuffle rng (Spec.tasks spec))
+    in
+    let features = E.features_of spec members in
+    List.iter
+      (fun criterion ->
+        let outcome, elapsed =
+          Render.time (fun () -> C.split_subset criterion spec members)
+        in
+        let optimal = C.split_subset C.Optimal spec members in
+        E.record history features criterion ~runtime:elapsed
+          ~quality:
+            (Q.ratio
+               ~optimal_parts:(List.length optimal.C.parts)
+               ~parts:(List.length outcome.C.parts)))
+      [ C.Weak; C.Strong; C.Optimal ]
+  done;
+  history
+
+let () =
+  (* The user imports a workflow and sketches a coarse view. *)
+  let spec, view = Examples.figure3 () in
+  rule "Draft view";
+  print_string (Render.view_summary view);
+
+  rule "Validation";
+  Format.printf "%a@." S.pp_report (S.validate view);
+
+  (* WOLVES estimates cost/quality per criterion before the user picks one
+     (demo: "we provide the estimated time and quality for each approach"). *)
+  rule "Estimated cost of each corrector";
+  let history = build_history () in
+  let t = Examples.figure3_composite view in
+  let features = E.features_of spec (View.members view t) in
+  List.iter
+    (fun criterion ->
+      let est = E.estimate history features criterion in
+      Format.printf "%a: %a@." C.pp_criterion criterion E.pp_estimate est)
+    [ C.Weak; C.Strong; C.Optimal ];
+
+  (* The user picks the strong corrector. *)
+  rule "Correction (strong)";
+  let corrected, outcome = C.split_composite C.Strong view t in
+  print_string (Render.correction_summary view [ (t, outcome) ]);
+  print_string (Render.view_summary corrected);
+
+  (* Feedback round: the user merges two of the new composites to taste —
+     re-validation flags the result immediately. *)
+  rule "User feedback: merge two suggested composites";
+  let part0 = Option.get (View.composite_of_name corrected "T/0") in
+  let part1 = Option.get (View.composite_of_name corrected "T/1") in
+  let tweaked = View.merge_exn corrected [ part0; part1 ] in
+  Format.printf "%a@." S.pp_report (S.validate tweaked);
+
+  (* Unsound again: WOLVES re-corrects just that composite; the loop ends
+     when validation is clean. *)
+  rule "Re-correction after feedback";
+  let rec settle view round =
+    match (S.validate view).S.unsound with
+    | [] ->
+      Printf.printf "round %d: view is sound — user accepts\n" round;
+      view
+    | (c, _) :: _ ->
+      Printf.printf "round %d: %s still unsound, splitting\n" round
+        (View.composite_name view c);
+      let view', _ = C.split_composite C.Strong view c in
+      settle view' (round + 1)
+  in
+  let final = settle tweaked 1 in
+  print_string (Render.view_summary final);
+
+  (* Export the approved view. *)
+  let out = "designed_view.moml" in
+  (match Wolves_moml.Moml.save out final with
+   | Ok () -> Printf.printf "\nsaved the approved view to %s\n" out
+   | Error e -> Format.printf "save failed: %a@." Wolves_moml.Moml.pp_error e)

@@ -1,0 +1,1 @@
+lib/cli/editor.ml: Buffer List Option Printf Spec String Wolves_core Wolves_graph Wolves_workflow

@@ -1,0 +1,1 @@
+lib/cli/editor.mli: View Wolves_core Wolves_workflow

@@ -1,0 +1,1 @@
+lib/cli/json.ml: Buffer Char Float List Printf String

@@ -1,0 +1,1 @@
+lib/cli/render.ml: Buffer Format List Printf Spec String Unix View Wolves_core Wolves_graph Wolves_provenance Wolves_workflow

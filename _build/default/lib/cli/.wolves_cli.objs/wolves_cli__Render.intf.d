@@ -1,0 +1,1 @@
+lib/cli/render.mli: Spec View Wolves_core Wolves_workflow

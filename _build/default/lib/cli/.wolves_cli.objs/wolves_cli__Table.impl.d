@@ -1,0 +1,1 @@
+lib/cli/table.ml: List Printf String

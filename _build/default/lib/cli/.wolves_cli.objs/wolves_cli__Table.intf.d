@@ -1,0 +1,1 @@
+lib/cli/table.mli:

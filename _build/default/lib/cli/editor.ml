@@ -1,0 +1,173 @@
+open Wolves_workflow
+module Session = Wolves_core.Session
+module Soundness = Wolves_core.Soundness
+module Corrector = Wolves_core.Corrector
+module Bitset = Wolves_graph.Bitset
+
+type t = {
+  e_session : Session.t;
+}
+
+let create view = { e_session = Session.start view }
+
+let session e = e.e_session
+
+(* Split a command line into words; double quotes group words and may
+   contain escaped quotes. *)
+let tokenize line =
+  let n = String.length line in
+  let words = ref [] in
+  let buf = Buffer.create 16 in
+  let in_word = ref false in
+  let flush () =
+    if !in_word then begin
+      words := Buffer.contents buf :: !words;
+      Buffer.clear buf;
+      in_word := false
+    end
+  in
+  let i = ref 0 in
+  let error = ref None in
+  while !error = None && !i < n do
+    (match line.[!i] with
+     | ' ' | '\t' -> flush ()
+     | '#' ->
+       flush ();
+       i := n
+     | '"' ->
+       in_word := true;
+       incr i;
+       let closed = ref false in
+       while (not !closed) && !i < n do
+         match line.[!i] with
+         | '"' -> closed := true
+         | '\\' when !i + 1 < n ->
+           Buffer.add_char buf line.[!i + 1];
+           incr i;
+           incr i
+         | c ->
+           Buffer.add_char buf c;
+           incr i
+       done;
+       if not !closed then error := Some "unterminated quote"
+     | c ->
+       in_word := true;
+       Buffer.add_char buf c);
+    incr i
+  done;
+  flush ();
+  match !error with
+  | Some msg -> Error msg
+  | None -> Ok (List.rev !words)
+
+let show e =
+  let s = e.e_session in
+  let spec = Session.spec s in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun name ->
+      let members =
+        String.concat ", "
+          (List.map (Spec.task_name spec)
+             (Option.value ~default:[] (Session.members s name)))
+      in
+      let verdict =
+        match Session.verdict s name with
+        | Some Session.Sound -> "[sound]  "
+        | Some (Session.Unsound _) -> "[UNSOUND]"
+        | None -> "[?]      "
+      in
+      Buffer.add_string buf (Printf.sprintf "%s %s = {%s}\n" verdict name members))
+    (Session.composite_names s);
+  Buffer.add_string buf
+    (if Session.is_sound s then "view is sound\n" else "view is UNSOUND\n");
+  Buffer.contents buf
+
+let resolve_task s name =
+  match Spec.task_of_name (Session.spec s) name with
+  | Some t -> Ok t
+  | None -> Error (Printf.sprintf "unknown task %S" name)
+
+let help =
+  "commands: show | create NAME TASK... | move TASK NAME | dissolve NAME | \
+   rename OLD NEW | correct NAME CRITERION | diagnose NAME | undo | help | quit"
+
+let execute e line =
+  let s = e.e_session in
+  match tokenize line with
+  | Error msg -> `Error msg
+  | Ok [] -> `Ok ""
+  | Ok (command :: args) ->
+    (match (command, args) with
+     | "quit", [] | "exit", [] -> `Quit
+     | "help", [] -> `Ok help
+     | "show", [] -> `Ok (show e)
+     | "create", name :: (_ :: _ as task_names) ->
+       let rec resolve acc = function
+         | [] -> Ok (List.rev acc)
+         | tn :: rest ->
+           (match resolve_task s tn with
+            | Ok t -> resolve (t :: acc) rest
+            | Error _ as err -> err)
+       in
+       (match resolve [] task_names with
+        | Error msg -> `Error msg
+        | Ok tasks ->
+          (match Session.create_composite s ~name tasks with
+           | Ok () -> `Ok (Printf.sprintf "created %S" name)
+           | Error msg -> `Error msg))
+     | "move", [ task_name; target ] ->
+       (match resolve_task s task_name with
+        | Error msg -> `Error msg
+        | Ok task ->
+          (match Session.move_task s task ~into:target with
+           | Ok () -> `Ok (Printf.sprintf "moved %s into %S" task_name target)
+           | Error msg -> `Error msg))
+     | "dissolve", [ name ] ->
+       (match Session.dissolve s name with
+        | Ok () -> `Ok (Printf.sprintf "dissolved %S" name)
+        | Error msg -> `Error msg)
+     | "rename", [ old_name; new_name ] ->
+       (match Session.rename s old_name ~into:new_name with
+        | Ok () -> `Ok (Printf.sprintf "renamed %S to %S" old_name new_name)
+        | Error msg -> `Error msg)
+     | "correct", [ name; criterion_name ] ->
+       (match Corrector.criterion_of_string criterion_name with
+        | None -> `Error (Printf.sprintf "unknown criterion %S" criterion_name)
+        | Some criterion ->
+          (match Session.apply_correction s name criterion with
+           | Ok parts -> `Ok (Printf.sprintf "split %S into %d parts" name parts)
+           | Error msg -> `Error msg))
+     | "diagnose", [ name ] ->
+       (match Session.members s name with
+        | None -> `Error (Printf.sprintf "no composite named %S" name)
+        | Some members ->
+          let spec = Session.spec s in
+          let set = Bitset.of_list (Spec.n_tasks spec) members in
+          (match Soundness.minimal_unsound_core spec set with
+           | None -> `Ok (Printf.sprintf "%S is sound" name)
+           | Some core ->
+             `Ok
+               (Printf.sprintf "minimal unsound core of %S: {%s}" name
+                  (String.concat ", "
+                     (List.map (Spec.task_name spec) (Bitset.elements core))))))
+     | "undo", [] ->
+       if Session.undo s then `Ok "undone" else `Error "nothing to undo"
+     | ("create" | "move" | "dissolve" | "rename" | "correct" | "diagnose"
+       | "show" | "undo" | "help" | "quit" | "exit"), _ ->
+       `Error (Printf.sprintf "wrong arguments for %s; try: %s" command help)
+     | other, _ -> `Error (Printf.sprintf "unknown command %S; %s" other help))
+
+let run_script e lines =
+  let responses = ref [] in
+  (try
+     List.iter
+       (fun line ->
+         match execute e line with
+         | `Ok "" -> ()
+         | `Ok msg -> responses := msg :: !responses
+         | `Error msg -> responses := ("error: " ^ msg) :: !responses
+         | `Quit -> raise Exit)
+       lines
+   with Exit -> ());
+  List.rev !responses

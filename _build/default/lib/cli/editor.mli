@@ -1,0 +1,37 @@
+(** The interactive view-designer loop — the demo GUI as a command
+    interpreter over a {!Wolves_core.Session}.
+
+    Commands (names are quoted when they contain spaces):
+
+    {v
+    show                       current composites with verdicts
+    create NAME task...        demo's "Create Composite Task"
+    move TASK NAME             move one task into a composite
+    dissolve NAME              replace a composite by singletons
+    rename OLD NEW
+    correct NAME CRITERION     split one composite (weak|strong|optimal)
+    diagnose NAME              minimal unsound core of a composite
+    undo
+    help
+    quit
+    v}
+
+    The interpreter is pure with respect to I/O: [execute] maps one command
+    line to a response string (mutating the session), so the CLI wraps it
+    around stdin and the tests drive it directly. *)
+
+open Wolves_workflow
+
+type t
+
+val create : View.t -> t
+
+val session : t -> Wolves_core.Session.t
+
+val execute : t -> string -> [ `Ok of string | `Error of string | `Quit ]
+(** Interpret one command line. Unknown commands and malformed arguments
+    come back as [`Error]; empty lines and [#] comments as [`Ok ""]. *)
+
+val run_script : t -> string list -> string list
+(** Execute lines until exhaustion or [quit]; collects the non-empty
+    responses (errors prefixed with ["error: "]). *)

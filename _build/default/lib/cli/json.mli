@@ -1,0 +1,15 @@
+(** Minimal JSON emission (no parsing) for machine-readable CLI output. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialise; [pretty] (default true) indents by two spaces. Strings are
+    escaped per RFC 8259 (control characters as [\u00XX]); non-finite floats
+    are emitted as [null]. *)

@@ -1,0 +1,29 @@
+(** Rendering of workflows, views and validation results — the CLI
+    counterpart of the demo GUI's three panels (specification, view, result)
+    and its red/green soundness marking. *)
+
+open Wolves_workflow
+
+val spec_summary : Spec.t -> string
+(** Task list with dependencies, topologically ordered. *)
+
+val view_summary : ?color:bool -> View.t -> string
+(** One line per composite with members; unsound composites are marked
+    [UNSOUND] (red when [color], default off) with their witness pairs —
+    the validator panel. *)
+
+val correction_summary :
+  View.t -> (View.composite * Wolves_core.Corrector.outcome) list -> string
+(** The result panel: which composites were split, into what. The composites
+    refer to the view {e before} correction. *)
+
+val view_dot : ?highlight_unsound:bool -> View.t -> string
+(** DOT rendering: one cluster per composite; unsound composites drawn red
+    (the demo marking) when [highlight_unsound] (default true). *)
+
+val provenance_summary : View.t -> View.composite -> string
+(** The introduction's analysis for one composite: view-level provenance,
+    expanded tasks, and any spurious data items with explanations. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Wall-clock timing of a thunk, in seconds. *)

@@ -1,0 +1,45 @@
+type align =
+  | Left
+  | Right
+
+let pad align width s =
+  let missing = width - String.length s in
+  if missing <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ s
+
+let render ?(align = []) ~header rows =
+  let n_cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) (List.length header) rows
+  in
+  let normalise row =
+    row @ List.init (n_cols - List.length row) (fun _ -> "")
+  in
+  let header = normalise header in
+  let rows = List.map normalise rows in
+  let aligns =
+    align @ List.init (max 0 (n_cols - List.length align)) (fun _ -> Left)
+  in
+  let widths =
+    List.fold_left
+      (fun widths row -> List.map2 (fun w cell -> max w (String.length cell)) widths row)
+      (List.map String.length header)
+      rows
+  in
+  let line row =
+    String.concat "  "
+      (List.map2 (fun (a, w) cell -> pad a w cell)
+         (List.combine aligns widths)
+         row)
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" ((line header :: rule :: List.map line rows) @ [])
+
+let render_kv pairs =
+  let width =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs
+  in
+  String.concat "\n"
+    (List.map (fun (k, v) -> Printf.sprintf "%s  %s" (pad Left width k) v) pairs)

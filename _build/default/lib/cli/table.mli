@@ -1,0 +1,13 @@
+(** Plain-text table rendering for reports and benchmark output. *)
+
+type align =
+  | Left
+  | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** Render rows under a header with a separator rule; columns are padded to
+    the widest cell. [align] defaults to left for every column; a short list
+    is padded with [Left]. Ragged rows are padded with empty cells. *)
+
+val render_kv : (string * string) list -> string
+(** Two-column key/value block, keys right-padded. *)

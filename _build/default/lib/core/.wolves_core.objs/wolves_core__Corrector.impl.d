@@ -1,0 +1,1 @@
+lib/core/corrector.ml: Array Bytes Format Fun Hashtbl List Printf Soundness Spec View Wolves_graph Wolves_workflow

@@ -1,0 +1,1 @@
+lib/core/corrector.mli: Format Spec View Wolves_workflow

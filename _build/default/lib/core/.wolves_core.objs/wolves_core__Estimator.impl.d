@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Corrector Float Format Hashtbl List Option Spec Wolves_graph Wolves_workflow

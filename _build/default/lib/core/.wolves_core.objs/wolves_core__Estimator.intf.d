@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Corrector Format Spec Wolves_workflow

@@ -1,0 +1,1 @@
+lib/core/evolution.ml: Array Format Hashtbl List Printf Set Soundness Spec String View Wolves_graph Wolves_workflow

@@ -1,0 +1,1 @@
+lib/core/evolution.mli: Format Spec View Wolves_workflow

@@ -1,0 +1,1 @@
+lib/core/hardness.ml: Corrector Fun List Printf Spec Wolves_workflow

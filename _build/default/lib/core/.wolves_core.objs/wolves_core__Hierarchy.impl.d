@@ -1,0 +1,1 @@
+lib/core/hierarchy.ml: Array Format Fun List Printf Soundness Spec View Wolves_graph Wolves_workflow

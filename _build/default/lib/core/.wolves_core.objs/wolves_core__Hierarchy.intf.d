@@ -1,0 +1,1 @@
+lib/core/hierarchy.mli: Spec View Wolves_workflow

@@ -1,0 +1,1 @@
+lib/core/interface.ml: Buffer Format List Printf Soundness Spec String View Wolves_graph Wolves_workflow

@@ -1,0 +1,1 @@
+lib/core/quality.mli: Corrector Format Spec Wolves_workflow

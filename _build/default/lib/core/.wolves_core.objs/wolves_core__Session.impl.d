@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Corrector Format Hashtbl Int List Option Printf Set Soundness Spec View Wolves_graph Wolves_workflow

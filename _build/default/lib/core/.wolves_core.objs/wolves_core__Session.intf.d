@@ -1,0 +1,1 @@
+lib/core/session.mli: Corrector Spec View Wolves_workflow

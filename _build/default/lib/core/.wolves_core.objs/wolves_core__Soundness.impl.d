@@ -1,0 +1,1 @@
+lib/core/soundness.ml: Array Format Fun Hashtbl List Spec View Wolves_graph Wolves_workflow

@@ -1,0 +1,1 @@
+lib/core/soundness.mli: Format Spec View Wolves_graph Wolves_workflow

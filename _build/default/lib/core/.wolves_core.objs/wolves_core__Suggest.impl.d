@@ -1,0 +1,1 @@
+lib/core/suggest.ml: Array Format List Printf Soundness Spec View Wolves_graph Wolves_workflow

@@ -1,0 +1,1 @@
+lib/core/suggest.mli: Spec View Wolves_workflow

@@ -1,0 +1,721 @@
+open Wolves_workflow
+module Bitset = Wolves_graph.Bitset
+module Digraph = Wolves_graph.Digraph
+module Reach = Wolves_graph.Reach
+
+type criterion =
+  | Weak
+  | Strong
+  | Optimal
+
+let pp_criterion ppf = function
+  | Weak -> Format.pp_print_string ppf "weak"
+  | Strong -> Format.pp_print_string ppf "strong"
+  | Optimal -> Format.pp_print_string ppf "optimal"
+
+let criterion_of_string = function
+  | "weak" -> Some Weak
+  | "strong" -> Some Strong
+  | "optimal" -> Some Optimal
+  | _ -> None
+
+type outcome = {
+  parts : Spec.task list list;
+  checks : int;
+  certified_strong : bool;
+}
+
+type config = {
+  branch_budget : int;
+  certify : bool;
+  certify_limit : int;
+  optimal_max_tasks : int;
+}
+
+let default_config =
+  { branch_budget = 64; certify = true; certify_limit = 18; optimal_max_tasks = 18 }
+
+(* Shared mutable state of one correction run: the specification, and a
+   counter of subset-soundness evaluations (the unit the paper's complexity
+   claims are phrased in). *)
+type ctx = {
+  spec : Spec.t;
+  n : int;
+  checks : int ref;
+}
+
+let make_ctx spec = { spec; n = Spec.n_tasks spec; checks = ref 0 }
+
+let sound ctx set =
+  incr ctx.checks;
+  Soundness.subset_sound ctx.spec set
+
+(* ------------------------------------------------------------------ *)
+(* Weak local optimality: greedy pair merging from singletons.         *)
+(* ------------------------------------------------------------------ *)
+
+(* Parts are bitsets ordered by smallest member; merging part j into part
+   i < j preserves that order, so the algorithm is deterministic. *)
+let weak_split ctx members =
+  let parts =
+    ref
+      (Array.of_list
+         (List.map (fun t -> Bitset.of_list ctx.n [ t ]) members))
+  in
+  let remove_at j =
+    let old = !parts in
+    parts :=
+      Array.init
+        (Array.length old - 1)
+        (fun k -> if k < j then old.(k) else old.(k + 1))
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let i = ref 0 in
+    while !i < Array.length !parts do
+      let j = ref (!i + 1) in
+      while !j < Array.length !parts do
+        let u = Bitset.union (!parts).(!i) (!parts).(!j) in
+        if sound ctx u then begin
+          (!parts).(!i) <- u;
+          remove_at !j;
+          changed := true
+        end
+        else incr j
+      done;
+      incr i
+    done
+  done;
+  !parts
+
+(* ------------------------------------------------------------------ *)
+(* Strong local optimality: seeded closure search for combinable        *)
+(* subsets of parts, run on top of the weak result.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Try to grow the union of the seed parts into a sound union of parts.
+   A "bad pair" (x, y) — x ∈ in(U), y ∈ out(U), ¬reach(x, y) — can only be
+   repaired by absorbing the parts that make x an input (every outside
+   predecessor of x, only possible when they all lie inside the composite) or
+   dually the parts consuming y. Forced repairs are applied directly;
+   two-sided choices branch within [budget]. *)
+let try_closure ctx ~budget parts part_of_task seed_i seed_j =
+  let p = Array.length parts in
+  let union_of included =
+    let u = Bitset.create ctx.n in
+    for k = 0 to p - 1 do
+      if included.(k) then Bitset.union_into ~into:u parts.(k)
+    done;
+    u
+  in
+  let g = Spec.graph ctx.spec in
+  (* Parts (indices) that must be absorbed so that [x] stops being an
+     input of [u]; None when impossible (an outside-the-composite task or an
+     already absorbed-free boundary feeds x). *)
+  let absorb_for neighbours u x =
+    let rec collect acc = function
+      | [] -> Some acc
+      | t :: rest ->
+        if Bitset.mem u t then collect acc rest
+        else (
+          match part_of_task t with
+          | Some k -> collect (if List.mem k acc then acc else k :: acc) rest
+          | None -> None)
+    in
+    collect [] (neighbours g x)
+  in
+  let budget = ref budget in
+  let rec solve included u =
+    incr ctx.checks;
+    match Soundness.subset_witnesses ctx.spec u with
+    | [] -> Some included
+    | (x, y) :: _ ->
+      let fix_in = absorb_for Digraph.pred u x in
+      let fix_out = absorb_for Digraph.succ u y in
+      let apply ks =
+        let included' = Array.copy included in
+        List.iter (fun k -> included'.(k) <- true) ks;
+        solve included' (union_of included')
+      in
+      (match (fix_in, fix_out) with
+       | None, None -> None
+       | Some ks, None | None, Some ks -> apply ks
+       | Some ks_in, Some ks_out ->
+         if !budget > 0 then begin
+           decr budget;
+           match apply ks_in with
+           | Some _ as found -> found
+           | None -> apply ks_out
+         end
+         else apply ks_in)
+  in
+  let included = Array.make p false in
+  included.(seed_i) <- true;
+  included.(seed_j) <- true;
+  solve included (union_of included)
+
+let find_combinable_parts ctx ~budget parts =
+  let p = Array.length parts in
+  let part_of = Hashtbl.create 64 in
+  Array.iteri
+    (fun k set -> Bitset.iter (fun t -> Hashtbl.replace part_of t k) set)
+    parts;
+  let part_of_task t = Hashtbl.find_opt part_of t in
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < p do
+    let j = ref (!i + 1) in
+    while !found = None && !j < p do
+      (match try_closure ctx ~budget parts part_of_task !i !j with
+       | Some included ->
+         found :=
+           Some
+             (List.filter (fun k -> included.(k)) (List.init p Fun.id))
+       | None -> ());
+      incr j
+    done;
+    incr i
+  done;
+  !found
+
+let merge_parts parts indices =
+  let keep = Array.to_list parts in
+  let merged = Bitset.create (Bitset.capacity parts.(0)) in
+  List.iter (fun k -> Bitset.union_into ~into:merged parts.(k)) indices;
+  let rest =
+    List.filteri (fun k _ -> not (List.mem k indices)) keep
+  in
+  (* Reinsert ordered by smallest member. *)
+  let all = merged :: rest in
+  let key set = match Bitset.choose set with Some t -> t | None -> max_int in
+  Array.of_list (List.sort (fun a b -> compare (key a) (key b)) all)
+
+(* Exhaustive fallback: find any combinable subset of ≥ 2 parts by mask
+   enumeration. Exponential in the number of parts; only used under
+   [certify_limit]. *)
+let exhaustive_combinable ctx parts =
+  let p = Array.length parts in
+  let result = ref None in
+  let mask = ref 3 in
+  let limit = 1 lsl p in
+  while !result = None && !mask < limit do
+    let m = !mask in
+    let indices =
+      List.filter (fun k -> m land (1 lsl k) <> 0) (List.init p Fun.id)
+    in
+    if List.length indices >= 2 then begin
+      let u = Bitset.create ctx.n in
+      List.iter (fun k -> Bitset.union_into ~into:u parts.(k)) indices;
+      if sound ctx u then result := Some indices
+    end;
+    incr mask
+  done;
+  !result
+
+let strong_split ctx ~config members =
+  let parts = ref (weak_split ctx members) in
+  let continue_ = ref true in
+  let certified = ref false in
+  while !continue_ do
+    match find_combinable_parts ctx ~budget:config.branch_budget !parts with
+    | Some indices -> parts := merge_parts !parts indices
+    | None ->
+      (* The closure search is done; certify (and repair) exhaustively when
+         requested and small enough. *)
+      if config.certify && Array.length !parts <= config.certify_limit then begin
+        match exhaustive_combinable ctx !parts with
+        | Some indices -> parts := merge_parts !parts indices
+        | None ->
+          certified := true;
+          continue_ := false
+      end
+      else continue_ := false
+  done;
+  (!parts, !certified)
+
+(* ------------------------------------------------------------------ *)
+(* Optimal split: exact minimum partition into sound parts, by dynamic  *)
+(* programming over subsets of the composite's members.                 *)
+(* ------------------------------------------------------------------ *)
+
+let optimal_split ctx members =
+  let mem = Array.of_list members in
+  let n = Array.length mem in
+  assert (n <= 62);
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i t -> Hashtbl.replace index_of t i) mem;
+  let g = Spec.graph ctx.spec in
+  let r = Spec.reach ctx.spec in
+  let reach_row = Array.make n 0 in
+  let preds_in = Array.make n 0 in
+  let succs_in = Array.make n 0 in
+  let ext_in = Array.make n false in
+  let ext_out = Array.make n false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Reach.reaches r mem.(i) mem.(j) then
+        reach_row.(i) <- reach_row.(i) lor (1 lsl j)
+    done;
+    List.iter
+      (fun p ->
+        match Hashtbl.find_opt index_of p with
+        | Some k -> preds_in.(i) <- preds_in.(i) lor (1 lsl k)
+        | None -> ext_in.(i) <- true)
+      (Digraph.pred g mem.(i));
+    List.iter
+      (fun s ->
+        match Hashtbl.find_opt index_of s with
+        | Some k -> succs_in.(i) <- succs_in.(i) lor (1 lsl k)
+        | None -> ext_out.(i) <- true)
+      (Digraph.succ g mem.(i))
+  done;
+  let size = 1 lsl n in
+  let sound_mask = Bytes.make size '\000' in
+  for mask = 1 to size - 1 do
+    incr ctx.checks;
+    let ins = ref 0 and outs = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        if ext_in.(i) || preds_in.(i) land lnot mask <> 0 then
+          ins := !ins lor (1 lsl i);
+        if ext_out.(i) || succs_in.(i) land lnot mask <> 0 then
+          outs := !outs lor (1 lsl i)
+      end
+    done;
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if !ins land (1 lsl i) <> 0 && !outs land lnot reach_row.(i) <> 0 then
+        ok := false
+    done;
+    if !ok then Bytes.set sound_mask mask '\001'
+  done;
+  let infinity_parts = n + 1 in
+  let dp = Array.make size infinity_parts in
+  let choice = Array.make size 0 in
+  dp.(0) <- 0;
+  for mask = 1 to size - 1 do
+    (* The part containing the lowest member of [mask] must be a sound
+       submask; enumerate them. *)
+    let low = mask land -mask in
+    let s = ref mask in
+    while !s > 0 do
+      if !s land low <> 0 && Bytes.get sound_mask !s = '\001' then begin
+        let rest = mask lxor !s in
+        if dp.(rest) + 1 < dp.(mask) then begin
+          dp.(mask) <- dp.(rest) + 1;
+          choice.(mask) <- !s
+        end
+      end;
+      s := (!s - 1) land mask
+    done
+  done;
+  let full = size - 1 in
+  assert (dp.(full) <= n);
+  let rec rebuild mask acc =
+    if mask = 0 then acc
+    else
+      let s = choice.(mask) in
+      let part =
+        List.filter_map
+          (fun i -> if s land (1 lsl i) <> 0 then Some mem.(i) else None)
+          (List.init n Fun.id)
+      in
+      rebuild (mask lxor s) (part :: acc)
+  in
+  let parts = rebuild full [] in
+  List.sort (fun a b -> compare (List.hd a) (List.hd b)) parts
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_members spec members =
+  if members = [] then invalid_arg "Corrector: empty composite";
+  let sorted = List.sort_uniq compare members in
+  if List.length sorted <> List.length members then
+    invalid_arg "Corrector: duplicate members";
+  List.iter
+    (fun t ->
+      if t < 0 || t >= Spec.n_tasks spec then
+        invalid_arg (Printf.sprintf "Corrector: unknown task %d" t))
+    sorted;
+  sorted
+
+let parts_to_lists parts =
+  Array.to_list (Array.map Bitset.elements parts)
+
+let split_subset ?(config = default_config) criterion spec members =
+  let members = check_members spec members in
+  let ctx = make_ctx spec in
+  let member_set = Bitset.of_list ctx.n members in
+  if List.length members = 1 || sound ctx member_set then
+    (* Already sound: nothing to split; trivially strongly optimal. *)
+    { parts = [ members ]; checks = !(ctx.checks); certified_strong = true }
+  else
+    match criterion with
+    | Weak ->
+      let parts = weak_split ctx members in
+      { parts = parts_to_lists parts;
+        checks = !(ctx.checks);
+        certified_strong = false }
+    | Strong ->
+      let parts, certified = strong_split ctx ~config members in
+      { parts = parts_to_lists parts;
+        checks = !(ctx.checks);
+        certified_strong = certified }
+    | Optimal ->
+      if List.length members > config.optimal_max_tasks then
+        invalid_arg
+          (Printf.sprintf
+             "Corrector: optimal split limited to %d tasks (got %d)"
+             config.optimal_max_tasks (List.length members));
+      let parts = optimal_split ctx members in
+      (* A minimum split is strongly local optimal: a combinable subset
+         would contradict minimality. *)
+      { parts; checks = !(ctx.checks); certified_strong = true }
+
+(* ------------------------------------------------------------------ *)
+(* Anytime exact split: branch-and-bound over topological assignments.  *)
+(* ------------------------------------------------------------------ *)
+
+let split_subset_anytime ?(config = default_config) ?(node_budget = 2_000_000)
+    spec members =
+  let members = check_members spec members in
+  let ctx = make_ctx spec in
+  let member_set = Bitset.of_list ctx.n members in
+  if List.length members = 1 || sound ctx member_set then
+    ({ parts = [ members ]; checks = !(ctx.checks); certified_strong = true },
+     true)
+  else begin
+    (* Incumbent: the strong corrector's split. *)
+    let incumbent, _ = strong_split ctx ~config members in
+    let best = ref (Array.map Bitset.copy incumbent) in
+    let best_count = ref (Array.length incumbent) in
+    let g = Spec.graph spec in
+    let r = Spec.reach spec in
+    (* Assignment order: members sorted topologically, so that when a task
+       is placed every in-T supplier is already placed. *)
+    let topo_pos = Array.make ctx.n 0 in
+    List.iteri (fun i t -> topo_pos.(t) <- i) (Spec.topological_order spec);
+    let order =
+      Array.of_list
+        (List.sort (fun a b -> compare topo_pos.(a) topo_pos.(b)) members)
+    in
+    let n = Array.length order in
+    let assigned = Bitset.create ctx.n in
+    (* A part is hopeless once some placed input x cannot reach some final
+       output y: x's in-status is final (suppliers all placed), y's
+       out-status is final when y exports outside T or to a placed task of
+       another part. *)
+    let out_final part y =
+      List.exists
+        (fun c ->
+          if Bitset.mem part c then false
+          else if not (Bitset.mem member_set c) then true
+          else Bitset.mem assigned c)
+        (Digraph.succ g y)
+    in
+    let in_now part x =
+      List.exists (fun p -> not (Bitset.mem part p)) (Digraph.pred g x)
+    in
+    let part_hopeless part =
+      incr ctx.checks;
+      let bad = ref false in
+      Bitset.iter
+        (fun y ->
+          if (not !bad) && out_final part y then
+            Bitset.iter
+              (fun x ->
+                if (not !bad) && in_now part x && not (Reach.reaches r x y)
+                then bad := true)
+              part)
+        part;
+      !bad
+    in
+    let parts : Bitset.t array = Array.init n (fun _ -> Bitset.create ctx.n) in
+    let nodes = ref 0 in
+    let complete = ref true in
+    let rec search i used =
+      if !nodes >= node_budget then complete := false
+      else begin
+        incr nodes;
+        if used >= !best_count then () (* cannot improve *)
+        else if i = n then begin
+          (* All placed: re-validate every part (a pair can become "final"
+             through assignments to other parts after the last time this
+             part was checked). *)
+          let all_sound =
+            Array.for_all
+              (fun part -> sound ctx part)
+              (Array.sub parts 0 used)
+          in
+          if all_sound then begin
+            best := Array.map Bitset.copy (Array.sub parts 0 used);
+            best_count := used
+          end
+        end
+        else begin
+          let t = order.(i) in
+          Bitset.add assigned t;
+          (* Try existing parts, then a fresh one (canonical order kills the
+             part-permutation symmetry). *)
+          let try_part p =
+            Bitset.add parts.(p) t;
+            if not (part_hopeless parts.(p)) then
+              search (i + 1) (max used (p + 1));
+            Bitset.remove parts.(p) t
+          in
+          for p = 0 to used - 1 do
+            try_part p
+          done;
+          if used < n then try_part used;
+          Bitset.remove assigned t
+        end
+      end
+    in
+    search 0 0;
+    let parts_lists =
+      Array.to_list (Array.map Bitset.elements !best)
+      |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+    in
+    ({ parts = parts_lists;
+       checks = !(ctx.checks);
+       (* A proven minimum is strongly local optimal (a combinable subset
+          would contradict minimality); a budget-cut result is not certified. *)
+       certified_strong = !complete },
+     !complete)
+  end
+
+let unique_name taken base =
+  if not (Hashtbl.mem taken base) then base
+  else begin
+    let rec go k =
+      let candidate = Printf.sprintf "%s~%d" base k in
+      if Hashtbl.mem taken candidate then go (k + 1) else candidate
+    in
+    go 2
+  end
+
+let rebuild_view view replacements =
+  (* [replacements]: composite id -> parts. Composites absent from the map
+     are kept as-is. *)
+  let spec = View.spec view in
+  let taken = Hashtbl.create 64 in
+  let groups =
+    List.concat_map
+      (fun c ->
+        let name = View.composite_name view c in
+        match List.assoc_opt c replacements with
+        | None ->
+          let final = unique_name taken name in
+          Hashtbl.replace taken final ();
+          [ (final, View.members view c) ]
+        | Some [ single ] ->
+          let final = unique_name taken name in
+          Hashtbl.replace taken final ();
+          [ (final, single) ]
+        | Some parts ->
+          List.mapi
+            (fun i part ->
+              let final = unique_name taken (Printf.sprintf "%s/%d" name i) in
+              Hashtbl.replace taken final ();
+              (final, part))
+            parts)
+      (View.composites view)
+  in
+  let names = Array.of_list (List.map fst groups) in
+  match View.of_partition ~names spec (List.map snd groups) with
+  | Ok v -> v
+  | Error e ->
+    invalid_arg
+      (Format.asprintf "Corrector.rebuild_view: %a" View.pp_error e)
+
+let split_composite ?(config = default_config) criterion view c =
+  let spec = View.spec view in
+  let outcome = split_subset ~config criterion spec (View.members view c) in
+  (rebuild_view view [ (c, outcome.parts) ], outcome)
+
+let correct ?(config = default_config) criterion view =
+  let spec = View.spec view in
+  let report = Soundness.validate view in
+  let outcomes =
+    List.map
+      (fun (c, _) ->
+        (c, split_subset ~config criterion spec (View.members view c)))
+      report.Soundness.unsound
+  in
+  let replacements = List.map (fun (c, o) -> (c, o.parts)) outcomes in
+  (rebuild_view view replacements, outcomes)
+
+let combinable spec a b =
+  let a = check_members spec a and b = check_members spec b in
+  let set = Bitset.of_list (Spec.n_tasks spec) a in
+  List.iter
+    (fun t ->
+      if Bitset.mem set t then invalid_arg "Corrector.combinable: overlapping sets";
+      Bitset.add set t)
+    b;
+  Soundness.subset_sound spec set
+
+(* ------------------------------------------------------------------ *)
+(* Merge-based resolution (extension)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let merge_resolve view c =
+  let spec = View.spec view in
+  let n = Spec.n_tasks spec in
+  let g = Spec.graph spec in
+  let u = Bitset.of_list n (View.members view c) in
+  let absorbed = Array.make (View.n_composites view) false in
+  absorbed.(c) <- true;
+  let absorb_side neighbours x =
+    (* Composites owning the outside neighbours of x, with the task count
+       they would add. *)
+    let comps =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun t ->
+             if Bitset.mem u t then None else Some (View.composite_of_task view t))
+           (neighbours g x))
+    in
+    let cost =
+      List.fold_left
+        (fun acc comp -> acc + List.length (View.members view comp))
+        0 comps
+    in
+    (comps, cost)
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    match Soundness.subset_witnesses spec u with
+    | [] -> continue_ := false
+    | (x, y) :: _ ->
+      let in_side = absorb_side Digraph.pred x in
+      let out_side = absorb_side Digraph.succ y in
+      let comps, _ =
+        match (in_side, out_side) with
+        | (([], _) as a), _ -> ignore a; out_side
+        | _, ([], _) -> in_side
+        | (_, cin), (_, cout) -> if cout < cin then out_side else in_side
+      in
+      List.iter
+        (fun comp ->
+          absorbed.(comp) <- true;
+          List.iter (Bitset.add u) (View.members view comp))
+        comps
+  done;
+  let name = View.composite_name view c in
+  let groups =
+    List.filter_map
+      (fun c' ->
+        if absorbed.(c') then None
+        else Some (View.composite_name view c', View.members view c'))
+      (View.composites view)
+    @ [ (name, Bitset.elements u) ]
+  in
+  let names = Array.of_list (List.map fst groups) in
+  let view' =
+    match View.of_partition ~names spec (List.map snd groups) with
+    | Ok v -> v
+    | Error e ->
+      invalid_arg (Format.asprintf "Corrector.merge_resolve: %a" View.pp_error e)
+  in
+  match View.composite_of_name view' name with
+  | Some c' -> (view', c')
+  | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Mixed split/merge resolution                                         *)
+(* ------------------------------------------------------------------ *)
+
+type decision = {
+  composite : string;
+  action : [ `Split of int | `Merge of int ];
+}
+
+let pp_decision ppf d =
+  match d.action with
+  | `Split parts ->
+    Format.fprintf ppf "split %S into %d parts" d.composite parts
+  | `Merge absorbed ->
+    Format.fprintf ppf "merged %d composites into %S" absorbed d.composite
+
+let resolve_auto ?(config = default_config) view =
+  let rec go view decisions =
+    match (Soundness.validate view).Soundness.unsound with
+    | [] -> (view, List.rev decisions)
+    | (c, _) :: _ ->
+      let name = View.composite_name view c in
+      let split_view, outcome = split_composite ~config Strong view c in
+      let split_cost = List.length outcome.parts - 1 in
+      let merge_view, merged = merge_resolve view c in
+      let merge_cost =
+        List.length (View.members merge_view merged)
+        - List.length (View.members view c)
+      in
+      if split_cost <= merge_cost then
+        go split_view
+          ({ composite = name; action = `Split (List.length outcome.parts) }
+           :: decisions)
+      else
+        let absorbed =
+          View.n_composites view - View.n_composites merge_view
+        in
+        go merge_view
+          ({ composite = name; action = `Merge absorbed } :: decisions)
+  in
+  go view []
+
+(* ------------------------------------------------------------------ *)
+(* Oracles                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Oracle = struct
+  let valid_split spec members parts =
+    let members = List.sort compare members in
+    let flat = List.sort compare (List.concat parts) in
+    members = flat
+    && List.for_all (fun p -> p <> []) parts
+    && List.for_all
+         (fun p -> Soundness.subset_sound spec (Bitset.of_list (Spec.n_tasks spec) p))
+         parts
+
+  let weakly_local_optimal spec parts =
+    let arr = Array.of_list parts in
+    let p = Array.length arr in
+    let combinable_pair i j =
+      let set = Bitset.of_list (Spec.n_tasks spec) arr.(i) in
+      List.iter (Bitset.add set) arr.(j);
+      Soundness.subset_sound spec set
+    in
+    let ok = ref true in
+    for i = 0 to p - 1 do
+      for j = i + 1 to p - 1 do
+        if combinable_pair i j then ok := false
+      done
+    done;
+    !ok
+
+  let strongly_local_optimal ?(max_parts = 20) spec parts =
+    let arr = Array.of_list parts in
+    let p = Array.length arr in
+    if p > max_parts then None
+    else begin
+      let n = Spec.n_tasks spec in
+      let ok = ref true in
+      for mask = 3 to (1 lsl p) - 1 do
+        if !ok then begin
+          let indices =
+            List.filter (fun k -> mask land (1 lsl k) <> 0) (List.init p Fun.id)
+          in
+          if List.length indices >= 2 then begin
+            let u = Bitset.create n in
+            List.iter (fun k -> List.iter (Bitset.add u) arr.(k)) indices;
+            if Soundness.subset_sound spec u then ok := false
+          end
+        end
+      done;
+      Some !ok
+    end
+end

@@ -1,0 +1,150 @@
+(** The Unsound View Corrector (paper §2.2).
+
+    Resolves an unsound composite task by splitting it into sound composite
+    tasks. Three criteria, as in the demo:
+
+    - {b Weak local optimality} (Def 2.5): no two parts of the result can be
+      merged into a sound task. Polynomial greedy pair merging.
+    - {b Strong local optimality} (Def 2.6): no subset of parts can be merged
+      into a sound task. Polynomial seeded-closure subset search on top of the
+      weak result (reconstruction of the paper's O(n³) algorithm, see
+      DESIGN.md), with an optional exhaustive certification pass.
+    - {b Optimality}: minimum number of sound parts (Theorem 2.2: NP-hard),
+      via an exact O(3ⁿ) dynamic program over subsets, practical to n ≈ 18.
+
+    All splits are partitions of the composite's members; every part is sound
+    by construction. Soundness of a part is evaluated against the whole
+    workflow (tasks outside the part — whether in sibling parts, other
+    composites, or elsewhere — are "outside" per Def 2.2). *)
+
+open Wolves_workflow
+
+type criterion =
+  | Weak
+  | Strong
+  | Optimal
+
+val pp_criterion : Format.formatter -> criterion -> unit
+
+val criterion_of_string : string -> criterion option
+(** Accepts ["weak"], ["strong"], ["optimal"]. *)
+
+(** Result of splitting one composite. *)
+type outcome = {
+  parts : Spec.task list list;
+      (** The resulting partition; parts ordered by smallest member, members
+          increasing. A sound input composite yields a single part. *)
+  checks : int;
+      (** Subset-soundness evaluations performed (the dominant cost). *)
+  certified_strong : bool;
+      (** [true] when an exhaustive pass proved the result strongly local
+          optimal (always attempted for [Strong] and [Optimal] results with
+          at most [certify_limit] parts). *)
+}
+
+(** Tuning knobs; {!default_config} suits tests and benches. *)
+type config = {
+  branch_budget : int;
+      (** Extra branch points the strong closure search may explore per seed
+          (forced repairs are free). Default 64. *)
+  certify : bool;
+      (** Run the exhaustive verification/repair pass after the polynomial
+          closure search (default true). With [false] the corrector is the
+          pure polynomial reconstruction; its output was strongly local
+          optimal on every workload in this repository's test-suite, but the
+          guarantee is only by construction of the closure, not by
+          enumeration. *)
+  certify_limit : int;
+      (** Exhaustive strong-optimality verification runs when the split has
+          at most this many parts. Default 18. *)
+  optimal_max_tasks : int;
+      (** [Optimal] refuses composites larger than this (the DP is
+          exponential). Default 18. *)
+}
+
+val default_config : config
+
+val split_subset :
+  ?config:config -> criterion -> Spec.t -> Spec.task list -> outcome
+(** Split an arbitrary task subset (typically the members of one composite).
+    @raise Invalid_argument when the subset is empty, contains duplicates, or
+    ([Optimal]) exceeds [optimal_max_tasks]. *)
+
+val split_subset_anytime :
+  ?config:config ->
+  ?node_budget:int ->
+  Spec.t ->
+  Spec.task list ->
+  outcome * bool
+(** Exact minimum split by branch-and-bound over topological-order
+    assignments, for composites beyond [optimal_max_tasks]. Starts from the
+    strong corrector's split as the incumbent, explores at most
+    [node_budget] search nodes (default [2_000_000]) and returns the best
+    split found plus a flag: [true] when the search completed and the split
+    is {e proven} minimum, [false] when the budget ran out (the result is
+    then still a valid sound split, no worse than the strong corrector's).
+
+    Pruning exploits the assignment order: once a task is placed, its
+    membership of the part's in set is final (all suppliers precede it), so
+    any part with an unreachable (final input, final output) pair can never
+    become sound and the branch is cut. *)
+
+val split_composite :
+  ?config:config -> criterion -> View.t -> View.composite -> View.t * outcome
+(** The demo's "Split Task" action: replace one composite by its split. The
+    new composites inherit the composite's name with [/0], [/1]... suffixes. *)
+
+val correct :
+  ?config:config -> criterion -> View.t -> View.t * (View.composite * outcome) list
+(** The demo's "Correct View" action: split every unsound composite of the
+    view. The returned view is sound; the association list maps each corrected
+    composite (id in the {e input} view) to its outcome. *)
+
+val combinable : Spec.t -> Spec.task list -> Spec.task list -> bool
+(** Def 2.4: can the two disjoint task sets be merged into a sound composite
+    task? *)
+
+val merge_resolve : View.t -> View.composite -> View.t * View.composite
+(** Extension (the paper's open problem, §"significance"): resolve an unsound
+    composite by {e merging} it with other composites of the view instead of
+    splitting it. Greedy closure absorbing the composites that supply unmet
+    inputs or consume unmet outputs, preferring the cheaper side; terminates
+    (the whole-workflow composite is always sound). Returns the new view and
+    the id of the merged composite in it. Loses information: the merged
+    composite is larger. *)
+
+(** One decision of the mixed resolver. *)
+type decision = {
+  composite : string;  (** name of the unsound composite in the view at the
+                           time of the decision *)
+  action : [ `Split of int  (** number of resulting parts *)
+           | `Merge of int  (** number of composites absorbed *) ];
+}
+
+val pp_decision : Format.formatter -> decision -> unit
+
+val resolve_auto :
+  ?config:config -> View.t -> View.t * decision list
+(** The paper's open problem ("allowing view abstraction by task merging,
+    and the interaction between splitting and merging"): resolve each
+    unsound composite by whichever of splitting (strong criterion) or
+    merging is cheaper, where splitting costs the extra composites it
+    creates and merging costs the tasks it hides inside the bigger
+    composite. Ties prefer splitting (information-preserving). The result is
+    sound; decisions are reported in application order. *)
+
+(** Test oracles: direct (exponential where necessary) checks of the
+    optimality definitions, used by the test-suite and the quality
+    benchmarks. *)
+module Oracle : sig
+  val valid_split : Spec.t -> Spec.task list -> Spec.task list list -> bool
+  (** Is this a partition of the members into sound parts? *)
+
+  val weakly_local_optimal : Spec.t -> Spec.task list list -> bool
+  (** Def 2.5: no two parts combinable. O(p²) soundness checks. *)
+
+  val strongly_local_optimal :
+    ?max_parts:int -> Spec.t -> Spec.task list list -> bool option
+  (** Def 2.6: no subset of ≥ 2 parts combinable. Enumerates the 2^p subsets;
+      [None] when [p > max_parts] (default 20). *)
+end

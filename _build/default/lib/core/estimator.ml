@@ -1,0 +1,150 @@
+open Wolves_workflow
+module Digraph = Wolves_graph.Digraph
+module Algo = Wolves_graph.Algo
+
+type features = {
+  size_bucket : int;
+  density_bucket : int;
+  depth_bucket : int;
+}
+
+let pp_features ppf f =
+  Format.fprintf ppf "size~2^%d density~%d depth~2^%d" f.size_bucket
+    f.density_bucket f.depth_bucket
+
+let log2_bucket x =
+  let rec go acc x = if x <= 1 then acc else go (acc + 1) (x / 2) in
+  go 0 x
+
+let features_of spec members =
+  if members = [] then invalid_arg "Estimator.features_of: empty composite";
+  let sub, _ = Digraph.induced (Spec.graph spec) members in
+  let n = Digraph.n_nodes sub in
+  let m = Digraph.n_edges sub in
+  { size_bucket = log2_bucket n;
+    density_bucket = int_of_float (Float.round (float_of_int m /. float_of_int n));
+    depth_bucket = log2_bucket (1 + Algo.longest_path_length sub) }
+
+type cell = {
+  mutable count : int;
+  mutable total_runtime : float;
+  mutable total_quality : float;
+}
+
+type t = {
+  table : (features * Corrector.criterion, cell) Hashtbl.t;
+  mutable records : int;
+}
+
+let create () = { table = Hashtbl.create 64; records = 0 }
+
+let record h features criterion ~runtime ~quality =
+  let key = (features, criterion) in
+  let cell =
+    match Hashtbl.find_opt h.table key with
+    | Some c -> c
+    | None ->
+      let c = { count = 0; total_runtime = 0.; total_quality = 0. } in
+      Hashtbl.add h.table key c;
+      c
+  in
+  cell.count <- cell.count + 1;
+  cell.total_runtime <- cell.total_runtime +. runtime;
+  cell.total_quality <- cell.total_quality +. quality;
+  h.records <- h.records + 1
+
+let n_records h = h.records
+
+type estimate = {
+  samples : int;
+  expected_runtime : float option;
+  expected_quality : float option;
+}
+
+let of_cells cells =
+  let count = List.fold_left (fun acc c -> acc + c.count) 0 cells in
+  if count = 0 then
+    { samples = 0; expected_runtime = None; expected_quality = None }
+  else
+    let rt = List.fold_left (fun acc c -> acc +. c.total_runtime) 0. cells in
+    let q = List.fold_left (fun acc c -> acc +. c.total_quality) 0. cells in
+    { samples = count;
+      expected_runtime = Some (rt /. float_of_int count);
+      expected_quality = Some (q /. float_of_int count) }
+
+let estimate h features criterion =
+  match Hashtbl.find_opt h.table (features, criterion) with
+  | Some cell when cell.count > 0 -> of_cells [ cell ]
+  | Some _ | None ->
+    (* Fall back to every group with the same size bucket and criterion. *)
+    let cells =
+      Hashtbl.fold
+        (fun (f, crit) cell acc ->
+          if crit = criterion && f.size_bucket = features.size_bucket then
+            cell :: acc
+          else acc)
+        h.table []
+    in
+    of_cells cells
+
+type fit = {
+  exponent : float;
+  coefficient : float;
+  fit_samples : int;
+}
+
+let fit_runtime h criterion =
+  (* One point per (size bucket): x = ln(2^bucket), y = ln(mean runtime),
+     weighted by the number of runs in the bucket. *)
+  let buckets = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (f, crit) cell ->
+      if crit = criterion && cell.count > 0 then begin
+        let count, total =
+          Option.value ~default:(0, 0.0) (Hashtbl.find_opt buckets f.size_bucket)
+        in
+        Hashtbl.replace buckets f.size_bucket
+          (count + cell.count, total +. cell.total_runtime)
+      end)
+    h.table;
+  if Hashtbl.length buckets < 2 then None
+  else begin
+    let points =
+      Hashtbl.fold
+        (fun bucket (count, total) acc ->
+          let n = float_of_int (1 lsl bucket) in
+          let mean_rt = total /. float_of_int count in
+          (log n, log (Float.max mean_rt 1e-9), float_of_int count) :: acc)
+        buckets []
+    in
+    let sw = List.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 points in
+    let sx = List.fold_left (fun acc (x, _, w) -> acc +. (w *. x)) 0.0 points in
+    let sy = List.fold_left (fun acc (_, y, w) -> acc +. (w *. y)) 0.0 points in
+    let sxx = List.fold_left (fun acc (x, _, w) -> acc +. (w *. x *. x)) 0.0 points in
+    let sxy = List.fold_left (fun acc (x, y, w) -> acc +. (w *. x *. y)) 0.0 points in
+    let denom = (sw *. sxx) -. (sx *. sx) in
+    if abs_float denom < 1e-12 then None
+    else begin
+      let exponent = ((sw *. sxy) -. (sx *. sy)) /. denom in
+      let intercept = (sy -. (exponent *. sx)) /. sw in
+      Some
+        { exponent;
+          coefficient = exp intercept;
+          fit_samples = int_of_float sw }
+    end
+  end
+
+let predict_runtime fit ~size =
+  if size < 1 then invalid_arg "Estimator.predict_runtime: size < 1";
+  fit.coefficient *. Float.pow (float_of_int size) fit.exponent
+
+let pp_fit ppf fit =
+  Format.fprintf ppf "runtime ~ %.3g * n^%.2f (from %d runs)" fit.coefficient
+    fit.exponent fit.fit_samples
+
+let pp_estimate ppf e =
+  match (e.expected_runtime, e.expected_quality) with
+  | None, _ | _, None -> Format.fprintf ppf "no history (0 samples)"
+  | Some rt, Some q ->
+    Format.fprintf ppf "expected %.6fs, quality %.3f (from %d past runs)" rt q
+      e.samples

@@ -1,0 +1,71 @@
+(** Correction time/quality estimation (demo §3.2).
+
+    "To make an estimation of the execution time of correcting the current
+    workflow, we group the workflows which have been corrected in the past
+    according to their sizes and substructures, and report the average
+    running time and quality of each approach for the group that the current
+    workflow belongs to."
+
+    A correction instance is bucketed by its {!features}: the composite's
+    size (log₂ bucket) and two coarse substructure descriptors (edge density
+    and depth of the member-induced subgraph). Past runs accumulate per
+    (features, criterion); estimates are group averages. *)
+
+open Wolves_workflow
+
+type features = {
+  size_bucket : int;     (** ⌊log₂ n⌋ of the member count *)
+  density_bucket : int;  (** induced edges per member, rounded *)
+  depth_bucket : int;    (** longest induced path length, log₂ bucket *)
+}
+
+val pp_features : Format.formatter -> features -> unit
+
+val features_of : Spec.t -> Spec.task list -> features
+(** Features of one composite's member set.
+    @raise Invalid_argument on an empty member list. *)
+
+type t
+(** Mutable history of past corrections. *)
+
+val create : unit -> t
+
+val record :
+  t -> features -> Corrector.criterion -> runtime:float -> quality:float -> unit
+(** Add one past run (runtime in seconds; quality per {!Quality.ratio}, use
+    [1.0] when the optimal reference is unknown). *)
+
+val n_records : t -> int
+
+(** An estimate for a prospective correction. *)
+type estimate = {
+  samples : int;            (** size of the matching history group *)
+  expected_runtime : float option;  (** [None] when the group is empty *)
+  expected_quality : float option;
+}
+
+val estimate : t -> features -> Corrector.criterion -> estimate
+(** Exact-bucket group average; when the exact group is empty, falls back to
+    the nearest group by size bucket (ignoring substructure), and reports the
+    group size actually used. *)
+
+val pp_estimate : Format.formatter -> estimate -> unit
+
+(** A fitted runtime scaling law [runtime ~ coefficient * n^exponent], from
+    weighted log-log least squares over the history's size buckets
+    (n is represented by 2^bucket). Complements the group-average estimate:
+    the fit extrapolates to sizes never recorded. *)
+type fit = {
+  exponent : float;
+  coefficient : float;
+  fit_samples : int;
+}
+
+val fit_runtime : t -> Corrector.criterion -> fit option
+(** [None] until the history covers at least two distinct size buckets. *)
+
+val predict_runtime : fit -> size:int -> float
+(** Evaluate the law at a composite size. @raise Invalid_argument when
+    [size < 1]. *)
+
+val pp_fit : Format.formatter -> fit -> unit

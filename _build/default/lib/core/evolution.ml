@@ -1,0 +1,161 @@
+open Wolves_workflow
+
+type diff = {
+  added_tasks : string list;
+  removed_tasks : string list;
+  added_edges : (string * string) list;
+  removed_edges : (string * string) list;
+}
+
+let task_names spec = List.map (Spec.task_name spec) (Spec.tasks spec)
+
+let edge_names spec =
+  Wolves_graph.Digraph.fold_edges
+    (fun u v acc -> (Spec.task_name spec u, Spec.task_name spec v) :: acc)
+    (Spec.graph spec) []
+
+let diff old_spec new_spec =
+  let module SS = Set.Make (String) in
+  let module ES = Set.Make (struct
+    type t = string * string
+
+    let compare = compare
+  end) in
+  let old_tasks = SS.of_list (task_names old_spec) in
+  let new_tasks = SS.of_list (task_names new_spec) in
+  let old_edges = ES.of_list (edge_names old_spec) in
+  let new_edges = ES.of_list (edge_names new_spec) in
+  { added_tasks = SS.elements (SS.diff new_tasks old_tasks);
+    removed_tasks = SS.elements (SS.diff old_tasks new_tasks);
+    added_edges = ES.elements (ES.diff new_edges old_edges);
+    removed_edges = ES.elements (ES.diff old_edges new_edges) }
+
+let is_empty d =
+  d.added_tasks = [] && d.removed_tasks = [] && d.added_edges = []
+  && d.removed_edges = []
+
+let pp_diff ppf d =
+  let edge (u, v) = Printf.sprintf "%s -> %s" u v in
+  Format.fprintf ppf "+%d/-%d tasks, +%d/-%d edges"
+    (List.length d.added_tasks)
+    (List.length d.removed_tasks)
+    (List.length d.added_edges)
+    (List.length d.removed_edges);
+  List.iter (fun t -> Format.fprintf ppf "@\n  + task %s" t) d.added_tasks;
+  List.iter (fun t -> Format.fprintf ppf "@\n  - task %s" t) d.removed_tasks;
+  List.iter (fun e -> Format.fprintf ppf "@\n  + %s" (edge e)) d.added_edges;
+  List.iter (fun e -> Format.fprintf ppf "@\n  - %s" (edge e)) d.removed_edges
+
+let migrate view new_spec =
+  let old_spec = View.spec view in
+  let taken = Hashtbl.create 32 in
+  let surviving =
+    List.filter_map
+      (fun c ->
+        let members =
+          List.filter_map
+            (fun t -> Spec.task_of_name new_spec (Spec.task_name old_spec t))
+            (View.members view c)
+        in
+        if members = [] then None
+        else begin
+          let name = View.composite_name view c in
+          Hashtbl.replace taken name ();
+          Some (name, members)
+        end)
+      (View.composites view)
+  in
+  let covered = Hashtbl.create 64 in
+  List.iter
+    (fun (_, members) -> List.iter (fun t -> Hashtbl.replace covered t ()) members)
+    surviving;
+  let fresh_name base =
+    let rec go candidate =
+      if Hashtbl.mem taken candidate then go (candidate ^ "'") else candidate
+    in
+    let name = go base in
+    Hashtbl.replace taken name ();
+    name
+  in
+  let singletons =
+    List.filter_map
+      (fun t ->
+        if Hashtbl.mem covered t then None
+        else Some (fresh_name (Spec.task_name new_spec t), [ t ]))
+      (Spec.tasks new_spec)
+  in
+  let groups = surviving @ singletons in
+  let names = Array.of_list (List.map fst groups) in
+  match View.of_partition ~names new_spec (List.map snd groups) with
+  | Ok view -> view
+  | Error e ->
+    invalid_arg (Format.asprintf "Evolution.migrate: %a" View.pp_error e)
+
+type verdict_change =
+  | Still_sound
+  | Still_unsound
+  | Broke of (Spec.task * Spec.task) list
+  | Repaired
+  | Appeared
+
+type impact = {
+  old_view : View.t;
+  new_view : View.t;
+  changes : (string * verdict_change) list;
+}
+
+let impact view new_spec =
+  let new_view = migrate view new_spec in
+  let old_verdicts = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace old_verdicts (View.composite_name view c)
+        (Soundness.composite_sound view c))
+    (View.composites view);
+  let changes =
+    List.map
+      (fun c ->
+        let name = View.composite_name new_view c in
+        let sound_now = Soundness.composite_sound new_view c in
+        let change =
+          match Hashtbl.find_opt old_verdicts name with
+          | None -> Appeared
+          | Some true when sound_now -> Still_sound
+          | Some false when not sound_now -> Still_unsound
+          | Some true -> Broke (Soundness.composite_witnesses new_view c)
+          | Some false -> Repaired
+        in
+        (name, change))
+      (View.composites new_view)
+  in
+  { old_view = view; new_view; changes }
+
+let pp_impact ppf report =
+  let new_spec = View.spec report.new_view in
+  let interesting =
+    List.filter
+      (fun (_, change) ->
+        match change with
+        | Still_sound | Still_unsound -> false
+        | Broke _ | Repaired | Appeared -> true)
+      report.changes
+  in
+  if interesting = [] then
+    Format.fprintf ppf "no composite changed verdict"
+  else
+    List.iteri
+      (fun i (name, change) ->
+        if i > 0 then Format.fprintf ppf "@\n";
+        match change with
+        | Broke witnesses ->
+          Format.fprintf ppf "composite %S BROKE:" name;
+          List.iter
+            (fun (ti, to_) ->
+              Format.fprintf ppf "@\n  no path %s -> %s"
+                (Spec.task_name new_spec ti)
+                (Spec.task_name new_spec to_))
+            witnesses
+        | Repaired -> Format.fprintf ppf "composite %S repaired" name
+        | Appeared -> Format.fprintf ppf "composite %S added" name
+        | Still_sound | Still_unsound -> ())
+      interesting

@@ -1,0 +1,56 @@
+(** Workflow evolution: migrating a view when its specification changes.
+
+    Repository workflows evolve — tasks appear, disappear, dependencies are
+    rewired — and a view designed for the old specification must follow.
+    Soundness is {e not} stable under evolution: an edge added inside the
+    workflow can silently break a composite that was carefully designed
+    (and conversely can repair one). This module diffs two specifications,
+    carries a partition across the diff, and reports exactly which
+    composites changed verdict and why — the repository-maintenance
+    counterpart of the demo's validator. *)
+
+open Wolves_workflow
+
+(** A structural diff between two specifications (matched by task name). *)
+type diff = {
+  added_tasks : string list;
+  removed_tasks : string list;
+  added_edges : (string * string) list;
+  removed_edges : (string * string) list;
+}
+
+val diff : Spec.t -> Spec.t -> diff
+(** [diff old_spec new_spec]; lists are sorted. *)
+
+val is_empty : diff -> bool
+
+val pp_diff : Format.formatter -> diff -> unit
+
+val migrate : View.t -> Spec.t -> View.t
+(** Carry the view's partition onto the new specification: composites keep
+    their surviving members (matched by name), removed tasks drop out,
+    emptied composites disappear, and added tasks become singleton
+    composites named after themselves (suffixed when taken). *)
+
+(** Soundness impact of an evolution on one composite. *)
+type verdict_change =
+  | Still_sound
+  | Still_unsound
+  | Broke of (Spec.task * Spec.task) list
+      (** was sound, now unsound — with the new violating pairs *)
+  | Repaired  (** was unsound, now sound *)
+  | Appeared  (** new composite (added tasks) *)
+
+(** Full impact report. *)
+type impact = {
+  old_view : View.t;
+  new_view : View.t;
+  changes : (string * verdict_change) list;
+      (** per surviving/new composite name, in new-view order *)
+}
+
+val impact : View.t -> Spec.t -> impact
+(** Migrate and compare per-composite verdicts across the evolution. *)
+
+val pp_impact : Format.formatter -> impact -> unit
+(** Lists only the composites whose verdict changed. *)

@@ -1,0 +1,156 @@
+open Wolves_workflow
+
+(* All families share the shape: one external source feeding every entry
+   point, one external sink collecting every exit, and the generated tasks
+   forming the composite under correction. *)
+let build ~name make_edges member_names =
+  let b = Spec.Builder.create ~name () in
+  let _ = Spec.Builder.add_task_exn b "source" in
+  List.iter (fun t -> ignore (Spec.Builder.add_task_exn b t)) member_names;
+  let _ = Spec.Builder.add_task_exn b "sink" in
+  make_edges (Spec.Builder.add_dependency_exn b);
+  let spec = Spec.Builder.finish_exn b in
+  (spec, List.map (Spec.task_of_name_exn spec) member_names)
+
+let blocks_instance ~blocks ~chains =
+  if blocks < 0 || chains < 0 || blocks + chains < 2 then
+    invalid_arg "Hardness.blocks_instance: need at least two units";
+  let block_names k =
+    List.map (Printf.sprintf "b%d_%s" k) [ "c"; "d"; "f"; "g" ]
+  in
+  let chain_names k = List.map (Printf.sprintf "h%d_%s" k) [ "a"; "b" ] in
+  let member_names =
+    List.concat_map block_names (List.init blocks Fun.id)
+    @ List.concat_map chain_names (List.init chains Fun.id)
+  in
+  let make_edges add =
+    for k = 0 to blocks - 1 do
+      let t suffix = Printf.sprintf "b%d_%s" k suffix in
+      add "source" (t "c");
+      add "source" (t "d");
+      List.iter
+        (fun (entry, exit_) -> add (t entry) (t exit_))
+        [ ("c", "f"); ("c", "g"); ("d", "f"); ("d", "g") ];
+      add (t "f") "sink";
+      add (t "g") "sink"
+    done;
+    for k = 0 to chains - 1 do
+      let t suffix = Printf.sprintf "h%d_%s" k suffix in
+      add "source" (t "a");
+      add (t "a") (t "b");
+      add (t "b") "sink"
+    done
+  in
+  build
+    ~name:(Printf.sprintf "hardness-blocks-%d-%d" blocks chains)
+    make_edges member_names
+
+let blocks_optimal_parts ~blocks ~chains = blocks + chains
+
+let blocks_weak_parts ~blocks ~chains = (4 * blocks) + chains
+
+let wide_block_instance ~width =
+  if width < 2 then invalid_arg "Hardness.wide_block_instance: width < 2";
+  let entry k = Printf.sprintf "c%d" k and exit_ k = Printf.sprintf "f%d" k in
+  let member_names =
+    List.init width entry @ List.init width exit_ @ [ "chain_a"; "chain_b" ]
+  in
+  let make_edges add =
+    for i = 0 to width - 1 do
+      add "source" (entry i);
+      add (exit_ i) "sink";
+      for j = 0 to width - 1 do
+        add (entry i) (exit_ j)
+      done
+    done;
+    (* The independent chain makes the whole composite unsound. *)
+    add "source" "chain_a";
+    add "chain_a" "chain_b";
+    add "chain_b" "sink"
+  in
+  build ~name:(Printf.sprintf "hardness-wide-%d" width) make_edges member_names
+
+let wide_block_weak_parts ~width = (2 * width) + 1
+
+let wide_block_optimal_parts ~width =
+  ignore width;
+  2
+
+let strong_gap_instance () =
+  build ~name:"strong-vs-optimal-gap"
+    (fun add ->
+      add "a" "b";
+      add "a" "c";
+      add "b" "c";
+      add "source" "b";
+      add "b" "sink";
+      add "d" "sink")
+    [ "a"; "b"; "c"; "d" ]
+
+type gap = {
+  gap_spec : Spec.t;
+  gap_members : Spec.task list;
+  strong_parts : int;
+  optimal_parts : int;
+}
+
+(* Local Erdős–Rényi DAG generator (the workload library depends on this
+   one, not the other way around). *)
+let random_spec ~seed ~size =
+  let mix i =
+    let h = ref (seed lxor (i * 0x9E3779B9) lxor 0x2545F491) in
+    h := !h lxor (!h lsr 16);
+    h := !h * 0x7FEB352D land max_int;
+    h := !h lxor (!h lsr 15);
+    !h land max_int
+  in
+  let edges = ref [] in
+  let k = ref 0 in
+  for u = 0 to size - 1 do
+    for v = u + 1 to size - 1 do
+      incr k;
+      if mix !k mod 100 < 18 then edges := (u, v) :: !edges
+    done
+  done;
+  Spec.of_tasks_exn
+    ~name:(Printf.sprintf "gap-search-%d" seed)
+    (List.init size (Printf.sprintf "t%d"))
+    (List.map
+       (fun (u, v) -> (Printf.sprintf "t%d" u, Printf.sprintf "t%d" v))
+       !edges)
+
+let search_strong_gap ?(tries = 2000) ?(size = 18) ?(members = 10) ~seed () =
+  let result = ref None in
+  let attempt = ref 0 in
+  while !result = None && !attempt < tries do
+    incr attempt;
+    let instance_seed = seed + !attempt in
+    let spec = random_spec ~seed:instance_seed ~size in
+    (* A pseudo-random member subset. *)
+    let chosen =
+      List.filteri
+        (fun i _ ->
+          let h = (instance_seed * 31) + (i * 17) in
+          h * 2654435761 land 0xFFFF mod size < members * 65536 / size / 4)
+        (Spec.tasks spec)
+    in
+    let chosen =
+      if List.length chosen >= 3 then
+        List.filteri (fun i _ -> i < members) chosen
+      else List.filteri (fun i _ -> i < members) (Spec.tasks spec)
+    in
+    let strong = Corrector.split_subset Corrector.Strong spec chosen in
+    if strong.Corrector.certified_strong then begin
+      let optimal = Corrector.split_subset Corrector.Optimal spec chosen in
+      let s = List.length strong.Corrector.parts in
+      let o = List.length optimal.Corrector.parts in
+      if o < s then
+        result :=
+          Some
+            { gap_spec = spec;
+              gap_members = chosen;
+              strong_parts = s;
+              optimal_parts = o }
+    end
+  done;
+  !result

@@ -1,0 +1,87 @@
+open Wolves_workflow
+module Digraph = Wolves_graph.Digraph
+
+type t = {
+  levels : View.t list; (* coarsest first; level k is over spec_of_view of
+                           level k+1 in this list (the next finer one) *)
+}
+
+let spec_of_view view =
+  let names = List.map (View.composite_name view) (View.composites view) in
+  let edges =
+    Wolves_graph.Digraph.fold_edges
+      (fun c1 c2 acc ->
+        (View.composite_name view c1, View.composite_name view c2) :: acc)
+      (View.view_graph view) []
+  in
+  Spec.of_tasks_exn ~name:(Spec.name (View.spec view) ^ "+view") names edges
+
+let base view = { levels = [ view ] }
+
+let top h = List.hd h.levels
+
+let coarsen h groups =
+  let top_view = top h in
+  match spec_of_view top_view with
+  | exception Spec.Spec_error e ->
+    Error (Format.asprintf "the current top level cannot be re-read as a workflow: %a"
+             Spec.pp_error e)
+  | top_spec ->
+    (match View.make top_spec groups with
+     | Ok super -> Ok { levels = super :: h.levels }
+     | Error e -> Error (Format.asprintf "%a" View.pp_error e))
+
+let height h = List.length h.levels
+
+let level h k =
+  let finest_first = List.rev h.levels in
+  match List.nth_opt finest_first k with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Hierarchy.level: no level %d" k)
+
+let flatten h =
+  (* Walk from the finest level upward, composing partitions. *)
+  match List.rev h.levels with
+  | [] -> assert false
+  | finest :: coarser ->
+    let spec = View.spec finest in
+    let flattened =
+      List.fold_left
+        (fun (current : (string * Spec.task list) list) (super : View.t) ->
+          (* [current]: top-level-so-far name -> original tasks. [super]
+             groups those names. *)
+          List.map
+            (fun c ->
+              let member_names =
+                List.map
+                  (Spec.task_name (View.spec super))
+                  (View.members super c)
+              in
+              ( View.composite_name super c,
+                List.concat_map
+                  (fun name -> List.assoc name current)
+                  member_names ))
+            (View.composites super))
+        (List.map
+           (fun c -> (View.composite_name finest c, View.members finest c))
+           (View.composites finest))
+        coarser
+    in
+    let names = Array.of_list (List.map fst flattened) in
+    (match View.of_partition ~names spec (List.map snd flattened) with
+     | Ok view -> view
+     | Error e ->
+       invalid_arg (Format.asprintf "Hierarchy.flatten: %a" View.pp_error e))
+
+let locally_sound h =
+  List.rev_map (fun view -> Soundness.is_sound view) h.levels
+
+let sound h = List.for_all Fun.id (locally_sound h)
+
+let first_unsound_level h =
+  let rec find k = function
+    | [] -> None
+    | true :: rest -> find (k + 1) rest
+    | false :: _ -> Some k
+  in
+  find 0 (locally_sound h)

@@ -1,0 +1,58 @@
+(** Multi-level workflow views (views of views).
+
+    Kepler workflows nest composite actors arbitrarily deep; the paper's
+    model has one level. A hierarchy is a stack of views: level 0 partitions
+    the workflow's tasks; level k+1 partitions level k's composites (i.e.
+    coarsens it). Each level has a {e local} soundness — the level viewed as
+    a view over the previous level's view graph (itself a workflow) — and
+    the whole stack flattens to an ordinary view over the original tasks.
+
+    Composition theorem (tested property-based in [test_session.ml]): if
+    every level is locally sound, the flattened view is sound. The converse
+    fails: a flattened-sound stack can pass through an unsound intermediate
+    grouping. WOLVES therefore validates levels individually, pinpointing
+    the level that introduces the damage. *)
+
+open Wolves_workflow
+
+type t
+
+val base : View.t -> t
+(** A one-level hierarchy. *)
+
+val spec_of_view : View.t -> Spec.t
+(** The view graph as a workflow specification: one task per composite
+    (named after it), one dependency per view edge. The device that lets a
+    view be viewed.
+
+    @raise Spec.Spec_error when the view graph is cyclic. Contracting a DAG
+    can create cycles (two composites exchanging dataflow in both
+    directions) — but only for {e unsound} views: a sound view's graph is
+    always acyclic, because a view cycle would chain into a task-level cycle
+    through the composites' in→out paths (property-tested in
+    [test_hierarchy.ml]). Validate/correct a level before stacking on it. *)
+
+val coarsen : t -> (string * string list) list -> (t, string) result
+(** Add a level: group the current top level's composites (by name) into
+    super-composites. The groups must partition the top level's composites. *)
+
+val height : t -> int
+(** Number of levels (≥ 1). *)
+
+val level : t -> int -> View.t
+(** [level h k]: the view at level [k] (0 = finest), expressed over the
+    specification of level [k-1]'s view graph (level 0 is over the original
+    workflow). @raise Invalid_argument when out of range. *)
+
+val flatten : t -> View.t
+(** The top level as a partition of the {e original} workflow's tasks. *)
+
+val locally_sound : t -> bool list
+(** Per-level local soundness, finest first. *)
+
+val sound : t -> bool
+(** All levels locally sound. By the composition theorem this implies the
+    flattened view is sound. *)
+
+val first_unsound_level : t -> int option
+(** The finest level that is locally unsound, if any. *)

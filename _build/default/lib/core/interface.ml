@@ -1,0 +1,127 @@
+open Wolves_workflow
+module Digraph = Wolves_graph.Digraph
+
+type port = {
+  port_task : Spec.task;
+  peers : View.composite list;
+}
+
+type t = {
+  composite : View.composite;
+  name : string;
+  n_members : int;
+  inputs : port list;
+  outputs : port list;
+  contract : (Spec.task * Spec.task) list;
+}
+
+let of_composite view c =
+  let spec = View.spec view in
+  let g = Spec.graph spec in
+  let members = View.members view c in
+  let io = Soundness.composite_io view c in
+  let peers_of neighbours task =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun other ->
+           let other_c = View.composite_of_task view other in
+           if other_c = c then None else Some other_c)
+         (neighbours g task))
+  in
+  { composite = c;
+    name = View.composite_name view c;
+    n_members = List.length members;
+    inputs =
+      List.map
+        (fun task -> { port_task = task; peers = peers_of Digraph.pred task })
+        io.Soundness.inputs;
+    outputs =
+      List.map
+        (fun task -> { port_task = task; peers = peers_of Digraph.succ task })
+        io.Soundness.outputs;
+    contract = Soundness.composite_witnesses view c }
+
+let of_view view = List.map (of_composite view) (View.composites view)
+
+let pp spec view ppf iface =
+  let task = Spec.task_name spec in
+  let comp c = View.composite_name view c in
+  Format.fprintf ppf "@[<v 2>composite %S (%d tasks)" iface.name iface.n_members;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "@ in  %-30s <- %s" (task p.port_task)
+        (String.concat ", " (List.map comp p.peers)))
+    iface.inputs;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "@ out %-30s -> %s" (task p.port_task)
+        (String.concat ", " (List.map comp p.peers)))
+    iface.outputs;
+  (match iface.contract with
+   | [] ->
+     Format.fprintf ppf
+       "@ contract: SOUND — every input flows into every output"
+   | broken ->
+     Format.fprintf ppf "@ contract: UNSOUND — %d disconnected pairs:"
+       (List.length broken);
+     List.iter
+       (fun (ti, to_) ->
+         Format.fprintf ppf "@   %s -/-> %s" (task ti) (task to_))
+       broken);
+  Format.fprintf ppf "@]"
+
+let to_markdown view =
+  let spec = View.spec view in
+  let task = Spec.task_name spec in
+  let comp c = View.composite_name view c in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "# Interface catalog: %s\n\n" (Spec.name spec));
+  List.iter
+    (fun iface ->
+      Buffer.add_string buf (Printf.sprintf "## %s\n\n" iface.name);
+      Buffer.add_string buf
+        (Printf.sprintf "%d member task(s).\n\n" iface.n_members);
+      if iface.inputs = [] then
+        Buffer.add_string buf "No inputs (source composite).\n\n"
+      else begin
+        Buffer.add_string buf "| input port | fed by |\n|---|---|\n";
+        List.iter
+          (fun p ->
+            Buffer.add_string buf
+              (Printf.sprintf "| %s | %s |\n" (task p.port_task)
+                 (String.concat ", " (List.map comp p.peers))))
+          iface.inputs;
+        Buffer.add_char buf '\n'
+      end;
+      if iface.outputs = [] then
+        Buffer.add_string buf "No outputs (terminal composite).\n\n"
+      else begin
+        Buffer.add_string buf "| output port | feeds |\n|---|---|\n";
+        List.iter
+          (fun p ->
+            Buffer.add_string buf
+              (Printf.sprintf "| %s | %s |\n" (task p.port_task)
+                 (String.concat ", " (List.map comp p.peers))))
+          iface.outputs;
+        Buffer.add_char buf '\n'
+      end;
+      (match iface.contract with
+       | [] ->
+         Buffer.add_string buf
+           "**Contract: sound** — every input flows into every output; \
+            view-level provenance through this composite is exact.\n\n"
+       | broken ->
+         Buffer.add_string buf
+           (Printf.sprintf
+              "**Contract: UNSOUND** — %d disconnected input/output pair(s); \
+               provenance through this composite over-reports:\n\n"
+              (List.length broken));
+         List.iter
+           (fun (ti, to_) ->
+             Buffer.add_string buf
+               (Printf.sprintf "- `%s` never reaches `%s`\n" (task ti) (task to_)))
+           broken;
+         Buffer.add_char buf '\n'))
+    (of_view view);
+  Buffer.contents buf

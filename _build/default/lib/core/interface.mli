@@ -1,0 +1,44 @@
+(** Views as a user interface (paper §"significance": "workflow views can be
+    thought of as an interface for users to issue queries and analyze
+    results").
+
+    This module derives the interface a composite task presents to a view
+    user: its input ports (member tasks receiving data from other
+    composites, with the providing composites), its output ports (members
+    exporting data, with the consuming composites), and a soundness
+    contract. For a sound composite the contract is the guarantee provenance
+    analysis relies on: {e every input flows into every output}; for an
+    unsound one the description lists exactly which input/output pairs are
+    disconnected — what the composite's "signature" hides. *)
+
+open Wolves_workflow
+
+(** One boundary port of a composite. *)
+type port = {
+  port_task : Spec.task;        (** the member on the boundary *)
+  peers : View.composite list;  (** composites on the other side, sorted *)
+}
+
+(** The derived interface of one composite. *)
+type t = {
+  composite : View.composite;
+  name : string;
+  n_members : int;
+  inputs : port list;
+  outputs : port list;
+  contract : (Spec.task * Spec.task) list;
+      (** disconnected (input task, output task) pairs; empty = sound, i.e.
+          the full input×output dataflow contract holds *)
+}
+
+val of_composite : View.t -> View.composite -> t
+
+val of_view : View.t -> t list
+(** Interfaces of all composites, in composite order. *)
+
+val pp : Spec.t -> View.t -> Format.formatter -> t -> unit
+(** Render one interface as a signature block. *)
+
+val to_markdown : View.t -> string
+(** A markdown "interface catalog" for the whole view: one section per
+    composite with its ports, wiring and contract status. *)

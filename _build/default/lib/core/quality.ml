@@ -1,0 +1,45 @@
+
+let ratio ~optimal_parts ~parts =
+  if optimal_parts <= 0 || parts <= 0 then
+    invalid_arg "Quality.ratio: part counts must be positive";
+  float_of_int optimal_parts /. float_of_int parts
+
+type comparison = {
+  members : int;
+  weak : Corrector.outcome;
+  strong : Corrector.outcome;
+  optimal : Corrector.outcome option;
+  weak_quality : float option;
+  strong_quality : float option;
+}
+
+let compare_criteria ?(config = Corrector.default_config) spec members =
+  let weak = Corrector.split_subset ~config Corrector.Weak spec members in
+  let strong = Corrector.split_subset ~config Corrector.Strong spec members in
+  let optimal =
+    if List.length members <= config.Corrector.optimal_max_tasks then
+      Some (Corrector.split_subset ~config Corrector.Optimal spec members)
+    else None
+  in
+  let quality_against algo =
+    Option.map
+      (fun opt ->
+        ratio
+          ~optimal_parts:(List.length opt.Corrector.parts)
+          ~parts:(List.length algo.Corrector.parts))
+      optimal
+  in
+  { members = List.length members;
+    weak;
+    strong;
+    optimal;
+    weak_quality = quality_against weak;
+    strong_quality = quality_against strong }
+
+let pp_comparison ppf c =
+  let parts o = List.length o.Corrector.parts in
+  Format.fprintf ppf "n=%d weak=%d strong=%d optimal=%s q(weak)=%s q(strong)=%s"
+    c.members (parts c.weak) (parts c.strong)
+    (match c.optimal with Some o -> string_of_int (parts o) | None -> "-")
+    (match c.weak_quality with Some q -> Printf.sprintf "%.3f" q | None -> "-")
+    (match c.strong_quality with Some q -> Printf.sprintf "%.3f" q | None -> "-")

@@ -1,0 +1,25 @@
+(** Split quality, as defined in the demo (§3.2): the quality of an algorithm
+    on an instance is [optimal parts / algorithm parts] — at most 1, higher is
+    better, the optimal corrector scores exactly 1. *)
+
+open Wolves_workflow
+
+val ratio : optimal_parts:int -> parts:int -> float
+(** @raise Invalid_argument on non-positive counts. *)
+
+(** One instance run under all three criteria. *)
+type comparison = {
+  members : int;  (** composite size n *)
+  weak : Corrector.outcome;
+  strong : Corrector.outcome;
+  optimal : Corrector.outcome option;
+      (** [None] when n exceeds the optimal corrector's task limit. *)
+  weak_quality : float option;
+  strong_quality : float option;
+}
+
+val compare_criteria :
+  ?config:Corrector.config -> Spec.t -> Spec.task list -> comparison
+(** Run weak, strong and (when feasible) optimal on one composite. *)
+
+val pp_comparison : Format.formatter -> comparison -> unit

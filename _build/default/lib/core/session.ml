@@ -1,0 +1,342 @@
+open Wolves_workflow
+module Bitset = Wolves_graph.Bitset
+
+type verdict =
+  | Sound
+  | Unsound of (Spec.task * Spec.task) list
+
+(* One mutable composite. The cached verdict is cleared whenever the member
+   set changes; nothing else can change a composite's soundness. *)
+type group = {
+  mutable g_members : Bitset.t;
+  mutable g_verdict : verdict option;
+}
+
+type snapshot = {
+  snap_groups : (string * Spec.task list * verdict option) list;
+  snap_order : string list;
+}
+
+type t = {
+  s_spec : Spec.t;
+  groups : (string, group) Hashtbl.t;
+  mutable order : string list; (* creation order, reversed *)
+  owner : (Spec.task, string) Hashtbl.t;
+  mutable checks : int;
+  mutable hits : int;
+  mutable history : snapshot list;
+}
+
+let spec s = s.s_spec
+
+let of_groups spec named =
+  let s =
+    { s_spec = spec;
+      groups = Hashtbl.create 64;
+      order = [];
+      owner = Hashtbl.create 64;
+      checks = 0;
+      hits = 0;
+      history = [] }
+  in
+  List.iter
+    (fun (name, members) ->
+      let set = Bitset.create (Spec.n_tasks spec) in
+      List.iter
+        (fun task ->
+          Bitset.add set task;
+          Hashtbl.replace s.owner task name)
+        members;
+      Hashtbl.replace s.groups name { g_members = set; g_verdict = None };
+      s.order <- name :: s.order)
+    named;
+  s
+
+let start view =
+  of_groups (View.spec view)
+    (List.map
+       (fun c -> (View.composite_name view c, View.members view c))
+       (View.composites view))
+
+let start_fresh spec =
+  of_groups spec
+    (List.map (fun t -> (Spec.task_name spec t, [ t ])) (Spec.tasks spec))
+
+let composite_names s =
+  (* [order] may contain stale entries (removed groups) and duplicates (a
+     name re-used after its group disappeared, or a rename): keep the most
+     recent occurrence of each live name. *)
+  let seen = Hashtbl.create 16 in
+  let recent =
+    List.filter
+      (fun name ->
+        if Hashtbl.mem seen name then false
+        else begin
+          Hashtbl.replace seen name ();
+          Hashtbl.mem s.groups name
+        end)
+      s.order
+  in
+  List.rev recent
+
+let members s name =
+  Option.map (fun g -> Bitset.elements g.g_members) (Hashtbl.find_opt s.groups name)
+
+(* --- undo snapshots --- *)
+
+let snapshot s =
+  { snap_groups =
+      Hashtbl.fold
+        (fun name g acc -> (name, Bitset.elements g.g_members, g.g_verdict) :: acc)
+        s.groups [];
+    snap_order = s.order }
+
+let record_snapshot s = s.history <- snapshot s :: s.history
+
+let restore s snap =
+  Hashtbl.reset s.groups;
+  Hashtbl.reset s.owner;
+  List.iter
+    (fun (name, members, verdict) ->
+      let set = Bitset.create (Spec.n_tasks s.s_spec) in
+      List.iter
+        (fun task ->
+          Bitset.add set task;
+          Hashtbl.replace s.owner task name)
+        members;
+      Hashtbl.replace s.groups name { g_members = set; g_verdict = verdict })
+    snap.snap_groups;
+  s.order <- snap.snap_order
+
+let undo s =
+  match s.history with
+  | [] -> false
+  | snap :: rest ->
+    restore s snap;
+    s.history <- rest;
+    true
+
+let history_depth s = List.length s.history
+
+(* --- edits --- *)
+
+let remove_from_current s task =
+  let from_name = Hashtbl.find s.owner task in
+  let g = Hashtbl.find s.groups from_name in
+  Bitset.remove g.g_members task;
+  g.g_verdict <- None;
+  if Bitset.is_empty g.g_members then Hashtbl.remove s.groups from_name
+
+let add_to s task name =
+  let g = Hashtbl.find s.groups name in
+  Bitset.add g.g_members task;
+  g.g_verdict <- None;
+  Hashtbl.replace s.owner task name
+
+let check_tasks s tasks =
+  List.find_opt (fun t -> t < 0 || t >= Spec.n_tasks s.s_spec) tasks
+
+let create_composite_internal s ~name tasks =
+  if Hashtbl.mem s.groups name then
+    Error (Printf.sprintf "composite %S already exists" name)
+  else if tasks = [] then Error "a composite needs at least one task"
+  else
+    match check_tasks s tasks with
+    | Some t -> Error (Printf.sprintf "unknown task %d" t)
+    | None ->
+      let module SS = Set.Make (Int) in
+      if SS.cardinal (SS.of_list tasks) <> List.length tasks then
+        Error "duplicate tasks"
+      else begin
+        Hashtbl.replace s.groups name
+          { g_members = Bitset.create (Spec.n_tasks s.s_spec);
+            g_verdict = None };
+        s.order <- name :: s.order;
+        List.iter
+          (fun task ->
+            remove_from_current s task;
+            add_to s task name)
+          tasks;
+        Ok ()
+      end
+
+let create_composite s ~name tasks =
+  record_snapshot s;
+  match create_composite_internal s ~name tasks with
+  | Ok () -> Ok ()
+  | Error _ as e ->
+    (match s.history with
+     | snap :: rest ->
+       restore s snap;
+       s.history <- rest
+     | [] -> ());
+    e
+
+let move_task_internal s task ~into =
+  if task < 0 || task >= Spec.n_tasks s.s_spec then
+    Error (Printf.sprintf "unknown task %d" task)
+  else if not (Hashtbl.mem s.groups into) then
+    Error (Printf.sprintf "no composite named %S" into)
+  else if Hashtbl.find s.owner task = into then Ok ()
+  else begin
+    remove_from_current s task;
+    add_to s task into;
+    Ok ()
+  end
+
+let move_task s task ~into =
+  record_snapshot s;
+  match move_task_internal s task ~into with
+  | Ok () -> Ok ()
+  | Error _ as e ->
+    (match s.history with
+     | snap :: rest ->
+       restore s snap;
+       s.history <- rest
+     | [] -> ());
+    e
+
+let dissolve_internal s name =
+  match Hashtbl.find_opt s.groups name with
+  | None -> Error (Printf.sprintf "no composite named %S" name)
+  | Some g ->
+    let tasks = Bitset.elements g.g_members in
+    if List.length tasks = 1 then Ok () (* already a singleton *)
+    else begin
+      let rec place = function
+        | [] -> Ok ()
+        | task :: rest ->
+          let singleton_name =
+            let base = Spec.task_name s.s_spec task in
+            let rec free candidate =
+              if Hashtbl.mem s.groups candidate then free (candidate ^ "'")
+              else candidate
+            in
+            free base
+          in
+          (match create_composite_internal s ~name:singleton_name [ task ] with
+           | Ok () -> place rest
+           | Error _ as e -> e)
+      in
+      place tasks
+    end
+
+let dissolve s name =
+  record_snapshot s;
+  match dissolve_internal s name with
+  | Ok () -> Ok ()
+  | Error _ as e ->
+    (match s.history with
+     | snap :: rest ->
+       restore s snap;
+       s.history <- rest
+     | [] -> ());
+    e
+
+let rename_internal s name ~into =
+  match Hashtbl.find_opt s.groups name with
+  | None -> Error (Printf.sprintf "no composite named %S" name)
+  | Some _ when Hashtbl.mem s.groups into ->
+    Error (Printf.sprintf "composite %S already exists" into)
+  | Some g ->
+    Hashtbl.remove s.groups name;
+    Hashtbl.replace s.groups into g;
+    s.order <- into :: s.order;
+    Bitset.iter (fun t -> Hashtbl.replace s.owner t into) g.g_members;
+    Ok ()
+
+let rename s name ~into =
+  record_snapshot s;
+  match rename_internal s name ~into with
+  | Ok () -> Ok ()
+  | Error _ as e ->
+    (match s.history with
+     | snap :: rest ->
+       restore s snap;
+       s.history <- rest
+     | [] -> ());
+    e
+
+(* --- validation --- *)
+
+let compute_verdict s g =
+  s.checks <- s.checks + 1;
+  match Soundness.subset_witnesses s.s_spec g.g_members with
+  | [] -> Sound
+  | witnesses -> Unsound witnesses
+
+let group_verdict s g =
+  match g.g_verdict with
+  | Some v ->
+    s.hits <- s.hits + 1;
+    v
+  | None ->
+    let v = compute_verdict s g in
+    g.g_verdict <- Some v;
+    v
+
+let verdict s name =
+  Option.map (group_verdict s) (Hashtbl.find_opt s.groups name)
+
+let unsound s =
+  List.filter_map
+    (fun name ->
+      match group_verdict s (Hashtbl.find s.groups name) with
+      | Sound -> None
+      | Unsound witnesses -> Some (name, witnesses))
+    (composite_names s)
+
+let is_sound s = unsound s = []
+
+let checks_performed s = s.checks
+
+let cache_hits s = s.hits
+
+(* --- escape hatches --- *)
+
+let current_view s =
+  let named =
+    List.map
+      (fun name ->
+        (name, Bitset.elements (Hashtbl.find s.groups name).g_members))
+      (composite_names s)
+  in
+  match
+    View.of_partition
+      ~names:(Array.of_list (List.map fst named))
+      s.s_spec (List.map snd named)
+  with
+  | Ok view -> view
+  | Error e ->
+    invalid_arg (Format.asprintf "Session.current_view: %a" View.pp_error e)
+
+let apply_correction s name criterion =
+  match Hashtbl.find_opt s.groups name with
+  | None -> Error (Printf.sprintf "no composite named %S" name)
+  | Some g ->
+    let outcome =
+      Corrector.split_subset criterion s.s_spec (Bitset.elements g.g_members)
+    in
+    let parts = outcome.Corrector.parts in
+    let rec place i = function
+      | [] -> Ok (List.length parts)
+      | part :: rest ->
+        (match
+           create_composite_internal s ~name:(Printf.sprintf "%s/%d" name i) part
+         with
+         | Ok () -> place (i + 1) rest
+         | Error _ as e -> e)
+    in
+    (match parts with
+     | [ _single ] -> Ok 1 (* already sound: leave it in place *)
+     | _ ->
+       record_snapshot s;
+       (match place 0 parts with
+        | Ok _ as ok -> ok
+        | Error _ as e ->
+          (match s.history with
+           | snap :: rest ->
+             restore s snap;
+             s.history <- rest
+           | [] -> ());
+          e))

@@ -1,0 +1,88 @@
+(** Interactive view-editing sessions with incremental validation.
+
+    The demo validates "while users are creating a view": after every edit
+    the unsound composites are re-marked immediately. The key observation
+    making this cheap is that [T.in]/[T.out] and hence the soundness of a
+    composite depend only on {e its own} member set (Def 2.2 quantifies over
+    tasks outside T, wherever they live) — so an edit invalidates only the
+    composites whose membership changed, and every other cached verdict
+    survives. A session tracks the partition mutably, caches per-composite
+    verdicts, and counts cache hits so the ablation bench (E-INC) can compare
+    against full revalidation.
+
+    Composites are addressed by name (stable across edits; ids shift). *)
+
+open Wolves_workflow
+
+type t
+
+type verdict =
+  | Sound
+  | Unsound of (Spec.task * Spec.task) list
+      (** the violating (input, output) pairs *)
+
+val start : View.t -> t
+(** Open a session on a copy of the view's partition (the view itself is
+    immutable and unaffected). *)
+
+val start_fresh : Spec.t -> t
+(** A session over the singleton view — the "construct a workflow view using
+    WOLVES directly" entry point. *)
+
+val spec : t -> Spec.t
+
+val composite_names : t -> string list
+(** Current composite names, in creation order. *)
+
+val members : t -> string -> Spec.task list option
+
+(* --- edits (the demo's view-builder actions) --- *)
+
+val create_composite : t -> name:string -> Spec.task list -> (unit, string) result
+(** Move the given tasks out of their current composites into a new
+    composite (the demo's "Create Composite Task"). Emptied composites
+    disappear. Fails on an existing name, an empty task list, or an unknown
+    task. *)
+
+val move_task : t -> Spec.task -> into:string -> (unit, string) result
+(** Move one task into an existing composite. The source composite
+    disappears when emptied. *)
+
+val dissolve : t -> string -> (unit, string) result
+(** Replace a composite by singletons (named after their tasks). *)
+
+val rename : t -> string -> into:string -> (unit, string) result
+
+val undo : t -> bool
+(** Revert the most recent successful edit (create/move/dissolve/rename/
+    correction); [false] when there is nothing to undo. Verdict caches are
+    restored with the partition, so undo costs no re-validation. *)
+
+val history_depth : t -> int
+(** Number of edits that can be undone. *)
+
+(* --- incremental validation --- *)
+
+val verdict : t -> string -> verdict option
+(** Cached soundness verdict of one composite ([None]: unknown name). *)
+
+val unsound : t -> (string * (Spec.task * Spec.task) list) list
+(** All currently unsound composites — what the demo paints red. Uses the
+    cache; only composites touched since the last call are re-checked. *)
+
+val is_sound : t -> bool
+
+val checks_performed : t -> int
+(** Soundness evaluations actually executed so far. *)
+
+val cache_hits : t -> int
+(** Evaluations avoided thanks to the incremental cache. *)
+
+(* --- escape hatches --- *)
+
+val current_view : t -> View.t
+(** Materialise the current partition as an immutable view. *)
+
+val apply_correction : t -> string -> Corrector.criterion -> (int, string) result
+(** Split one (unsound) composite in place with the corrector; returns the
+    number of resulting parts. Part names derive from the composite's. *)

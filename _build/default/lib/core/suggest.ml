@@ -1,0 +1,122 @@
+open Wolves_workflow
+module Bitset = Wolves_graph.Bitset
+
+let greedy_sound_groups spec ~max_size =
+  if max_size < 1 then invalid_arg "Suggest.greedy_sound_groups: max_size < 1";
+  let n = Spec.n_tasks spec in
+  let current = ref [] in
+  let current_set = Bitset.create n in
+  let groups = ref [] in
+  let close () =
+    if !current <> [] then begin
+      groups := List.rev !current :: !groups;
+      current := [];
+      Bitset.clear current_set
+    end
+  in
+  List.iter
+    (fun t ->
+      Bitset.add current_set t;
+      if List.length !current < max_size && Soundness.subset_sound spec current_set
+      then current := t :: !current
+      else begin
+        Bitset.remove current_set t;
+        close ();
+        Bitset.add current_set t;
+        current := [ t ]
+      end)
+    (Spec.topological_order spec);
+  close ();
+  List.rev !groups
+
+let optimal_sound_banding spec ~max_size =
+  if max_size < 1 then invalid_arg "Suggest.optimal_sound_banding: max_size < 1";
+  let order = Array.of_list (Spec.topological_order spec) in
+  let n = Array.length order in
+  let infinity_groups = n + 1 in
+  let dp = Array.make (n + 1) infinity_groups in
+  let choice = Array.make (n + 1) 0 in
+  dp.(0) <- 0;
+  (* dp.(j): fewest bands covering order[0 .. j-1]. Growing the candidate
+     band backward from j reuses one bitset per j. *)
+  let band = Bitset.create (Spec.n_tasks spec) in
+  for j = 1 to n do
+    Bitset.clear band;
+    let i = ref (j - 1) in
+    let width = ref 1 in
+    let continue_ = ref true in
+    while !continue_ && !i >= 0 && !width <= max_size do
+      Bitset.add band order.(!i);
+      if Soundness.subset_sound spec band && dp.(!i) + 1 < dp.(j) then begin
+        dp.(j) <- dp.(!i) + 1;
+        choice.(j) <- !i
+      end;
+      decr i;
+      incr width
+    done;
+    (* Singletons are sound, so dp.(j) is always reachable. *)
+    assert (dp.(j) <= n);
+    ignore !continue_
+  done;
+  let rec rebuild j acc =
+    if j = 0 then acc
+    else
+      let i = choice.(j) in
+      let group = Array.to_list (Array.sub order i (j - i)) in
+      rebuild i (group :: acc)
+  in
+  rebuild n []
+
+let fork_join_regions spec =
+  let module Dominators = Wolves_graph.Dominators in
+  let module Reach = Wolves_graph.Reach in
+  let g = Spec.graph spec in
+  let n = Spec.n_tasks spec in
+  let dom = Dominators.compute g in
+  let postdom = Dominators.compute_post g in
+  let r = Spec.reach spec in
+  let taken = Bitset.create n in
+  let groups = ref [] in
+  List.iter
+    (fun f ->
+      let succs = Spec.consumers spec f in
+      if List.length succs >= 2 && not (Bitset.mem taken f) then
+        match Dominators.common postdom succs with
+        | None -> ()
+        | Some j ->
+          if j <> f && not (Bitset.mem taken j) then begin
+            let region = Bitset.create n in
+            Bitset.add region f;
+            Bitset.add region j;
+            List.iter
+              (fun v ->
+                if
+                  v <> f && v <> j
+                  && Reach.reaches r f v
+                  && Reach.reaches r v j
+                  && Dominators.dominates dom f v
+                  && Dominators.dominates postdom j v
+                then Bitset.add region v)
+              (Spec.tasks spec);
+            let overlap = not (Bitset.disjoint region taken) in
+            if (not overlap) && Soundness.subset_sound spec region then begin
+              Bitset.union_into ~into:taken region;
+              groups := Bitset.elements region :: !groups
+            end
+          end)
+    (Spec.topological_order spec);
+  let singletons =
+    List.filter_map
+      (fun t -> if Bitset.mem taken t then None else Some [ t ])
+      (Spec.tasks spec)
+  in
+  List.rev !groups @ singletons
+
+let view_of_groups spec groups =
+  let names =
+    Array.of_list (List.mapi (fun i _ -> Printf.sprintf "V%d" i) groups)
+  in
+  match View.of_partition ~names spec groups with
+  | Ok view -> view
+  | Error e ->
+    invalid_arg (Format.asprintf "Suggest.view_of_groups: %a" View.pp_error e)

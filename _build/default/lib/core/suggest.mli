@@ -1,0 +1,40 @@
+(** Automatic construction of sound views (the role of Biton et al. [2] in
+    the paper's ecosystem — the demo imports views "automatically
+    constructed"; this module builds them soundly by design, so the
+    validator never needs to repair them).
+
+    Both constructions walk a topological order of the workflow:
+
+    - {!greedy_sound_groups} extends the current group while it stays sound,
+      up to a size cap — linear number of soundness checks, no optimality
+      guarantee;
+    - {!optimal_sound_banding} computes, by dynamic programming, the
+      {e minimum number} of composites over all partitions into
+      topologically {e contiguous} sound bands of bounded size (contiguity
+      is the price of tractability: unrestricted minimum sound partition of
+      a whole workflow generalises the NP-hard Theorem 2.2 problem). *)
+
+open Wolves_workflow
+
+val greedy_sound_groups : Spec.t -> max_size:int -> Spec.task list list
+(** Greedy sound grouping. Every group is a sound composite; groups have at
+    most [max_size] members. @raise Invalid_argument when [max_size < 1]. *)
+
+val optimal_sound_banding : Spec.t -> max_size:int -> Spec.task list list
+(** Fewest contiguous sound bands of at most [max_size] tasks (singletons
+    are always sound, so a solution always exists).
+    @raise Invalid_argument when [max_size < 1]. *)
+
+val fork_join_regions : Spec.t -> Spec.task list list
+(** Structure-driven construction: collapse fork–join regions. For every
+    fork (out-degree ≥ 2) the nearest common postdominator of its branches
+    is its join; the tasks dominated by the fork and postdominated by the
+    join form a single-entry/single-exit candidate region, kept when it
+    verifies sound and does not overlap an already accepted region (forks
+    are scanned in topological order, so outer regions win). Tasks in no
+    region stay singletons. The result mirrors how a Kepler author would
+    abstract sub-workflows — composites with one conceptual input and
+    output. *)
+
+val view_of_groups : Spec.t -> Spec.task list list -> View.t
+(** Wrap a grouping as a view (composites named [V0], [V1], ...). *)

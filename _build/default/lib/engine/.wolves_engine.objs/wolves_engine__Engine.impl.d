@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Array Buffer Char Float Format List Printf Spec String Wolves_provenance Wolves_workflow

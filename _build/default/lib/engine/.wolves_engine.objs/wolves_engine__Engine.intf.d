@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Format Spec Wolves_provenance Wolves_workflow

@@ -1,0 +1,341 @@
+open Wolves_workflow
+module Store = Wolves_provenance.Store
+
+type outcome =
+  | Completed of string
+  | Crashed
+  | Not_run
+
+type event = {
+  task : Spec.task;
+  started : float;
+  finished : float;
+  outcome : outcome;
+}
+
+type trace = {
+  spec : Spec.t;
+  events : event list;
+  makespan : float;
+  busy_time : float;
+}
+
+type policy =
+  | Fifo
+  | Critical_path_first
+  | Shortest_first
+
+let policy_name = function
+  | Fifo -> "fifo"
+  | Critical_path_first -> "critical-path-first"
+  | Shortest_first -> "shortest-first"
+
+type config = {
+  workers : int;
+  duration : Spec.task -> float;
+  failure_rate : float;
+  seed : int;
+  salts : (Spec.task * int) list;
+  policy : policy;
+}
+
+let default_config =
+  { workers = 1;
+    duration = (fun _ -> 1.0);
+    failure_rate = 0.0;
+    seed = 0;
+    salts = [];
+    policy = Fifo }
+
+(* FNV-1a over a string: cheap, deterministic content hashing for output
+   values. Not cryptographic — collision resistance is irrelevant here. *)
+let fnv s =
+  let h = ref 0x3bf29ce484222325 in (* FNV offset basis folded into 62 bits *)
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3 land max_int)
+    s;
+  Printf.sprintf "%016x" !h
+
+let mix seed i =
+  let h = ref (seed lxor (i * 0x9E3779B9) lxor 0x5bd1e995) in
+  h := !h lxor (!h lsr 16);
+  h := !h * 0x7FEB352D land max_int;
+  h := !h lxor (!h lsr 15);
+  !h land max_int
+
+(* Simulated-time min-heap of (time, tie, payload), as a simple pairing of
+   sorted insertion into a reference list would be O(n²); use a binary heap
+   over arrays. *)
+module Heap = struct
+  type 'a t = {
+    mutable items : (float * int * 'a) array;
+    mutable size : int;
+  }
+
+  let create () = { items = [||]; size = 0 }
+
+  let swap h i j =
+    let tmp = h.items.(i) in
+    h.items.(i) <- h.items.(j);
+    h.items.(j) <- tmp
+
+  let less h i j =
+    let ti, ki, _ = h.items.(i) and tj, kj, _ = h.items.(j) in
+    ti < tj || (ti = tj && ki < kj)
+
+  let push h item =
+    if h.size = Array.length h.items then begin
+      let grown = Array.make (max 8 (2 * h.size)) item in
+      Array.blit h.items 0 grown 0 h.size;
+      h.items <- grown
+    end;
+    h.items.(h.size) <- item;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && less h !i ((!i - 1) / 2) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.items.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.items.(0) <- h.items.(h.size);
+        let i = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < h.size && less h l !smallest then smallest := l;
+          if r < h.size && less h r !smallest then smallest := r;
+          if !smallest = !i then continue_ := false
+          else begin
+            swap h !i !smallest;
+            i := !smallest
+          end
+        done
+      end;
+      Some top
+    end
+end
+
+let durations_from_attrs ?(key = "duration") ?(default = 1.0) spec task =
+  match Spec.float_attr spec task key with
+  | Some d when d > 0.0 -> d
+  | Some _ | None -> default
+
+let run ?(config = default_config) spec =
+  if config.workers < 1 then invalid_arg "Engine.run: need at least one worker";
+  let n = Spec.n_tasks spec in
+  let duration t =
+    let d = config.duration t in
+    if d <= 0.0 then invalid_arg "Engine.run: durations must be positive";
+    d
+  in
+  let salt t =
+    match List.assoc_opt t config.salts with Some s -> s | None -> 0
+  in
+  (* outcome slots; None = not decided yet *)
+  let outcomes : outcome option array = Array.make n None in
+  let missing_inputs = Array.init n (fun t -> List.length (Spec.producers spec t)) in
+  (* Priority of a ready task under the scheduling policy (lower = first). *)
+  let downstream = Array.make n 0.0 in
+  List.iter
+    (fun v ->
+      let best =
+        List.fold_left
+          (fun acc w -> Float.max acc downstream.(w))
+          0.0 (Spec.consumers spec v)
+      in
+      downstream.(v) <- best +. duration v)
+    (List.rev (Spec.topological_order spec));
+  let arrival = ref 0 in
+  let priority t =
+    match config.policy with
+    | Fifo ->
+      incr arrival;
+      float_of_int !arrival
+    | Critical_path_first -> -.downstream.(t)
+    | Shortest_first -> duration t
+  in
+  let ready = Heap.create () in
+  let ready_tie = ref 0 in
+  let ready_push t =
+    incr ready_tie;
+    Heap.push ready (priority t, !ready_tie, t)
+  in
+  List.iter
+    (fun t -> if missing_inputs.(t) = 0 then ready_push t)
+    (Spec.topological_order spec);
+  let running = Heap.create () in
+  let free_workers = ref config.workers in
+  let clock = ref 0.0 in
+  let busy = ref 0.0 in
+  let events = ref [] in
+  let tie = ref 0 in
+  (* Mark a task (and transitively its dependents with missing inputs) as
+     decided-not-run lazily: a dependent is Not_run when scheduled-time
+     arrives and an input is missing. *)
+  let value_of t =
+    match outcomes.(t) with
+    | Some (Completed v) -> Some v
+    | Some (Crashed | Not_run) | None -> None
+  in
+  let start_task t =
+    decr free_workers;
+    let d = duration t in
+    busy := !busy +. d;
+    incr tie;
+    Heap.push running (!clock +. d, !tie, t)
+  in
+  let schedule_ready () =
+    let continue_sched = ref true in
+    while !free_workers > 0 && !continue_sched do
+      match Heap.pop ready with
+      | None -> continue_sched := false
+      | Some (_, _, t) ->
+      let inputs_ok =
+        List.for_all
+          (fun p -> match outcomes.(p) with Some (Completed _) -> true | _ -> false)
+          (Spec.producers spec t)
+      in
+      if inputs_ok then start_task t
+      else begin
+        (* An input crashed or never ran: decide Not_run immediately, which
+           occupies no worker and takes no time. *)
+        outcomes.(t) <- Some Not_run;
+        events :=
+          { task = t; started = !clock; finished = !clock; outcome = Not_run }
+          :: !events;
+        List.iter
+          (fun c ->
+            missing_inputs.(c) <- missing_inputs.(c) - 1;
+            if missing_inputs.(c) = 0 then ready_push c)
+          (Spec.consumers spec t)
+      end
+    done
+  in
+  schedule_ready ();
+  let continue_ = ref true in
+  while !continue_ do
+    match Heap.pop running with
+    | None -> continue_ := false
+    | Some (finish_time, _, t) ->
+      clock := finish_time;
+      incr free_workers;
+      let crash_draw =
+        float_of_int (mix config.seed t land 0xFFFFFF) /. 16777216.0
+      in
+      let outcome =
+        if crash_draw < config.failure_rate then Crashed
+        else begin
+          let inputs =
+            List.filter_map value_of (Spec.producers spec t)
+          in
+          let material =
+            String.concat "|"
+              (Spec.task_name spec t
+               :: string_of_int (salt t)
+               :: List.sort compare inputs)
+          in
+          Completed (fnv material)
+        end
+      in
+      outcomes.(t) <- Some outcome;
+      events :=
+        { task = t;
+          started = finish_time -. duration t;
+          finished = finish_time;
+          outcome }
+        :: !events;
+      List.iter
+        (fun c ->
+          missing_inputs.(c) <- missing_inputs.(c) - 1;
+          if missing_inputs.(c) = 0 then ready_push c)
+        (Spec.consumers spec t);
+      schedule_ready ()
+  done;
+  { spec;
+    events = List.rev !events;
+    makespan = !clock;
+    busy_time = !busy }
+
+let outcome_of trace t =
+  match List.find_opt (fun e -> e.task = t) trace.events with
+  | Some e -> e.outcome
+  | None -> Not_run
+
+let output_value trace t =
+  match outcome_of trace t with
+  | Completed v -> Some v
+  | Crashed | Not_run -> None
+
+let statuses trace =
+  List.map
+    (fun t ->
+      let status =
+        match outcome_of trace t with
+        | Completed _ -> Store.Succeeded
+        | Crashed -> Store.Failed
+        | Not_run -> Store.Skipped
+      in
+      (t, status))
+    (Spec.tasks trace.spec)
+
+let critical_path_length config spec =
+  let weight = Array.make (Spec.n_tasks spec) 0.0 in
+  List.iter
+    (fun t ->
+      let incoming =
+        List.fold_left (fun acc p -> max acc weight.(p)) 0.0 (Spec.producers spec t)
+      in
+      weight.(t) <- incoming +. config.duration t)
+    (Spec.topological_order spec);
+  Array.fold_left max 0.0 weight
+
+let total_work config spec =
+  List.fold_left (fun acc t -> acc +. config.duration t) 0.0 (Spec.tasks spec)
+
+let pp_trace ppf trace =
+  Format.fprintf ppf "trace of %S: makespan %.2f, busy %.2f@." (Spec.name trace.spec)
+    trace.makespan trace.busy_time;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  [%6.2f - %6.2f] %-30s %s@." e.started e.finished
+        (Spec.task_name trace.spec e.task)
+        (match e.outcome with
+         | Completed v -> "ok " ^ String.sub v 0 8
+         | Crashed -> "CRASHED"
+         | Not_run -> "not run"))
+    trace.events
+
+let gantt ?(width = 60) trace =
+  let span = Float.max trace.makespan 1e-9 in
+  let scale t = int_of_float (Float.round (t /. span *. float_of_int width)) in
+  let buf = Buffer.create 1024 in
+  let rows =
+    List.filter (fun e -> e.outcome <> Not_run) trace.events
+    |> List.sort (fun a b -> compare (a.started, a.task) (b.started, b.task))
+  in
+  List.iter
+    (fun e ->
+      let from_col = min width (scale e.started) in
+      let to_col = min width (max (from_col + 1) (scale e.finished)) in
+      let bar =
+        String.make from_col ' '
+        ^ String.make (to_col - from_col)
+            (match e.outcome with Crashed -> 'x' | _ -> '#')
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s |%-*s|\n"
+           (Spec.task_name trace.spec e.task)
+           width bar))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s  0%*s%.1f\n" "" (width - 2) "" trace.makespan);
+  Buffer.contents buf

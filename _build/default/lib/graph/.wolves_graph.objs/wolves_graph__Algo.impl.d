@@ -1,0 +1,1 @@
+lib/graph/algo.ml: Array Bitset Digraph Fun Int List Queue Set Stack

@@ -1,0 +1,1 @@
+lib/graph/chains.ml: Algo Array Digraph List Printf

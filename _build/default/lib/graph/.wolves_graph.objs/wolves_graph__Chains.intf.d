@@ -1,0 +1,1 @@
+lib/graph/chains.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graph/dominators.ml: Algo Array Digraph List Printf

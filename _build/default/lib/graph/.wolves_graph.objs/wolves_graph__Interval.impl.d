@@ -1,0 +1,1 @@
+lib/graph/interval.ml: Algo Array Digraph List Printf

@@ -1,0 +1,1 @@
+lib/graph/interval.mli: Digraph

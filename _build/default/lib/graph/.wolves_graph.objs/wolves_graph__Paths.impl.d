@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Algo Array Bitset Digraph List Printf Queue Reach

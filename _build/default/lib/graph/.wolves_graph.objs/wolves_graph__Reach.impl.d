@@ -1,0 +1,1 @@
+lib/graph/reach.ml: Algo Array Bitset Digraph List Printf

@@ -1,0 +1,199 @@
+let bfs_order g sources =
+  let n = Digraph.n_nodes g in
+  let seen = Bitset.create n in
+  let queue = Queue.create () in
+  let order = ref [] in
+  let push v =
+    if not (Bitset.mem seen v) then begin
+      Bitset.add seen v;
+      Queue.add v queue
+    end
+  in
+  List.iter push sources;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    List.iter push (Digraph.succ g v)
+  done;
+  List.rev !order
+
+(* Iterative depth-first search: an explicit stack of (node, remaining
+   successors) frames keeps deep synthetic workflows from overflowing the
+   OCaml stack. *)
+let dfs_postorder g =
+  let n = Digraph.n_nodes g in
+  let seen = Bitset.create n in
+  let post = ref [] in
+  let visit root =
+    if not (Bitset.mem seen root) then begin
+      Bitset.add seen root;
+      let stack = ref [ (root, Digraph.succ g root) ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (v, []) :: rest ->
+          post := v :: !post;
+          stack := rest
+        | (v, w :: ws) :: rest ->
+          stack := (v, ws) :: rest;
+          if not (Bitset.mem seen w) then begin
+            Bitset.add seen w;
+            stack := (w, Digraph.succ g w) :: !stack
+          end
+      done
+    end
+  in
+  for v = 0 to n - 1 do
+    visit v
+  done;
+  List.rev !post
+
+let reachable_from g sources =
+  let seen = Bitset.create (Digraph.n_nodes g) in
+  List.iter (fun v -> Bitset.add seen v) (bfs_order g sources);
+  seen
+
+let reaching_to g sinks = reachable_from (Digraph.transpose g) sinks
+
+let topological_sort g =
+  let n = Digraph.n_nodes g in
+  let in_deg = Array.init n (Digraph.in_degree g) in
+  (* A sorted "ready" structure keeps the order deterministic. *)
+  let module Ready = Set.Make (Int) in
+  let ready = ref Ready.empty in
+  for v = 0 to n - 1 do
+    if in_deg.(v) = 0 then ready := Ready.add v !ready
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Ready.is_empty !ready) do
+    let v = Ready.min_elt !ready in
+    ready := Ready.remove v !ready;
+    order := v :: !order;
+    incr count;
+    List.iter
+      (fun w ->
+        in_deg.(w) <- in_deg.(w) - 1;
+        if in_deg.(w) = 0 then ready := Ready.add w !ready)
+      (Digraph.succ g v)
+  done;
+  if !count = n then Some (List.rev !order) else None
+
+let is_dag g = topological_sort g <> None
+
+let find_cycle g =
+  let n = Digraph.n_nodes g in
+  (* Colours: 0 unvisited, 1 on the current path, 2 done. *)
+  let colour = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let result = ref None in
+  let rec visit v =
+    colour.(v) <- 1;
+    let rec loop = function
+      | [] -> ()
+      | w :: ws ->
+        if !result = None then begin
+          (match colour.(w) with
+           | 0 ->
+             parent.(w) <- v;
+             visit w
+           | 1 ->
+             (* Back edge v -> w: reconstruct the path w .. v. *)
+             let rec build u acc = if u = w then u :: acc else build parent.(u) (u :: acc) in
+             result := Some (build v [])
+           | _ -> ());
+          loop ws
+        end
+    in
+    loop (Digraph.succ g v);
+    colour.(v) <- 2
+  in
+  let v = ref 0 in
+  while !result = None && !v < n do
+    if colour.(!v) = 0 then visit !v;
+    incr v
+  done;
+  !result
+
+let sources g =
+  List.filter (fun v -> Digraph.in_degree g v = 0)
+    (List.init (Digraph.n_nodes g) Fun.id)
+
+let sinks g =
+  List.filter (fun v -> Digraph.out_degree g v = 0)
+    (List.init (Digraph.n_nodes g) Fun.id)
+
+(* Tarjan's algorithm, iterative to survive long chains. *)
+let scc g =
+  let n = Digraph.n_nodes g in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let visit root =
+    let frames = ref [ (root, Digraph.succ g root) ] in
+    index.(root) <- !next_index;
+    low.(root) <- !next_index;
+    incr next_index;
+    Stack.push root stack;
+    on_stack.(root) <- true;
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (v, []) :: rest ->
+        frames := rest;
+        (match rest with
+         | (u, _) :: _ -> low.(u) <- min low.(u) low.(v)
+         | [] -> ());
+        if low.(v) = index.(v) then begin
+          let continue = ref true in
+          while !continue do
+            let w = Stack.pop stack in
+            on_stack.(w) <- false;
+            comp.(w) <- !next_comp;
+            if w = v then continue := false
+          done;
+          incr next_comp
+        end
+      | (v, w :: ws) :: rest ->
+        frames := (v, ws) :: rest;
+        if index.(w) = -1 then begin
+          index.(w) <- !next_index;
+          low.(w) <- !next_index;
+          incr next_index;
+          Stack.push w stack;
+          on_stack.(w) <- true;
+          frames := (w, Digraph.succ g w) :: !frames
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w)
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  (comp, !next_comp)
+
+let condensation g =
+  let comp, count = scc g in
+  let dag = Digraph.create ~initial_capacity:count () in
+  Digraph.add_nodes dag count;
+  Digraph.iter_edges
+    (fun u v -> if comp.(u) <> comp.(v) then Digraph.add_edge dag comp.(u) comp.(v))
+    g;
+  (dag, comp)
+
+let longest_path_length g =
+  match topological_sort g with
+  | None -> invalid_arg "Algo.longest_path_length: graph has a cycle"
+  | Some order ->
+    let dist = Array.make (Digraph.n_nodes g) 0 in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun w -> if dist.(v) + 1 > dist.(w) then dist.(w) <- dist.(v) + 1)
+          (Digraph.succ g v))
+      order;
+    Array.fold_left max 0 dist

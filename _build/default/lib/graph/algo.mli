@@ -1,0 +1,45 @@
+(** Classic traversals and decompositions over {!Digraph}. *)
+
+val bfs_order : Digraph.t -> int list -> int list
+(** Nodes reachable from the given sources, in breadth-first order. Sources
+    are visited in the given order; duplicates are ignored. *)
+
+val dfs_postorder : Digraph.t -> int list
+(** A depth-first postorder covering every node (restarting from unvisited
+    nodes in increasing identifier order). *)
+
+val reachable_from : Digraph.t -> int list -> Bitset.t
+(** The set of nodes reachable from the sources (sources included). *)
+
+val reaching_to : Digraph.t -> int list -> Bitset.t
+(** The set of nodes from which some sink in the list is reachable (sinks
+    included). *)
+
+val topological_sort : Digraph.t -> int list option
+(** A topological order of the nodes, or [None] when the graph has a cycle.
+    Deterministic: among ready nodes, smaller identifiers come first. *)
+
+val is_dag : Digraph.t -> bool
+
+val find_cycle : Digraph.t -> int list option
+(** Some directed cycle as a node list [v1; ...; vk] with edges
+    [v1->v2->...->vk->v1], or [None] for a DAG. *)
+
+val sources : Digraph.t -> int list
+(** Nodes with no incoming edge, in increasing order. *)
+
+val sinks : Digraph.t -> int list
+(** Nodes with no outgoing edge, in increasing order. *)
+
+val scc : Digraph.t -> int array * int
+(** Tarjan's strongly connected components. Returns [(comp, count)] where
+    [comp.(v)] is the component index of [v]; components are numbered in
+    reverse topological order of the condensation ([0] is a sink component). *)
+
+val condensation : Digraph.t -> Digraph.t * int array
+(** The condensation DAG together with the node-to-component map. Component
+    identifiers follow {!scc}. *)
+
+val longest_path_length : Digraph.t -> int
+(** Number of edges on a longest path of a DAG.
+    @raise Invalid_argument on a cyclic graph. *)

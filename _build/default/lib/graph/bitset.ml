@@ -1,0 +1,156 @@
+(* OCaml ints carry 63 usable bits; we store 63 members per word so that all
+   word arithmetic stays within the untagged range. *)
+let bits_per_word = 63
+
+type t = {
+  capacity : int;
+  words : int array;
+}
+
+let words_for capacity = (capacity + bits_per_word - 1) / bits_per_word
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { capacity; words = Array.make (words_for capacity) 0 }
+
+let capacity s = s.capacity
+
+let copy s = { s with words = Array.copy s.words }
+
+let check s i name =
+  if i < 0 || i >= s.capacity then
+    invalid_arg (Printf.sprintf "Bitset.%s: %d out of [0, %d)" name i s.capacity)
+
+let add s i =
+  check s i "add";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl b)
+
+let remove s i =
+  check s i "remove";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl b)
+
+let mem s i =
+  check s i "mem";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) land (1 lsl b) <> 0
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let popcount =
+  (* Kernighan's loop is fine at our word counts. *)
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  fun w -> go 0 w
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+
+let fill s =
+  for i = 0 to Array.length s.words - 1 do
+    s.words.(i) <- -1
+  done;
+  (* Mask off the bits beyond [capacity] in the last word. *)
+  let tail = s.capacity mod bits_per_word in
+  if tail <> 0 && Array.length s.words > 0 then begin
+    let last = Array.length s.words - 1 in
+    s.words.(last) <- s.words.(last) land ((1 lsl tail) - 1)
+  end
+
+let same_capacity a b name =
+  if a.capacity <> b.capacity then
+    invalid_arg (Printf.sprintf "Bitset.%s: capacity mismatch (%d vs %d)"
+                   name a.capacity b.capacity)
+
+let union_into ~into s =
+  same_capacity into s "union_into";
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) lor s.words.(i)
+  done
+
+let inter_into ~into s =
+  same_capacity into s "inter_into";
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) land s.words.(i)
+  done
+
+let diff_into ~into s =
+  same_capacity into s "diff_into";
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) land lnot s.words.(i)
+  done
+
+let union a b =
+  let r = copy a in
+  union_into ~into:r b;
+  r
+
+let inter a b =
+  let r = copy a in
+  inter_into ~into:r b;
+  r
+
+let diff a b =
+  let r = copy a in
+  diff_into ~into:r b;
+  r
+
+let equal a b =
+  same_capacity a b "equal";
+  a.words = b.words
+
+let subset a b =
+  same_capacity a b "subset";
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let disjoint a b =
+  same_capacity a b "disjoint";
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let iter f s =
+  for w = 0 to Array.length s.words - 1 do
+    let word = s.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let for_all p s = fold (fun i acc -> acc && p i) s true
+
+let exists p s = fold (fun i acc -> acc || p i) s false
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list capacity elts =
+  let s = create capacity in
+  List.iter (add s) elts;
+  s
+
+let choose s =
+  let exception Found of int in
+  try
+    iter (fun i -> raise (Found i)) s;
+    None
+  with Found i -> Some i
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (elements s)

@@ -1,0 +1,78 @@
+(** Dense, fixed-capacity bitsets over the integer universe [0, capacity).
+
+    Used as the row representation of transitive-closure matrices and for the
+    set arithmetic of the view correctors, where the universe (task identifiers
+    of one workflow) is small, dense and known in advance. All operations that
+    combine two sets require them to have the same capacity. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set over universe [0, capacity).
+    @raise Invalid_argument if [capacity < 0]. *)
+
+val capacity : t -> int
+(** Size of the universe the set ranges over. *)
+
+val copy : t -> t
+
+val add : t -> int -> unit
+(** [add s i] inserts [i]. @raise Invalid_argument if [i] is out of range. *)
+
+val remove : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+
+val clear : t -> unit
+(** Remove every element. *)
+
+val fill : t -> unit
+(** Insert every element of the universe. *)
+
+val union_into : into:t -> t -> unit
+(** [union_into ~into s] adds every element of [s] to [into]. *)
+
+val inter_into : into:t -> t -> unit
+(** [inter_into ~into s] removes from [into] the elements not in [s]. *)
+
+val diff_into : into:t -> t -> unit
+(** [diff_into ~into s] removes from [into] the elements of [s]. *)
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+
+val disjoint : t -> t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over members in increasing order. *)
+
+val for_all : (int -> bool) -> t -> bool
+
+val exists : (int -> bool) -> t -> bool
+
+val elements : t -> int list
+(** Members in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list capacity elts]. @raise Invalid_argument on out-of-range input. *)
+
+val choose : t -> int option
+(** Smallest member, if any. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [{0, 3, 7}]. *)

@@ -1,0 +1,74 @@
+type t = {
+  n : int;
+  chain_of : int array;    (* node -> chain id *)
+  pos_of : int array;      (* node -> position within its chain *)
+  labels : int array array; (* node -> per-chain earliest reachable position *)
+}
+
+let infinity_pos = max_int
+
+let compute g =
+  let order =
+    match Algo.topological_sort g with
+    | Some order -> order
+    | None -> invalid_arg "Chains.compute: graph has a cycle"
+  in
+  let n = Digraph.n_nodes g in
+  let chain_of = Array.make n (-1) in
+  let pos_of = Array.make n 0 in
+  (* Greedy path cover: walking the topological order, append each node to a
+     chain whose current tail points to it, else open a new chain. *)
+  let tails = ref [] (* (chain id, tail node) in most-recent-first order *) in
+  let n_chains = ref 0 in
+  List.iter
+    (fun v ->
+      let rec attach acc = function
+        | [] ->
+          let c = !n_chains in
+          incr n_chains;
+          chain_of.(v) <- c;
+          pos_of.(v) <- 0;
+          tails := (c, v) :: List.rev acc
+        | (c, tail) :: rest ->
+          if Digraph.mem_edge g tail v then begin
+            chain_of.(v) <- c;
+            pos_of.(v) <- pos_of.(tail) + 1;
+            tails := (c, v) :: (List.rev_append acc rest)
+          end
+          else attach ((c, tail) :: acc) rest
+      in
+      attach [] !tails)
+    order;
+  let k = !n_chains in
+  (* Per-node labels, in reverse topological order: the earliest position
+     reachable on each chain is the min over successors, plus the node's own
+     position on its own chain. *)
+  let labels = Array.init n (fun _ -> Array.make k infinity_pos) in
+  List.iter
+    (fun v ->
+      let row = labels.(v) in
+      List.iter
+        (fun w ->
+          let wrow = labels.(w) in
+          for c = 0 to k - 1 do
+            if wrow.(c) < row.(c) then row.(c) <- wrow.(c)
+          done)
+        (Digraph.succ g v);
+      if pos_of.(v) < row.(chain_of.(v)) then row.(chain_of.(v)) <- pos_of.(v))
+    (List.rev order);
+  { n; chain_of; pos_of; labels }
+
+let n_chains t = if t.n = 0 then 0 else Array.length t.labels.(0)
+
+let graph_size t = t.n
+
+let check t v =
+  if v < 0 || v >= t.n then
+    invalid_arg (Printf.sprintf "Chains: unknown node %d" v)
+
+let reaches t u v =
+  check t u;
+  check t v;
+  t.labels.(u).(t.chain_of.(v)) <= t.pos_of.(v)
+
+let index_words t = t.n * n_chains t

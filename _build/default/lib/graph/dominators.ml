@@ -1,0 +1,80 @@
+(* Cooper–Harvey–Kennedy iterative dominators. On a DAG one pass in
+   topological order suffices (every predecessor is finalised first). The
+   virtual root has index [n] internally and is reported as [None]. *)
+
+type t = {
+  n : int;
+  idom : int array;  (* idom.(v); n = virtual root *)
+  depth : int array; (* depth in the dominator tree, root = 0 *)
+}
+
+let compute_with g order =
+  let n = Digraph.n_nodes g in
+  let root = n in
+  let idom = Array.make (n + 1) (-1) in
+  idom.(root) <- root;
+  let position = Array.make (n + 1) (-1) in
+  position.(root) <- -1 (* before everything *);
+  List.iteri (fun i v -> position.(v) <- i) order;
+  let rec intersect a b =
+    if a = b then a
+    else if a = root then root
+    else if b = root then root
+    else if position.(a) > position.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  List.iter
+    (fun v ->
+      let preds = Digraph.pred g v in
+      let new_idom =
+        match preds with
+        | [] -> root
+        | first :: rest ->
+          List.fold_left (fun acc p -> intersect acc p) first rest
+      in
+      idom.(v) <- new_idom)
+    order;
+  let depth = Array.make (n + 1) 0 in
+  List.iter
+    (fun v -> depth.(v) <- (if idom.(v) = root then 1 else depth.(idom.(v)) + 1))
+    order;
+  { n; idom; depth }
+
+let compute g =
+  match Algo.topological_sort g with
+  | None -> invalid_arg "Dominators.compute: graph has a cycle"
+  | Some order -> compute_with g order
+
+let compute_post g =
+  let t = Digraph.transpose g in
+  match Algo.topological_sort t with
+  | None -> invalid_arg "Dominators.compute_post: graph has a cycle"
+  | Some order -> compute_with t order
+
+let check t v =
+  if v < 0 || v >= t.n then
+    invalid_arg (Printf.sprintf "Dominators: unknown node %d" v)
+
+let idom t v =
+  check t v;
+  if t.idom.(v) = t.n then None else Some t.idom.(v)
+
+let dominates t d v =
+  check t d;
+  check t v;
+  let rec climb v = if v = d then true else if v = t.n then false else climb t.idom.(v) in
+  climb v
+
+let common t nodes =
+  match nodes with
+  | [] -> invalid_arg "Dominators.common: empty list"
+  | first :: rest ->
+    List.iter (check t) nodes;
+    let rec intersect a b =
+      if a = b then a
+      else if a = t.n || b = t.n then t.n
+      else if t.depth.(a) > t.depth.(b) then intersect t.idom.(a) b
+      else intersect a t.idom.(b)
+    in
+    let result = List.fold_left intersect first rest in
+    if result = t.n then None else Some result

@@ -1,0 +1,66 @@
+type cluster = {
+  cluster_name : string;
+  cluster_label : string;
+  cluster_nodes : int list;
+  cluster_color : string option;
+}
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(graph_name = "workflow") ?node_label ?node_color ?(clusters = [])
+    g =
+  let buf = Buffer.create 1024 in
+  let label v =
+    match node_label with Some f -> f v | None -> string_of_int v
+  in
+  let emit_node indent v =
+    let color_attr =
+      match node_color with
+      | Some f ->
+        (match f v with
+         | Some c -> Printf.sprintf ", style=filled, fillcolor=\"%s\"" (escape c)
+         | None -> "")
+      | None -> ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%sn%d [label=\"%s\"%s];\n" indent v (escape (label v))
+         color_attr)
+  in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape graph_name));
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  let clustered = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph \"cluster_%s\" {\n    label=\"%s\";\n"
+           (escape c.cluster_name) (escape c.cluster_label));
+      (match c.cluster_color with
+       | Some color ->
+         Buffer.add_string buf
+           (Printf.sprintf "    color=\"%s\";\n    penwidth=2;\n" (escape color))
+       | None -> ());
+      List.iter
+        (fun v ->
+          Hashtbl.replace clustered v ();
+          emit_node "    " v)
+        c.cluster_nodes;
+      Buffer.add_string buf "  }\n")
+    clusters;
+  Digraph.iter_nodes
+    (fun v -> if not (Hashtbl.mem clustered v) then emit_node "  " v)
+    g;
+  Digraph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

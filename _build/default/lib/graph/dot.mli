@@ -1,0 +1,24 @@
+(** Graphviz DOT rendering of {!Digraph} values.
+
+    The CLI uses clusters to draw composite tasks of a view and colour
+    attributes to mark unsound composites (the demo GUI's red/green marking). *)
+
+type cluster = {
+  cluster_name : string;   (** unique per cluster; used as [subgraph cluster_x] id *)
+  cluster_label : string;  (** human-readable caption *)
+  cluster_nodes : int list;
+  cluster_color : string option;  (** e.g. [Some "red"] for unsound composites *)
+}
+
+val to_string :
+  ?graph_name:string ->
+  ?node_label:(int -> string) ->
+  ?node_color:(int -> string option) ->
+  ?clusters:cluster list ->
+  Digraph.t ->
+  string
+(** Render the graph as a DOT document. Nodes default to their identifier as
+    label; clusters draw the listed nodes inside labelled boxes. *)
+
+val escape : string -> string
+(** Escape a string for use inside a double-quoted DOT identifier. *)

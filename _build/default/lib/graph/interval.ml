@@ -1,0 +1,116 @@
+type t = {
+  n : int;
+  post : int array;           (* postorder number of each node *)
+  rows : (int * int) array array;
+      (* per node: sorted disjoint [lo, hi] intervals of reachable postorder
+         numbers (own subtree included) *)
+}
+
+(* Merge two sorted disjoint interval lists, coalescing overlaps and
+   adjacency. *)
+let merge_intervals a b =
+  let out = ref [] in
+  let push ((lo, hi) as iv) =
+    match !out with
+    | (plo, phi) :: rest when lo <= phi + 1 ->
+      out := (plo, max phi hi) :: rest
+    | _ -> out := iv :: !out
+  in
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> List.iter push rest
+    | ((xlo, _) as x) :: xs', ((ylo, _) as y) :: ys' ->
+      if xlo <= ylo then begin
+        push x;
+        go xs' ys
+      end
+      else begin
+        push y;
+        go xs ys'
+      end
+  in
+  go a b;
+  List.rev !out
+
+let compute g =
+  let order =
+    match Algo.topological_sort g with
+    | Some order -> order
+    | None -> invalid_arg "Interval.compute: graph has a cycle"
+  in
+  let n = Digraph.n_nodes g in
+  (* Spanning forest: first predecessor in the order is the tree parent. *)
+  let children = Array.make n [] in
+  let is_root = Array.make n true in
+  List.iter
+    (fun v ->
+      match Digraph.pred g v with
+      | [] -> ()
+      | parent :: _ ->
+        is_root.(v) <- false;
+        children.(parent) <- v :: children.(parent))
+    order;
+  (* Postorder numbering of the forest (iterative). *)
+  let post = Array.make n (-1) in
+  let low = Array.make n max_int in
+  let counter = ref 0 in
+  let visit root =
+    let stack = ref [ (root, children.(root)) ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (v, []) :: rest ->
+        post.(v) <- !counter;
+        incr counter;
+        low.(v) <- min low.(v) post.(v);
+        (match rest with
+         | (p, _) :: _ -> low.(p) <- min low.(p) low.(v)
+         | [] -> ());
+        stack := rest
+      | (v, c :: cs) :: rest ->
+        stack := (c, children.(c)) :: (v, cs) :: rest
+    done
+  in
+  List.iter (fun v -> if is_root.(v) then visit v) order;
+  (* Propagate interval lists in reverse topological order. *)
+  let rows = Array.make n [] in
+  List.iter
+    (fun v ->
+      let own = [ (low.(v), post.(v)) ] in
+      let combined =
+        List.fold_left
+          (fun acc w -> merge_intervals acc rows.(w))
+          own (Digraph.succ g v)
+      in
+      rows.(v) <- combined)
+    (List.rev order);
+  { n; post; rows = Array.map Array.of_list rows }
+
+let graph_size t = t.n
+
+let check t v =
+  if v < 0 || v >= t.n then
+    invalid_arg (Printf.sprintf "Interval: unknown node %d" v)
+
+let reaches t u v =
+  check t u;
+  check t v;
+  let target = t.post.(v) in
+  let row = t.rows.(u) in
+  (* Binary search for the interval that could contain [target]. *)
+  let lo = ref 0 and hi = ref (Array.length row - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let ilo, ihi = row.(mid) in
+    if target < ilo then hi := mid - 1
+    else if target > ihi then lo := mid + 1
+    else found := true
+  done;
+  !found
+
+let n_intervals t =
+  Array.fold_left (fun acc row -> acc + Array.length row) 0 t.rows
+
+let max_intervals_per_node t =
+  Array.fold_left (fun acc row -> max acc (Array.length row)) 0 t.rows

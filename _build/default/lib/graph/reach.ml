@@ -1,0 +1,88 @@
+type t = {
+  n : int;
+  rows : Bitset.t array; (* rows.(v) = descendants of v, v included *)
+}
+
+let compute_dag g order =
+  let n = Digraph.n_nodes g in
+  let rows = Array.init n (fun _ -> Bitset.create n) in
+  (* In reverse topological order every successor row is already final. *)
+  List.iter
+    (fun v ->
+      let row = rows.(v) in
+      Bitset.add row v;
+      List.iter (fun w -> Bitset.union_into ~into:row rows.(w)) (Digraph.succ g v))
+    (List.rev order);
+  { n; rows }
+
+let compute_general g =
+  let n = Digraph.n_nodes g in
+  let dag, comp = Algo.condensation g in
+  let comp_order =
+    match Algo.topological_sort dag with
+    | Some order -> order
+    | None -> assert false (* condensations are acyclic *)
+  in
+  (* Closure over components, then expanded to member nodes. *)
+  let count = Digraph.n_nodes dag in
+  let comp_rows = Array.init count (fun _ -> Bitset.create count) in
+  List.iter
+    (fun c ->
+      let row = comp_rows.(c) in
+      Bitset.add row c;
+      List.iter (fun d -> Bitset.union_into ~into:row comp_rows.(d)) (Digraph.succ dag c))
+    (List.rev comp_order);
+  let members = Array.make count [] in
+  for v = n - 1 downto 0 do
+    members.(comp.(v)) <- v :: members.(comp.(v))
+  done;
+  let expanded = Array.init count (fun _ -> Bitset.create n) in
+  for c = 0 to count - 1 do
+    Bitset.iter
+      (fun d -> List.iter (fun v -> Bitset.add expanded.(c) v) members.(d))
+      comp_rows.(c)
+  done;
+  { n; rows = Array.init n (fun v -> expanded.(comp.(v))) }
+
+let compute g =
+  match Algo.topological_sort g with
+  | Some order -> compute_dag g order
+  | None -> compute_general g
+
+let graph_size r = r.n
+
+let check r v =
+  if v < 0 || v >= r.n then
+    invalid_arg (Printf.sprintf "Reach: unknown node %d" v)
+
+let reaches r u v =
+  check r u;
+  check r v;
+  Bitset.mem r.rows.(u) v
+
+let descendants r v =
+  check r v;
+  r.rows.(v)
+
+let ancestors r v =
+  check r v;
+  let result = Bitset.create r.n in
+  for u = 0 to r.n - 1 do
+    if Bitset.mem r.rows.(u) v then Bitset.add result u
+  done;
+  result
+
+let ancestors_of_set r set =
+  let result = Bitset.create r.n in
+  for u = 0 to r.n - 1 do
+    if not (Bitset.disjoint r.rows.(u) set) then Bitset.add result u
+  done;
+  result
+
+let descendants_of_set r set =
+  let result = Bitset.create r.n in
+  Bitset.iter (fun v -> Bitset.union_into ~into:result r.rows.(v)) set;
+  result
+
+let n_closure_edges r =
+  Array.fold_left (fun acc row -> acc + Bitset.cardinal row) 0 r.rows

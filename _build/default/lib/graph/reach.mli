@@ -1,0 +1,36 @@
+(** Reachability indexes: reflexive–transitive closure of a {!Digraph}.
+
+    The closure is materialised as one {!Bitset} row of descendants per node,
+    computed in reverse topological order for DAGs and via the SCC
+    condensation for general graphs, so construction costs O(V·E/w) word
+    operations. This is the workhorse behind the soundness validator and the
+    correctors, which probe [reaches] heavily. *)
+
+type t
+
+val compute : Digraph.t -> t
+(** Build the closure of the given graph (cyclic graphs allowed). *)
+
+val graph_size : t -> int
+(** Number of nodes of the indexed graph. *)
+
+val reaches : t -> int -> int -> bool
+(** [reaches r u v] is [true] iff there is a (possibly empty) directed path
+    from [u] to [v]. Reflexive: [reaches r v v = true]. *)
+
+val descendants : t -> int -> Bitset.t
+(** The row of nodes reachable from a node, itself included. The returned set
+    is shared with the index: treat it as read-only. *)
+
+val ancestors : t -> int -> Bitset.t
+(** The column of nodes reaching a node, itself included (fresh set). *)
+
+val ancestors_of_set : t -> Bitset.t -> Bitset.t
+(** Union of [ancestors] over a set of nodes. *)
+
+val descendants_of_set : t -> Bitset.t -> Bitset.t
+(** Union of [descendants] over a set of nodes. *)
+
+val n_closure_edges : t -> int
+(** Total number of ordered reachable pairs, reflexive pairs included; the
+    size of the materialised provenance relation. *)

@@ -1,0 +1,1 @@
+lib/lang/wfdsl.ml: Buffer Format Hashtbl In_channel List Out_channel Printf Spec String View Wolves_graph Wolves_workflow

@@ -1,0 +1,1 @@
+lib/lang/wfdsl.mli: Format Spec View Wolves_workflow

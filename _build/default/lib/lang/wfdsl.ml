@@ -1,0 +1,434 @@
+open Wolves_workflow
+
+type error = {
+  line : int;
+  column : int;
+  message : string;
+}
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, column %d: %s" e.line e.column e.message
+
+exception Fail of error
+
+let fail line column fmt =
+  Format.kasprintf (fun message -> raise (Fail { line; column; message })) fmt
+
+(* --- lexer --- *)
+
+type token =
+  | Kw_workflow
+  | Kw_task
+  | Kw_composite
+  | Name of string
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Equals
+  | Comma
+  | Semi
+  | Arrow
+  | End
+
+type lexeme = {
+  token : token;
+  l_line : int;
+  l_column : int;
+}
+
+let tokenize input =
+  let n = String.length input in
+  let pos = ref 0 and line = ref 1 and col = ref 1 in
+  let lexemes = ref [] in
+  let advance () =
+    if !pos < n then begin
+      if input.[!pos] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col;
+      incr pos
+    end
+  in
+  let push token l c = lexemes := { token; l_line = l; l_column = c } :: !lexemes in
+  while !pos < n do
+    let c = input.[!pos] in
+    let l0 = !line and c0 = !col in
+    match c with
+    | ' ' | '\t' | '\n' | '\r' -> advance ()
+    | '#' ->
+      while !pos < n && input.[!pos] <> '\n' do
+        advance ()
+      done
+    | '{' ->
+      push Lbrace l0 c0;
+      advance ()
+    | '}' ->
+      push Rbrace l0 c0;
+      advance ()
+    | ';' ->
+      push Semi l0 c0;
+      advance ()
+    | '[' ->
+      push Lbracket l0 c0;
+      advance ()
+    | ']' ->
+      push Rbracket l0 c0;
+      advance ()
+    | '=' ->
+      push Equals l0 c0;
+      advance ()
+    | ',' ->
+      push Comma l0 c0;
+      advance ()
+    | '-' ->
+      advance ();
+      if !pos < n && input.[!pos] = '>' then begin
+        advance ();
+        push Arrow l0 c0
+      end
+      else fail l0 c0 "expected '->'"
+    | '"' ->
+      advance ();
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        match input.[!pos] with
+        | '"' ->
+          closed := true;
+          advance ()
+        | '\\' ->
+          advance ();
+          if !pos >= n then fail l0 c0 "unterminated name"
+          else begin
+            (match input.[!pos] with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | other -> fail !line !col "unknown escape '\\%c'" other);
+            advance ()
+          end
+        | ch ->
+          Buffer.add_char buf ch;
+          advance ()
+      done;
+      if not !closed then fail l0 c0 "unterminated name";
+      push (Name (Buffer.contents buf)) l0 c0
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+      let buf = Buffer.create 16 in
+      while
+        !pos < n
+        &&
+        match input.[!pos] with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+        | _ -> false
+      do
+        Buffer.add_char buf input.[!pos];
+        advance ()
+      done;
+      (match Buffer.contents buf with
+       | "workflow" -> push Kw_workflow l0 c0
+       | "task" -> push Kw_task l0 c0
+       | "composite" -> push Kw_composite l0 c0
+       | other -> fail l0 c0 "unknown keyword %S (names are quoted)" other)
+    | other -> fail l0 c0 "unexpected character %C" other
+  done;
+  List.rev ({ token = End; l_line = !line; l_column = !col } :: !lexemes)
+
+(* --- parser --- *)
+
+type statement =
+  | St_task of string * int * int * (string * string) list
+  | St_chain of (string * int * int) list  (* >= 2 names *)
+  | St_composite of string * int * int * (string * int * int) list
+
+type stream = {
+  mutable rest : lexeme list;
+}
+
+let peek st = List.hd st.rest
+
+let advance st = st.rest <- List.tl st.rest
+
+let expect st token what =
+  let lx = peek st in
+  if lx.token = token then advance st
+  else fail lx.l_line lx.l_column "expected %s" what
+
+let expect_name st what =
+  let lx = peek st in
+  match lx.token with
+  | Name n ->
+    advance st;
+    (n, lx.l_line, lx.l_column)
+  | _ -> fail lx.l_line lx.l_column "expected %s (a quoted name)" what
+
+let parse_statements st =
+  let statements = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let lx = peek st in
+    match lx.token with
+    | Rbrace -> continue_ := false
+    | Kw_task ->
+      advance st;
+      let name = expect_name st "a task name" in
+      (* Optional attribute block: [ "k" = "v", ... ] *)
+      let attrs = ref [] in
+      (match (peek st).token with
+       | Lbracket ->
+         advance st;
+         let closed = ref false in
+         while not !closed do
+           let key, _, _ = expect_name st "an attribute key" in
+           expect st Equals "'='";
+           let value, _, _ = expect_name st "an attribute value" in
+           attrs := (key, value) :: !attrs;
+           match (peek st).token with
+           | Comma -> advance st
+           | Rbracket ->
+             advance st;
+             closed := true
+           | _ ->
+             let lx = peek st in
+             fail lx.l_line lx.l_column "expected ',' or ']'"
+         done
+       | _ -> ());
+      expect st Semi "';'";
+      let n, l, c = name in
+      statements := St_task (n, l, c, List.rev !attrs) :: !statements
+    | Kw_composite ->
+      advance st;
+      let name, l, c = expect_name st "a composite name" in
+      expect st Lbrace "'{'";
+      let members = ref [] in
+      let inner = ref true in
+      while !inner do
+        match (peek st).token with
+        | Rbrace ->
+          advance st;
+          inner := false
+        | Name _ -> members := expect_name st "a member task" :: !members
+        | _ ->
+          let lx = peek st in
+          fail lx.l_line lx.l_column "expected a member name or '}'"
+      done;
+      statements := St_composite (name, l, c, List.rev !members) :: !statements
+    | Name _ ->
+      let first = expect_name st "a task name" in
+      let chain = ref [ first ] in
+      let more = ref true in
+      while !more do
+        match (peek st).token with
+        | Arrow ->
+          advance st;
+          chain := expect_name st "a task name after '->'" :: !chain
+        | Semi ->
+          advance st;
+          more := false
+        | _ ->
+          let lx = peek st in
+          fail lx.l_line lx.l_column "expected '->' or ';'"
+      done;
+      (match !chain with
+       | [ (_, l, c) ] -> fail l c "a dependency needs at least two tasks"
+       | chain -> statements := St_chain (List.rev chain) :: !statements)
+    | End -> fail lx.l_line lx.l_column "missing '}' closing the workflow"
+    | _ ->
+      fail lx.l_line lx.l_column
+        "expected 'task', 'composite', a dependency chain, or '}'"
+  done;
+  List.rev !statements
+
+let parse input =
+  let st = { rest = tokenize input } in
+  expect st Kw_workflow "'workflow'";
+  let wf_name, _, _ = expect_name st "the workflow name" in
+  expect st Lbrace "'{'";
+  let statements = parse_statements st in
+  expect st Rbrace "'}'";
+  (match (peek st).token with
+   | End -> ()
+   | _ ->
+     let lx = peek st in
+     fail lx.l_line lx.l_column "trailing input after the workflow");
+  (wf_name, statements)
+
+(* --- elaboration --- *)
+
+let of_string input =
+  try
+    let wf_name, statements = parse input in
+    (* First pass: declared tasks with their positions. *)
+    let declared = Hashtbl.create 32 in
+    List.iter
+      (function
+        | St_task (name, l, c, _) ->
+          if Hashtbl.mem declared name then fail l c "task %S declared twice" name
+          else Hashtbl.replace declared name (l, c)
+        | St_chain _ | St_composite _ -> ())
+      statements;
+    let check_declared (name, l, c) =
+      if not (Hashtbl.mem declared name) then
+        fail l c "unknown task %S (declare it with: task \"%s\";)" name name
+    in
+    let edges = ref [] in
+    List.iter
+      (function
+        | St_chain chain ->
+          List.iter check_declared chain;
+          let rec pairs = function
+            | (a, _, _) :: ((b, _, _) :: _ as rest) ->
+              edges := (a, b) :: !edges;
+              pairs rest
+            | [ _ ] | [] -> ()
+          in
+          pairs chain
+        | St_task _ | St_composite _ -> ())
+      statements;
+    let tasks =
+      List.filter_map
+        (function
+          | St_task (n, _, _, _) -> Some n
+          | St_chain _ | St_composite _ -> None)
+        statements
+    in
+    let build () =
+      let b = Spec.Builder.create ~name:wf_name () in
+      let rec step f = function
+        | [] -> Ok ()
+        | x :: rest ->
+          (match f x with Error e -> Error e | Ok _ -> step f rest)
+      in
+      match step (Spec.Builder.add_task b) tasks with
+      | Error e -> Error e
+      | Ok () ->
+        (match
+           step
+             (fun (p, c) -> Spec.Builder.add_dependency b p c)
+             (List.rev !edges)
+         with
+         | Error e -> Error e
+         | Ok () ->
+           (match
+              step
+                (function
+                  | St_task (n, _, _, attrs) ->
+                    step
+                      (fun (key, value) -> Spec.Builder.set_attr b n ~key value)
+                      attrs
+                  | St_chain _ | St_composite _ -> Ok ())
+                statements
+            with
+            | Error e -> Error e
+            | Ok () -> Spec.Builder.finish b))
+    in
+    match build () with
+    | Error e -> fail 1 1 "%s" (Format.asprintf "%a" Spec.pp_error e)
+    | Ok spec ->
+      (* Composites; uncovered tasks become singletons. *)
+      let covered = Hashtbl.create 32 in
+      let groups =
+        List.filter_map
+          (function
+            | St_composite (name, _, _, members) ->
+              List.iter check_declared members;
+              List.iter
+                (fun (m, l, c) ->
+                  if Hashtbl.mem covered m then
+                    fail l c "task %S is already in a composite" m
+                  else Hashtbl.replace covered m ())
+                members;
+              Some (name, List.map (fun (m, _, _) -> m) members)
+            | St_task _ | St_chain _ -> None)
+          statements
+      in
+      let singletons =
+        List.filter_map
+          (fun t ->
+            let name = Spec.task_name spec t in
+            if Hashtbl.mem covered name then None else Some (name, [ name ]))
+          (Spec.tasks spec)
+      in
+      (match View.make spec (groups @ singletons) with
+       | Error e -> fail 1 1 "%s" (Format.asprintf "%a" View.pp_error e)
+       | Ok view -> Ok (spec, view))
+  with Fail e -> Error e
+
+(* --- printer --- *)
+
+let quote name =
+  let buf = Buffer.create (String.length name + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    name;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_string view =
+  let spec = View.spec view in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "workflow %s {\n" (quote (Spec.name spec)));
+  List.iter
+    (fun t ->
+      let attrs = Spec.attrs spec t in
+      let attr_block =
+        if attrs = [] then ""
+        else
+          Printf.sprintf " [ %s ]"
+            (String.concat ", "
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "%s = %s" (quote k) (quote v))
+                  attrs))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  task %s%s;\n" (quote (Spec.task_name spec t))
+           attr_block))
+    (Spec.tasks spec);
+  if Spec.n_dependencies spec > 0 then Buffer.add_char buf '\n';
+  Wolves_graph.Digraph.iter_edges
+    (fun u v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s;\n"
+           (quote (Spec.task_name spec u))
+           (quote (Spec.task_name spec v))))
+    (Spec.graph spec);
+  let explicit =
+    List.filter
+      (fun c ->
+        match View.members view c with
+        | [ single ] -> View.composite_name view c <> Spec.task_name spec single
+        | _ -> true)
+      (View.composites view)
+  in
+  if explicit <> [] then Buffer.add_char buf '\n';
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  composite %s {%s }\n"
+           (quote (View.composite_name view c))
+           (String.concat ""
+              (List.map
+                 (fun t -> " " ^ quote (Spec.task_name spec t))
+                 (View.members view c)))))
+    explicit;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error { line = 0; column = 0; message = msg }
+
+let save path view =
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (to_string view))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error { line = 0; column = 0; message = msg }

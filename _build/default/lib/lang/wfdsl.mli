@@ -1,0 +1,55 @@
+(** A human-writable workflow description language (the [.wf] format).
+
+    MoML is the interchange format; this DSL is what a person types:
+
+    {v
+    # phylogenomic inference, abridged
+    workflow "phylo" {
+      task "select";   task "split";  task "align";  task "display";
+
+      "select" -> "split" -> "align" -> "display";   # chains are sugar
+
+      composite "Input"  { "select" "split" }
+      composite "Render" { "display" }
+      # tasks in no composite become singletons
+    }
+    v}
+
+    Grammar (comments run [#] to end of line; names are double-quoted,
+    with backslash escapes for the quote and the backslash itself):
+
+    {v
+    document  := 'workflow' NAME '{' statement* '}'
+    statement := 'task' NAME attrs? ';'
+               | NAME ('->' NAME)+ ';'
+               | 'composite' NAME '{' NAME* '}'
+    attrs     := '[' NAME '=' NAME (',' NAME '=' NAME)* ']'
+    v}
+
+    Edges may reference tasks declared anywhere in the document. *)
+
+open Wolves_workflow
+
+type error = {
+  line : int;    (** 1-based *)
+  column : int;  (** 1-based *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val of_string : string -> (Spec.t * View.t, error) result
+(** Parse a document into a specification and view (singletons for tasks in
+    no composite). Workflow-level problems (cycles, duplicate tasks, overlap
+    between composites) are reported as errors at the document's location of
+    the offending name where possible. *)
+
+val to_string : View.t -> string
+(** Canonical rendering; [of_string ∘ to_string] preserves the
+    specification and partition. Singleton composites named after their only
+    task are rendered implicitly. *)
+
+val load : string -> (Spec.t * View.t, error) result
+(** Read a [.wf] file. I/O failures are reported at line 0. *)
+
+val save : string -> View.t -> (unit, error) result

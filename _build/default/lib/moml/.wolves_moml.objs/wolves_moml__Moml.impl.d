@@ -1,0 +1,1 @@
+lib/moml/moml.ml: Format Hashtbl In_channel List Option Out_channel Printf Spec String View Wolves_workflow Wolves_xml

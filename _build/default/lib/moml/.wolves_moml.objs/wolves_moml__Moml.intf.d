@@ -1,0 +1,1 @@
+lib/moml/moml.mli: Format Spec View Wolves_workflow Wolves_xml

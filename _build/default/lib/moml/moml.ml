@@ -1,0 +1,316 @@
+open Wolves_workflow
+module Ast = Wolves_xml.Ast
+module Parse = Wolves_xml.Parse
+module Print = Wolves_xml.Print
+
+type error =
+  | Xml of Parse.error
+  | Structure of string
+  | Spec_error of Spec.error
+  | View_error of View.error
+
+let pp_error ppf = function
+  | Xml e -> Format.fprintf ppf "XML error at %a" Parse.pp_error e
+  | Structure msg -> Format.fprintf ppf "malformed MoML: %s" msg
+  | Spec_error e -> Format.fprintf ppf "workflow error: %a" Spec.pp_error e
+  | View_error e -> Format.fprintf ppf "view error: %a" View.pp_error e
+
+exception Fail of error
+
+let fail e = raise (Fail e)
+
+let structure fmt = Format.kasprintf (fun msg -> fail (Structure msg)) fmt
+
+let name_of e tag_context =
+  match Ast.attr e "name" with
+  | Some n -> n
+  | None -> structure "<%s> without a name attribute (%s)" e.Ast.tag tag_context
+
+(* A port is "<task name>.<direction>"; task names may themselves contain
+   dots, so split at the last one. *)
+let split_port port =
+  match String.rindex_opt port '.' with
+  | None -> structure "port %S has no .in/.out suffix" port
+  | Some i ->
+    let task = String.sub port 0 i in
+    let dir = String.sub port (i + 1) (String.length port - i - 1) in
+    (match dir with
+     | "in" | "out" -> (task, dir)
+     | _ -> structure "port %S must end in .in or .out" port)
+
+let is_entity (e : Ast.element) = e.Ast.tag = "entity"
+
+(* Direction of a declared <port>: Ptolemy marks it with an <property
+   name="input"/> / <property name="output"/> child. *)
+let port_direction (port : Ast.element) port_name task_name =
+  let has name =
+    List.exists
+      (fun p -> Ast.attr p "name" = Some name)
+      (Ast.children_named port "property")
+  in
+  match (has "input", has "output") with
+  | true, false -> "in"
+  | false, true -> "out"
+  | true, true ->
+    structure "port %S of %S is both input and output (unsupported)" port_name
+      task_name
+  | false, false ->
+    structure "port %S of %S declares no direction (add <property name=\"input\"/> or \"output\")"
+      port_name task_name
+
+let parse_root root =
+  if root.Ast.tag <> "entity" then
+    structure "root element must be <entity>, found <%s>" root.Ast.tag;
+  let workflow_name = name_of root "root" in
+  (* Groups: (composite name, atomic task names). *)
+  let groups = ref [] in
+  let tasks = ref [] in
+  let add_group name members = groups := (name, members) :: !groups in
+  (* Declared ports: (task, port name) -> "in" | "out". *)
+  let ports = Hashtbl.create 32 in
+  (* Task metadata: <property name="k" value="v"/> children. *)
+  let attrs = ref [] in
+  let add_task_attrs entity task_name =
+    List.iter
+      (fun prop ->
+        match (Ast.attr prop "name", Ast.attr prop "value") with
+        | Some key, Some value -> attrs := (task_name, key, value) :: !attrs
+        | _ -> ())
+      (Ast.children_named entity "property")
+  in
+  let add_task_ports entity task_name =
+    List.iter
+      (fun port ->
+        let pname = name_of port "port" in
+        if Hashtbl.mem ports (task_name, pname) then
+          structure "duplicate port %S on %S" pname task_name;
+        Hashtbl.replace ports (task_name, pname)
+          (port_direction port pname task_name))
+      (Ast.children_named entity "port")
+  in
+  let add_task ?entity name =
+    tasks := name :: !tasks;
+    Option.iter
+      (fun e ->
+        add_task_ports e name;
+        add_task_attrs e name)
+      entity;
+    name
+  in
+  List.iter
+    (function
+      | Ast.Element child when is_entity child ->
+        let child_name = name_of child "top-level entity" in
+        let grandchildren = Ast.children_named child "entity" in
+        if grandchildren = [] then
+          (* Atomic task directly in the workflow: singleton composite. *)
+          add_group child_name [ add_task ~entity:child child_name ]
+        else begin
+          List.iter
+            (fun grand ->
+              if Ast.children_named grand "entity" <> [] then
+                structure
+                  "entity %S nests deeper than composite/atomic (two levels)"
+                  (name_of grand "nested entity"))
+            grandchildren;
+          add_group child_name
+            (List.map
+               (fun grand ->
+                 add_task ~entity:grand (name_of grand "atomic task"))
+               grandchildren)
+        end
+      | Ast.Element _ | Ast.Text _ -> ())
+    root.Ast.children;
+  (* Relations and links. *)
+  let relations = Hashtbl.create 32 in
+  List.iter
+    (fun rel ->
+      let n = name_of rel "relation" in
+      if Hashtbl.mem relations n then structure "duplicate relation %S" n;
+      Hashtbl.replace relations n [])
+    (Ast.children_named root "relation");
+  List.iter
+    (fun link ->
+      let port =
+        match Ast.attr link "port" with
+        | Some p -> p
+        | None -> structure "<link> without a port attribute"
+      in
+      let rel =
+        match Ast.attr link "relation" with
+        | Some r -> r
+        | None -> structure "<link> without a relation attribute"
+      in
+      match Hashtbl.find_opt relations rel with
+      | None -> structure "link references unknown relation %S" rel
+      | Some links ->
+        (* A port reference is either a declared port of the task, or the
+           implicit .in / .out suffix convention. *)
+        let task, direction =
+          match String.rindex_opt port '.' with
+          | Some i ->
+            let t = String.sub port 0 i in
+            let p = String.sub port (i + 1) (String.length port - i - 1) in
+            (match Hashtbl.find_opt ports (t, p) with
+             | Some dir -> (t, dir)
+             | None ->
+               let t', dir = split_port port in
+               (t', dir))
+          | None -> split_port port
+        in
+        Hashtbl.replace relations rel ((task, direction) :: links))
+    (Ast.children_named root "link");
+  (* A relation is a hyperedge: every linked output port feeds every linked
+     input port (Ptolemy fan-out / fan-in). *)
+  let deps =
+    Hashtbl.fold
+      (fun rel links acc ->
+        let outs = List.filter (fun (_, d) -> d = "out") links in
+        let ins = List.filter (fun (_, d) -> d = "in") links in
+        if outs = [] then
+          structure "relation %S has no source (.out) port" rel
+        else if ins = [] then
+          structure "relation %S has no destination (.in) port" rel
+        else
+          List.fold_left
+            (fun acc (producer, _) ->
+              List.fold_left
+                (fun acc (consumer, _) -> (rel, producer, consumer) :: acc)
+                acc ins)
+            acc outs)
+      relations []
+    |> List.sort compare
+    |> List.map (fun (_, p, c) -> (p, c))
+  in
+  (workflow_name, List.rev !tasks, List.rev !groups, deps, List.rev !attrs)
+
+let of_string text =
+  match Parse.document text with
+  | Error e -> Error (Xml e)
+  | Ok root ->
+    (try
+       let name, tasks, groups, deps, attrs = parse_root root in
+       let b = Spec.Builder.create ~name () in
+       let rec step f = function
+         | [] -> Ok ()
+         | x :: rest ->
+           (match f x with Error e -> Error e | Ok _ -> step f rest)
+       in
+       let built =
+         match step (Spec.Builder.add_task b) tasks with
+         | Error e -> Error e
+         | Ok () ->
+           (match
+              step (fun (p, c) -> Spec.Builder.add_dependency b p c) deps
+            with
+            | Error e -> Error e
+            | Ok () ->
+              (match
+                 step
+                   (fun (task, key, value) ->
+                     Spec.Builder.set_attr b task ~key value)
+                   attrs
+               with
+               | Error e -> Error e
+               | Ok () -> Spec.Builder.finish b))
+       in
+       (match built with
+        | Error e -> Error (Spec_error e)
+        | Ok spec ->
+          (match View.make spec groups with
+           | Error e -> Error (View_error e)
+           | Ok view -> Ok (spec, view)))
+     with Fail e -> Error e)
+
+let entity ?(attrs = []) ?(children = []) name =
+  Ast.{ tag = "entity"; attrs = ("name", name) :: attrs; children }
+
+let atomic_entity ?(task_attrs = []) name =
+  Ast.Element
+    (entity
+       ~attrs:[ ("class", "wolves.Actor") ]
+       ~children:
+         (List.map
+            (fun (key, value) ->
+              Ast.element ~attrs:[ ("name", key); ("value", value) ] "property")
+            task_attrs)
+       name)
+
+(* One relation per producer, linked once from its .out port and once into
+   each consumer's .in port — the Ptolemy fan-out idiom, which also keeps
+   documents small. *)
+let dependency_elements spec =
+  List.concat
+    (List.filter_map
+       (fun u ->
+         match Spec.consumers spec u with
+         | [] -> None
+         | consumers ->
+           let rel = Printf.sprintf "r%d" u in
+           Some
+             (Ast.element
+                ~attrs:[ ("name", rel); ("class", "wolves.Relation") ]
+                "relation"
+              :: Ast.element
+                   ~attrs:
+                     [ ("port", Spec.task_name spec u ^ ".out");
+                       ("relation", rel) ]
+                   "link"
+              :: List.map
+                   (fun v ->
+                     Ast.element
+                       ~attrs:
+                         [ ("port", Spec.task_name spec v ^ ".in");
+                           ("relation", rel) ]
+                       "link")
+                   consumers))
+       (Spec.tasks spec))
+
+let to_string view =
+  let spec = View.spec view in
+  let composites =
+    List.map
+      (fun c ->
+        Ast.Element
+          (entity
+             ~attrs:[ ("class", "wolves.CompositeActor") ]
+             ~children:
+               (List.map
+                  (fun t ->
+                    atomic_entity ~task_attrs:(Spec.attrs spec t)
+                      (Spec.task_name spec t))
+                  (View.members view c))
+             (View.composite_name view c)))
+      (View.composites view)
+  in
+  let root =
+    entity
+      ~attrs:[ ("class", "wolves.Workflow") ]
+      ~children:(composites @ dependency_elements spec)
+      (Spec.name spec)
+  in
+  Print.to_string root
+
+let spec_to_string spec =
+  let root =
+    entity
+      ~attrs:[ ("class", "wolves.Workflow") ]
+      ~children:
+        (List.map
+           (fun t ->
+             atomic_entity ~task_attrs:(Spec.attrs spec t) (Spec.task_name spec t))
+           (Spec.tasks spec)
+         @ dependency_elements spec)
+      (Spec.name spec)
+  in
+  Print.to_string root
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error (Structure msg)
+
+let save path view =
+  match Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string view)) with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (Structure msg)

@@ -1,0 +1,1 @@
+lib/provenance/opm.ml: Array Buffer Format List Printf Provenance Spec Wolves_graph Wolves_workflow

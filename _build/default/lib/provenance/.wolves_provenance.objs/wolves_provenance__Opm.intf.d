@@ -1,0 +1,1 @@
+lib/provenance/opm.mli: Provenance Spec Wolves_graph Wolves_workflow

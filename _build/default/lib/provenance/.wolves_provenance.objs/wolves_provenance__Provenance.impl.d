@@ -1,0 +1,1 @@
+lib/provenance/provenance.ml: Format List Spec View Wolves_core Wolves_graph Wolves_workflow

@@ -1,0 +1,1 @@
+lib/provenance/provenance.mli: Format Spec View Wolves_graph Wolves_workflow

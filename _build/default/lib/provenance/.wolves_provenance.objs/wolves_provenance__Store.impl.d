@@ -1,0 +1,1 @@
+lib/provenance/store.ml: Array Buffer Format Fun Hashtbl In_channel List Option Out_channel Printf Provenance Spec String Wolves_graph Wolves_workflow

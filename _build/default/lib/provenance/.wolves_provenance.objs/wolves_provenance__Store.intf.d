@@ -1,0 +1,1 @@
+lib/provenance/store.mli: Format Provenance Spec Wolves_workflow

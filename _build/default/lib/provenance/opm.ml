@@ -1,0 +1,74 @@
+open Wolves_workflow
+module Digraph = Wolves_graph.Digraph
+module Algo = Wolves_graph.Algo
+module Bitset = Wolves_graph.Bitset
+
+type node =
+  | Process of Spec.task
+  | Artifact of Provenance.item
+
+type t = {
+  spec_size : int;
+  artifacts : Provenance.item array;
+  graph : Digraph.t;
+}
+
+(* Node ids: tasks occupy [0, n); artifact k occupies n + k. *)
+let of_spec spec =
+  let n = Spec.n_tasks spec in
+  let artifacts = Array.of_list (Provenance.items spec) in
+  let g = Digraph.create ~initial_capacity:(n + Array.length artifacts) () in
+  Digraph.add_nodes g (n + Array.length artifacts);
+  Array.iteri
+    (fun k { Provenance.producer; consumer } ->
+      Digraph.add_edge g producer (n + k);
+      Digraph.add_edge g (n + k) consumer)
+    artifacts;
+  { spec_size = n; artifacts; graph = g }
+
+let graph t = t.graph
+
+let node_of_id t id =
+  if id < 0 || id >= Digraph.n_nodes t.graph then
+    invalid_arg (Printf.sprintf "Opm.node_of_id: %d out of range" id)
+  else if id < t.spec_size then Process id
+  else Artifact t.artifacts.(id - t.spec_size)
+
+let n_processes t = t.spec_size
+
+let n_artifacts t = Array.length t.artifacts
+
+let label spec = function
+  | Process task -> Spec.task_name spec task
+  | Artifact item -> Format.asprintf "data[%a]" (Provenance.pp_item spec) item
+
+let artifact_id t item =
+  let found = ref None in
+  Array.iteri (fun k a -> if a = item && !found = None then found := Some k) t.artifacts;
+  match !found with
+  | Some k -> t.spec_size + k
+  | None -> invalid_arg "Opm.provenance_of_artifact: unknown item"
+
+let provenance_of_artifact t item =
+  let id = artifact_id t item in
+  let upstream = Algo.reaching_to t.graph [ id ] in
+  List.map (node_of_id t) (Bitset.elements upstream)
+
+let to_dot spec t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph \"opm\" {\n  rankdir=TB;\n";
+  Digraph.iter_nodes
+    (fun id ->
+      let shape =
+        match node_of_id t id with Process _ -> "box" | Artifact _ -> "ellipse"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", shape=%s];\n" id
+           (Wolves_graph.Dot.escape (label spec (node_of_id t id)))
+           shape))
+    t.graph;
+  Digraph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v))
+    t.graph;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

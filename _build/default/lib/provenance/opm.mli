@@ -1,0 +1,40 @@
+(** Open-Provenance-Model-style provenance graphs (paper ref [6]).
+
+    Expands a workflow run into an explicit bipartite causality graph:
+    process nodes (one per task) and artifact nodes (one per data item
+    flowing on a dependency edge), with [used] edges (artifact → process) and
+    [wasGeneratedBy] edges rendered as process → artifact dataflow direction,
+    so that graph reachability equals provenance. Useful for exporting what a
+    provenance store would materialise, and for size comparisons between
+    workflow-level and view-level analysis. *)
+
+open Wolves_workflow
+
+type node =
+  | Process of Spec.task
+  | Artifact of Provenance.item
+
+type t
+
+val of_spec : Spec.t -> t
+(** The provenance graph of one (canonical) run of the workflow. *)
+
+val graph : t -> Wolves_graph.Digraph.t
+(** Dataflow-direction digraph: process u → artifact (u,v) → process v.
+    Shared; do not mutate. *)
+
+val node_of_id : t -> int -> node
+(** Interpret a graph node id. @raise Invalid_argument when out of range. *)
+
+val n_processes : t -> int
+
+val n_artifacts : t -> int
+
+val label : Spec.t -> node -> string
+
+val provenance_of_artifact : t -> Provenance.item -> node list
+(** Every process and artifact upstream of (and including) the item —
+    a transitive-closure query on the OPM graph. *)
+
+val to_dot : Spec.t -> t -> string
+(** DOT rendering with box processes and ellipse artifacts. *)

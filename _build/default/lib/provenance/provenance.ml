@@ -1,0 +1,138 @@
+open Wolves_workflow
+module Bitset = Wolves_graph.Bitset
+module Digraph = Wolves_graph.Digraph
+module Reach = Wolves_graph.Reach
+
+type item = {
+  producer : Spec.task;
+  consumer : Spec.task;
+}
+
+let pp_item spec ppf { producer; consumer } =
+  Format.fprintf ppf "%s -> %s" (Spec.task_name spec producer)
+    (Spec.task_name spec consumer)
+
+let items spec =
+  List.map
+    (fun (u, v) -> { producer = u; consumer = v })
+    (Digraph.edges (Spec.graph spec))
+
+let inter_composite_items view =
+  List.filter
+    (fun { producer; consumer } ->
+      View.composite_of_task view producer <> View.composite_of_task view consumer)
+    (items (View.spec view))
+
+let task_ancestors spec t = Reach.ancestors (Spec.reach spec) t
+
+let item_in_provenance spec item t = Spec.depends spec item.consumer t
+
+let items_in_provenance spec t =
+  List.filter (fun item -> item_in_provenance spec item t) (items spec)
+
+let composite_ancestors view c = Reach.ancestors (View.view_reach view) c
+
+let expand view composites =
+  let result = Bitset.create (Spec.n_tasks (View.spec view)) in
+  Bitset.iter
+    (fun c -> List.iter (Bitset.add result) (View.members view c))
+    composites;
+  result
+
+let view_claims_item view item target =
+  let holder = View.composite_of_task view item.consumer in
+  Reach.reaches (View.view_reach view) holder target
+
+let composite_outputs view c =
+  (Wolves_core.Soundness.composite_io view c).Wolves_core.Soundness.outputs
+
+let truth_for_composite view item target =
+  let spec = View.spec view in
+  List.exists
+    (fun o -> Spec.depends spec item.consumer o)
+    (composite_outputs view target)
+
+type stats = {
+  queries : int;
+  spurious : int;
+  missing : int;
+}
+
+let evaluate_view view =
+  let targets =
+    List.filter (fun c -> composite_outputs view c <> []) (View.composites view)
+  in
+  let data = inter_composite_items view in
+  List.fold_left
+    (fun acc target ->
+      List.fold_left
+        (fun acc item ->
+          let said = view_claims_item view item target in
+          let truth = truth_for_composite view item target in
+          { queries = acc.queries + 1;
+            spurious = (acc.spurious + if said && not truth then 1 else 0);
+            missing = (acc.missing + if truth && not said then 1 else 0) })
+        acc data)
+    { queries = 0; spurious = 0; missing = 0 }
+    targets
+
+let evaluate_view_items view =
+  let spec = View.spec view in
+  let vr = View.view_reach view in
+  let data = inter_composite_items view in
+  List.fold_left
+    (fun acc target ->
+      let target_comp = View.composite_of_task view target.producer in
+      List.fold_left
+        (fun acc item ->
+          if item = target then acc
+          else begin
+            let holder = View.composite_of_task view item.consumer in
+            let said = Reach.reaches vr holder target_comp in
+            let truth = Spec.depends spec item.consumer target.producer in
+            { queries = acc.queries + 1;
+              spurious = (acc.spurious + if said && not truth then 1 else 0);
+              missing = (acc.missing + if truth && not said then 1 else 0) }
+          end)
+        acc data)
+    { queries = 0; spurious = 0; missing = 0 }
+    data
+
+let spurious_rate stats =
+  if stats.queries = 0 then 0.0
+  else float_of_int stats.spurious /. float_of_int stats.queries
+
+type explanation =
+  | Genuine of Spec.task list
+  | Spurious of View.composite list
+  | Not_claimed
+
+let explain view item target =
+  let spec = View.spec view in
+  if not (view_claims_item view item target) then Not_claimed
+  else begin
+    (* Prefer a genuine task-level chain to some output of the target. *)
+    let genuine =
+      List.find_map
+        (fun o ->
+          if Spec.depends spec item.consumer o then
+            Wolves_graph.Paths.find_path (Spec.graph spec) item.consumer o
+          else None)
+        (composite_outputs view target)
+    in
+    match genuine with
+    | Some path -> Genuine path
+    | None ->
+      let holder = View.composite_of_task view item.consumer in
+      (match
+         Wolves_graph.Paths.find_path (View.view_graph view) holder target
+       with
+       | Some composites -> Spurious composites
+       | None -> assert false (* the claim implies a view path *))
+  end
+
+let spurious_items view target =
+  List.filter
+    (fun item ->
+      view_claims_item view item target && not (truth_for_composite view item target))
+    (inter_composite_items view)

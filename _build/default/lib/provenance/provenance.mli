@@ -1,0 +1,115 @@
+(** Provenance analysis over workflows and views (paper §1).
+
+    "The provenance of a data item is the sequence of steps used to produce
+    the data, together with the intermediate data and parameters used as
+    input to those steps" — the workflow graph is the provenance graph of a
+    run, and provenance queries are transitive-closure queries.
+
+    Data items flow on dependency edges: the item on edge [(u, v)] was
+    produced by [u] and consumed by [v]. The item is in the provenance of the
+    output of task [t] iff [v ⇝ t] (its content fed a chain of steps ending
+    in [t]).
+
+    At the view level, a user sees only composite tasks: the item exported by
+    composite [T1] into [T2] is judged part of the provenance of composite
+    [T]'s output iff [T2 ⇝ T] in the view graph ([T2 = T] included) — exactly
+    the reasoning the paper's introduction walks through for task 18. On a
+    sound view this judgement is exact (no spurious and no missing answers,
+    for composites with a non-empty out set); on an unsound view it reports
+    spurious provenance, e.g. Figure 1's annotation data (edge 3→4) in the
+    provenance of the formatted alignment. *)
+
+open Wolves_workflow
+module Bitset = Wolves_graph.Bitset
+
+type item = {
+  producer : Spec.task;
+  consumer : Spec.task;
+}
+(** The data item flowing on one dependency edge. *)
+
+val pp_item : Spec.t -> Format.formatter -> item -> unit
+
+val items : Spec.t -> item list
+(** One item per dependency edge, grouped by producer. *)
+
+val inter_composite_items : View.t -> item list
+(** The items crossing composite boundaries — the data a view user can see. *)
+
+(* --- workflow-level queries --- *)
+
+val task_ancestors : Spec.t -> Spec.task -> Bitset.t
+(** All tasks whose output (transitively) feeds the given task, itself
+    included: the task-level provenance of its output. *)
+
+val item_in_provenance : Spec.t -> item -> Spec.task -> bool
+(** Ground truth: is the item part of the provenance of [t]'s output? *)
+
+val items_in_provenance : Spec.t -> Spec.task -> item list
+(** All items in the provenance of a task's output. *)
+
+(* --- view-level queries --- *)
+
+val composite_ancestors : View.t -> View.composite -> Bitset.t
+(** View-level provenance: composites with a view path to the given one,
+    itself included. *)
+
+val expand : View.t -> Bitset.t -> Bitset.t
+(** Expand a set of composites to the union of their member tasks (what a
+    user believes the provenance contains, task-wise). *)
+
+val view_claims_item : View.t -> item -> View.composite -> bool
+(** Does the view lead the user to count this item in the provenance of the
+    composite's output? True iff the item's consuming composite has a view
+    path to the target (or is the target). *)
+
+val truth_for_composite : View.t -> item -> View.composite -> bool
+(** Ground truth at composite granularity: the item feeds some task of
+    [T.out]. Composites with an empty out set have no exported output; the
+    truth is [false] for them. *)
+
+(* --- correctness metrics (E-PROV) --- *)
+
+type stats = {
+  queries : int;   (** (item, composite) pairs evaluated *)
+  spurious : int;  (** view says yes, ground truth no *)
+  missing : int;   (** view says no, ground truth yes — provably 0 *)
+}
+
+val evaluate_view : View.t -> stats
+(** Composite granularity: evaluate every inter-composite item against every
+    composite with a non-empty out set, where the claim is "the item is in
+    the provenance of {e some} output of T". Coarse: symmetric lane-parallel
+    stages can be unsound yet never wrong at this granularity (every lane
+    reaches its own lane's output). *)
+
+val evaluate_view_items : View.t -> stats
+(** Item granularity: for every pair of inter-composite items (d, d'), does
+    the view's answer to "is d in the provenance of d'?" (a view path from
+    d's consuming composite to d's producing composite) match the task-level
+    truth (d's consumer reaches d's producer)? Exact on sound views
+    (property-tested); the sharpest measure of unsoundness damage. *)
+
+val spurious_rate : stats -> float
+(** [spurious / queries] (0 when no queries). *)
+
+val spurious_items : View.t -> View.composite -> item list
+(** The items wrongly reported in the provenance of one composite's output —
+    Figure 1's demonstration, programmatically. *)
+
+(** Why the view does (or does not) report an item in a composite's
+    provenance. *)
+type explanation =
+  | Genuine of Spec.task list
+      (** a real dependency chain from the item's consumer to a task of the
+          target's out set (node sequence, consecutive pairs are edges) *)
+  | Spurious of View.composite list
+      (** the view path (composite sequence) that misleads the user: it
+          exists in the view graph, but no member-level chain backs the
+          item *)
+  | Not_claimed
+      (** the view does not report the item at all (and rightly so) *)
+
+val explain : View.t -> item -> View.composite -> explanation
+(** Justify {!view_claims_item} with a concrete witness either way — the
+    demo GUI's "Show Dependency", with receipts. *)

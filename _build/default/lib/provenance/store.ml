@@ -1,0 +1,315 @@
+open Wolves_workflow
+module Digraph = Wolves_graph.Digraph
+module Reach = Wolves_graph.Reach
+module Bitset = Wolves_graph.Bitset
+
+type run_id = int
+
+type status =
+  | Succeeded
+  | Failed
+  | Skipped
+
+let pp_status ppf = function
+  | Succeeded -> Format.pp_print_string ppf "succeeded"
+  | Failed -> Format.pp_print_string ppf "failed"
+  | Skipped -> Format.pp_print_string ppf "skipped"
+
+type run = {
+  statuses : status array;
+  mutable closure : Reach.t option;
+      (* closure of the executed subgraph, same node ids as the spec *)
+}
+
+type t = {
+  store_spec : Spec.t;
+  mutable runs : run array;
+  mutable count : int;
+}
+
+let create spec = { store_spec = spec; runs = [||]; count = 0 }
+
+let spec t = t.store_spec
+
+let push t run =
+  if t.count = Array.length t.runs then begin
+    let grown = Array.make (max 8 (2 * t.count)) run in
+    Array.blit t.runs 0 grown 0 t.count;
+    t.runs <- grown
+  end;
+  t.runs.(t.count) <- run;
+  t.count <- t.count + 1;
+  t.count - 1
+
+(* A deterministic split-mix step, so the store does not depend on the
+   workload library. *)
+let mix seed i =
+  let h = ref (seed lxor (i * 0x9E3779B9)) in
+  h := !h lxor (!h lsr 16);
+  h := !h * 0x7FEB352D land max_int;
+  h := !h lxor (!h lsr 15);
+  h := !h * 0x846CA68B land max_int;
+  !h lxor (!h lsr 16)
+
+let simulate_run t ~failure_rate ~seed =
+  let spec = t.store_spec in
+  let n = Spec.n_tasks spec in
+  let statuses = Array.make n Succeeded in
+  List.iter
+    (fun task ->
+      let upstream_ok =
+        List.for_all
+          (fun p -> statuses.(p) = Succeeded)
+          (Spec.producers spec task)
+      in
+      if not upstream_ok then statuses.(task) <- Skipped
+      else begin
+        let draw = float_of_int (mix seed task land 0xFFFFFF) /. 16777216.0 in
+        if draw < failure_rate then statuses.(task) <- Failed
+      end)
+    (Spec.topological_order spec);
+  push t { statuses; closure = None }
+
+let record_run t observed =
+  let spec = t.store_spec in
+  let n = Spec.n_tasks spec in
+  let statuses = Array.make n Skipped in
+  let seen = Array.make n false in
+  let rec fill = function
+    | [] -> Ok ()
+    | (task, st) :: rest ->
+      if task < 0 || task >= n then
+        Error (Printf.sprintf "unknown task %d" task)
+      else if seen.(task) then
+        Error (Printf.sprintf "task %S given twice" (Spec.task_name spec task))
+      else begin
+        seen.(task) <- true;
+        statuses.(task) <- st;
+        fill rest
+      end
+  in
+  match fill observed with
+  | Error _ as e -> e
+  | Ok () ->
+    if Array.exists not seen then
+      Error "every task needs a status"
+    else begin
+      (* Consistency: a task may only run when all producers succeeded. *)
+      let inconsistent =
+        List.find_opt
+          (fun task ->
+            statuses.(task) <> Skipped
+            && List.exists
+                 (fun p -> statuses.(p) <> Succeeded)
+                 (Spec.producers spec task))
+          (Spec.tasks spec)
+      in
+      match inconsistent with
+      | Some task ->
+        Error
+          (Printf.sprintf "task %S ran although an input was missing"
+             (Spec.task_name spec task))
+      | None -> Ok (push t { statuses; closure = None })
+    end
+
+let n_runs t = t.count
+
+let get_run t id =
+  if id < 0 || id >= t.count then
+    invalid_arg (Printf.sprintf "Store: unknown run %d" id);
+  t.runs.(id)
+
+let status t id task =
+  let run = get_run t id in
+  if task < 0 || task >= Array.length run.statuses then
+    invalid_arg (Printf.sprintf "Store: unknown task %d" task);
+  run.statuses.(task)
+
+let succeeded t id =
+  let run = get_run t id in
+  List.filter (fun task -> run.statuses.(task) = Succeeded)
+    (Spec.tasks t.store_spec)
+
+(* Closure of the run's executed subgraph, cached per run. Node identifiers
+   match the specification (non-executed tasks become isolated). *)
+let run_closure t id =
+  let run = get_run t id in
+  match run.closure with
+  | Some r -> r
+  | None ->
+    let spec = t.store_spec in
+    let g = Digraph.create ~initial_capacity:(Spec.n_tasks spec) () in
+    Digraph.add_nodes g (Spec.n_tasks spec);
+    Digraph.iter_edges
+      (fun u v ->
+        if run.statuses.(u) = Succeeded && run.statuses.(v) = Succeeded then
+          Digraph.add_edge g u v)
+      (Spec.graph spec);
+    let r = Reach.compute g in
+    run.closure <- Some r;
+    r
+
+let items_of_run t id =
+  let run = get_run t id in
+  List.filter
+    (fun { Provenance.producer; _ } -> run.statuses.(producer) = Succeeded)
+    (Provenance.items t.store_spec)
+
+let run_provenance t id task =
+  let run = get_run t id in
+  if run.statuses.(task) <> Succeeded then []
+  else begin
+    let r = run_closure t id in
+    Bitset.elements (Reach.ancestors r task)
+    |> List.filter (fun u -> run.statuses.(u) = Succeeded)
+  end
+
+let runs_where_influences t source target =
+  List.filter
+    (fun id ->
+      let run = get_run t id in
+      run.statuses.(source) = Succeeded
+      && run.statuses.(target) = Succeeded
+      && Reach.reaches (run_closure t id) source target)
+    (List.init t.count Fun.id)
+
+let success_rate t task =
+  if t.count = 0 then 0.0
+  else begin
+    let ok = ref 0 in
+    for id = 0 to t.count - 1 do
+      if t.runs.(id).statuses.(task) = Succeeded then incr ok
+    done;
+    float_of_int !ok /. float_of_int t.count
+  end
+
+(* --- CSV persistence --------------------------------------------------- *)
+
+let status_string = function
+  | Succeeded -> "succeeded"
+  | Failed -> "failed"
+  | Skipped -> "skipped"
+
+let status_of_string = function
+  | "succeeded" -> Some Succeeded
+  | "failed" -> Some Failed
+  | "skipped" -> Some Skipped
+  | _ -> None
+
+let quote_field s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let save_csv t path =
+  try
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc "run,task,status\n";
+        for id = 0 to t.count - 1 do
+          Array.iteri
+            (fun task st ->
+              Out_channel.output_string oc
+                (Printf.sprintf "%d,%s,%s\n" id
+                   (quote_field (Spec.task_name t.store_spec task))
+                   (status_string st)))
+            t.runs.(id).statuses
+        done);
+    Ok ()
+  with Sys_error msg -> Error msg
+
+(* A minimal CSV row reader handling our own quoting. *)
+let parse_row line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let i = ref 0 in
+  let bad = ref false in
+  while (not !bad) && !i < n do
+    if Buffer.length buf = 0 && !i < n && line.[!i] = '"' then begin
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if line.[!i] = '"' then
+          if !i + 1 < n && line.[!i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf line.[!i];
+          incr i
+        end
+      done;
+      if not !closed then bad := true
+    end
+    else if line.[!i] = ',' then begin
+      fields := Buffer.contents buf :: !fields;
+      Buffer.clear buf;
+      incr i
+    end
+    else begin
+      Buffer.add_char buf line.[!i];
+      incr i
+    end
+  done;
+  if !bad then None
+  else begin
+    fields := Buffer.contents buf :: !fields;
+    Some (List.rev !fields)
+  end
+
+let load_csv spec path =
+  try
+    let lines = In_channel.with_open_text path In_channel.input_lines in
+    match lines with
+    | [] -> Error "empty file"
+    | header :: rows ->
+      if header <> "run,task,status" then Error "unexpected CSV header"
+      else begin
+        (* Group rows by run id (they are contiguous but do not rely on it). *)
+        let by_run = Hashtbl.create 16 in
+        let order = ref [] in
+        let parse_error = ref None in
+        List.iteri
+          (fun lineno line ->
+            if !parse_error = None && String.trim line <> "" then
+              match parse_row line with
+              | Some [ run_s; task_name; status_s ] ->
+                (match
+                   ( int_of_string_opt run_s,
+                     Spec.task_of_name spec task_name,
+                     status_of_string status_s )
+                 with
+                 | Some run, Some task, Some st ->
+                   if not (Hashtbl.mem by_run run) then order := run :: !order;
+                   Hashtbl.replace by_run run
+                     ((task, st)
+                      :: Option.value ~default:[] (Hashtbl.find_opt by_run run))
+                 | _ ->
+                   parse_error :=
+                     Some (Printf.sprintf "line %d: bad row" (lineno + 2)))
+              | Some _ | None ->
+                parse_error := Some (Printf.sprintf "line %d: bad row" (lineno + 2)))
+          rows;
+        match !parse_error with
+        | Some msg -> Error msg
+        | None ->
+          let store = create spec in
+          let rec replay = function
+            | [] -> Ok store
+            | run :: rest ->
+              (match record_run store (Hashtbl.find by_run run) with
+               | Ok _ -> replay rest
+               | Error msg -> Error (Printf.sprintf "run %d: %s" run msg))
+          in
+          replay (List.sort compare !order)
+      end
+  with Sys_error msg -> Error msg

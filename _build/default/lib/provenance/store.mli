@@ -1,0 +1,67 @@
+(** A provenance store over multiple workflow executions.
+
+    The paper treats one execution, whose provenance graph is the workflow
+    graph itself. Real provenance stores hold {e many} runs, and runs fail
+    part-way: a failed task produces no output and everything downstream of
+    it is skipped. The store records per-run task statuses, materialises the
+    executed subgraph per run (with a cached closure), and answers the
+    cross-run queries a reproducibility audit needs ("in which runs did data
+    from X actually reach Y?"). *)
+
+open Wolves_workflow
+
+type run_id = int
+
+type status =
+  | Succeeded
+  | Failed
+  | Skipped  (** not executed: some upstream task failed *)
+
+val pp_status : Format.formatter -> status -> unit
+
+type t
+
+val create : Spec.t -> t
+
+val spec : t -> Spec.t
+
+val simulate_run : t -> failure_rate:float -> seed:int -> run_id
+(** Execute the workflow once: every task whose producers all succeeded
+    fails independently with probability [failure_rate], everything
+    downstream of a failure is skipped. Deterministic in [seed]. *)
+
+val record_run : t -> (Spec.task * status) list -> (run_id, string) result
+(** Record an externally observed run. Every task must be given exactly one
+    status, and the statuses must be {e consistent}: a task with a failed or
+    skipped producer cannot have run (must be [Skipped]). *)
+
+val n_runs : t -> int
+
+val status : t -> run_id -> Spec.task -> status
+(** @raise Invalid_argument on an unknown run or task. *)
+
+val succeeded : t -> run_id -> Spec.task list
+
+val items_of_run : t -> run_id -> Provenance.item list
+(** The data items actually produced in the run: edges whose producer
+    succeeded. *)
+
+val run_provenance : t -> run_id -> Spec.task -> Spec.task list
+(** Provenance of a task's output {e within the run}: its ancestors among
+    the tasks that succeeded in that run (the task included, when it
+    succeeded; empty otherwise). *)
+
+val runs_where_influences : t -> Spec.task -> Spec.task -> run_id list
+(** The runs in which data flowed from the first task into the second: both
+    succeeded and a path of succeeded tasks connects them. *)
+
+val success_rate : t -> Spec.task -> float
+(** Fraction of runs in which the task succeeded (0 when no runs). *)
+
+val save_csv : t -> string -> (unit, string) result
+(** Persist all runs as CSV ([run,task,status], one row per task per run;
+    task names are quoted). *)
+
+val load_csv : Spec.t -> string -> (t, string) result
+(** Rebuild a store from {!save_csv} output. Runs are re-validated through
+    {!record_run}; inconsistent or incomplete runs are reported as errors. *)

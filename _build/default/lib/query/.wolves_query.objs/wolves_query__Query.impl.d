@@ -1,0 +1,1 @@
+lib/query/query.ml: Buffer Format List Spec String View Wolves_core Wolves_graph Wolves_workflow

@@ -1,0 +1,43 @@
+(** A small provenance query language over a workflow and its view.
+
+    The demo GUI's "Show Dependency" as a composable algebra. Queries
+    evaluate to sets of atomic tasks:
+
+    {v
+    expr    := term (('|' term) | ('-' term))*      union, difference
+    term    := factor ('&' factor)*                 intersection
+    factor  := '!' factor                           complement
+             | '(' expr ')'
+             | fn '(' expr ')'
+             | 'name'                               task or composite literal
+             | all | none | sources | sinks | unsound
+    fn      := ancestors | descendants | producers | consumers | composites
+    v}
+
+    A quoted ['name'] denotes the task of that name, or — when no task
+    matches — the member set of the composite of that name. [ancestors] /
+    [descendants] are reflexive–transitive; [producers] / [consumers] are
+    one step; [composites(e)] closes a set to composite granularity (all
+    members of every composite touching [e]); [unsound] is the union of the
+    view's unsound composites.
+
+    Examples over Figure 1:
+    - [ancestors('8:Format Alignment')] — the paper's provenance query;
+    - [composites(ancestors('8:Format Alignment')) - ancestors('8:Format
+      Alignment')] — exactly the tasks a view-level answer over-reports;
+    - [unsound & sources] — unsound composites touching workflow inputs. *)
+
+open Wolves_workflow
+
+type error = {
+  position : int;  (** 0-based offset into the query string *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val eval : View.t -> string -> (Wolves_graph.Bitset.t, error) result
+(** Parse and evaluate; the resulting set has capacity [Spec.n_tasks]. *)
+
+val eval_names : View.t -> string -> (string list, error) result
+(** Like {!eval}, but returning task names in increasing id order. *)

@@ -1,0 +1,1 @@
+lib/repository/repository.ml: Array Filename Format Hashtbl List Option Printf Spec Sys View Wolves_core Wolves_graph Wolves_moml Wolves_workflow Wolves_workload

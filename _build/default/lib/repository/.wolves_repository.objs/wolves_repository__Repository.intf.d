@@ -1,0 +1,1 @@
+lib/repository/repository.mli: Format Spec View Wolves_core Wolves_workflow Wolves_workload

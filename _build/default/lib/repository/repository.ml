@@ -1,0 +1,215 @@
+open Wolves_workflow
+module Soundness = Wolves_core.Soundness
+module Corrector = Wolves_core.Corrector
+module Views = Wolves_workload.Views
+module Generate = Wolves_workload.Generate
+module Moml = Wolves_moml.Moml
+
+type entry = {
+  id : string;
+  origin : string;
+  spec : Spec.t;
+  view : View.t;
+}
+
+type t = {
+  mutable items : entry list; (* reversed *)
+  ids : (string, unit) Hashtbl.t;
+  mutable next : int;
+}
+
+let create () = { items = []; ids = Hashtbl.create 64; next = 0 }
+
+let add repo ?id ~origin spec view =
+  if View.spec view != spec then
+    invalid_arg "Repository.add: view does not belong to the specification";
+  let id =
+    match id with
+    | Some id -> id
+    | None ->
+      let fresh = Printf.sprintf "wf%04d" repo.next in
+      repo.next <- repo.next + 1;
+      fresh
+  in
+  if Hashtbl.mem repo.ids id then
+    invalid_arg (Printf.sprintf "Repository.add: duplicate id %S" id);
+  Hashtbl.replace repo.ids id ();
+  repo.items <- { id; origin; spec; view } :: repo.items;
+  id
+
+let size repo = List.length repo.items
+
+let entries repo = List.rev repo.items
+
+let find repo id = List.find_opt (fun e -> e.id = id) repo.items
+
+let default_policies =
+  [ Views.Topological_bands 4; Views.Connected_groups 4; Views.Random_partition 4 ]
+
+let synthesize ~seed ~per_cell ~sizes ?(policies = default_policies) () =
+  let repo = create () in
+  let rng = Wolves_workload.Prng.create seed in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun size ->
+          List.iter
+            (fun policy ->
+              for _ = 1 to per_cell do
+                let wf_seed = Wolves_workload.Prng.int rng 10_000_000 in
+                let spec = Generate.generate family ~seed:wf_seed ~size in
+                let view = Views.build ~seed:wf_seed policy spec in
+                let origin =
+                  Printf.sprintf "%s/%s" (Generate.family_name family)
+                    (Views.policy_name policy)
+                in
+                ignore (add repo ~origin spec view)
+              done)
+            policies)
+        sizes)
+    Generate.all_families;
+  repo
+
+type entry_audit = {
+  entry : entry;
+  total_composites : int;
+  unsound_composites : int;
+}
+
+type audit = {
+  per_entry : entry_audit list;
+  total : int;
+  unsound_views : int;
+  by_origin : (string * int * int) list;
+  parallel_lane_composites : int;
+  entangled_composites : int;
+}
+
+let audit repo =
+  let per_entry =
+    List.map
+      (fun entry ->
+        let report = Soundness.validate entry.view in
+        { entry;
+          total_composites = View.n_composites entry.view;
+          unsound_composites = List.length report.Soundness.unsound })
+      (entries repo)
+  in
+  let unsound_views =
+    List.length (List.filter (fun a -> a.unsound_composites > 0) per_entry)
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let count, bad =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt tbl a.entry.origin)
+      in
+      Hashtbl.replace tbl a.entry.origin
+        (count + 1, bad + if a.unsound_composites > 0 then 1 else 0))
+    per_entry;
+  let by_origin =
+    List.sort compare
+      (Hashtbl.fold (fun origin (count, bad) acc -> (origin, count, bad) :: acc) tbl [])
+  in
+  let lanes = ref 0 and entangled = ref 0 in
+  List.iter
+    (fun e ->
+      let report = Soundness.validate e.view in
+      List.iter
+        (fun (c, _) ->
+          let set =
+            Wolves_graph.Bitset.of_list
+              (Spec.n_tasks e.spec)
+              (View.members e.view c)
+          in
+          match Soundness.classify_unsound e.spec set with
+          | Some (Soundness.Parallel_lanes _) -> incr lanes
+          | Some Soundness.Entangled -> incr entangled
+          | None -> ())
+        report.Soundness.unsound)
+    (entries repo);
+  { per_entry;
+    total = List.length per_entry;
+    unsound_views;
+    by_origin;
+    parallel_lane_composites = !lanes;
+    entangled_composites = !entangled }
+
+let pp_audit ppf a =
+  Format.fprintf ppf "%d views audited, %d unsound (%.1f%%)" a.total
+    a.unsound_views
+    (if a.total = 0 then 0.0
+     else 100.0 *. float_of_int a.unsound_views /. float_of_int a.total);
+  List.iter
+    (fun (origin, count, bad) ->
+      Format.fprintf ppf "@\n  %-50s %3d views, %3d unsound" origin count bad)
+    a.by_origin;
+  if a.parallel_lane_composites + a.entangled_composites > 0 then
+    Format.fprintf ppf
+      "@\nunsound composite patterns: %d parallel-lane, %d entangled"
+      a.parallel_lane_composites a.entangled_composites
+
+let correct_all ?(config = Corrector.default_config) criterion repo =
+  let repaired = ref 0 in
+  let repo' = create () in
+  List.iter
+    (fun e ->
+      if Soundness.is_sound e.view then
+        ignore (add repo' ~id:e.id ~origin:e.origin e.spec e.view)
+      else begin
+        incr repaired;
+        let corrected, _ = Corrector.correct ~config criterion e.view in
+        ignore
+          (add repo' ~id:e.id ~origin:(e.origin ^ "+corrected") e.spec corrected)
+      end)
+    (entries repo);
+  (repo', !repaired)
+
+let update repo ~id new_spec =
+  match find repo id with
+  | None -> Error (Printf.sprintf "no entry %S" id)
+  | Some entry ->
+    let impact = Wolves_core.Evolution.impact entry.view new_spec in
+    let replacement =
+      { entry with
+        spec = new_spec;
+        view = impact.Wolves_core.Evolution.new_view;
+        origin = entry.origin ^ "+evolved" }
+    in
+    repo.items <-
+      List.map (fun e -> if e.id = id then replacement else e) repo.items;
+    Ok impact
+
+let save_dir dir repo =
+  try
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun e ->
+        match Moml.save (Filename.concat dir (e.id ^ ".moml")) e.view with
+        | Ok () -> ()
+        | Error err -> failwith (Format.asprintf "%a" Moml.pp_error err))
+      (entries repo);
+    Ok ()
+  with
+  | Sys_error msg | Failure msg -> Error msg
+
+let load_dir dir =
+  try
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".moml")
+      |> List.sort compare
+    in
+    let repo = create () in
+    List.iter
+      (fun file ->
+        match Moml.load (Filename.concat dir file) with
+        | Ok (spec, view) ->
+          ignore
+            (add repo ~id:(Filename.chop_suffix file ".moml") ~origin:"imported"
+               spec view)
+        | Error err -> failwith (Format.asprintf "%s: %a" file Moml.pp_error err))
+      files;
+    Ok repo
+  with
+  | Sys_error msg | Failure msg -> Error msg

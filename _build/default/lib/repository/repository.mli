@@ -1,0 +1,89 @@
+(** A workflow repository: named (specification, view) pairs.
+
+    Simulates the curated repositories the paper surveyed (Kepler,
+    myExperiment) — see DESIGN.md, Substitutions. Supports synthesis from the
+    workload generators, soundness audits (the paper's "our survey … revealed
+    unsound views"), batch correction, and MoML directory persistence. *)
+
+open Wolves_workflow
+
+type entry = {
+  id : string;
+  origin : string;  (** generator family / view policy, or ["imported"] *)
+  spec : Spec.t;
+  view : View.t;
+}
+
+type t
+
+val create : unit -> t
+
+val add : t -> ?id:string -> origin:string -> Spec.t -> View.t -> string
+(** Insert an entry; the generated (or given) id is returned.
+    @raise Invalid_argument on a duplicate id or a view over a different
+    specification. *)
+
+val size : t -> int
+
+val entries : t -> entry list
+(** In insertion order. *)
+
+val find : t -> string -> entry option
+
+val synthesize :
+  seed:int ->
+  per_cell:int ->
+  sizes:int list ->
+  ?policies:Wolves_workload.Views.policy list ->
+  unit ->
+  t
+(** A corpus crossing all workflow families × [sizes] × view [policies]
+    (default: topological bands of 4, connected groups of 4, random
+    partitions of 4), [per_cell] entries each. *)
+
+(** Result of auditing one entry. *)
+type entry_audit = {
+  entry : entry;
+  total_composites : int;
+  unsound_composites : int;
+}
+
+(** Aggregate audit (E-AUDIT). *)
+type audit = {
+  per_entry : entry_audit list;
+  total : int;
+  unsound_views : int;
+  by_origin : (string * int * int) list;
+      (** origin, entries with that origin, unsound among them *)
+  parallel_lane_composites : int;
+      (** unsound composites that group dataflow-independent branches *)
+  entangled_composites : int;
+      (** unsound composites with crossing structure (Figure 3 style) *)
+}
+
+val audit : t -> audit
+
+val pp_audit : Format.formatter -> audit -> unit
+
+val correct_all :
+  ?config:Wolves_core.Corrector.config ->
+  Wolves_core.Corrector.criterion ->
+  t ->
+  t * int
+(** Replace every unsound view by its correction; returns the new repository
+    and how many views were corrected. Corrected entries keep their id with
+    an ["+corrected"] origin suffix. *)
+
+val update :
+  t -> id:string -> Spec.t -> (Wolves_core.Evolution.impact, string) result
+(** Evolve one entry to a new specification version: its view is migrated
+    (surviving members keep their composites, new tasks become singletons),
+    the entry is replaced in place with an ["+evolved"] origin suffix, and
+    the per-composite soundness impact is returned. *)
+
+val save_dir : string -> t -> (unit, string) result
+(** Write one MoML file per entry ([<id>.moml]) into the directory (created
+    if missing). *)
+
+val load_dir : string -> (t, string) result
+(** Load every [*.moml] file of a directory; entry ids are file basenames. *)

@@ -1,0 +1,1 @@
+lib/workflow/examples.ml: Spec View

@@ -1,0 +1,1 @@
+lib/workflow/examples.mli: Spec View

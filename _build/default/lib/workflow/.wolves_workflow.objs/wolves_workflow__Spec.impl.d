@@ -1,0 +1,1 @@
+lib/workflow/spec.ml: Array Format Fun Hashtbl List Option Printf String Wolves_graph

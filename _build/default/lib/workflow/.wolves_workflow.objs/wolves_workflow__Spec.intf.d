@@ -1,0 +1,1 @@
+lib/workflow/spec.mli: Format Wolves_graph

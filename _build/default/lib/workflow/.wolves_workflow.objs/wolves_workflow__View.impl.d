@@ -1,0 +1,1 @@
+lib/workflow/view.ml: Array Format Fun Hashtbl Int List Printf Set Spec String Wolves_graph

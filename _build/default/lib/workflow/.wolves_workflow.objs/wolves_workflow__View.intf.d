@@ -1,0 +1,1 @@
+lib/workflow/view.mli: Format Spec Wolves_graph

@@ -1,0 +1,106 @@
+(* Task names follow the paper's Figure 1 narrative; the number prefix is the
+   paper's task number, kept in the name so the correspondence is visible in
+   every rendering. *)
+
+let figure1_tasks =
+  [ "1:Select Entries";
+    "2:Split Entries";
+    "3:Extract Annotations";
+    "4:Curate Annotations";
+    "5:Format Annotations";
+    "6:Extract Sequences";
+    "7:Create Alignment";
+    "8:Format Alignment";
+    "9:Consider Other Annotations";
+    "10:Process Other Annotations";
+    "11:Build Phylo Tree";
+    "12:Display Tree" ]
+
+let figure1_deps =
+  [ ("1:Select Entries", "2:Split Entries");
+    ("2:Split Entries", "3:Extract Annotations");
+    ("2:Split Entries", "6:Extract Sequences");
+    ("3:Extract Annotations", "4:Curate Annotations");
+    ("4:Curate Annotations", "5:Format Annotations");
+    ("5:Format Annotations", "11:Build Phylo Tree");
+    ("6:Extract Sequences", "7:Create Alignment");
+    ("7:Create Alignment", "8:Format Alignment");
+    ("8:Format Alignment", "11:Build Phylo Tree");
+    ("9:Consider Other Annotations", "10:Process Other Annotations");
+    ("10:Process Other Annotations", "11:Build Phylo Tree");
+    ("11:Build Phylo Tree", "12:Display Tree") ]
+
+let figure1_spec () =
+  Spec.of_tasks_exn ~name:"phylogenomic-inference" figure1_tasks figure1_deps
+
+let figure1_groups =
+  [ ("13:Select Entries", [ "1:Select Entries" ]);
+    ("14:Split & Annotate", [ "2:Split Entries"; "3:Extract Annotations" ]);
+    ("15:Extract Sequences", [ "6:Extract Sequences" ]);
+    ("16:Align Sequences", [ "4:Curate Annotations"; "7:Create Alignment" ]);
+    ("17:Format Annotations", [ "5:Format Annotations" ]);
+    ("18:Format Alignment", [ "8:Format Alignment" ]);
+    ( "19:Build Phylo Tree",
+      [ "9:Consider Other Annotations";
+        "10:Process Other Annotations";
+        "11:Build Phylo Tree";
+        "12:Display Tree" ] ) ]
+
+let figure1_view spec = View.make_exn spec figure1_groups
+
+let figure1 () =
+  let spec = figure1_spec () in
+  (spec, figure1_view spec)
+
+let composite_named view name =
+  match View.composite_of_name view name with
+  | Some c -> c
+  | None -> invalid_arg ("Examples: missing composite " ^ name)
+
+let figure1_unsound_composite view = composite_named view "16:Align Sequences"
+
+let figure1_query_composite view = composite_named view "18:Format Alignment"
+
+(* Figure 3 gadget: source s feeds every entry point, sink t collects every
+   exit. The middle composite T = {a .. m} decomposes into one complete
+   bipartite block {c,d} x {f,g} (weak local optimality cannot merge any pair
+   of it, subset merging fuses all four) and four two-task chains that any
+   corrector keeps as chains. Result: weak = 8 parts, strong = optimal = 5. *)
+let figure3_tasks =
+  [ "s"; "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h"; "i"; "j"; "k"; "m"; "t" ]
+
+let figure3_deps =
+  [ (* chain 1 *)
+    ("s", "a"); ("a", "b"); ("b", "t");
+    (* bipartite block *)
+    ("s", "c"); ("s", "d");
+    ("c", "f"); ("c", "g"); ("d", "f"); ("d", "g");
+    ("f", "t"); ("g", "t");
+    (* chains 2..4 *)
+    ("s", "e"); ("e", "h"); ("h", "t");
+    ("s", "i"); ("i", "j"); ("j", "t");
+    ("s", "k"); ("k", "m"); ("m", "t") ]
+
+let figure3 () =
+  let spec = Spec.of_tasks_exn ~name:"figure3-gadget" figure3_tasks figure3_deps in
+  let view =
+    View.make_exn spec
+      [ ("Source", [ "s" ]);
+        ( "T",
+          [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h"; "i"; "j"; "k"; "m" ] );
+        ("Sink", [ "t" ]) ]
+  in
+  (spec, view)
+
+let figure3_composite view = composite_named view "T"
+
+let prop21_counterexample () =
+  let spec =
+    Spec.of_tasks_exn ~name:"prop21-counterexample"
+      [ "x"; "a"; "b"; "y" ]
+      [ ("x", "a"); ("b", "y"); ("x", "y") ]
+  in
+  let view =
+    View.make_exn spec [ ("X", [ "x" ]); ("T", [ "a"; "b" ]); ("Y", [ "y" ]) ]
+  in
+  (spec, view)

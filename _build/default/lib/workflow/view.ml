@@ -1,0 +1,258 @@
+module Digraph = Wolves_graph.Digraph
+module Reach = Wolves_graph.Reach
+
+type composite = int
+
+type t = {
+  spec : Spec.t;
+  names : string array;
+  groups : Spec.task array array; (* members, sorted increasing *)
+  of_task : composite array;
+  graph : Digraph.t;
+  mutable closure : Reach.t option;
+}
+
+type error =
+  | Empty_composite of string
+  | Duplicate_composite_name of string
+  | Task_in_several_composites of string
+  | Task_not_covered of string
+  | Unknown_task_in_view of string
+  | Unknown_composite of int
+
+let pp_error ppf = function
+  | Empty_composite n -> Format.fprintf ppf "composite %S has no members" n
+  | Duplicate_composite_name n ->
+    Format.fprintf ppf "duplicate composite name %S" n
+  | Task_in_several_composites n ->
+    Format.fprintf ppf "task %S belongs to several composites" n
+  | Task_not_covered n ->
+    Format.fprintf ppf "task %S is not covered by the view" n
+  | Unknown_task_in_view n ->
+    Format.fprintf ppf "view mentions unknown task %S" n
+  | Unknown_composite c -> Format.fprintf ppf "unknown composite %d" c
+
+exception View_error of error
+
+let ok_exn = function Ok v -> v | Error e -> raise (View_error e)
+
+(* Build the view graph: contract the partition, keeping inter-composite
+   edges and dropping self-loops. *)
+let build_graph spec of_task count =
+  let g = Digraph.create ~initial_capacity:count () in
+  Digraph.add_nodes g count;
+  Digraph.iter_edges
+    (fun u v ->
+      if of_task.(u) <> of_task.(v) then Digraph.add_edge g of_task.(u) of_task.(v))
+    (Spec.graph spec);
+  g
+
+let of_ids spec named_groups =
+  let n = Spec.n_tasks spec in
+  let count = List.length named_groups in
+  let names = Array.make count "" in
+  let groups = Array.make count [||] in
+  let of_task = Array.make n (-1) in
+  let seen_names = Hashtbl.create count in
+  let rec fill i = function
+    | [] -> Ok ()
+    | (name, member_ids) :: rest ->
+      if Hashtbl.mem seen_names name then Error (Duplicate_composite_name name)
+      else begin
+        Hashtbl.add seen_names name ();
+        names.(i) <- name;
+        match member_ids with
+        | [] -> Error (Empty_composite name)
+        | _ ->
+          let arr = Array.of_list member_ids in
+          Array.sort compare arr;
+          groups.(i) <- arr;
+          let dup = ref None in
+          Array.iter
+            (fun t ->
+              if of_task.(t) <> -1 then dup := Some t else of_task.(t) <- i)
+            arr;
+          (match !dup with
+           | Some t -> Error (Task_in_several_composites (Spec.task_name spec t))
+           | None -> fill (i + 1) rest)
+      end
+  in
+  match fill 0 named_groups with
+  | Error e -> Error e
+  | Ok () ->
+    let uncovered = ref None in
+    for t = n - 1 downto 0 do
+      if of_task.(t) = -1 then uncovered := Some t
+    done;
+    (match !uncovered with
+     | Some t -> Error (Task_not_covered (Spec.task_name spec t))
+     | None ->
+       Ok { spec;
+            names;
+            groups;
+            of_task;
+            graph = build_graph spec of_task count;
+            closure = None })
+
+let make spec named_groups =
+  (* Resolve names; duplicate member names inside one group surface as
+     Task_in_several_composites through the id-level check. *)
+  let rec resolve acc = function
+    | [] -> Ok (List.rev acc)
+    | (cname, member_names) :: rest ->
+      let rec ids acc_ids = function
+        | [] -> Ok (List.rev acc_ids)
+        | mn :: more ->
+          (match Spec.task_of_name spec mn with
+           | Some id -> ids (id :: acc_ids) more
+           | None -> Error (Unknown_task_in_view mn))
+      in
+      (match ids [] member_names with
+       | Error e -> Error e
+       | Ok member_ids -> resolve ((cname, member_ids) :: acc) rest)
+  in
+  match resolve [] named_groups with
+  | Error e -> Error e
+  | Ok named -> of_ids spec named
+
+let make_exn spec named_groups = ok_exn (make spec named_groups)
+
+let default_names ?names count =
+  match names with
+  | Some arr when Array.length arr = count -> Array.to_list arr
+  | Some _ | None -> List.init count (Printf.sprintf "C%d")
+
+let of_partition ?names spec parts =
+  let labels = default_names ?names (List.length parts) in
+  of_ids spec (List.combine labels parts)
+
+let of_partition_exn ?names spec parts = ok_exn (of_partition ?names spec parts)
+
+let singleton_view spec =
+  of_ids spec
+    (List.map (fun t -> (Spec.task_name spec t, [ t ])) (Spec.tasks spec))
+  |> ok_exn
+
+let spec v = v.spec
+
+let n_composites v = Array.length v.groups
+
+let check v c =
+  if c < 0 || c >= n_composites v then raise (View_error (Unknown_composite c))
+
+let composite_name v c =
+  check v c;
+  v.names.(c)
+
+let composite_of_name v name =
+  let result = ref None in
+  Array.iteri (fun i n -> if n = name && !result = None then result := Some i) v.names;
+  !result
+
+let members v c =
+  check v c;
+  Array.to_list v.groups.(c)
+
+let composite_of_task v t =
+  if t < 0 || t >= Array.length v.of_task then
+    invalid_arg (Printf.sprintf "View.composite_of_task: unknown task %d" t);
+  v.of_task.(t)
+
+let composites v = List.init (n_composites v) Fun.id
+
+let view_graph v = v.graph
+
+let view_reach v =
+  match v.closure with
+  | Some r -> r
+  | None ->
+    let r = Reach.compute v.graph in
+    v.closure <- Some r;
+    r
+
+let split v c parts =
+  check v c;
+  let old = Array.to_list v.groups.(c) in
+  let flat = List.concat parts in
+  let sorted = List.sort compare flat in
+  if List.exists (fun p -> p = []) parts then
+    Error (Empty_composite (v.names.(c) ^ "/"))
+  else if List.length sorted <> List.length old || sorted <> old then
+    (* Either a member is missing, duplicated, or foreign. *)
+    (match List.find_opt (fun t -> not (List.mem t old)) flat with
+     | Some t -> Error (Unknown_task_in_view (Spec.task_name v.spec t))
+     | None ->
+       let rec first_dup = function
+         | a :: (b :: _ as rest) -> if a = b then Some a else first_dup rest
+         | _ -> None
+       in
+       (match first_dup sorted with
+        | Some t -> Error (Task_in_several_composites (Spec.task_name v.spec t))
+        | None ->
+          let missing = List.find (fun t -> not (List.mem t flat)) old in
+          Error (Task_not_covered (Spec.task_name v.spec missing))))
+  else begin
+    let base = v.names.(c) in
+    let named_parts =
+      List.mapi (fun i part -> (Printf.sprintf "%s/%d" base i, part)) parts
+    in
+    let keep =
+      List.filter_map
+        (fun c' ->
+          if c' = c then None
+          else Some (v.names.(c'), Array.to_list v.groups.(c')))
+        (composites v)
+    in
+    of_ids v.spec (keep @ named_parts)
+  end
+
+let split_exn v c parts = ok_exn (split v c parts)
+
+let merge v cs =
+  match cs with
+  | [] -> Error (Unknown_composite (-1))
+  | first :: _ ->
+    (try
+       List.iter (check v) cs;
+       let module S = Set.Make (Int) in
+       let set = S.of_list cs in
+       if S.cardinal set <> List.length cs then
+         Error (Duplicate_composite_name (v.names.(first)))
+       else begin
+         let merged_members =
+           List.concat_map (fun c -> Array.to_list v.groups.(c)) (S.elements set)
+         in
+         let keep =
+           List.filter_map
+             (fun c' ->
+               if S.mem c' set then None
+               else Some (v.names.(c'), Array.to_list v.groups.(c')))
+             (composites v)
+         in
+         of_ids v.spec (keep @ [ (v.names.(first), merged_members) ])
+       end
+     with View_error e -> Error e)
+
+let merge_exn v cs = ok_exn (merge v cs)
+
+let compression v =
+  if n_composites v = 0 then 1.0
+  else float_of_int (Spec.n_tasks v.spec) /. float_of_int (n_composites v)
+
+let equal a b =
+  a.spec == b.spec
+  &&
+  let parts v =
+    List.sort compare (Array.to_list (Array.map Array.to_list v.groups))
+  in
+  parts a = parts b
+
+let pp ppf v =
+  Format.fprintf ppf "view of %S (%d composites):" (Spec.name v.spec)
+    (n_composites v);
+  Array.iteri
+    (fun c group ->
+      Format.fprintf ppf "@ %s={%s}" v.names.(c)
+        (String.concat ", "
+           (List.map (Spec.task_name v.spec) (Array.to_list group))))
+    v.groups

@@ -1,0 +1,87 @@
+(** Workflow views: partitions of a specification's tasks into composite
+    tasks.
+
+    A view groups every atomic task of a {!Spec} into exactly one composite
+    task; the view graph keeps all inter-composite dependency edges (the
+    paper's construction, §1). Views are immutable; {!split} and {!merge}
+    return refined copies — they implement the Workflow View Feedback loop of
+    the demo. *)
+
+type composite = int
+(** Composite-task identifier, dense in [0 .. n_composites - 1]. *)
+
+type t
+
+type error =
+  | Empty_composite of string
+  | Duplicate_composite_name of string
+  | Task_in_several_composites of string
+  | Task_not_covered of string
+  | Unknown_task_in_view of string
+  | Unknown_composite of int
+
+val pp_error : Format.formatter -> error -> unit
+
+exception View_error of error
+
+val make : Spec.t -> (string * string list) list -> (t, error) result
+(** [make spec groups] builds a view from [(composite name, member task
+    names)] pairs. The groups must partition the specification's tasks. *)
+
+val make_exn : Spec.t -> (string * string list) list -> t
+
+val of_partition : ?names:string array -> Spec.t -> Spec.task list list -> (t, error) result
+(** Partition given directly by internal task identifiers; composite names
+    default to ["C0"], ["C1"], ... in list order. *)
+
+val of_partition_exn : ?names:string array -> Spec.t -> Spec.task list list -> t
+
+val singleton_view : Spec.t -> t
+(** One composite per atomic task (always sound); composites are named after
+    their task. *)
+
+val spec : t -> Spec.t
+
+val n_composites : t -> int
+
+val composite_name : t -> composite -> string
+
+val composite_of_name : t -> string -> composite option
+
+val members : t -> composite -> Spec.task list
+(** Member tasks in increasing identifier order. *)
+
+val composite_of_task : t -> Spec.task -> composite
+
+val composites : t -> composite list
+
+val view_graph : t -> Wolves_graph.Digraph.t
+(** Nodes are composites; there is an edge [T1 -> T2] (T1 ≠ T2) iff some
+    member of T1 has a dependency edge to some member of T2. Shared with the
+    view: do not mutate. *)
+
+val view_reach : t -> Wolves_graph.Reach.t
+(** Reflexive–transitive closure of {!view_graph}, cached. *)
+
+val split : t -> composite -> Spec.task list list -> (t, error) result
+(** [split view c parts] replaces composite [c] by the given sub-partition of
+    its members (names derive from [c]'s name with [/0], [/1], ... suffixes).
+    Fails when [parts] is not a partition of [c]'s members. *)
+
+val split_exn : t -> composite -> Spec.task list list -> t
+
+val merge : t -> composite list -> (t, error) result
+(** [merge view cs] fuses the listed composites (at least one) into a single
+    composite named after the first; other composites are unchanged. *)
+
+val merge_exn : t -> composite list -> t
+
+val compression : t -> float
+(** [n_tasks / n_composites]: how much smaller the view is (1.0 for the
+    empty view). *)
+
+val equal : t -> t -> bool
+(** Same specification (physically) and same partition (names ignored). *)
+
+val pp : Format.formatter -> t -> unit
+(** Lists each composite with its members. *)

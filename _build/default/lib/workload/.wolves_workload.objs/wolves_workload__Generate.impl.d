@@ -1,0 +1,1 @@
+lib/workload/generate.ml: Array Fun Hashtbl List Printf Prng Spec Wolves_workflow

@@ -1,0 +1,1 @@
+lib/workload/templates.ml: Hashtbl List Printf Spec String View Wolves_workflow

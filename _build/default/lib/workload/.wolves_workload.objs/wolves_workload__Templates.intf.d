@@ -1,0 +1,1 @@
+lib/workload/templates.mli: Spec View Wolves_workflow

@@ -1,0 +1,1 @@
+lib/workload/views.ml: Array Generate List Printf Prng Queue Spec View Wolves_core Wolves_graph Wolves_workflow

@@ -1,0 +1,1 @@
+lib/workload/views.mli: Generate Spec View Wolves_workflow

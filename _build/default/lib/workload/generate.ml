@@ -1,0 +1,231 @@
+open Wolves_workflow
+
+type family =
+  | Layered
+  | Erdos_renyi
+  | Series_parallel
+  | Pipeline
+
+let all_families = [ Layered; Erdos_renyi; Series_parallel; Pipeline ]
+
+let family_name = function
+  | Layered -> "layered"
+  | Erdos_renyi -> "erdos-renyi"
+  | Series_parallel -> "series-parallel"
+  | Pipeline -> "pipeline"
+
+let family_of_string = function
+  | "layered" -> Some Layered
+  | "erdos-renyi" -> Some Erdos_renyi
+  | "series-parallel" -> Some Series_parallel
+  | "pipeline" -> Some Pipeline
+  | _ -> None
+
+let task_name i = Printf.sprintf "t%d" i
+
+(* Tie any task left without edges (e.g. by layer trimming) to its
+   predecessor id, preserving acyclicity. *)
+let ensure_no_isolated ~size edges =
+  let touched = Array.make size false in
+  List.iter
+    (fun (u, v) ->
+      touched.(u) <- true;
+      touched.(v) <- true)
+    edges;
+  let extra = ref [] in
+  for v = 0 to size - 1 do
+    if not touched.(v) then
+      extra := (if v = 0 then (0, 1) else (v - 1, v)) :: !extra
+  done;
+  !extra @ edges
+
+let spec_of_edges ~name ~size edges =
+  let edges = ensure_no_isolated ~size edges in
+  Spec.of_tasks_exn ~name
+    (List.init size task_name)
+    (List.map (fun (u, v) -> (task_name u, task_name v)) edges)
+
+(* --- layered ------------------------------------------------------- *)
+
+let layered_edges rng ~layers ~width =
+  let edges = ref [] in
+  let task layer k = (layer * width) + k in
+  for layer = 0 to layers - 2 do
+    for k = 0 to width - 1 do
+      (* One mandatory edge keeps every task on a source-to-sink path. *)
+      let main = Prng.int rng width in
+      edges := (task layer k, task (layer + 1) main) :: !edges;
+      for k' = 0 to width - 1 do
+        if k' <> main && Prng.bernoulli rng (1.0 /. float_of_int width) then
+          edges := (task layer k, task (layer + 1) k') :: !edges
+      done
+    done
+  done;
+  !edges
+
+let layered ~seed ~layers ~width ~fanout =
+  if layers < 2 || width < 1 then invalid_arg "Generate.layered: too small";
+  let rng = Prng.create seed in
+  let task layer k = (layer * width) + k in
+  let edges = ref [] in
+  for layer = 0 to layers - 2 do
+    for k = 0 to width - 1 do
+      let main = Prng.int rng width in
+      edges := (task layer k, task (layer + 1) main) :: !edges;
+      for k' = 0 to width - 1 do
+        if k' <> main && Prng.bernoulli rng (fanout /. float_of_int width) then
+          edges := (task layer k, task (layer + 1) k') :: !edges
+      done
+    done
+  done;
+  spec_of_edges
+    ~name:(Printf.sprintf "layered-%dx%d-seed%d" layers width seed)
+    ~size:(layers * width) !edges
+
+(* --- Erdős–Rényi DAG ------------------------------------------------ *)
+
+let erdos_renyi_edges rng ~size =
+  (* Random topological order, then forward edges with probability giving
+     expected degree ~2.5; a guaranteed edge to a later task keeps tasks
+     connected. *)
+  let order = Array.of_list (Prng.shuffle rng (List.init size Fun.id)) in
+  let p = 2.5 /. float_of_int size in
+  let edges = ref [] in
+  for i = 0 to size - 1 do
+    if i < size - 1 then begin
+      let forced = i + 1 + Prng.int rng (size - 1 - i) in
+      edges := (order.(i), order.(forced)) :: !edges;
+      for j = i + 1 to size - 1 do
+        if j <> forced && Prng.bernoulli rng p then
+          edges := (order.(i), order.(j)) :: !edges
+      done
+    end
+  done;
+  !edges
+
+(* --- series–parallel ------------------------------------------------ *)
+
+(* Allocate [size] tasks by recursive composition. Returns the edge list and
+   the entry/exit tasks of each block. *)
+let series_parallel_edges rng ~size =
+  let next = ref 0 in
+  let fresh () =
+    let t = !next in
+    incr next;
+    t
+  in
+  let edges = ref [] in
+  (* Build a block of exactly [budget] >= 1 tasks; return (entry, exit). *)
+  let rec block budget =
+    if budget = 1 then
+      let t = fresh () in
+      (t, t)
+    else if budget = 2 || Prng.bool rng then begin
+      (* series: left then right *)
+      let left = 1 + Prng.int rng (budget - 1) in
+      let e1, x1 = block left in
+      let e2, x2 = block (budget - left) in
+      edges := (x1, e2) :: !edges;
+      (e1, x2)
+    end
+    else begin
+      (* parallel between a fresh fork and join: needs >= 2 internal *)
+      let inner = budget - 2 in
+      if inner < 2 then begin
+        let e1, x1 = block (budget - 1) in
+        let t = fresh () in
+        edges := (x1, t) :: !edges;
+        (e1, t)
+      end
+      else begin
+        (* Fork and join bracket [inner] = budget - 2 interior tasks split
+           over 2..min(4, inner) branches of >= 1 task each. *)
+        let fork = fresh () in
+        let branches = min (2 + Prng.int rng 3) inner in
+        let remaining = ref inner in
+        let exits = ref [] in
+        for b = 0 to branches - 1 do
+          let slots_left = branches - 1 - b in
+          let this =
+            if b = branches - 1 then !remaining
+            else 1 + Prng.int rng (!remaining - slots_left)
+          in
+          remaining := !remaining - this;
+          let e, x = block this in
+          edges := (fork, e) :: !edges;
+          exits := x :: !exits
+        done;
+        let join = fresh () in
+        List.iter (fun x -> edges := (x, join) :: !edges) !exits;
+        (fork, join)
+      end
+    end
+  in
+  let entry, exit_ = block size in
+  ignore entry;
+  ignore exit_;
+  assert (!next = size);
+  !edges
+
+(* --- pipeline -------------------------------------------------------- *)
+
+let pipeline_edges rng ~size =
+  (* Stages of 1 (plain actor) or a fork-join fan; consecutive stages fully
+     chained through their boundary tasks. *)
+  let edges = ref [] in
+  let next = ref 0 in
+  let fresh () =
+    let t = !next in
+    incr next;
+    t
+  in
+  let prev_exit = ref None in
+  while !next < size do
+    let remaining = size - !next in
+    let fan =
+      if remaining >= 4 && Prng.bernoulli rng 0.4 then
+        2 + Prng.int rng (min 4 (remaining - 3))
+      else 0
+    in
+    if fan > 0 then begin
+      let fork = fresh () in
+      (match !prev_exit with
+       | Some x -> edges := (x, fork) :: !edges
+       | None -> ());
+      let mids = List.init fan (fun _ -> fresh ()) in
+      let join = fresh () in
+      List.iter
+        (fun m ->
+          edges := (fork, m) :: !edges;
+          edges := (m, join) :: !edges)
+        mids;
+      prev_exit := Some join
+    end
+    else begin
+      let t = fresh () in
+      (match !prev_exit with
+       | Some x -> edges := (x, t) :: !edges
+       | None -> ());
+      prev_exit := Some t
+    end
+  done;
+  !edges
+
+let generate family ~seed ~size =
+  if size < 2 then invalid_arg "Generate.generate: size < 2";
+  let rng = Prng.create (seed lxor (Hashtbl.hash (family_name family) * 65599)) in
+  let name = Printf.sprintf "%s-%d-seed%d" (family_name family) size seed in
+  match family with
+  | Layered ->
+    let width = max 1 (int_of_float (sqrt (float_of_int size))) in
+    let layers = (size + width - 1) / width in
+    (* Round the size up to layers*width, then trim by rebuilding with the
+       exact count through direct edge generation on [size] ids. *)
+    let edges =
+      layered_edges rng ~layers ~width
+      |> List.filter (fun (u, v) -> u < size && v < size)
+    in
+    spec_of_edges ~name ~size edges
+  | Erdos_renyi -> spec_of_edges ~name ~size (erdos_renyi_edges rng ~size)
+  | Series_parallel -> spec_of_edges ~name ~size (series_parallel_edges rng ~size)
+  | Pipeline -> spec_of_edges ~name ~size (pipeline_edges rng ~size)

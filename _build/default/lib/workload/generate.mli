@@ -1,0 +1,37 @@
+(** Synthetic workflow-specification generators.
+
+    Stand-ins for the Kepler / myExperiment corpora used in the paper's
+    evaluation (not available offline — see DESIGN.md, Substitutions). Each
+    family produces the structural shape common in those repositories;
+    everything is deterministic in the seed. *)
+
+open Wolves_workflow
+
+type family =
+  | Layered
+      (** Tasks arranged in layers; edges go to the next layer(s). The shape
+          of staged scientific analyses. *)
+  | Erdos_renyi
+      (** Random DAG: each forward pair (u < v in a random order) is an edge
+          with uniform probability. *)
+  | Series_parallel
+      (** Recursive series/parallel composition — nested sub-workflows. *)
+  | Pipeline
+      (** A chain of stages, each either a single task or a fork–join fan;
+          the dominant Kepler actor-pipeline shape. *)
+
+val all_families : family list
+
+val family_name : family -> string
+
+val family_of_string : string -> family option
+
+val generate : family -> seed:int -> size:int -> Spec.t
+(** A specification with exactly [size] tasks (plus no extras), connected
+    enough that no task is fully isolated. @raise Invalid_argument when
+    [size < 2]. *)
+
+val layered : seed:int -> layers:int -> width:int -> fanout:float -> Spec.t
+(** Direct access to the layered family: [layers]·[width] tasks; each task
+    has ≥ 1 edge to the next layer and further edges drawn with expected
+    count [fanout]. *)

@@ -1,0 +1,47 @@
+(* SplitMix64 (Steele, Lea, Flood 2014), on OCaml's 63-bit ints via Int64.
+   Simple, fast, and identical on every platform. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's native int non-negatively;
+     modulo bias is negligible for our bounds. *)
+  let raw = Int64.to_int (Int64.logand (next t) 0x3FFFFFFFFFFFFFFFL) in
+  raw mod bound
+
+let float t bound =
+  let raw = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  let unit = float_of_int raw /. float_of_int (1 lsl 53) in
+  unit *. bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let shuffle t xs =
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr

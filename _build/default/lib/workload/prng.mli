@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    All synthetic workloads are parameterised by an integer seed and are
+    fully reproducible across runs and platforms — a requirement for the
+    benchmark harness, whose tables must be regenerable. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded deterministically from the given integer. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) this one. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument when
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0, 1]). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element. @raise Invalid_argument on an empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates shuffle. *)

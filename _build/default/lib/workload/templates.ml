@@ -1,0 +1,197 @@
+open Wolves_workflow
+
+type suite =
+  | Montage
+  | Cybershake
+  | Epigenomics
+  | Ligo
+
+let all_suites = [ Montage; Cybershake; Epigenomics; Ligo ]
+
+let suite_name = function
+  | Montage -> "montage"
+  | Cybershake -> "cybershake"
+  | Epigenomics -> "epigenomics"
+  | Ligo -> "ligo"
+
+let suite_of_string = function
+  | "montage" -> Some Montage
+  | "cybershake" -> Some Cybershake
+  | "epigenomics" -> Some Epigenomics
+  | "ligo" -> Some Ligo
+  | _ -> None
+
+(* Builder helpers: tasks are created on first mention, edges check both
+   endpoints exist. *)
+type b = {
+  builder : Spec.Builder.t;
+  mutable order : string list; (* declaration order, reversed *)
+}
+
+let task b name =
+  ignore (Spec.Builder.add_task_exn b.builder name);
+  b.order <- name :: b.order;
+  name
+
+let edge b u v = Spec.Builder.add_dependency_exn b.builder u v
+
+let fresh name = { builder = Spec.Builder.create ~name (); order = [] }
+
+let finish b = Spec.Builder.finish_exn b.builder
+
+(* --- Montage ------------------------------------------------------- *)
+
+let montage ~scale =
+  let b = fresh (Printf.sprintf "montage-%d" scale) in
+  let project = List.init scale (fun i -> task b (Printf.sprintf "mProject_%d" i)) in
+  (* Adjacent tiles overlap: one mDiffFit per neighbouring pair. *)
+  let diffs =
+    List.init (max 0 (scale - 1)) (fun i ->
+        let d = task b (Printf.sprintf "mDiffFit_%d_%d" i (i + 1)) in
+        edge b (List.nth project i) d;
+        edge b (List.nth project (i + 1)) d;
+        d)
+  in
+  let concat = task b "mConcatFit" in
+  List.iter (fun d -> edge b d concat) diffs;
+  (* A single tile has no overlaps: tie projection straight in. *)
+  if diffs = [] then List.iter (fun p -> edge b p concat) project;
+  let bg_model = task b "mBgModel" in
+  edge b concat bg_model;
+  let backgrounds =
+    List.init scale (fun i ->
+        let bg = task b (Printf.sprintf "mBackground_%d" i) in
+        edge b bg_model bg;
+        edge b (List.nth project i) bg;
+        bg)
+  in
+  let imgtbl = task b "mImgtbl" in
+  List.iter (fun bg -> edge b bg imgtbl) backgrounds;
+  let add = task b "mAdd" in
+  edge b imgtbl add;
+  List.iter (fun bg -> edge b bg add) backgrounds;
+  let shrink = task b "mShrink" in
+  edge b add shrink;
+  let jpeg = task b "mJPEG" in
+  edge b shrink jpeg;
+  finish b
+
+(* --- CyberShake ---------------------------------------------------- *)
+
+let cybershake ~scale =
+  let b = fresh (Printf.sprintf "cybershake-%d" scale) in
+  let zip_seis = ref [] and zip_psa = ref [] in
+  for i = 0 to scale - 1 do
+    let sgt = task b (Printf.sprintf "ExtractSGT_%d" i) in
+    for j = 0 to 1 do
+      let synth = task b (Printf.sprintf "SeismogramSynthesis_%d_%d" i j) in
+      edge b sgt synth;
+      let peak = task b (Printf.sprintf "PeakValCalc_%d_%d" i j) in
+      edge b synth peak;
+      zip_seis := synth :: !zip_seis;
+      zip_psa := peak :: !zip_psa
+    done
+  done;
+  let zs = task b "ZipSeis" in
+  List.iter (fun s -> edge b s zs) !zip_seis;
+  let zp = task b "ZipPSA" in
+  List.iter (fun p -> edge b p zp) !zip_psa;
+  finish b
+
+(* --- Epigenomics ---------------------------------------------------- *)
+
+let epigenomics ~scale =
+  let b = fresh (Printf.sprintf "epigenomics-%d" scale) in
+  let split = task b "fastQSplit" in
+  let maps =
+    List.init scale (fun i ->
+        let filter = task b (Printf.sprintf "filterContams_%d" i) in
+        edge b split filter;
+        let sol = task b (Printf.sprintf "sol2sanger_%d" i) in
+        edge b filter sol;
+        let bfq = task b (Printf.sprintf "fastq2bfq_%d" i) in
+        edge b sol bfq;
+        let map = task b (Printf.sprintf "map_%d" i) in
+        edge b bfq map;
+        map)
+  in
+  let merge = task b "mapMerge" in
+  List.iter (fun m -> edge b m merge) maps;
+  let index = task b "maqIndex" in
+  edge b merge index;
+  let pileup = task b "pileup" in
+  edge b index pileup;
+  finish b
+
+(* --- LIGO Inspiral --------------------------------------------------- *)
+
+let ligo ~scale =
+  let b = fresh (Printf.sprintf "ligo-%d" scale) in
+  let group_size = 3 in
+  let lanes =
+    List.init scale (fun i ->
+        let bank = task b (Printf.sprintf "TmpltBank_%d" i) in
+        let insp = task b (Printf.sprintf "Inspiral1_%d" i) in
+        edge b bank insp;
+        insp)
+  in
+  (* First coincidence stage: fan-in groups of 3 lanes. *)
+  let n_groups = (scale + group_size - 1) / group_size in
+  let thincas =
+    List.init n_groups (fun g ->
+        let thinca = task b (Printf.sprintf "Thinca1_%d" g) in
+        List.iteri
+          (fun i insp -> if i / group_size = g then edge b insp thinca)
+          lanes;
+        thinca)
+  in
+  (* Second stage: per-lane trig banks from the group's coincidence. *)
+  let thinca2s =
+    List.init n_groups (fun g -> task b (Printf.sprintf "Thinca2_%d" g))
+  in
+  List.iteri
+    (fun i _ ->
+      let g = i / group_size in
+      let trig = task b (Printf.sprintf "TrigBank_%d" i) in
+      edge b (List.nth thincas g) trig;
+      let insp2 = task b (Printf.sprintf "Inspiral2_%d" i) in
+      edge b trig insp2;
+      edge b insp2 (List.nth thinca2s g))
+    lanes;
+  finish b
+
+let generate suite ~scale =
+  if scale < 1 then invalid_arg "Templates.generate: scale < 1";
+  match suite with
+  | Montage -> montage ~scale
+  | Cybershake -> cybershake ~scale
+  | Epigenomics -> epigenomics ~scale
+  | Ligo -> ligo ~scale
+
+(* Group tasks by stage: everything before the first '_' (or the whole name
+   for the singleton pipeline steps). *)
+let natural_view suite spec =
+  ignore suite;
+  let stage name =
+    match String.index_opt name '_' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  let order = ref [] in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      let s = stage (Spec.task_name spec t) in
+      match Hashtbl.find_opt groups s with
+      | Some members -> Hashtbl.replace groups s (t :: members)
+      | None ->
+        Hashtbl.replace groups s [ t ];
+        order := s :: !order)
+    (Spec.tasks spec);
+  let named =
+    List.rev_map (fun s -> (s, List.rev (Hashtbl.find groups s))) !order
+  in
+  View.make_exn spec
+    (List.map
+       (fun (s, members) -> (s, List.map (Spec.task_name spec) members))
+       named)

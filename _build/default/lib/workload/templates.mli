@@ -1,0 +1,47 @@
+(** Parametric generators for the canonical scientific-workflow shapes used
+    across workflow research (the Pegasus benchmark suite): Montage
+    (astronomy mosaics), CyberShake (seismic hazard), Epigenomics (genome
+    sequencing), and LIGO Inspiral (gravitational-wave search).
+
+    These are the published {e structures} of those workflows — task types,
+    fan-in/fan-out patterns, stage wiring — generated at a chosen scale, not
+    the applications themselves. They stand in for the real repository
+    content the paper's evaluation drew from (Kepler, myExperiment host
+    exactly such pipelines), giving the audit/correction experiments
+    realistic dependency shapes with meaningful task names. *)
+
+open Wolves_workflow
+
+type suite =
+  | Montage
+      (** mProject × n → mDiffFit per overlapping (adjacent) tile pair →
+          mConcatFit → mBgModel → mBackground × n → mImgtbl → mAdd →
+          mShrink → mJPEG *)
+  | Cybershake
+      (** ExtractSGT × n → seismogram synthesis (m per site) → peak value
+          extraction → zip aggregations *)
+  | Epigenomics
+      (** fastQSplit → filterContams/sol2sanger/fastq2bfq/map per lane →
+          mapMerge → maqIndex → pileup *)
+  | Ligo
+      (** TmpltBank × n → Inspiral × n → Thinca (fan-in groups) → TrigBank →
+          Inspiral(veto) → Thinca — two-stage coincidence analysis *)
+
+val all_suites : suite list
+
+val suite_name : suite -> string
+
+val suite_of_string : string -> suite option
+
+val generate : suite -> scale:int -> Spec.t
+(** Instantiate the shape at a scale (≥ 1): [scale] controls the width of
+    the data-parallel stages (e.g. number of Montage tiles). Task counts
+    grow linearly in the scale. Deterministic — the structure carries no
+    randomness. @raise Invalid_argument when [scale < 1]. *)
+
+val natural_view : suite -> Spec.t -> View.t
+(** The view a domain user would draw: one composite per processing stage
+    (all mProject tasks together, etc.). Stage views are {e not} always
+    sound — data-parallel stages with disjoint lanes are exactly the
+    unsound-composite pattern the paper warns about — which makes these
+    workflows the realistic audit corpus. *)

@@ -1,0 +1,139 @@
+open Wolves_workflow
+module Digraph = Wolves_graph.Digraph
+
+type policy =
+  | Topological_bands of int
+  | Connected_groups of int
+  | Random_partition of int
+  | Sound_groups of int
+
+let policy_name = function
+  | Topological_bands k -> Printf.sprintf "topological-bands-%d" k
+  | Connected_groups k -> Printf.sprintf "connected-groups-%d" k
+  | Random_partition k -> Printf.sprintf "random-partition-%d" k
+  | Sound_groups k -> Printf.sprintf "sound-groups-%d" k
+
+let chunk size xs =
+  let rec go acc current count = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+      if count = size then go (List.rev current :: acc) [ x ] 1 rest
+      else go acc (x :: current) (count + 1) rest
+  in
+  go [] [] 0 xs
+
+let bands spec k =
+  chunk k (Spec.topological_order spec)
+
+(* Grow groups by BFS along (undirected) dependency edges so composites
+   follow the workflow structure. *)
+let connected_groups rng spec k =
+  let n = Spec.n_tasks spec in
+  let g = Spec.graph spec in
+  let assigned = Array.make n false in
+  let groups = ref [] in
+  let order = Prng.shuffle rng (Spec.tasks spec) in
+  List.iter
+    (fun seed_task ->
+      if not assigned.(seed_task) then begin
+        let group = ref [] in
+        let frontier = Queue.create () in
+        Queue.add seed_task frontier;
+        assigned.(seed_task) <- true;
+        let count = ref 0 in
+        while !count < k && not (Queue.is_empty frontier) do
+          let t = Queue.pop frontier in
+          group := t :: !group;
+          incr count;
+          let neighbours = Digraph.succ g t @ Digraph.pred g t in
+          List.iter
+            (fun u ->
+              if (not assigned.(u)) && !count + Queue.length frontier < k then begin
+                assigned.(u) <- true;
+                Queue.add u frontier
+              end)
+            neighbours
+        done;
+        (* Anything still queued was claimed; keep it in this group. *)
+        Queue.iter (fun t -> group := t :: !group) frontier;
+        groups := List.rev !group :: !groups
+      end)
+    order;
+  List.rev !groups
+
+let random_partition rng spec k =
+  chunk k (Prng.shuffle rng (Spec.tasks spec))
+
+(* Sound-by-construction grouping, delegated to the core's automatic view
+   construction. *)
+let sound_groups spec k = Wolves_core.Suggest.greedy_sound_groups spec ~max_size:k
+
+let build ~seed policy spec =
+  let rng = Prng.create seed in
+  let parts =
+    match policy with
+    | Topological_bands k ->
+      if k < 1 then invalid_arg "Views.build: band size < 1";
+      bands spec k
+    | Connected_groups k ->
+      if k < 1 then invalid_arg "Views.build: group size < 1";
+      connected_groups rng spec k
+    | Random_partition k ->
+      if k < 1 then invalid_arg "Views.build: group size < 1";
+      random_partition rng spec k
+    | Sound_groups k ->
+      if k < 1 then invalid_arg "Views.build: group size < 1";
+      sound_groups spec k
+  in
+  View.of_partition_exn spec parts
+
+let inject_unsoundness ~seed ~attempts view =
+  let rng = Prng.create seed in
+  let rec go view attempts =
+    if attempts = 0 || not (Wolves_core.Soundness.is_sound view) then view
+    else begin
+      (* Move one random task into a random other composite. *)
+      let spec = View.spec view in
+      let t = Prng.int rng (Spec.n_tasks spec) in
+      let from_c = View.composite_of_task view t in
+      if List.length (View.members view from_c) <= 1 then go view (attempts - 1)
+      else begin
+        let candidates =
+          List.filter (fun c -> c <> from_c) (View.composites view)
+        in
+        match candidates with
+        | [] -> view
+        | _ ->
+          let to_c = Prng.pick rng candidates in
+          let parts =
+            List.map
+              (fun c ->
+                let ms = View.members view c in
+                if c = from_c then List.filter (fun x -> x <> t) ms
+                else if c = to_c then t :: ms
+                else ms)
+              (View.composites view)
+          in
+          go (View.of_partition_exn spec parts) (attempts - 1)
+      end
+    end
+  in
+  go view attempts
+
+let unsound_corpus ~seed ~families ~sizes ~per_cell =
+  let rng = Prng.create seed in
+  List.concat_map
+    (fun family ->
+      List.concat_map
+        (fun size ->
+          List.init per_cell (fun i ->
+              let wf_seed = Prng.int rng 1_000_000 in
+              ignore i;
+              let spec = Generate.generate family ~seed:wf_seed ~size in
+              let view = build ~seed:wf_seed (Connected_groups 4) spec in
+              let view =
+                inject_unsoundness ~seed:(wf_seed + 1) ~attempts:(4 * size) view
+              in
+              (spec, view)))
+        sizes)
+    families

@@ -1,0 +1,51 @@
+(** Synthetic view generators over a workflow specification.
+
+    Two kinds mirror the paper's evaluation inputs (§3.1): expert-style
+    structure-following partitions ("views manually defined by expert users")
+    and mechanical partitions ("views automatically constructed"). A third,
+    fully random policy and an explicit unsoundness injector produce the
+    unsound inputs the correctors are exercised on. *)
+
+open Wolves_workflow
+
+type policy =
+  | Topological_bands of int
+      (** Consecutive bands of the given size along a topological order —
+          the shape produced by automatic view construction over staged
+          workflows. *)
+  | Connected_groups of int
+      (** Groups grown along dependency edges up to the given size
+          (expert-style: composites follow the workflow's structure). *)
+  | Random_partition of int
+      (** Uniformly random groups of roughly the given size — adversarial,
+          mostly unsound. *)
+  | Sound_groups of int
+      (** Greedy groups of at most the given size that are {e sound by
+          construction}: walk a topological order and extend the current
+          group only while it stays a sound composite. Used where the
+          experiment needs a compressive view that is already correct
+          (e.g. the view-level provenance speed-up measurement). *)
+
+val policy_name : policy -> string
+
+val build : seed:int -> policy -> Spec.t -> View.t
+(** Generate a view of the specification under the policy. Group-size
+    arguments must be ≥ 1; the last group may be smaller. Deterministic in
+    [seed]. *)
+
+val inject_unsoundness :
+  seed:int -> attempts:int -> View.t -> View.t
+(** Perturb a view by moving random tasks between composites until at least
+    one composite becomes unsound, making at most [attempts] moves. Returns
+    the perturbed view (which may still be sound if the budget was too small
+    — callers check). Never empties a composite. *)
+
+val unsound_corpus :
+  seed:int ->
+  families:Generate.family list ->
+  sizes:int list ->
+  per_cell:int ->
+  (Spec.t * View.t) list
+(** A corpus crossing workflow families and sizes; each entry's view is
+    perturbed toward unsoundness ([Connected_groups] base policy, group size
+    4). Used by the E-PROV and E-AUDIT experiments. *)

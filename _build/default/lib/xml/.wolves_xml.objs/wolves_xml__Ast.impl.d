@@ -1,0 +1,1 @@
+lib/xml/ast.ml: Format List String

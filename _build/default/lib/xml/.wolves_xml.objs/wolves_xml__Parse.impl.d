@@ -1,0 +1,1 @@
+lib/xml/parse.ml: Ast Buffer Format List Printf String Uchar

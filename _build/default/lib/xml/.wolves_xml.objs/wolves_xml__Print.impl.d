@@ -1,0 +1,1 @@
+lib/xml/print.ml: Ast Buffer List Printf String

@@ -1,0 +1,69 @@
+type t =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : t list;
+}
+
+let element ?(attrs = []) ?(children = []) tag = Element { tag; attrs; children }
+
+let text s = Text s
+
+let attr e name = List.assoc_opt name e.attrs
+
+let attr_exn e name = List.assoc name e.attrs
+
+let children_named e name =
+  List.filter_map
+    (function Element c when c.tag = name -> Some c | Element _ | Text _ -> None)
+    e.children
+
+let first_child_named e name =
+  match children_named e name with [] -> None | c :: _ -> Some c
+
+let rec text_content e =
+  String.concat ""
+    (List.map
+       (function Text s -> s | Element c -> text_content c)
+       e.children)
+
+let is_blank s = String.for_all (function ' ' | '\t' | '\n' | '\r' -> true | _ -> false) s
+
+let rec strip_whitespace node =
+  match node with
+  | Text _ -> node
+  | Element e ->
+    let children =
+      List.filter_map
+        (function
+          | Text s when is_blank s -> None
+          | child -> Some (strip_whitespace child))
+        e.children
+    in
+    Element { e with children }
+
+let sorted_attrs attrs = List.sort compare attrs
+
+let rec equal a b =
+  match (a, b) with
+  | Text s, Text s' -> s = s'
+  | Element e, Element e' ->
+    e.tag = e'.tag
+    && sorted_attrs e.attrs = sorted_attrs e'.attrs
+    && List.length e.children = List.length e'.children
+    && List.for_all2 equal e.children e'.children
+  | Text _, Element _ | Element _, Text _ -> false
+
+let rec pp ppf = function
+  | Text s -> Format.fprintf ppf "%S" s
+  | Element e ->
+    Format.fprintf ppf "@[<hv 2><%s%a>%a</%s>@]" e.tag
+      (fun ppf attrs ->
+        List.iter (fun (k, v) -> Format.fprintf ppf " %s=%S" k v) attrs)
+      e.attrs
+      (fun ppf children ->
+        List.iter (fun c -> Format.fprintf ppf "@,%a" pp c) children)
+      e.children e.tag

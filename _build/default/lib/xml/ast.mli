@@ -1,0 +1,46 @@
+(** Abstract syntax of the XML subset used by MoML documents.
+
+    Supported: elements, attributes, character data (with the five predefined
+    entities plus numeric references), comments and CDATA (parsed into text);
+    prologs and processing instructions are accepted and discarded. Not
+    supported (rejected at parse time): DTDs and namespaces beyond plain
+    prefixed names. *)
+
+type t =
+  | Element of element
+  | Text of string  (** character data, already entity-decoded *)
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;  (** in document order; values decoded *)
+  children : t list;
+}
+
+val element : ?attrs:(string * string) list -> ?children:t list -> string -> t
+(** Convenience constructor. *)
+
+val text : string -> t
+
+val attr : element -> string -> string option
+(** First attribute with the given name. *)
+
+val attr_exn : element -> string -> string
+(** @raise Not_found when the attribute is missing. *)
+
+val children_named : element -> string -> element list
+(** Child elements with the given tag, in document order. *)
+
+val first_child_named : element -> string -> element option
+
+val text_content : element -> string
+(** Concatenation of all descendant text nodes. *)
+
+val strip_whitespace : t -> t
+(** Recursively drop text nodes that consist only of whitespace (the
+    indentation {!Print} adds between elements). Mixed and non-blank text is
+    kept verbatim. *)
+
+val equal : t -> t -> bool
+(** Structural equality ignoring attribute order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the XML subset of {!Ast}. *)
+
+type error = {
+  line : int;   (** 1-based *)
+  column : int; (** 1-based *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+(** Renders as [line 3, column 7: message]. *)
+
+val document : string -> (Ast.element, error) result
+(** Parse a complete document: optional prolog, comments and processing
+    instructions, then exactly one root element. Trailing garbage after the
+    root element is an error. *)

@@ -1,0 +1,72 @@
+let escape_with buf specials s =
+  String.iter
+    (fun c ->
+      match List.assoc_opt c specials with
+      | Some replacement -> Buffer.add_string buf replacement
+      | None -> Buffer.add_char buf c)
+    s
+
+let text_specials = [ ('&', "&amp;"); ('<', "&lt;"); ('>', "&gt;") ]
+
+let attr_specials = ('"', "&quot;") :: text_specials
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  escape_with buf text_specials s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  escape_with buf attr_specials s;
+  Buffer.contents buf
+
+let has_text_child e =
+  List.exists (function Ast.Text _ -> true | Ast.Element _ -> false) e.Ast.children
+
+let to_string ?(indent = 2) ?(declaration = true) root =
+  let buf = Buffer.create 1024 in
+  if declaration then Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
+  let pad depth = Buffer.add_string buf (String.make (depth * indent) ' ') in
+  let emit_attrs attrs =
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k (escape_attr v)))
+      attrs
+  in
+  let rec emit_inline = function
+    | Ast.Text s -> escape_with buf text_specials s
+    | Ast.Element e ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf e.tag;
+      emit_attrs e.attrs;
+      if e.children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter emit_inline e.children;
+        Buffer.add_string buf (Printf.sprintf "</%s>" e.tag)
+      end
+  in
+  let rec emit depth (e : Ast.element) =
+    pad depth;
+    Buffer.add_char buf '<';
+    Buffer.add_string buf e.tag;
+    emit_attrs e.attrs;
+    if e.children = [] then Buffer.add_string buf "/>\n"
+    else if has_text_child e then begin
+      (* Mixed content: inline so no whitespace is invented. *)
+      Buffer.add_char buf '>';
+      List.iter emit_inline e.children;
+      Buffer.add_string buf (Printf.sprintf "</%s>\n" e.tag)
+    end
+    else begin
+      Buffer.add_string buf ">\n";
+      List.iter
+        (function
+          | Ast.Element child -> emit (depth + 1) child
+          | Ast.Text _ -> assert false)
+        e.children;
+      pad depth;
+      Buffer.add_string buf (Printf.sprintf "</%s>\n" e.tag)
+    end
+  in
+  emit 0 root;
+  Buffer.contents buf

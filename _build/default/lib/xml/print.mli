@@ -1,0 +1,14 @@
+(** Serialisation of {!Ast} values back to XML text. *)
+
+val escape_text : string -> string
+(** Escape ['&'], ['<'] and ['>'] for character data. *)
+
+val escape_attr : string -> string
+(** Escape ['&'], ['<'], ['>'], ['"'] for double-quoted attribute values. *)
+
+val to_string : ?indent:int -> ?declaration:bool -> Ast.element -> string
+(** Render a document. [indent] (default 2) controls pretty-printing:
+    element-only content is laid out one child per line; mixed content is
+    rendered inline to preserve text exactly. [declaration] (default true)
+    emits the [<?xml version="1.0"?>] prolog. Guaranteed to round-trip
+    through {!Parse.document}. *)

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Examples Float List Option QCheck2 QCheck_alcotest String View Wolves_cli Wolves_core Wolves_workflow

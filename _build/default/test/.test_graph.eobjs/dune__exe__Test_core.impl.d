@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Examples Format Fun List Option Printf QCheck2 QCheck_alcotest Spec String View Wolves_core Wolves_graph Wolves_workflow Wolves_workload

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Examples Hashtbl List Printf QCheck2 QCheck_alcotest Spec String Wolves_engine Wolves_graph Wolves_provenance Wolves_workflow Wolves_workload

@@ -1,0 +1,1 @@
+test/test_evolution.ml: Alcotest Examples List Option QCheck2 QCheck_alcotest Spec View Wolves_core Wolves_engine Wolves_provenance Wolves_workflow Wolves_workload

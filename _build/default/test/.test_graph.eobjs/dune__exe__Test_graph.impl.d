@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Fun Int List Printf QCheck2 QCheck_alcotest Set String Wolves_graph

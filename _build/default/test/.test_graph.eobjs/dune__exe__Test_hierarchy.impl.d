@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Examples List QCheck2 QCheck_alcotest Spec View Wolves_core Wolves_graph Wolves_workflow Wolves_workload

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Examples Filename Format List Option Printf QCheck2 QCheck_alcotest Spec String Sys View Wolves_engine Wolves_lang Wolves_moml Wolves_workflow Wolves_workload

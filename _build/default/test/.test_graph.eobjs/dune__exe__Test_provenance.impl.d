@@ -1,0 +1,1 @@
+test/test_provenance.ml: Alcotest Examples Filename Fun List Option Out_channel QCheck2 QCheck_alcotest Spec String Sys View Wolves_core Wolves_graph Wolves_provenance Wolves_workflow Wolves_workload

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Examples Format List Printf QCheck2 QCheck_alcotest String Wolves_graph Wolves_query Wolves_workflow

@@ -1,0 +1,1 @@
+test/test_repository.ml: Alcotest Array Examples Filename Fun List Printf Spec String Sys View Wolves_core Wolves_graph Wolves_repository Wolves_workflow Wolves_workload

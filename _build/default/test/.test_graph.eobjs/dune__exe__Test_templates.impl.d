@@ -1,0 +1,1 @@
+test/test_templates.ml: Alcotest List Option QCheck2 QCheck_alcotest Spec View Wolves_core Wolves_graph Wolves_provenance Wolves_workflow Wolves_workload

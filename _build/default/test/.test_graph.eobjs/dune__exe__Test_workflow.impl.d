@@ -1,0 +1,1 @@
+test/test_workflow.ml: Alcotest Examples Format Hashtbl List Option Printf QCheck2 QCheck_alcotest Spec View Wolves_core Wolves_graph Wolves_workflow

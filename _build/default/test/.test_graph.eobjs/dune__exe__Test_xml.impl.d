@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Buffer Bytes Char Format List Printf QCheck2 QCheck_alcotest String Wolves_xml

@@ -1,0 +1,199 @@
+(* Tests for the CLI support library: tables, JSON emission, rendering. *)
+
+open Wolves_workflow
+module Table = Wolves_cli.Table
+module Json = Wolves_cli.Json
+module Render = Wolves_cli.Render
+module Editor = Wolves_cli.Editor
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let contains haystack needle =
+  let ln = String.length needle and lh = String.length haystack in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_basic () =
+  let rendered =
+    Table.render
+      ~align:[ Table.Left; Table.Right ]
+      ~header:[ "name"; "count" ]
+      [ [ "alpha"; "1" ]; [ "b"; "2000" ] ]
+  in
+  check_string "layout"
+    "name   count\n-----  -----\nalpha      1\nb       2000" rendered
+
+let test_table_ragged () =
+  let rendered = Table.render ~header:[ "a" ] [ [ "x"; "y" ]; [] ] in
+  (* Ragged rows padded; header grows to widest row. *)
+  check_bool "renders" true (contains rendered "x  y")
+
+let test_table_kv () =
+  check_string "kv"
+    "key     1\nlonger  2"
+    (Table.render_kv [ ("key", "1"); ("longer", "2") ])
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_scalars () =
+  check_string "null" "null" (Json.to_string Json.Null);
+  check_string "bool" "true" (Json.to_string (Json.Bool true));
+  check_string "int" "42" (Json.to_string (Json.Int 42));
+  check_string "float" "1.5" (Json.to_string (Json.Float 1.5));
+  check_string "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  check_string "string escaped" "\"a\\\"b\\n\\u0001\""
+    (Json.to_string (Json.String "a\"b\n\001"))
+
+let test_json_compact () =
+  check_string "compact object"
+    "{\"a\":[1,2],\"b\":{}}"
+    (Json.to_string ~pretty:false
+       (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]); ("b", Json.Obj []) ]))
+
+let test_json_pretty () =
+  let rendered =
+    Json.to_string (Json.Obj [ ("xs", Json.List [ Json.Int 1 ]) ])
+  in
+  check_string "pretty" "{\n  \"xs\": [\n    1\n  ]\n}" rendered
+
+(* ------------------------------------------------------------------ *)
+(* Render                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_render_view_summary () =
+  let _, view = Examples.figure1 () in
+  let plain = Render.view_summary view in
+  check_bool "marks unsound" true (contains plain "[UNSOUND] 16:Align Sequences");
+  check_bool "lists witness" true
+    (contains plain "no path 4:Curate Annotations -> 7:Create Alignment");
+  check_bool "no ansi codes by default" false (contains plain "\027[");
+  let coloured = Render.view_summary ~color:true view in
+  check_bool "ansi when coloured" true (contains coloured "\027[31m")
+
+let test_render_dot () =
+  let _, view = Examples.figure1 () in
+  let dot = Render.view_dot view in
+  check_bool "unsound cluster red" true (contains dot "color=\"red\"");
+  check_bool "sound cluster green" true (contains dot "color=\"forestgreen\"");
+  check_bool "task label" true (contains dot "4:Curate Annotations")
+
+let test_render_provenance () =
+  let _, view = Examples.figure1 () in
+  let c18 = Examples.figure1_query_composite view in
+  let text = Render.provenance_summary view c18 in
+  check_bool "warns about spurious items" true (contains text "WARNING");
+  let corrected, _ = Wolves_core.Corrector.correct Wolves_core.Corrector.Strong view in
+  let c18' = Option.get (View.composite_of_name corrected "18:Format Alignment") in
+  let clean = Render.provenance_summary corrected c18' in
+  check_bool "clean after correction" true (contains clean "exact")
+
+let test_render_spec_summary () =
+  let spec, _ = Examples.figure1 () in
+  let text = Render.spec_summary spec in
+  check_bool "topological listing" true
+    (contains text "1:Select Entries -> 2:Split Entries");
+  check_bool "marks outputs" true (contains text "12:Display Tree -> (output)")
+
+
+(* ------------------------------------------------------------------ *)
+(* Editor (the GUI as a scriptable REPL)                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_editor_script () =
+  let spec, view = Examples.figure1 () in
+  ignore spec;
+  let editor = Editor.create view in
+  let out =
+    Editor.run_script editor
+      [ "# rebuild and repair composite 16";
+        "";
+        "diagnose \"16:Align Sequences\"";
+        "correct \"16:Align Sequences\" strong";
+        "show";
+        "quit";
+        "show  # never reached" ]
+  in
+  check_bool "diagnose found the core" true
+    (List.exists (fun l -> contains l "minimal unsound core") out);
+  check_bool "correction happened" true
+    (List.exists (fun l -> contains l "split \"16:Align Sequences\" into 2") out);
+  check_bool "final show is sound" true
+    (List.exists (fun l -> contains l "view is sound") out);
+  check_bool "quit stops the script" false
+    (List.exists (fun l -> contains l "never reached") out);
+  check_bool "session ends sound" true
+    (Wolves_core.Session.is_sound (Editor.session editor))
+
+let test_editor_errors () =
+  let _, view = Examples.figure1 () in
+  let editor = Editor.create view in
+  let expect_error line =
+    match Editor.execute editor line with
+    | `Error _ -> ()
+    | `Ok _ | `Quit -> Alcotest.failf "expected %S to fail" line
+  in
+  expect_error "bogus";
+  expect_error "move";
+  expect_error "move \"nope\" \"16:Align Sequences\"";
+  expect_error "correct \"16:Align Sequences\" sideways";
+  expect_error "create \"X\" \"ghost\"";
+  expect_error "\"unterminated";
+  expect_error "undo";
+  match Editor.execute editor "help" with
+  | `Ok msg -> check_bool "help text" true (contains msg "commands:")
+  | _ -> Alcotest.fail "help failed"
+
+let test_editor_quoting () =
+  let _, view = Examples.figure1 () in
+  let editor = Editor.create view in
+  (match
+     Editor.execute editor
+       "create \"My Stage\" \"4:Curate Annotations\" \"5:Format Annotations\""
+   with
+   | `Ok _ -> ()
+   | `Error m -> Alcotest.fail m
+   | `Quit -> Alcotest.fail "quit?");
+  match Wolves_core.Session.members (Editor.session editor) "My Stage" with
+  | Some members -> Alcotest.(check int) "two members" 2 (List.length members)
+  | None -> Alcotest.fail "composite not created"
+
+let editor_fuzz =
+  QCheck2.Test.make ~name:"editor total on random command lines" ~count:300
+    QCheck2.Gen.(
+      string_size
+        ~gen:(oneofl [ 'a'; ' '; '"'; '\\'; '#'; 'm'; 'c'; '1'; 'x' ])
+        (int_range 0 40))
+    (fun line ->
+      let _, view = Examples.figure1 () in
+      let editor = Editor.create view in
+      match Editor.execute editor line with
+      | `Ok _ | `Error _ | `Quit -> true
+      | exception _ -> false)
+
+let () =
+  Alcotest.run "wolves_cli"
+    [ ( "table",
+        [ Alcotest.test_case "basic layout" `Quick test_table_basic;
+          Alcotest.test_case "ragged rows" `Quick test_table_ragged;
+          Alcotest.test_case "key-value" `Quick test_table_kv ] );
+      ( "json",
+        [ Alcotest.test_case "scalars and escaping" `Quick test_json_scalars;
+          Alcotest.test_case "compact" `Quick test_json_compact;
+          Alcotest.test_case "pretty" `Quick test_json_pretty ] );
+      ( "editor",
+        [ Alcotest.test_case "scripted session" `Quick test_editor_script;
+          Alcotest.test_case "errors" `Quick test_editor_errors;
+          Alcotest.test_case "quoting" `Quick test_editor_quoting;
+          QCheck_alcotest.to_alcotest editor_fuzz ] );
+      ( "render",
+        [ Alcotest.test_case "view summary" `Quick test_render_view_summary;
+          Alcotest.test_case "dot with colours" `Quick test_render_dot;
+          Alcotest.test_case "provenance summary" `Quick test_render_provenance;
+          Alcotest.test_case "spec summary" `Quick test_render_spec_summary ] ) ]

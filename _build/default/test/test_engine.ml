@@ -1,0 +1,239 @@
+(* Tests for the execution engine: scheduling bounds, failure propagation,
+   dataflow (content-hash) semantics, and the bridge into the provenance
+   store. *)
+
+open Wolves_workflow
+module Engine = Wolves_engine.Engine
+module Store = Wolves_provenance.Store
+module P = Wolves_provenance.Provenance
+module Gen = Wolves_workload.Generate
+module Bitset = Wolves_graph.Bitset
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let fig1 () = Examples.figure1_spec ()
+
+let cfg ?(workers = 1) ?(failure_rate = 0.0) ?(seed = 0) ?(salts = []) () =
+  { Engine.default_config with Engine.workers; failure_rate; seed; salts }
+
+let test_sequential_run () =
+  let spec = fig1 () in
+  let trace = Engine.run ~config:(cfg ()) spec in
+  check_float "makespan = total work on 1 worker"
+    (Engine.total_work (cfg ()) spec)
+    trace.Engine.makespan;
+  check_int "every task has an event" 12 (List.length trace.Engine.events);
+  check_bool "all completed" true
+    (List.for_all
+       (fun e -> match e.Engine.outcome with Engine.Completed _ -> true | _ -> false)
+       trace.Engine.events)
+
+let test_parallel_speedup () =
+  let spec = fig1 () in
+  let one = Engine.run ~config:(cfg ~workers:1 ()) spec in
+  let many = Engine.run ~config:(cfg ~workers:4 ()) spec in
+  let unlimited = Engine.run ~config:(cfg ~workers:64 ()) spec in
+  check_bool "parallel not slower" true
+    (many.Engine.makespan <= one.Engine.makespan);
+  check_float "unlimited workers = critical path"
+    (Engine.critical_path_length (cfg ()) spec)
+    unlimited.Engine.makespan;
+  check_float "busy time invariant" one.Engine.busy_time many.Engine.busy_time
+
+let test_event_consistency () =
+  let spec = fig1 () in
+  let trace = Engine.run ~config:(cfg ~workers:3 ()) spec in
+  (* A task starts only after all its producers finished. *)
+  let finish = Hashtbl.create 12 in
+  List.iter
+    (fun e -> Hashtbl.replace finish e.Engine.task e.Engine.finished)
+    trace.Engine.events;
+  List.iter
+    (fun e ->
+      List.iter
+        (fun p ->
+          check_bool "producer finished first" true
+            (Hashtbl.find finish p <= e.Engine.started +. 1e-9))
+        (Spec.producers spec e.Engine.task))
+    trace.Engine.events;
+  (* Never more than [workers] tasks running at once: check by sweeping. *)
+  let overlaps at =
+    List.length
+      (List.filter
+         (fun e ->
+           e.Engine.started < at -. 1e-9
+           && at +. 1e-9 < e.Engine.finished
+           && e.Engine.started < e.Engine.finished)
+         trace.Engine.events)
+  in
+  List.iter
+    (fun e ->
+      check_bool "worker bound respected" true
+        (overlaps (e.Engine.started +. 0.5) <= 3))
+    trace.Engine.events
+
+let test_failure_propagation () =
+  let spec = fig1 () in
+  (* Find a seed that crashes the split task; then everything downstream of
+     it is Not_run. *)
+  let t2 = Spec.task_of_name_exn spec "2:Split Entries" in
+  let rec find_seed seed =
+    if seed > 50_000 then Alcotest.fail "no crashing seed found"
+    else
+      let trace = Engine.run ~config:(cfg ~failure_rate:0.08 ~seed ()) spec in
+      if Engine.outcome_of trace t2 = Engine.Crashed then trace else find_seed (seed + 1)
+  in
+  let trace = find_seed 0 in
+  let downstream = P.task_ancestors spec t2 in
+  ignore downstream;
+  List.iter
+    (fun t ->
+      if t <> t2 && Spec.depends spec t2 t then
+        check_bool "downstream skipped or crashed... skipped" true
+          (Engine.outcome_of trace t = Engine.Not_run))
+    (Spec.tasks spec)
+
+let test_dataflow_semantics () =
+  let spec = fig1 () in
+  let base = Engine.run ~config:(cfg ()) spec in
+  (* Salting task 2 changes exactly the outputs of its descendants. *)
+  let t2 = Spec.task_of_name_exn spec "2:Split Entries" in
+  let salted = Engine.run ~config:(cfg ~salts:[ (t2, 1) ] ()) spec in
+  List.iter
+    (fun t ->
+      let changed =
+        Engine.output_value base t <> Engine.output_value salted t
+      in
+      check_bool
+        (Printf.sprintf "output of %s changed iff descendant of 2"
+           (Spec.task_name spec t))
+        (Spec.depends spec t2 t) changed)
+    (Spec.tasks spec);
+  (* Determinism: same config, same values. *)
+  let again = Engine.run ~config:(cfg ()) spec in
+  List.iter
+    (fun t ->
+      check_bool "deterministic" true
+        (Engine.output_value base t = Engine.output_value again t))
+    (Spec.tasks spec)
+
+let test_store_bridge () =
+  let spec = fig1 () in
+  let store = Store.create spec in
+  let trace = Engine.run ~config:(cfg ~failure_rate:0.2 ~seed:7 ()) spec in
+  match Store.record_run store (Engine.statuses trace) with
+  | Ok id ->
+    check_int "statuses accepted" 0 id;
+    (* run provenance from the store matches the engine's completed set *)
+    List.iter
+      (fun t ->
+        let completed =
+          match Engine.outcome_of trace t with
+          | Engine.Completed _ -> true
+          | _ -> false
+        in
+        check_bool "status agreement" completed
+          (Store.status store id t = Store.Succeeded))
+      (Spec.tasks spec)
+  | Error msg -> Alcotest.fail msg
+
+let test_gantt () =
+  let spec = fig1 () in
+  let trace = Engine.run ~config:(cfg ~workers:3 ()) spec in
+  let chart = Engine.gantt ~width:40 trace in
+  let lines = String.split_on_char '\n' chart in
+  (* one row per executed task + the time axis *)
+  check_int "rows" (12 + 1 + 1) (List.length lines);
+  check_bool "has bars" true
+    (List.exists (fun l -> String.contains l '#') lines);
+  (* a crashing run draws x bars *)
+  let rec crashing seed =
+    let t = Engine.run ~config:(cfg ~failure_rate:0.3 ~seed ()) spec in
+    if List.exists (fun e -> e.Engine.outcome = Engine.Crashed) t.Engine.events
+    then t
+    else crashing (seed + 1)
+  in
+  let t = crashing 1 in
+  check_bool "crashes marked" true (String.contains (Engine.gantt t) 'x')
+
+let test_bad_config () =
+  let spec = fig1 () in
+  Alcotest.check_raises "no workers"
+    (Invalid_argument "Engine.run: need at least one worker") (fun () ->
+      ignore (Engine.run ~config:{ (cfg ()) with Engine.workers = 0 } spec));
+  Alcotest.check_raises "bad duration"
+    (Invalid_argument "Engine.run: durations must be positive") (fun () ->
+      ignore
+        (Engine.run
+           ~config:{ (cfg ()) with Engine.duration = (fun _ -> 0.0) }
+           spec))
+
+(* Properties over generated workflows. *)
+let gen_spec =
+  QCheck2.Gen.(
+    map
+      (fun (seed, size) ->
+        (seed, Gen.generate (List.nth Gen.all_families (seed mod 4)) ~seed ~size))
+      (pair (int_range 0 100_000) (int_range 5 60)))
+
+let prop_makespan_bounds =
+  QCheck2.Test.make ~name:"critical path <= makespan <= total work" ~count:80
+    QCheck2.Gen.(pair gen_spec (int_range 1 8))
+    (fun ((seed, spec), workers) ->
+      let config =
+        { Engine.default_config with
+          Engine.workers;
+          duration = (fun t -> 1.0 +. float_of_int ((t + seed) mod 5)) }
+      in
+      let trace = Engine.run ~config spec in
+      let cp = Engine.critical_path_length config spec in
+      let work = Engine.total_work config spec in
+      cp -. 1e-6 <= trace.Engine.makespan
+      && trace.Engine.makespan <= work +. 1e-6
+      && abs_float (trace.Engine.busy_time -. work) < 1e-6)
+
+let prop_statuses_always_consistent =
+  QCheck2.Test.make
+    ~name:"engine traces are always accepted by the provenance store"
+    ~count:80
+    QCheck2.Gen.(pair gen_spec (int_range 0 100))
+    (fun ((_, spec), seed) ->
+      let trace =
+        Engine.run ~config:(cfg ~failure_rate:0.3 ~seed ()) spec
+      in
+      match Store.record_run (Store.create spec) (Engine.statuses trace) with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let prop_salt_changes_exactly_descendants =
+  QCheck2.Test.make
+    ~name:"salting a task changes exactly its descendants' outputs" ~count:60
+    QCheck2.Gen.(pair gen_spec (int_range 0 1000))
+    (fun ((_, spec), pick) ->
+      let target = pick mod Spec.n_tasks spec in
+      let base = Engine.run ~config:(cfg ()) spec in
+      let salted = Engine.run ~config:(cfg ~salts:[ (target, 99) ] ()) spec in
+      List.for_all
+        (fun t ->
+          (Engine.output_value base t <> Engine.output_value salted t)
+          = Spec.depends spec target t)
+        (Spec.tasks spec))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "wolves_engine"
+    [ ( "engine",
+        [ Alcotest.test_case "sequential run" `Quick test_sequential_run;
+          Alcotest.test_case "parallel speedup and bounds" `Quick
+            test_parallel_speedup;
+          Alcotest.test_case "event consistency" `Quick test_event_consistency;
+          Alcotest.test_case "failure propagation" `Quick test_failure_propagation;
+          Alcotest.test_case "dataflow semantics" `Quick test_dataflow_semantics;
+          Alcotest.test_case "store bridge" `Quick test_store_bridge;
+          Alcotest.test_case "gantt rendering" `Quick test_gantt;
+          Alcotest.test_case "config validation" `Quick test_bad_config;
+          qt prop_makespan_bounds;
+          qt prop_statuses_always_consistent;
+          qt prop_salt_changes_exactly_descendants ] ) ]

@@ -1,0 +1,180 @@
+(* Tests for multi-level views: construction, flattening, per-level
+   validation, and the composition theorem (locally sound levels => sound
+   flattened view). *)
+
+open Wolves_workflow
+module Hr = Wolves_core.Hierarchy
+module S = Wolves_core.Soundness
+module C = Wolves_core.Corrector
+module Gen = Wolves_workload.Generate
+module Views = Wolves_workload.Views
+module Prng = Wolves_workload.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_spec_of_view () =
+  let _, view = Examples.figure1 () in
+  let vspec = Hr.spec_of_view view in
+  check_int "one task per composite" 7 (Spec.n_tasks vspec);
+  (* View edges of figure 1: 13->14, 14->16, 15->16?? compute: count. *)
+  check_int "edges = view edges" (Wolves_graph.Digraph.n_edges (View.view_graph view))
+    (Spec.n_dependencies vspec);
+  check_bool "task named after composite" true
+    (Spec.task_of_name vspec "16:Align Sequences" <> None)
+
+let test_two_levels_fig1 () =
+  let _, view = Examples.figure1 () in
+  let h = Hr.base view in
+  check_int "height 1" 1 (Hr.height h);
+  (* Coarsen: group the annotation side and the sequence side. *)
+  match
+    Hr.coarsen h
+      [ ("Input", [ "13:Select Entries"; "14:Split & Annotate" ]);
+        ("Annotations", [ "16:Align Sequences"; "17:Format Annotations" ]);
+        ("Sequences", [ "15:Extract Sequences"; "18:Format Alignment" ]);
+        ("Output", [ "19:Build Phylo Tree" ]) ]
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok h2 ->
+    check_int "height 2" 2 (Hr.height h2);
+    let flat = Hr.flatten h2 in
+    check_int "flattened composites" 4 (View.n_composites flat);
+    check_int "flattened covers all tasks" 12
+      (List.fold_left
+         (fun acc c -> acc + List.length (View.members flat c))
+         0 (View.composites flat));
+    (* Level 0 (figure 1's view) is unsound; so the stack is unsound. *)
+    check_bool "stack unsound" false (Hr.sound h2);
+    Alcotest.(check (option int)) "level 0 is the culprit" (Some 0)
+      (Hr.first_unsound_level h2)
+
+let test_sound_stack () =
+  (* Correct figure 1 first, then coarsen soundly: chain groups. *)
+  let _, view = Examples.figure1 () in
+  let corrected, _ = C.correct C.Strong view in
+  let h = Hr.base corrected in
+  let names = List.map (View.composite_name corrected) (View.composites corrected) in
+  (* Two super-groups: a prefix and the rest, split at the phylo-tree
+     builder; this may or may not be sound — find a trivial sound coarsening
+     instead: all singleton super-groups. *)
+  let singleton_groups = List.map (fun n -> ("S:" ^ n, [ n ])) names in
+  match Hr.coarsen h singleton_groups with
+  | Error msg -> Alcotest.fail msg
+  | Ok h2 ->
+    check_bool "singleton coarsening keeps soundness" true (Hr.sound h2);
+    check_bool "flattened sound" true (S.is_sound (Hr.flatten h2));
+    check_int "levels accessible" 8 (View.n_composites (Hr.level h2 0))
+
+let test_coarsen_errors () =
+  let _, view = Examples.figure3 () in
+  let h = Hr.base view in
+  (match Hr.coarsen h [ ("X", [ "Source" ]) ] with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "partial cover accepted");
+  match Hr.coarsen h [ ("X", [ "Source"; "nope" ]) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown composite accepted"
+
+(* The composition theorem. *)
+let prop_composition =
+  QCheck2.Test.make
+    ~name:"locally sound levels => sound flattened view" ~count:80
+    QCheck2.Gen.(triple (int_range 0 100_000) (int_range 10 40) (int_range 2 5))
+    (fun (seed, size, k) ->
+      let family = List.nth Gen.all_families (seed mod 4) in
+      let spec = Gen.generate family ~seed ~size in
+      (* Level 0: a corrected (hence sound) view. *)
+      let v0, _ =
+        C.correct C.Strong (Views.build ~seed (Views.Connected_groups k) spec)
+      in
+      (* Level 1: sound groups over the view-graph-as-workflow. *)
+      let vspec = Hr.spec_of_view v0 in
+      let super = Views.build ~seed:(seed + 1) (Views.Sound_groups k) vspec in
+      let groups =
+        List.map
+          (fun c ->
+            ( "S" ^ string_of_int c,
+              List.map (Spec.task_name vspec) (View.members super c) ))
+          (View.composites super)
+      in
+      match Hr.coarsen (Hr.base v0) groups with
+      | Error _ -> false
+      | Ok h ->
+        Hr.sound h
+        (* the theorem: *)
+        && S.is_sound (Hr.flatten h))
+
+(* Sanity: the flattened partition equals composing memberships by hand. *)
+let prop_flatten_partition =
+  QCheck2.Test.make ~name:"flatten produces a partition of the base tasks"
+    ~count:80
+    QCheck2.Gen.(triple (int_range 0 100_000) (int_range 10 40) (int_range 2 5))
+    (fun (seed, size, k) ->
+      let family = List.nth Gen.all_families ((seed + 1) mod 4) in
+      let spec = Gen.generate family ~seed ~size in
+      (* Stack over a corrected level: unsound views can have cyclic view
+         graphs, which cannot be re-read as workflows. *)
+      let v0, _ =
+        C.correct C.Strong (Views.build ~seed (Views.Connected_groups k) spec)
+      in
+      let vspec = Hr.spec_of_view v0 in
+      let super =
+        Views.build ~seed:(seed + 2) (Views.Random_partition k) vspec
+      in
+      let groups =
+        List.map
+          (fun c ->
+            ( "S" ^ string_of_int c,
+              List.map (Spec.task_name vspec) (View.members super c) ))
+          (View.composites super)
+      in
+      match Hr.coarsen (Hr.base v0) groups with
+      | Error _ -> false
+      | Ok h ->
+        let flat = Hr.flatten h in
+        View.n_composites flat = View.n_composites super
+        && List.sort compare
+             (List.concat_map (View.members flat) (View.composites flat))
+           = Spec.tasks spec)
+
+(* Theorem: a sound view's view graph is acyclic (an unsound one's need
+   not be). *)
+let prop_sound_views_acyclic =
+  QCheck2.Test.make ~name:"sound views have acyclic view graphs" ~count:80
+    QCheck2.Gen.(triple (int_range 0 100_000) (int_range 8 40) (int_range 2 6))
+    (fun (seed, size, k) ->
+      let family = List.nth Gen.all_families (seed mod 4) in
+      let spec = Gen.generate family ~seed ~size in
+      let view, _ =
+        C.correct C.Strong (Views.build ~seed (Views.Random_partition k) spec)
+      in
+      Wolves_graph.Algo.is_dag (View.view_graph view))
+
+let test_unsound_view_graph_can_cycle () =
+  (* x -> a, b -> y with A = {x, y}, B = {a, b}: edges A->B and B->A. *)
+  let spec =
+    Spec.of_tasks_exn ~name:"cycle" [ "x"; "a"; "b"; "y" ]
+      [ ("x", "a"); ("b", "y") ]
+  in
+  let view = View.make_exn spec [ ("A", [ "x"; "y" ]); ("B", [ "a"; "b" ]) ] in
+  check_bool "view graph cyclic" false
+    (Wolves_graph.Algo.is_dag (View.view_graph view));
+  check_bool "and the view is unsound" false (S.is_sound view);
+  match Hr.coarsen (Hr.base view) [ ("All", [ "A"; "B" ]) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stacking on a cyclic view graph must fail"
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "wolves_hierarchy"
+    [ ( "hierarchy",
+        [ Alcotest.test_case "view graph as workflow" `Quick test_spec_of_view;
+          Alcotest.test_case "two levels over figure 1" `Quick test_two_levels_fig1;
+          Alcotest.test_case "sound stack" `Quick test_sound_stack;
+          Alcotest.test_case "coarsen errors" `Quick test_coarsen_errors;
+          Alcotest.test_case "unsound view graphs can cycle" `Quick
+            test_unsound_view_graph_can_cycle;
+          qt prop_composition;
+          qt prop_flatten_partition;
+          qt prop_sound_views_acyclic ] ) ]

@@ -1,0 +1,210 @@
+(* Tests for the .wf workflow DSL: parsing, error positions, round-trips,
+   and cross-format agreement with MoML. *)
+
+open Wolves_workflow
+module Wfdsl = Wolves_lang.Wfdsl
+module Moml = Wolves_moml.Moml
+module Gen = Wolves_workload.Generate
+module Views = Wolves_workload.Views
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "DSL error: %a" Wfdsl.pp_error e
+
+let sample =
+  {|# a small analysis
+workflow "demo" {
+  task "fetch";
+  task "clean";
+  task "join";     # trailing comments are fine
+  task "report";
+  task "audit";
+
+  "fetch" -> "clean" -> "join";
+  "clean" -> "audit";
+  "join" -> "report";
+
+  composite "Prepare" { "fetch" "clean" }
+  composite "Publish" { "join" "report" }
+}
+|}
+
+let test_parse_sample () =
+  let spec, view = ok (Wfdsl.of_string sample) in
+  Alcotest.(check string) "name" "demo" (Spec.name spec);
+  check_int "tasks" 5 (Spec.n_tasks spec);
+  check_int "edges (chain sugar expands)" 4 (Spec.n_dependencies spec);
+  check_bool "chain edge 1" true
+    (Spec.depends spec (Spec.task_of_name_exn spec "fetch")
+       (Spec.task_of_name_exn spec "join"));
+  check_int "composites: 2 declared + 1 singleton" 3 (View.n_composites view);
+  check_bool "singleton for audit" true (View.composite_of_name view "audit" <> None)
+
+let test_parse_errors () =
+  let cases =
+    [ ("", "expected 'workflow'");
+      ("workflow \"w\" {", "missing '}'");
+      ("workflow \"w\" { task \"a\" }", "expected ';'");
+      ("workflow \"w\" { task \"a\"; task \"a\"; }", "declared twice");
+      ("workflow \"w\" { \"a\" -> \"b\"; }", "unknown task \"a\"");
+      ("workflow \"w\" { task \"a\"; \"a\"; }", "at least two tasks");
+      ("workflow \"w\" { task \"a\"; composite \"c\" { \"a\" } composite \"d\" { \"a\" } }",
+       "already in a composite");
+      ("workflow \"w\" { task \"a\"; } extra", "unknown keyword");
+      ("workflow \"w\" { task \"a; }", "unterminated name");
+      ("workflow \"w\" { task \"a\"; - }", "expected '->'");
+      ("workflow \"w\" { task \"a\"; task \"b\"; \"a\" -> \"b\" -> ; }",
+       "expected a task name after '->'");
+      ("workflow \"w\" { task \"a\"; ? }", "unexpected character");
+      ("workflow \"w\" { task \"a\"; task \"b\"; \"a\" -> \"b\"; \"b\" -> \"a\"; }",
+       "dependency cycle") ]
+  in
+  List.iter
+    (fun (src, fragment) ->
+      match Wfdsl.of_string src with
+      | Ok _ -> Alcotest.failf "expected %S to fail (%s)" src fragment
+      | Error e ->
+        let msg = Format.asprintf "%a" Wfdsl.pp_error e in
+        let contains =
+          let ln = String.length fragment and lh = String.length msg in
+          let rec go i = i + ln <= lh && (String.sub msg i ln = fragment || go (i + 1)) in
+          go 0
+        in
+        check_bool (Printf.sprintf "%s in %s" fragment msg) true contains)
+    cases
+
+let test_error_positions () =
+  match Wfdsl.of_string "workflow \"w\" {\n  task \"a\";\n  bogus\n}" with
+  | Error e ->
+    check_int "line" 3 e.Wfdsl.line;
+    check_int "column" 3 e.Wfdsl.column
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let test_escapes () =
+  let spec, _ =
+    ok (Wfdsl.of_string {|workflow "a\"b" { task "x\\y"; }|})
+  in
+  Alcotest.(check string) "workflow name" {|a"b|} (Spec.name spec);
+  check_bool "task name" true (Spec.task_of_name spec {|x\y|} <> None)
+
+let test_attributes () =
+  let spec, _ =
+    ok
+      (Wfdsl.of_string
+         {|workflow "w" {
+  task "a" [ "duration" = "2.5", "mem" = "4G" ];
+  task "b";
+  "a" -> "b";
+}|})
+  in
+  let a = Spec.task_of_name_exn spec "a" in
+  Alcotest.(check (option string)) "attr" (Some "4G") (Spec.attr spec a "mem");
+  Alcotest.(check (option (float 0.0))) "float attr" (Some 2.5)
+    (Spec.float_attr spec a "duration");
+  Alcotest.(check (list (pair string string))) "sorted attrs"
+    [ ("duration", "2.5"); ("mem", "4G") ]
+    (Spec.attrs spec a);
+  (* Engine picks the duration up. *)
+  let d = Wolves_engine.Engine.durations_from_attrs spec in
+  Alcotest.(check (float 0.0)) "duration read" 2.5 (d a);
+  Alcotest.(check (float 0.0)) "default elsewhere" 1.0
+    (d (Spec.task_of_name_exn spec "b"));
+  (* DSL round trip preserves attributes. *)
+  let view = View.singleton_view spec in
+  let spec', _ = ok (Wfdsl.of_string (Wfdsl.to_string view)) in
+  Alcotest.(check (list (pair string string))) "DSL round trip"
+    (Spec.attrs spec a)
+    (Spec.attrs spec' (Spec.task_of_name_exn spec' "a"));
+  (* MoML round trip preserves attributes too. *)
+  (match Moml.of_string (Moml.to_string view) with
+   | Ok (spec'', _) ->
+     Alcotest.(check (list (pair string string))) "MoML round trip"
+       (Spec.attrs spec a)
+       (Spec.attrs spec'' (Spec.task_of_name_exn spec'' "a"))
+   | Error e -> Alcotest.failf "MoML: %a" Moml.pp_error e);
+  (* Error paths. *)
+  (match Wfdsl.of_string {|workflow "w" { task "a" [ "k" "v" ]; }|} with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "missing '=' accepted");
+  match Wfdsl.of_string {|workflow "w" { task "a" [ ]; }|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty attr block accepted"
+
+let test_roundtrip_figure1 () =
+  let _, view = Examples.figure1 () in
+  let spec', view' = ok (Wfdsl.of_string (Wfdsl.to_string view)) in
+  check_int "tasks" 12 (Spec.n_tasks spec');
+  check_int "deps" 12 (Spec.n_dependencies spec');
+  check_int "composites" 7 (View.n_composites view');
+  List.iter
+    (fun c ->
+      let name = View.composite_name view c in
+      let c' = Option.get (View.composite_of_name view' name) in
+      Alcotest.(check (list string)) name
+        (List.map (Spec.task_name (View.spec view)) (View.members view c))
+        (List.map (Spec.task_name spec') (View.members view' c')))
+    (View.composites view)
+
+let test_file_io () =
+  let _, view = Examples.figure3 () in
+  let path = Filename.temp_file "wolves" ".wf" in
+  (match Wfdsl.save path view with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "save: %a" Wfdsl.pp_error e);
+  let spec', _ = ok (Wfdsl.load path) in
+  Sys.remove path;
+  check_int "tasks" 14 (Spec.n_tasks spec');
+  match Wfdsl.load "/nonexistent.wf" with
+  | Error e -> check_int "io errors at line 0" 0 e.Wfdsl.line
+  | Ok _ -> Alcotest.fail "expected io failure"
+
+(* Cross-format: DSL and MoML agree on generated views. *)
+let prop_cross_format =
+  QCheck2.Test.make ~name:"DSL and MoML round-trip to the same view" ~count:80
+    QCheck2.Gen.(triple (int_range 0 100_000) (int_range 4 40) (int_range 1 6))
+    (fun (seed, size, k) ->
+      let family = List.nth Gen.all_families (seed mod 4) in
+      let spec = Gen.generate family ~seed ~size in
+      let view = Views.build ~seed (Views.Connected_groups k) spec in
+      match
+        (Wfdsl.of_string (Wfdsl.to_string view), Moml.of_string (Moml.to_string view))
+      with
+      | Ok (s1, v1), Ok (s2, v2) ->
+        Spec.n_tasks s1 = Spec.n_tasks s2
+        && Spec.n_dependencies s1 = Spec.n_dependencies s2
+        && View.n_composites v1 = View.n_composites v2
+        && List.for_all
+             (fun c ->
+               let name = View.composite_name v1 c in
+               match View.composite_of_name v2 name with
+               | None -> false
+               | Some c' ->
+                 List.map (Spec.task_name s1) (View.members v1 c)
+                 = List.map (Spec.task_name s2) (View.members v2 c'))
+             (View.composites v1)
+      | _ -> false)
+
+let prop_dsl_fuzz =
+  QCheck2.Test.make ~name:"DSL parser total on random bytes" ~count:300
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 120))
+    (fun input ->
+      match Wfdsl.of_string input with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "wolves_lang"
+    [ ( "wfdsl",
+        [ Alcotest.test_case "sample document" `Quick test_parse_sample;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
+          Alcotest.test_case "escapes" `Quick test_escapes;
+          Alcotest.test_case "task attributes end to end" `Quick test_attributes;
+          Alcotest.test_case "figure 1 round trip" `Quick test_roundtrip_figure1;
+          Alcotest.test_case "file io" `Quick test_file_io;
+          qt prop_cross_format;
+          qt prop_dsl_fuzz ] ) ]

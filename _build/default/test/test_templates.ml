@@ -1,0 +1,141 @@
+(* Tests for the scientific-workflow template suite (Montage, CyberShake,
+   Epigenomics, LIGO): shapes, natural stage views, audit behaviour, and
+   correction of the realistic corpora. *)
+
+open Wolves_workflow
+module T = Wolves_workload.Templates
+module S = Wolves_core.Soundness
+module C = Wolves_core.Corrector
+module P = Wolves_provenance.Provenance
+module Algo = Wolves_graph.Algo
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_montage_shape () =
+  let spec = T.generate T.Montage ~scale:4 in
+  (* 4 mProject + 3 mDiffFit + mConcatFit + mBgModel + 4 mBackground +
+     mImgtbl + mAdd + mShrink + mJPEG = 17 *)
+  check_int "tasks" 17 (Spec.n_tasks spec);
+  check_bool "acyclic" true (Algo.is_dag (Spec.graph spec));
+  let t n = Spec.task_of_name_exn spec n in
+  check_bool "projection feeds the final mosaic" true
+    (Spec.depends spec (t "mProject_0") (t "mJPEG"));
+  check_bool "background correction uses the model" true
+    (Spec.depends spec (t "mBgModel") (t "mBackground_3"));
+  (* single tile edge case *)
+  let tiny = T.generate T.Montage ~scale:1 in
+  check_bool "scale 1 builds" true (Spec.n_tasks tiny > 0);
+  check_bool "still connected to output" true
+    (Spec.depends tiny
+       (Spec.task_of_name_exn tiny "mProject_0")
+       (Spec.task_of_name_exn tiny "mJPEG"))
+
+let test_cybershake_shape () =
+  let spec = T.generate T.Cybershake ~scale:5 in
+  (* 5 SGT + 10 synth + 10 peak + 2 zips = 27 *)
+  check_int "tasks" 27 (Spec.n_tasks spec);
+  let t n = Spec.task_of_name_exn spec n in
+  check_bool "synthesis feeds both zips" true
+    (Spec.depends spec (t "SeismogramSynthesis_2_1") (t "ZipSeis")
+     && Spec.depends spec (t "SeismogramSynthesis_2_1") (t "ZipPSA"))
+
+let test_epigenomics_shape () =
+  let spec = T.generate T.Epigenomics ~scale:6 in
+  (* split + 4*6 lanes + merge + index + pileup = 28 *)
+  check_int "tasks" 28 (Spec.n_tasks spec);
+  let t n = Spec.task_of_name_exn spec n in
+  check_bool "lane flows end to end" true
+    (Spec.depends spec (t "fastQSplit") (t "pileup"));
+  check_int "pileup has one producer" 1
+    (List.length (Spec.producers spec (t "pileup")))
+
+let test_ligo_shape () =
+  let spec = T.generate T.Ligo ~scale:7 in
+  check_bool "acyclic" true (Algo.is_dag (Spec.graph spec));
+  let t n = Spec.task_of_name_exn spec n in
+  (* 7 lanes in groups of 3 -> 3 groups *)
+  check_bool "groups exist" true (Spec.task_of_name spec "Thinca1_2" <> None);
+  check_bool "two-stage analysis" true
+    (Spec.depends spec (t "TmpltBank_0") (t "Thinca2_0"));
+  check_bool "groups are independent" false
+    (Spec.depends spec (t "TmpltBank_0") (t "Thinca2_1"))
+
+let test_natural_views_audit () =
+  (* The realistic finding: stage views of data-parallel workflows are
+     frequently unsound — the paper's motivating survey, on real shapes. *)
+  let unsound_stage_views = ref 0 in
+  List.iter
+    (fun suite ->
+      let spec = T.generate suite ~scale:6 in
+      let view = T.natural_view suite spec in
+      (* stage view covers all tasks *)
+      check_int
+        (T.suite_name suite ^ " stage view covers tasks")
+        (Spec.n_tasks spec)
+        (List.fold_left
+           (fun acc c -> acc + List.length (View.members view c))
+           0 (View.composites view));
+      if not (S.is_sound view) then incr unsound_stage_views)
+    T.all_suites;
+  check_bool "most natural stage views are unsound" true (!unsound_stage_views >= 3)
+
+let test_epigenomics_stage_witness () =
+  (* The filter stage groups independent lanes: the classic unsound
+     composite, with real task names. *)
+  let spec = T.generate T.Epigenomics ~scale:3 in
+  let view = T.natural_view T.Epigenomics spec in
+  let stage = Option.get (View.composite_of_name view "filterContams") in
+  check_bool "filter stage unsound" false (S.composite_sound view stage);
+  let witnesses = S.composite_witnesses view stage in
+  let t n = Spec.task_of_name_exn spec n in
+  check_bool "cross-lane witness" true
+    (List.mem (t "filterContams_0", t "filterContams_1") witnesses)
+
+let test_correction_restores_provenance () =
+  List.iter
+    (fun suite ->
+      let spec = T.generate suite ~scale:5 in
+      let view = T.natural_view suite spec in
+      let corrected, _ = C.correct C.Strong view in
+      check_bool (T.suite_name suite ^ " corrected sound") true
+        (S.is_sound corrected);
+      let stats = P.evaluate_view corrected in
+      check_int (T.suite_name suite ^ " exact provenance") 0 stats.P.spurious)
+    T.all_suites
+
+let test_scale_guard () =
+  Alcotest.check_raises "scale 0" (Invalid_argument "Templates.generate: scale < 1")
+    (fun () -> ignore (T.generate T.Montage ~scale:0))
+
+let prop_templates_valid =
+  QCheck2.Test.make ~name:"all suites at all scales are valid DAG workflows"
+    ~count:60
+    QCheck2.Gen.(pair (oneofl T.all_suites) (int_range 1 20))
+    (fun (suite, scale) ->
+      let spec = T.generate suite ~scale in
+      Algo.is_dag (Spec.graph spec)
+      && Spec.n_tasks spec > 0
+      && List.for_all
+           (fun t -> Spec.producers spec t <> [] || Spec.consumers spec t <> [])
+           (Spec.tasks spec)
+      &&
+      let view = T.natural_view suite spec in
+      View.n_composites view <= Spec.n_tasks spec)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "wolves_templates"
+    [ ( "templates",
+        [ Alcotest.test_case "montage" `Quick test_montage_shape;
+          Alcotest.test_case "cybershake" `Quick test_cybershake_shape;
+          Alcotest.test_case "epigenomics" `Quick test_epigenomics_shape;
+          Alcotest.test_case "ligo" `Quick test_ligo_shape;
+          Alcotest.test_case "natural stage views are often unsound" `Quick
+            test_natural_views_audit;
+          Alcotest.test_case "epigenomics witness" `Quick
+            test_epigenomics_stage_witness;
+          Alcotest.test_case "correction restores exact provenance" `Quick
+            test_correction_restores_provenance;
+          Alcotest.test_case "scale guard" `Quick test_scale_guard;
+          qt prop_templates_valid ] ) ]

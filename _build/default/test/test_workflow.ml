@@ -1,0 +1,312 @@
+(* Tests for workflow specifications, views and the hand-encoded paper
+   examples. *)
+
+open Wolves_workflow
+module Digraph = Wolves_graph.Digraph
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let simple_spec () =
+  Spec.of_tasks_exn ~name:"simple"
+    [ "a"; "b"; "c"; "d" ]
+    [ ("a", "b"); ("a", "c"); ("b", "d"); ("c", "d") ]
+
+(* ------------------------------------------------------------------ *)
+(* Spec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_build () =
+  let s = simple_spec () in
+  check_string "name" "simple" (Spec.name s);
+  check_int "tasks" 4 (Spec.n_tasks s);
+  check_int "deps" 4 (Spec.n_dependencies s);
+  let a = Spec.task_of_name_exn s "a" and d = Spec.task_of_name_exn s "d" in
+  check_string "task_name" "a" (Spec.task_name s a);
+  check_bool "depends a d" true (Spec.depends s a d);
+  check_bool "not depends d a" false (Spec.depends s d a);
+  check_bool "reflexive" true (Spec.depends s a a);
+  check_int "producers of d" 2 (List.length (Spec.producers s d));
+  check_int "consumers of a" 2 (List.length (Spec.consumers s a))
+
+let test_spec_duplicate () =
+  match Spec.of_tasks ~name:"x" [ "a"; "a" ] [] with
+  | Error (Spec.Duplicate_task "a") -> ()
+  | _ -> Alcotest.fail "expected Duplicate_task"
+
+let test_spec_unknown () =
+  match Spec.of_tasks ~name:"x" [ "a" ] [ ("a", "zz") ] with
+  | Error (Spec.Unknown_task "zz") -> ()
+  | _ -> Alcotest.fail "expected Unknown_task"
+
+let test_spec_self_dep () =
+  match Spec.of_tasks ~name:"x" [ "a" ] [ ("a", "a") ] with
+  | Error (Spec.Self_dependency "a") -> ()
+  | _ -> Alcotest.fail "expected Self_dependency"
+
+let test_spec_cycle () =
+  match
+    Spec.of_tasks ~name:"x" [ "a"; "b"; "c" ]
+      [ ("a", "b"); ("b", "c"); ("c", "a") ]
+  with
+  | Error (Spec.Cyclic names) ->
+    check_int "cycle length" 3 (List.length names)
+  | _ -> Alcotest.fail "expected Cyclic"
+
+let test_spec_builder_independent () =
+  (* finish freezes a copy: later builder edits do not leak in. *)
+  let b = Spec.Builder.create ~name:"frozen" () in
+  let _ = Spec.Builder.add_task_exn b "a" in
+  let _ = Spec.Builder.add_task_exn b "b" in
+  Spec.Builder.add_dependency_exn b "a" "b";
+  let frozen = Spec.Builder.finish_exn b in
+  let _ = Spec.Builder.add_task_exn b "c" in
+  Spec.Builder.add_dependency_exn b "b" "c";
+  check_int "frozen unaffected" 2 (Spec.n_tasks frozen);
+  let second = Spec.Builder.finish_exn b in
+  check_int "second snapshot" 3 (Spec.n_tasks second)
+
+let test_spec_topo () =
+  let s = simple_spec () in
+  let order = Spec.topological_order s in
+  let pos = Hashtbl.create 4 in
+  List.iteri (fun i t -> Hashtbl.replace pos t i) order;
+  Digraph.iter_edges
+    (fun u v ->
+      check_bool "edge sorted" true (Hashtbl.find pos u < Hashtbl.find pos v))
+    (Spec.graph s)
+
+(* ------------------------------------------------------------------ *)
+(* View                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_view_make () =
+  let s = simple_spec () in
+  let v = View.make_exn s [ ("front", [ "a"; "b" ]); ("back", [ "c"; "d" ]) ] in
+  check_int "composites" 2 (View.n_composites v);
+  let front = Option.get (View.composite_of_name v "front") in
+  let back = Option.get (View.composite_of_name v "back") in
+  check_string "name" "front" (View.composite_name v front);
+  check_int "front members" 2 (List.length (View.members v front));
+  check_int "task->composite" front
+    (View.composite_of_task v (Spec.task_of_name_exn s "b"));
+  let g = View.view_graph v in
+  check_bool "front -> back edge" true (Digraph.mem_edge g front back);
+  check_bool "no back edge" false (Digraph.mem_edge g back front);
+  (* a->b is internal: the view graph has exactly one edge *)
+  check_int "one inter-composite edge" 1 (Digraph.n_edges g);
+  Alcotest.(check (float 0.001)) "compression" 2.0 (View.compression v)
+
+let test_view_errors () =
+  let s = simple_spec () in
+  let expect groups expected =
+    match View.make s groups with
+    | Error e -> check_string "error" expected (Format.asprintf "%a" View.pp_error e)
+    | Ok _ -> Alcotest.fail "expected an error"
+  in
+  expect
+    [ ("x", [ "a"; "b" ]); ("y", [ "c" ]) ]
+    "task \"d\" is not covered by the view";
+  expect
+    [ ("x", [ "a"; "b"; "c" ]); ("y", [ "c"; "d" ]) ]
+    "task \"c\" belongs to several composites";
+  expect
+    [ ("x", [ "a"; "b" ]); ("x", [ "c"; "d" ]) ]
+    "duplicate composite name \"x\"";
+  expect
+    [ ("x", [ "a"; "b"; "c"; "d" ]); ("y", []) ]
+    "composite \"y\" has no members";
+  expect
+    [ ("x", [ "a"; "b"; "c"; "d"; "zz" ]) ]
+    "view mentions unknown task \"zz\""
+
+let test_view_split () =
+  let s = simple_spec () in
+  let v = View.make_exn s [ ("all", [ "a"; "b"; "c"; "d" ]) ] in
+  let b = Spec.task_of_name_exn s "b" and c = Spec.task_of_name_exn s "c" in
+  let a = Spec.task_of_name_exn s "a" and d = Spec.task_of_name_exn s "d" in
+  let v' = View.split_exn v 0 [ [ a; b ]; [ c; d ] ] in
+  check_int "split into two" 2 (View.n_composites v');
+  check_bool "names suffixed" true
+    (View.composite_of_name v' "all/0" <> None
+     && View.composite_of_name v' "all/1" <> None);
+  (* error cases *)
+  (match View.split v 0 [ [ a; b ]; [ c ] ] with
+   | Error (View.Task_not_covered _) -> ()
+   | _ -> Alcotest.fail "expected Task_not_covered");
+  (match View.split v 0 [ [ a; b ]; [ b; c; d ] ] with
+   | Error (View.Task_in_several_composites _) -> ()
+   | _ -> Alcotest.fail "expected duplicate");
+  (match View.split v' 0 [ [ a ]; [ b; c ] ] with
+   | Error (View.Unknown_task_in_view _) -> ()
+   | _ -> Alcotest.fail "expected foreign task")
+
+let test_view_merge () =
+  let s = simple_spec () in
+  let v = View.singleton_view s in
+  check_int "singleton count" 4 (View.n_composites v);
+  let v' = View.merge_exn v [ 0; 1 ] in
+  check_int "after merge" 3 (View.n_composites v');
+  let merged = Option.get (View.composite_of_name v' "a") in
+  check_int "merged members" 2 (List.length (View.members v' merged));
+  (match View.merge v [ 0; 0 ] with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "duplicate ids rejected");
+  (match View.merge v [ 9 ] with
+   | Error (View.Unknown_composite 9) -> ()
+   | _ -> Alcotest.fail "unknown composite rejected")
+
+let test_view_split_merge_roundtrip () =
+  let s = simple_spec () in
+  let v = View.make_exn s [ ("all", [ "a"; "b"; "c"; "d" ]) ] in
+  let parts =
+    [ [ Spec.task_of_name_exn s "a" ];
+      [ Spec.task_of_name_exn s "b"; Spec.task_of_name_exn s "c" ];
+      [ Spec.task_of_name_exn s "d" ] ]
+  in
+  let v' = View.split_exn v 0 parts in
+  let v'' = View.merge_exn v' (View.composites v') in
+  check_bool "split then merge-all restores partition" true (View.equal v v'')
+
+let test_empty_workflow () =
+  (* Degenerate but legal: a workflow with no tasks. *)
+  let spec = Spec.of_tasks_exn ~name:"empty" [] [] in
+  check_int "no tasks" 0 (Spec.n_tasks spec);
+  Alcotest.(check (list int)) "no topo order" [] (Spec.topological_order spec);
+  let view = View.singleton_view spec in
+  check_int "no composites" 0 (View.n_composites view);
+  Alcotest.(check (float 0.0)) "compression defined" 1.0 (View.compression view);
+  check_bool "vacuously sound" true (Wolves_core.Soundness.is_sound view);
+  (* And the correctors leave it alone. *)
+  let corrected, outcomes =
+    Wolves_core.Corrector.correct Wolves_core.Corrector.Strong view
+  in
+  check_int "nothing corrected" 0 (List.length outcomes);
+  check_int "still empty" 0 (View.n_composites corrected)
+
+let test_single_task_workflow () =
+  let spec = Spec.of_tasks_exn ~name:"solo" [ "only" ] [] in
+  let view = View.singleton_view spec in
+  check_bool "sound" true (Wolves_core.Soundness.is_sound view);
+  check_int "one composite" 1 (View.n_composites view)
+
+(* ------------------------------------------------------------------ *)
+(* Examples                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_figure1_shape () =
+  let spec, view = Examples.figure1 () in
+  check_int "12 tasks" 12 (Spec.n_tasks spec);
+  check_int "12 deps" 12 (Spec.n_dependencies spec);
+  check_int "7 composites" 7 (View.n_composites view);
+  (* Narrative facts from the paper's introduction. *)
+  let t n = Spec.task_of_name_exn spec n in
+  check_bool "2 reaches 8 (sequences feed the alignment)" true
+    (Spec.depends spec (t "2:Split Entries") (t "8:Format Alignment"));
+  check_bool "3 does not reach 8 (the paper's wrong provenance)" false
+    (Spec.depends spec (t "3:Extract Annotations") (t "8:Format Alignment"));
+  let c16 = Examples.figure1_unsound_composite view in
+  check_int "16 has two members" 2 (List.length (View.members view c16))
+
+let test_figure3_shape () =
+  let spec, view = Examples.figure3 () in
+  check_int "14 tasks" 14 (Spec.n_tasks spec);
+  check_int "3 composites" 3 (View.n_composites view);
+  let t = Examples.figure3_composite view in
+  check_int "12 members" 12 (List.length (View.members view t))
+
+let test_prop21_shape () =
+  let spec, view = Examples.prop21_counterexample () in
+  check_int "4 tasks" 4 (Spec.n_tasks spec);
+  check_int "3 composites" 3 (View.n_composites view)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_dag_spec =
+  QCheck2.Gen.(
+    bind (int_range 2 20) (fun n ->
+        bind (list_size (int_range 0 40) (pair (int_bound 1000) (int_bound 1000)))
+          (fun raw ->
+            let edges =
+              List.filter_map
+                (fun (a, b) ->
+                  let u = a mod n and v = b mod n in
+                  if u < v then Some (u, v) else if v < u then Some (v, u) else None)
+                raw
+            in
+            return (n, edges))))
+
+let spec_of (n, edges) =
+  Spec.of_tasks_exn ~name:"prop"
+    (List.init n (Printf.sprintf "t%d"))
+    (List.map (fun (u, v) -> (Printf.sprintf "t%d" u, Printf.sprintf "t%d" v)) edges)
+
+let prop_view_graph_edges =
+  QCheck2.Test.make ~name:"view graph = contracted dependency graph" ~count:200
+    QCheck2.Gen.(pair gen_dag_spec (int_range 1 5))
+    (fun ((n, edges), k) ->
+      let spec = spec_of (n, edges) in
+      (* Partition tasks round-robin into k groups (k <= n). *)
+      let k = min k n in
+      let parts =
+        List.init k (fun g ->
+            List.filter (fun t -> t mod k = g) (Spec.tasks spec))
+      in
+      let view = View.of_partition_exn spec parts in
+      let vg = View.view_graph view in
+      let expected_edge c1 c2 =
+        List.exists
+          (fun (u, v) ->
+            View.composite_of_task view u = c1 && View.composite_of_task view v = c2)
+          edges
+      in
+      List.for_all
+        (fun c1 ->
+          List.for_all
+            (fun c2 ->
+              c1 = c2 || Digraph.mem_edge vg c1 c2 = expected_edge c1 c2)
+            (View.composites view))
+        (View.composites view))
+
+let prop_singleton_view_partition =
+  QCheck2.Test.make ~name:"singleton view covers every task exactly once"
+    ~count:100 gen_dag_spec
+    (fun input ->
+      let spec = spec_of input in
+      let view = View.singleton_view spec in
+      View.n_composites view = Spec.n_tasks spec
+      && List.for_all
+           (fun t -> View.members view (View.composite_of_task view t) = [ t ])
+           (Spec.tasks spec))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "wolves_workflow"
+    [ ( "spec",
+        [ Alcotest.test_case "build and query" `Quick test_spec_build;
+          Alcotest.test_case "duplicate task" `Quick test_spec_duplicate;
+          Alcotest.test_case "unknown task" `Quick test_spec_unknown;
+          Alcotest.test_case "self dependency" `Quick test_spec_self_dep;
+          Alcotest.test_case "cycle rejected" `Quick test_spec_cycle;
+          Alcotest.test_case "builder snapshots are frozen" `Quick
+            test_spec_builder_independent;
+          Alcotest.test_case "topological order" `Quick test_spec_topo ] );
+      ( "view",
+        [ Alcotest.test_case "make and query" `Quick test_view_make;
+          Alcotest.test_case "invalid views rejected" `Quick test_view_errors;
+          Alcotest.test_case "split" `Quick test_view_split;
+          Alcotest.test_case "merge" `Quick test_view_merge;
+          Alcotest.test_case "split/merge round trip" `Quick
+            test_view_split_merge_roundtrip;
+          Alcotest.test_case "empty workflow" `Quick test_empty_workflow;
+          Alcotest.test_case "single-task workflow" `Quick
+            test_single_task_workflow;
+          qt prop_view_graph_edges;
+          qt prop_singleton_view_partition ] );
+      ( "examples",
+        [ Alcotest.test_case "figure 1" `Quick test_figure1_shape;
+          Alcotest.test_case "figure 3" `Quick test_figure3_shape;
+          Alcotest.test_case "prop 2.1 counterexample" `Quick test_prop21_shape ] ) ]

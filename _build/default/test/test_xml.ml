@@ -1,0 +1,250 @@
+(* Tests for the XML substrate: parser, printer, round-trips, failure
+   injection on malformed documents. *)
+
+module Ast = Wolves_xml.Ast
+module Parse = Wolves_xml.Parse
+module Print = Wolves_xml.Print
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let parse_ok src =
+  match Parse.document src with
+  | Ok e -> e
+  | Error err -> Alcotest.failf "parse error: %a" Parse.pp_error err
+
+let parse_err src =
+  match Parse.document src with
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" src
+  | Error err -> err
+
+let test_parse_simple () =
+  let e = parse_ok "<a x=\"1\"><b/><b y='2'>hi</b></a>" in
+  check_string "root tag" "a" e.Ast.tag;
+  Alcotest.(check (option string)) "attr" (Some "1") (Ast.attr e "x");
+  Alcotest.(check int) "two b children" 2 (List.length (Ast.children_named e "b"));
+  let b2 = List.nth (Ast.children_named e "b") 1 in
+  check_string "text content" "hi" (Ast.text_content b2);
+  Alcotest.(check (option string)) "single-quoted attr" (Some "2") (Ast.attr b2 "y")
+
+let test_parse_prolog_comments () =
+  let e =
+    parse_ok
+      "<?xml version=\"1.0\"?>\n<!-- header -->\n<root><!-- inner -->\n<leaf/></root>\n<!-- trailer -->"
+  in
+  check_string "tag" "root" e.Ast.tag;
+  Alcotest.(check int) "one element child" 1
+    (List.length (Ast.children_named e "leaf"))
+
+let test_parse_entities () =
+  let e = parse_ok "<t a=\"x&amp;y&#65;\">1 &lt; 2 &gt; 0 &quot;q&quot; &apos;&#x41;</t>" in
+  Alcotest.(check (option string)) "attr entities" (Some "x&yA") (Ast.attr e "a");
+  check_string "text entities" "1 < 2 > 0 \"q\" 'A" (Ast.text_content e)
+
+let test_parse_cdata () =
+  let e = parse_ok "<t><![CDATA[a <raw> & b]]></t>" in
+  check_string "cdata" "a <raw> & b" (Ast.text_content e)
+
+let test_parse_nested_depth () =
+  let depth = 2_000 in
+  let buf = Buffer.create (depth * 8) in
+  for _ = 1 to depth do
+    Buffer.add_string buf "<d>"
+  done;
+  Buffer.add_string buf "x";
+  for _ = 1 to depth do
+    Buffer.add_string buf "</d>"
+  done;
+  let e = parse_ok (Buffer.contents buf) in
+  check_string "deeply nested" "x" (Ast.text_content e)
+
+let test_parse_errors () =
+  let cases =
+    [ ("", "no root element");
+      ("<a>", "unterminated");
+      ("<a></b>", "mismatched");
+      ("<a x=\"1\" x=\"2\"/>", "duplicate attribute");
+      ("<a>&bogus;</a>", "unknown entity");
+      ("<a>&#xFFFFFF;</a>", "invalid character reference");
+      ("<a/><b/>", "content after the root");
+      ("<a x=1/>", "quoted attribute");
+      ("<!DOCTYPE html><a/>", "DTD");
+      ("<a b=\"<\"/>", "not allowed in attribute");
+      ("<a><!-- no end </a>", "unterminated comment");
+      ("<1tag/>", "expected a name") ]
+  in
+  List.iter
+    (fun (src, expected_fragment) ->
+      let err = parse_err src in
+      let msg = Format.asprintf "%a" Parse.pp_error err in
+      let contains =
+        let ln = String.length expected_fragment and lh = String.length msg in
+        let rec go i =
+          i + ln <= lh && (String.sub msg i ln = expected_fragment || go (i + 1))
+        in
+        go 0
+      in
+      check_bool (Printf.sprintf "%S -> %s" src expected_fragment) true contains)
+    cases
+
+let test_error_position () =
+  let err = parse_err "<a>\n  <b oops</b>\n</a>" in
+  Alcotest.(check int) "line" 2 err.Parse.line
+
+let test_print_escapes () =
+  check_string "text" "a&amp;b&lt;c&gt;d" (Print.escape_text "a&b<c>d");
+  check_string "attr" "&quot;x&amp;&quot;" (Print.escape_attr "\"x&\"")
+
+let test_print_pretty () =
+  let doc =
+    Ast.{ tag = "workflow";
+          attrs = [ ("name", "w & v") ];
+          children =
+            [ Ast.element ~attrs:[ ("name", "t1") ] "task";
+              Ast.element ~attrs:[ ("name", "t2") ]
+                ~children:[ Ast.text "notes < here" ] "task" ] }
+  in
+  let rendered = Print.to_string doc in
+  check_string "pretty output"
+    "<?xml version=\"1.0\"?>\n\
+     <workflow name=\"w &amp; v\">\n\
+     \  <task name=\"t1\"/>\n\
+     \  <task name=\"t2\">notes &lt; here</task>\n\
+     </workflow>\n"
+    rendered
+
+let test_roundtrip_fixed () =
+  let doc =
+    Ast.{ tag = "entity";
+          attrs = [ ("name", "top"); ("class", "Composite") ];
+          children =
+            [ Ast.element ~attrs:[ ("name", "a&b"); ("value", "x\"y") ] "property";
+              Ast.element ~attrs:[ ("name", "inner") ]
+                ~children:[ Ast.element ~attrs:[ ("name", "deep") ] "entity" ]
+                "entity";
+              Ast.element ~children:[ Ast.text "line1\nline2 <>&" ] "doc" ] }
+  in
+  let reparsed = parse_ok (Print.to_string doc) in
+  check_bool "round trip" true
+    (Ast.equal
+       (Ast.strip_whitespace (Ast.Element doc))
+       (Ast.strip_whitespace (Ast.Element reparsed)))
+
+(* Random document generator for the round-trip property. *)
+let gen_doc =
+  let open QCheck2.Gen in
+  let name = oneofl [ "entity"; "property"; "relation"; "link"; "doc" ] in
+  let attr_name = oneofl [ "name"; "class"; "value"; "rel" ] in
+  (* Attribute values and text exercise the escaping machinery. *)
+  let attr_value =
+    string_size ~gen:(oneofl [ 'a'; 'b'; '&'; '<'; '>'; '"'; '\''; ' '; '\n' ])
+      (int_range 0 8)
+  in
+  let fix_attrs attrs =
+    (* Deduplicate attribute names: duplicates are a parse error by design. *)
+    List.fold_left
+      (fun acc (k, v) -> if List.mem_assoc k acc then acc else (k, v) :: acc)
+      [] attrs
+  in
+  let rec elem depth =
+    let children =
+      if depth = 0 then return []
+      else
+        list_size (int_range 0 3)
+          (oneof
+             [ map (fun e -> Ast.Element e) (elem (depth - 1));
+               map
+                 (fun s -> Ast.Text (if s = "" then "x" else s))
+                 (string_size ~gen:(oneofl [ 'a'; '&'; '<'; ' ' ]) (int_range 1 6)) ])
+    in
+    map3
+      (fun tag attrs children -> Ast.{ tag; attrs = fix_attrs attrs; children })
+      name
+      (list_size (int_range 0 3) (pair attr_name attr_value))
+      children
+  in
+  elem 3
+
+(* Adjacent text nodes merge on reparse, and indentation introduces blank
+   text nodes: merge adjacents first, then drop blank-only texts. *)
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\n' || c = '\t') s
+
+let rec normalize node =
+  match node with
+  | Ast.Text _ as t -> t
+  | Ast.Element e ->
+    let merged =
+      List.fold_left
+        (fun acc child ->
+          match (normalize child, acc) with
+          | Ast.Text s, Ast.Text s' :: rest -> Ast.Text (s' ^ s) :: rest
+          | c, acc -> c :: acc)
+        [] e.children
+    in
+    let children =
+      List.filter
+        (function Ast.Text s -> not (is_blank s) | Ast.Element _ -> true)
+        (List.rev merged)
+    in
+    Ast.Element { e with children }
+
+let roundtrip_prop =
+  QCheck2.Test.make ~name:"print |> parse round-trips (modulo indentation)"
+    ~count:300 gen_doc
+    (fun doc ->
+      match Parse.document (Print.to_string doc) with
+      | Error _ -> false
+      | Ok reparsed ->
+        Ast.equal (normalize (Ast.Element doc)) (normalize (Ast.Element reparsed)))
+
+
+(* Robustness: the parser must return Ok/Error on arbitrary input, never
+   raise, and never loop. *)
+let fuzz_random_bytes =
+  QCheck2.Test.make ~name:"parser total on random bytes" ~count:500
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 200))
+    (fun input ->
+      match Parse.document input with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let fuzz_mutated_documents =
+  QCheck2.Test.make ~name:"parser total on mutated valid documents" ~count:500
+    QCheck2.Gen.(
+      triple (int_range 0 1000) (int_range 0 255) gen_doc)
+    (fun (pos, byte, doc) ->
+      let text = Print.to_string doc in
+      let mutated = Bytes.of_string text in
+      if Bytes.length mutated > 0 then
+        Bytes.set mutated (pos mod Bytes.length mutated) (Char.chr byte);
+      match Parse.document (Bytes.to_string mutated) with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let fuzz_xml_entity_bombs =
+  QCheck2.Test.make ~name:"hostile entity strings rejected cleanly" ~count:200
+    QCheck2.Gen.(string_size ~gen:(oneofl [ '&'; '#'; 'x'; '9'; ';'; 'a' ]) (int_range 0 40))
+    (fun payload ->
+      match Parse.document (Printf.sprintf "<a>%s</a>" payload) with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let () =
+  Alcotest.run "wolves_xml"
+    [ ( "parse",
+        [ Alcotest.test_case "simple document" `Quick test_parse_simple;
+          Alcotest.test_case "prolog and comments" `Quick test_parse_prolog_comments;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "cdata" `Quick test_parse_cdata;
+          Alcotest.test_case "deep nesting" `Quick test_parse_nested_depth;
+          Alcotest.test_case "malformed documents rejected" `Quick test_parse_errors;
+          Alcotest.test_case "error carries position" `Quick test_error_position ] );
+      ( "print",
+        [ Alcotest.test_case "escaping" `Quick test_print_escapes;
+          Alcotest.test_case "pretty printing" `Quick test_print_pretty;
+          Alcotest.test_case "fixed round trip" `Quick test_roundtrip_fixed;
+          QCheck_alcotest.to_alcotest roundtrip_prop ] );
+      ( "fuzz",
+        [ QCheck_alcotest.to_alcotest fuzz_random_bytes;
+          QCheck_alcotest.to_alcotest fuzz_mutated_documents;
+          QCheck_alcotest.to_alcotest fuzz_xml_entity_bombs ] ) ]
