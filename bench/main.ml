@@ -4,7 +4,14 @@
    micro-benchmarks (one Test.make per experiment kernel).
 
    Run with: dune exec bench/main.exe            (all sections)
-             dune exec bench/main.exe -- E-QUAL  (a subset)            *)
+             dune exec bench/main.exe -- E-QUAL  (a subset)
+   Flags (before section ids):
+     --json FILE   also write a machine-readable artifact: per-section wall
+                   time, section-specific key figures, and the Wolves_obs
+                   registry snapshot (soundness checks vs pruning probes,
+                   cache hit counts, timer histograms)
+     --smoke       shrink every workload so the whole run finishes in
+                   seconds (CI's @bench-smoke alias)                      *)
 
 open Wolves_workflow
 module S = Wolves_core.Soundness
@@ -21,6 +28,66 @@ module Table = Wolves_cli.Table
 module Render = Wolves_cli.Render
 module Bitset = Wolves_graph.Bitset
 module Reach = Wolves_graph.Reach
+module Json = Wolves_cli.Json
+module Metrics = Wolves_obs.Metrics
+
+(* Smoke mode: every section picks between its full workload and a
+   seconds-scale stand-in, so CI can run the whole harness end to end. *)
+let smoke = ref false
+
+let sm full light = if !smoke then light else full
+
+(* The machine-readable artifact (--json): one entry per section run, with
+   the wall time, any key figures the section publishes via [kv], and the
+   metrics-registry snapshot collected while the section ran. *)
+module Report = struct
+  let entries : (string * Json.t) list ref = ref []
+  let current : (string * Json.t) list ref = ref []
+
+  let kv key v = current := (key, v) :: !current
+
+  let timer_json (st : Metrics.timer_stats) =
+    Json.Obj
+      [ ("count", Json.Int st.Metrics.count);
+        ("sum_s", Json.Float st.Metrics.sum);
+        ("max_s", Json.Float st.Metrics.max) ]
+
+  let metrics_json (snap : Metrics.snapshot) =
+    Json.Obj
+      [ ( "counters",
+          Json.Obj
+            (List.map (fun (n, v) -> (n, Json.Int v)) snap.Metrics.counters) );
+        ( "gauges",
+          Json.Obj
+            (List.map (fun (n, v) -> (n, Json.Float v)) snap.Metrics.gauges) );
+        ( "timers",
+          Json.Obj
+            (List.filter_map
+               (fun (n, st) ->
+                 if st.Metrics.count = 0 then None else Some (n, timer_json st))
+               snap.Metrics.timers) ) ]
+
+  let finish_section id ~wall snap =
+    entries :=
+      ( id,
+        Json.Obj
+          (("wall_time_s", Json.Float wall)
+           :: List.rev !current
+          @ [ ("metrics", metrics_json snap) ]) )
+      :: !entries;
+    current := []
+
+  let write path =
+    let doc =
+      Json.Obj
+        [ ("harness", Json.String "bench/main.ml");
+          ("smoke", Json.Bool !smoke);
+          ("sections", Json.Obj (List.rev !entries)) ]
+    in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Json.to_string doc);
+        Out_channel.output_char oc '\n')
+end
 
 let section id paper_claim =
   Printf.printf "\n==================================================================\n";
@@ -99,16 +166,28 @@ let e_fig3 () =
         let outcome, elapsed =
           Render.time (fun () -> C.split_subset criterion spec members)
         in
-        [ Format.asprintf "%a" C.pp_criterion criterion;
+        let name = Format.asprintf "%a" C.pp_criterion criterion in
+        (* checks counts full soundness decisions only; the optimal DP's
+           bit-parallel mask evaluations and the anytime search's pruning
+           probes report separately (see Corrector.outcome). *)
+        Report.kv name
+          (Json.Obj
+             [ ("parts", Json.Int (List.length outcome.C.parts));
+               ("checks", Json.Int outcome.C.checks);
+               ("probes", Json.Int outcome.C.probes);
+               ("time_s", Json.Float elapsed) ]);
+        [ name;
           string_of_int (List.length outcome.C.parts);
           string_of_int outcome.C.checks;
+          string_of_int outcome.C.probes;
           fmt_s elapsed ])
       [ C.Weak; C.Strong; C.Optimal ]
   in
   print_endline
     (Table.render
-       ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
-       ~header:[ "criterion"; "parts"; "soundness checks"; "time" ]
+       ~align:
+         [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+       ~header:[ "criterion"; "parts"; "soundness checks"; "probes"; "time" ]
        rows);
   let t n = Spec.task_of_name_exn spec n in
   Printf.printf "{f,g} combinable: %b (paper: false)\n"
@@ -133,8 +212,9 @@ let e_qual () =
   List.iter
     (fun family ->
       let corpus =
-        Views.unsound_corpus ~seed:42 ~families:[ family ] ~sizes:[ 24; 48 ]
-          ~per_cell:12
+        Views.unsound_corpus ~seed:42 ~families:[ family ]
+          ~sizes:(sm [ 24; 48 ] [ 16 ])
+          ~per_cell:(sm 12 2)
       in
       let instances =
         List.concat_map
@@ -181,7 +261,7 @@ let e_qual () =
           (match cmp.Q.strong_quality with Some q -> Printf.sprintf "%.3f" q | None -> "-");
           "1" ]
         :: !rows)
-    [ (1, 1); (2, 2); (3, 3) ];
+    (sm [ (1, 1); (2, 2); (3, 3) ] [ (1, 1); (2, 2) ]);
   List.iter
     (fun width ->
       let spec, members = H.wide_block_instance ~width in
@@ -193,7 +273,7 @@ let e_qual () =
           (match cmp.Q.strong_quality with Some q -> Printf.sprintf "%.3f" q | None -> "-");
           "1" ]
         :: !rows)
-    [ 2; 4; 7 ];
+    (sm [ 2; 4; 7 ] [ 2; 4 ]);
   (* The pinned strong-vs-optimal separation (see Hardness.strong_gap_instance). *)
   let gap_spec, gap_members = H.strong_gap_instance () in
   let gap_cmp = Q.compare_criteria gap_spec gap_members in
@@ -224,7 +304,7 @@ let e_time () =
      exhaustive certification sweep this repo runs by default (see
      DESIGN.md). The paper's claims concern the polynomial algorithm. *)
   let no_cert = { C.default_config with C.certify = false } in
-  let seeds = List.init 3 Fun.id in
+  let seeds = List.init (sm 3 1) Fun.id in
   let instance_for seed n =
     (* Mix a structured hardness instance into every size so the correctors
        have real work (random subsets are usually near-trivial). *)
@@ -262,7 +342,7 @@ let e_time () =
           (match optimal_t with
            | Some t -> Printf.sprintf "%.0fx" (t /. strong_t)
            | None -> "-") ])
-      [ 8; 10; 12; 14; 16; 18; 20 ]
+      (sm [ 8; 10; 12; 14; 16; 18; 20 ] [ 8; 10; 12 ])
   in
   print_endline
     (Table.render
@@ -297,7 +377,7 @@ let e_valid () =
           (match naive_result with
            | Some _ -> fmt_s naive_t
            | None -> Printf.sprintf ">%s (fuel exhausted)" (fmt_s naive_t)) ])
-      [ 10; 20; 30; 40; 60; 80 ]
+      (sm [ 10; 20; 30; 40; 60; 80 ] [ 10; 20 ])
   in
   print_endline
     (Table.render
@@ -312,7 +392,7 @@ let e_valid () =
         let view = Views.build ~seed:2 (Views.Topological_bands 5) spec in
         let t = time_per_run (fun () -> S.validate view) in
         [ string_of_int size; string_of_int (View.n_composites view); fmt_s t ])
-      [ 100; 250; 500; 1000; 2000 ]
+      (sm [ 100; 250; 500; 1000; 2000 ] [ 100 ])
   in
   print_endline "";
   print_endline
@@ -331,7 +411,8 @@ let e_prov () =
      answer every provenance query exactly";
   let corpus =
     Views.unsound_corpus ~seed:11 ~families:Gen.all_families
-      ~sizes:[ 20; 40 ] ~per_cell:5
+      ~sizes:(sm [ 20; 40 ] [ 20 ])
+      ~per_cell:(sm 5 1)
   in
   let evaluate (spec, view) =
     ignore spec;
@@ -409,7 +490,7 @@ let e_speed () =
           fmt_s wf_q;
           fmt_s view_q;
           Printf.sprintf "%.1fx" (wf_q /. view_q) ])
-      [ 100; 250; 500; 1000; 2000; 3000 ]
+      (sm [ 100; 250; 500; 1000; 2000; 3000 ] [ 100; 250 ])
   in
   print_endline
     (Table.render
@@ -458,7 +539,7 @@ let e_est () =
     (features, per_criterion)
   in
   (* Train on 300 corrections. *)
-  for seed = 1 to 300 do
+  for seed = 1 to sm 300 30 do
     let features, runs = run_one seed in
     List.iter
       (fun (criterion, elapsed, quality) ->
@@ -469,7 +550,7 @@ let e_est () =
   let q_errors = ref [] in
   let t_log_errors = ref [] in
   let covered = ref 0 and total = ref 0 in
-  for seed = 1001 to 1100 do
+  for seed = 1001 to sm 1100 1010 do
     let features, runs = run_one seed in
     List.iter
       (fun (criterion, elapsed, quality) ->
@@ -510,7 +591,9 @@ let e_audit () =
   section "E-AUDIT"
     "§1: a survey of a curated repository reveals unsound views (synthetic \
      corpus standing in for Kepler / myExperiment)";
-  let repo = R.synthesize ~seed:2009 ~per_cell:10 ~sizes:[ 16; 32 ] () in
+  let repo =
+    R.synthesize ~seed:2009 ~per_cell:(sm 10 2) ~sizes:(sm [ 16; 32 ] [ 16 ]) ()
+  in
   let audit = R.audit repo in
   Format.printf "%a@." R.pp_audit audit
 
@@ -528,7 +611,7 @@ let e_inc () =
       (fun size ->
         let spec = Gen.generate Gen.Layered ~seed:13 ~size in
         let view = Views.build ~seed:13 (Views.Connected_groups 5) spec in
-        let edits = 200 in
+        let edits = sm 200 50 in
         let rng0 = Prng.create 99 in
         let moves =
           List.init edits (fun _ -> Prng.int rng0 size)
@@ -572,13 +655,20 @@ let e_inc () =
                   ignore (S.validate (Session.current_view s)))
                 moves)
         in
+        Report.kv
+          (Printf.sprintf "size_%d" size)
+          (Json.Obj
+             [ ("edits", Json.Int edits);
+               ("incremental_checks", Json.Int checks_inc);
+               ("incremental_s", Json.Float inc_t);
+               ("full_s", Json.Float full_t) ]);
         [ string_of_int size;
           string_of_int edits;
           string_of_int checks_inc;
           fmt_s inc_t;
           fmt_s full_t;
           Printf.sprintf "%.1fx" (full_t /. inc_t) ])
-      [ 50; 100; 200; 400 ]
+      (sm [ 50; 100; 200; 400 ] [ 50 ])
   in
   print_endline
     (Table.render
@@ -601,12 +691,14 @@ let e_index () =
   let module Chains = Wolves_graph.Chains in
   let module Interval = Wolves_graph.Interval in
   let module Algo = Wolves_graph.Algo in
+  let n = sm 1000 200 in
   let shapes =
-    [ ("pipeline-1000", Gen.generate Gen.Pipeline ~seed:7 ~size:1000);
-      ("layered-1000", Gen.generate Gen.Layered ~seed:7 ~size:1000);
-      ( "narrow-layered-999",
-        Gen.layered ~seed:7 ~layers:333 ~width:3 ~fanout:1.0 );
-      ("series-parallel-1000", Gen.generate Gen.Series_parallel ~seed:7 ~size:1000) ]
+    [ (Printf.sprintf "pipeline-%d" n, Gen.generate Gen.Pipeline ~seed:7 ~size:n);
+      (Printf.sprintf "layered-%d" n, Gen.generate Gen.Layered ~seed:7 ~size:n);
+      ( Printf.sprintf "narrow-layered-%d" (3 * (n / 3)),
+        Gen.layered ~seed:7 ~layers:(n / 3) ~width:3 ~fanout:1.0 );
+      ( Printf.sprintf "series-parallel-%d" n,
+        Gen.generate Gen.Series_parallel ~seed:7 ~size:n ) ]
   in
   let rows =
     List.map
@@ -683,7 +775,8 @@ let e_bb () =
         in
         let (outcome, proven), elapsed =
           Render.time (fun () ->
-              C.split_subset_anytime ~node_budget:2_000_000 spec members)
+              C.split_subset_anytime ~node_budget:(sm 2_000_000 100_000) spec
+                members)
         in
         [ Printf.sprintf "blocks(%d,%d)" blocks chains;
           string_of_int n;
@@ -691,7 +784,7 @@ let e_bb () =
           string_of_int (List.length outcome.C.parts);
           (if proven then "yes" else "no");
           fmt_s elapsed ])
-      [ (2, 2); (3, 2); (3, 4); (4, 4); (5, 4) ]
+      (sm [ (2, 2); (3, 2); (3, 4); (4, 4); (5, 4) ] [ (2, 2); (3, 2) ])
   in
   print_endline
     (Table.render
@@ -713,7 +806,7 @@ let e_mixed () =
      mixed resolver picks the cheaper repair per composite";
   let corpus =
     Views.unsound_corpus ~seed:23 ~families:Gen.all_families ~sizes:[ 24 ]
-      ~per_cell:5
+      ~per_cell:(sm 5 1)
   in
   let stats =
     List.map
@@ -782,7 +875,7 @@ let e_suggest () =
               Printf.sprintf "%.1fx / %d unsound"
                 (View.compression bands) bands_unsound ]
             :: !rows)
-        [ 100; 400 ])
+        (sm [ 100; 400 ] [ 100 ]))
     Gen.all_families;
   print_endline
     (Table.render
@@ -828,8 +921,10 @@ let e_sched () =
               Printf.sprintf "%.0f" fifo;
               Printf.sprintf "%.0f" cpf;
               Printf.sprintf "%.0f" sf ])
-          [ 2; 4; 8 ])
-      [ (Gen.Layered, 120); (Gen.Erdos_renyi, 120) ]
+          (sm [ 2; 4; 8 ] [ 2; 4 ]))
+      (sm
+         [ (Gen.Layered, 120); (Gen.Erdos_renyi, 120) ]
+         [ (Gen.Layered, 60) ])
   in
   print_endline
     (Table.render
@@ -873,7 +968,7 @@ let e_templates () =
               string_of_int (View.n_composites corrected);
               Printf.sprintf "%.1f%%" (100.0 *. P.spurious_rate stats');
               fmt_s elapsed ])
-          [ 8; 32 ])
+          (sm [ 8; 32 ] [ 4 ]))
       T.all_suites
   in
   print_endline
@@ -932,7 +1027,9 @@ let e_bechamel () =
     "per-kernel steady-state timings (OLS on monotonic clock)";
   let open Bechamel in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (sm 0.25 0.02))
+      ~kde:(Some 1000) ()
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let ols =
@@ -976,18 +1073,48 @@ let sections =
     ("E-TEMPLATES", e_templates); ("E-MICRO", e_bechamel) ]
 
 let () =
+  let json_out = ref None in
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse_args acc rest
+    | "--json" :: path :: rest ->
+      json_out := Some path;
+      parse_args acc rest
+    | [ "--json" ] ->
+      Printf.eprintf "--json needs a file argument\n";
+      exit 2
+    | id :: rest -> parse_args (id :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections
+    match parse_args [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst sections
+    | ids -> ids
   in
   List.iter
     (fun id ->
-      match List.assoc_opt id sections with
-      | Some f -> f ()
-      | None ->
+      if not (List.mem_assoc id sections) then begin
         Printf.eprintf "unknown section %s (known: %s)\n" id
           (String.concat ", " (List.map fst sections));
-        exit 2)
+        exit 2
+      end)
     requested;
+  List.iter
+    (fun id ->
+      let f = List.assoc id sections in
+      (* Each section runs with a clean, enabled registry, so the artifact's
+         per-section counters (soundness checks vs pruning probes, cache
+         hits, ...) are attributable to that experiment alone. *)
+      Metrics.reset ();
+      Metrics.set_enabled true;
+      let (), wall = Render.time f in
+      Metrics.set_enabled false;
+      Report.finish_section id ~wall (Metrics.snapshot ()))
+    requested;
+  Option.iter
+    (fun path ->
+      Report.write path;
+      Printf.printf "\nwrote %s\n" path)
+    !json_out;
   print_newline ()

@@ -70,6 +70,30 @@ let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
 module Json = Wolves_cli.Json
+module Metrics = Wolves_obs.Metrics
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"OUT.json"
+         ~doc:"Enable the $(b,Wolves_obs) instrumentation for this command \
+               and dump the metrics registry (counters, gauges, timer \
+               histograms) as JSON to this file.")
+
+(* Run the instrumented portion of a command: enable recording only when the
+   user asked for a metrics dump, and write the dump on the way out (also on
+   exceptions). Callers must not [exit] inside [f] — process exits (validate
+   exits 1 on unsound views) belong after the dump is written. *)
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+    Metrics.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.set_enabled false;
+        try write_file path (Metrics.dump_json ())
+        with Sys_error msg ->
+          Printf.eprintf "wolves: cannot write metrics dump: %s\n" msg)
+      f
 
 let validation_json view report =
   let spec = View.spec view in
@@ -118,11 +142,11 @@ let show_cmd =
 (* --- validate --- *)
 
 let validate_cmd =
-  let run file color dot json =
+  let run file color dot json metrics =
     match load_view file with
     | Error msg -> fail "%s" msg
     | Ok view ->
-      let report = S.validate view in
+      let report = with_metrics metrics (fun () -> S.validate view) in
       if json then print_endline (Json.to_string (validation_json view report))
       else print_string (Render.view_summary ~color view);
       Option.iter (fun path -> write_file path (Render.view_dot view)) dot;
@@ -140,17 +164,19 @@ let validate_cmd =
          "Check view soundness (Workflow View Validator). Exits 1 when the \
           view is unsound; unsound composites and their missing paths are \
           listed.")
-    Term.(ret (const run $ file_arg $ color_arg $ dot_arg $ json_arg))
+    Term.(ret (const run $ file_arg $ color_arg $ dot_arg $ json_arg
+               $ metrics_arg))
 
 (* --- correct --- *)
 
 let correct_cmd =
-  let run file criterion output dot =
+  let run file criterion output dot metrics =
     match load_view file with
     | Error msg -> fail "%s" msg
     | Ok view ->
       let (corrected, outcomes), elapsed =
-        Render.time (fun () -> C.correct criterion view)
+        with_metrics metrics (fun () ->
+            Render.time (fun () -> C.correct criterion view))
       in
       print_string (Render.correction_summary view outcomes);
       Printf.printf "corrected in %.4fs under the %s criterion\n" elapsed
@@ -165,7 +191,8 @@ let correct_cmd =
        ~doc:
          "Resolve every unsound composite by splitting (Unsound View \
           Corrector), under the chosen optimality criterion.")
-    Term.(ret (const run $ file_arg $ criterion_arg $ output_arg $ dot_arg))
+    Term.(ret (const run $ file_arg $ criterion_arg $ output_arg $ dot_arg
+               $ metrics_arg))
 
 (* --- split-task --- *)
 
@@ -468,7 +495,7 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"OUT.csv"
            ~doc:"Persist the recorded runs as CSV.")
   in
-  let run file runs workers failure_rate save =
+  let run file runs workers failure_rate save metrics =
     match load_view file with
     | Error msg -> fail "%s" msg
     | Ok view ->
@@ -478,21 +505,22 @@ let simulate_cmd =
       let store = Store.create spec in
       let makespans = ref [] in
       let duration = Engine.durations_from_attrs spec in
-      for seed = 1 to runs do
-        let config =
-          { Engine.default_config with
-            Engine.workers;
-            failure_rate;
-            seed;
-            duration;
-            policy = Engine.Critical_path_first }
-        in
-        let trace = Engine.run ~config spec in
-        makespans := trace.Engine.makespan :: !makespans;
-        match Store.record_run store (Engine.statuses trace) with
-        | Ok _ -> ()
-        | Error msg -> failwith msg
-      done;
+      with_metrics metrics (fun () ->
+          for seed = 1 to runs do
+            let config =
+              { Engine.default_config with
+                Engine.workers;
+                failure_rate;
+                seed;
+                duration;
+                policy = Engine.Critical_path_first }
+            in
+            let trace = Engine.run ~config spec in
+            makespans := trace.Engine.makespan :: !makespans;
+            match Store.record_run store (Engine.statuses trace) with
+            | Ok _ -> ()
+            | Error msg -> failwith msg
+          done);
       let mean =
         List.fold_left ( +. ) 0.0 !makespans /. float_of_int runs
       in
@@ -523,7 +551,8 @@ let simulate_cmd =
        ~doc:
          "Execute the workflow repeatedly on the simulation engine, feed the \
           provenance store, and report makespan and per-task success rates.")
-    Term.(ret (const run $ file_arg $ runs_arg $ workers_arg $ fail_arg $ save_arg))
+    Term.(ret (const run $ file_arg $ runs_arg $ workers_arg $ fail_arg
+               $ save_arg $ metrics_arg))
 
 (* --- diagnose --- *)
 
@@ -812,6 +841,94 @@ let suggest_cmd =
           contiguous banding, or fork-join region collapse).")
     Term.(ret (const run $ file_arg $ method_arg $ size_arg $ output_arg))
 
+(* --- stats --- *)
+
+let stats_cmd =
+  let run file criterion json metrics =
+    match load_view file with
+    | Error msg -> fail "%s" msg
+    | Ok view ->
+      Metrics.reset ();
+      let (report, pstats), elapsed =
+        Metrics.enabled (fun () ->
+            Render.time (fun () ->
+                let report = S.validate view in
+                if report.S.unsound <> [] then ignore (C.correct criterion view);
+                (report, P.evaluate_view view)))
+      in
+      let snap = Metrics.snapshot () in
+      Option.iter
+        (fun path ->
+          try write_file path (Metrics.snapshot_to_json snap)
+          with Sys_error msg ->
+            Printf.eprintf "wolves: cannot write metrics dump: %s\n" msg)
+        metrics;
+      if json then
+        (* The summary object is assembled with the CLI's Json type; the
+           registry dump is already JSON text, so splice it in verbatim. *)
+        Printf.printf "{\"summary\":%s,\"metrics\":%s}\n"
+          (Json.to_string ~pretty:false
+             (Json.Obj
+                [ ("workflow", Json.String (Spec.name (View.spec view)));
+                  ("sound", Json.Bool (report.S.unsound = []));
+                  ("wall_time_s", Json.Float elapsed);
+                  ("provenance_queries", Json.Int pstats.P.queries);
+                  ("spurious_answers", Json.Int pstats.P.spurious) ]))
+          (Metrics.snapshot_to_json snap)
+      else begin
+        Printf.printf
+          "instrumented validate%s + provenance audit: %.4fs wall time\n"
+          (if report.S.unsound = [] then ""
+           else
+             Format.asprintf " + correct (%a)" C.pp_criterion criterion)
+          elapsed;
+        if snap.Metrics.counters <> [] then begin
+          print_endline "counters:";
+          print_endline
+            (Table.render ~header:[ "name"; "value" ]
+               (List.map
+                  (fun (name, v) -> [ name; string_of_int v ])
+                  snap.Metrics.counters))
+        end;
+        if snap.Metrics.gauges <> [] then begin
+          print_endline "gauges:";
+          print_endline
+            (Table.render ~header:[ "name"; "value" ]
+               (List.map
+                  (fun (name, v) -> [ name; Printf.sprintf "%g" v ])
+                  snap.Metrics.gauges))
+        end;
+        let live_timers =
+          List.filter (fun (_, st) -> st.Metrics.count > 0) snap.Metrics.timers
+        in
+        if live_timers <> [] then begin
+          print_endline "timers:";
+          print_endline
+            (Table.render
+               ~header:[ "name"; "count"; "total"; "mean"; "max" ]
+               (List.map
+                  (fun (name, st) ->
+                    [ name;
+                      string_of_int st.Metrics.count;
+                      Printf.sprintf "%.6fs" st.Metrics.sum;
+                      Printf.sprintf "%.6fs"
+                        (st.Metrics.sum /. float_of_int st.Metrics.count);
+                      Printf.sprintf "%.6fs" st.Metrics.max ])
+                  live_timers))
+        end
+      end;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run an instrumented workload (validate, correct when unsound, \
+          whole-view provenance audit) and report the Wolves_obs registry: \
+          soundness checks vs pruning probes, cache hit rates, timer \
+          histograms. $(b,--metrics) additionally dumps the raw registry as \
+          JSON.")
+    Term.(ret (const run $ file_arg $ criterion_arg $ json_arg $ metrics_arg))
+
 let main =
   let doc =
     "WOLVES: detect and resolve unsound workflow views for correct \
@@ -820,7 +937,8 @@ let main =
   Cmd.group
     (Cmd.info "wolves" ~version:"1.0.0" ~doc)
     [ show_cmd; validate_cmd; correct_cmd; split_cmd; merge_cmd; resolve_cmd;
-      diagnose_cmd; provenance_cmd; query_cmd; simulate_cmd; suggest_cmd;
-      evolve_cmd; edit_cmd; report_cmd; estimate_cmd; generate_cmd; audit_cmd ]
+      diagnose_cmd; provenance_cmd; query_cmd; simulate_cmd; stats_cmd;
+      suggest_cmd; evolve_cmd; edit_cmd; report_cmd; estimate_cmd;
+      generate_cmd; audit_cmd ]
 
 let () = exit (Cmd.eval main)

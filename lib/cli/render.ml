@@ -62,10 +62,14 @@ let correction_summary view outcomes =
     List.iter
       (fun (c, outcome) ->
         Buffer.add_string buf
-          (Printf.sprintf "composite %S split into %d sound tasks (%d checks%s)\n"
+          (Printf.sprintf
+             "composite %S split into %d sound tasks (%d checks%s%s)\n"
              (View.composite_name view c)
              (List.length outcome.C.parts)
              outcome.C.checks
+             (if outcome.C.probes > 0 then
+                Printf.sprintf ", %d probes" outcome.C.probes
+              else "")
              (if outcome.C.certified_strong then ", certified strongly optimal"
               else ""));
         List.iteri
@@ -136,7 +140,6 @@ let provenance_summary view target =
        spurious);
   Buffer.contents buf
 
-let time f =
-  let start = Unix.gettimeofday () in
-  let result = f () in
-  (result, Unix.gettimeofday () -. start)
+(* Monotonic, never-negative timing: [Unix.gettimeofday] is a wall clock
+   that can step backwards under NTP adjustment and corrupt bench numbers. *)
+let time f = Wolves_obs.Clock.time f

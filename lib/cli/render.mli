@@ -26,4 +26,6 @@ val provenance_summary : View.t -> View.composite -> string
     expanded tasks, and any spurious data items with explanations. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** Wall-clock timing of a thunk, in seconds. *)
+(** Timing of a thunk, in seconds, on the monotonic clock
+    ({!Wolves_obs.Clock}): immune to NTP steps, and the reported duration is
+    clamped at zero. *)

@@ -35,7 +35,15 @@ type outcome = {
       (** The resulting partition; parts ordered by smallest member, members
           increasing. A sound input composite yields a single part. *)
   checks : int;
-      (** Subset-soundness evaluations performed (the dominant cost). *)
+      (** Full subset-soundness evaluations performed — actual
+          {!Soundness.subset_sound} / {!Soundness.subset_witnesses} calls,
+          the unit of the paper's complexity claims and the dominant cost.
+          Cheaper auxiliary evaluations are counted under {!field-probes}
+          and never inflate this number. *)
+  probes : int;
+      (** Auxiliary soundness evaluations that are {e not} full
+          [Soundness] calls: the anytime branch-and-bound's partial pruning
+          probes and the optimal DP's bit-parallel mask evaluations. *)
   certified_strong : bool;
       (** [true] when an exhaustive pass proved the result strongly local
           optimal (always attempted for [Strong] and [Optimal] results with

@@ -1,5 +1,9 @@
 open Wolves_workflow
 module Bitset = Wolves_graph.Bitset
+module Obs = Wolves_obs.Metrics
+
+let m_cache_hits = Obs.counter "session.verdict_cache_hits"
+let m_cache_misses = Obs.counter "session.verdict_cache_misses"
 
 type verdict =
   | Sound
@@ -261,6 +265,7 @@ let rename s name ~into =
 
 let compute_verdict s g =
   s.checks <- s.checks + 1;
+  Obs.incr m_cache_misses;
   match Soundness.subset_witnesses s.s_spec g.g_members with
   | [] -> Sound
   | witnesses -> Unsound witnesses
@@ -269,6 +274,7 @@ let group_verdict s g =
   match g.g_verdict with
   | Some v ->
     s.hits <- s.hits + 1;
+    Obs.incr m_cache_hits;
     v
   | None ->
     let v = compute_verdict s g in

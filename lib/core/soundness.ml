@@ -2,6 +2,14 @@ open Wolves_workflow
 module Bitset = Wolves_graph.Bitset
 module Digraph = Wolves_graph.Digraph
 module Reach = Wolves_graph.Reach
+module Obs = Wolves_obs.Metrics
+
+(* One branch each while metrics are disabled; [subset_sound] and
+   [subset_witnesses] are the hot primitives every layer above funnels
+   into. *)
+let m_subset_checks = Obs.counter "soundness.subset_checks"
+let m_witness_scans = Obs.counter "soundness.witness_scans"
+let t_validate = Obs.timer "soundness.validate"
 
 type io = {
   inputs : Spec.task list;
@@ -22,6 +30,7 @@ let subset_io spec set =
   { inputs = !inputs; outputs = !outputs }
 
 let subset_sound spec set =
+  Obs.incr m_subset_checks;
   let r = Spec.reach spec in
   let { inputs; outputs } = subset_io spec set in
   List.for_all
@@ -29,6 +38,7 @@ let subset_sound spec set =
     inputs
 
 let subset_witnesses spec set =
+  Obs.incr m_witness_scans;
   let r = Spec.reach spec in
   let { inputs; outputs } = subset_io spec set in
   List.concat_map
@@ -113,6 +123,7 @@ type report = {
 }
 
 let validate view =
+  Obs.time t_validate @@ fun () ->
   let unsound =
     List.filter_map
       (fun c ->

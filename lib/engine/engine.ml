@@ -1,5 +1,13 @@
 open Wolves_workflow
 module Store = Wolves_provenance.Store
+module Obs = Wolves_obs.Metrics
+
+let m_runs = Obs.counter "engine.runs"
+let m_events = Obs.counter "engine.events_scheduled"
+let m_crashes = Obs.counter "engine.crashes_injected"
+let m_not_run = Obs.counter "engine.tasks_not_run"
+let g_makespan = Obs.gauge "engine.last_makespan"
+let t_run = Obs.timer "engine.run"
 
 type outcome =
   | Completed of string
@@ -130,6 +138,7 @@ let durations_from_attrs ?(key = "duration") ?(default = 1.0) spec task =
   | Some _ | None -> default
 
 let run ?(config = default_config) spec =
+  Obs.time t_run @@ fun () ->
   if config.workers < 1 then invalid_arg "Engine.run: need at least one worker";
   let n = Spec.n_tasks spec in
   let duration t =
@@ -188,6 +197,7 @@ let run ?(config = default_config) spec =
   in
   let start_task t =
     decr free_workers;
+    Obs.incr m_events;
     let d = duration t in
     busy := !busy +. d;
     incr tie;
@@ -209,6 +219,7 @@ let run ?(config = default_config) spec =
         (* An input crashed or never ran: decide Not_run immediately, which
            occupies no worker and takes no time. *)
         outcomes.(t) <- Some Not_run;
+        Obs.incr m_not_run;
         events :=
           { task = t; started = !clock; finished = !clock; outcome = Not_run }
           :: !events;
@@ -232,7 +243,10 @@ let run ?(config = default_config) spec =
         float_of_int (mix config.seed t land 0xFFFFFF) /. 16777216.0
       in
       let outcome =
-        if crash_draw < config.failure_rate then Crashed
+        if crash_draw < config.failure_rate then begin
+          Obs.incr m_crashes;
+          Crashed
+        end
         else begin
           let inputs =
             List.filter_map value_of (Spec.producers spec t)
@@ -260,6 +274,8 @@ let run ?(config = default_config) spec =
         (Spec.consumers spec t);
       schedule_ready ()
   done;
+  Obs.incr m_runs;
+  Obs.set g_makespan !clock;
   { spec;
     events = List.rev !events;
     makespan = !clock;

@@ -116,13 +116,33 @@ let disjoint a b =
   done;
   !ok
 
+(* Number of trailing zeros of a one-bit word (a power of two fitting in the
+   63 usable bits), by binary search — six branches, no table. *)
+let ntz_pow2 w =
+  let n = ref 0 and w = ref w in
+  if !w land 0xFFFFFFFF = 0 then begin n := !n + 32; w := !w lsr 32 end;
+  if !w land 0xFFFF = 0 then begin n := !n + 16; w := !w lsr 16 end;
+  if !w land 0xFF = 0 then begin n := !n + 8; w := !w lsr 8 end;
+  if !w land 0xF = 0 then begin n := !n + 4; w := !w lsr 4 end;
+  if !w land 0x3 = 0 then begin n := !n + 2; w := !w lsr 2 end;
+  if !w land 0x1 = 0 then incr n;
+  !n
+
+(* Lowest-set-bit extraction: each iteration isolates the lowest member with
+   [word land (-word)] and clears it, so a word costs O(popcount) instead of
+   all 63 bit probes — the win on the sparse sets Reach and Soundness
+   iterate. *)
 let iter f s =
   for w = 0 to Array.length s.words - 1 do
-    let word = s.words.(w) in
-    if word <> 0 then
-      for b = 0 to bits_per_word - 1 do
-        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+    let word = ref s.words.(w) in
+    if !word <> 0 then begin
+      let base = w * bits_per_word in
+      while !word <> 0 do
+        let low = !word land (- !word) in
+        f (base + ntz_pow2 low);
+        word := !word land lnot low
       done
+    end
   done
 
 let fold f s init =

@@ -19,11 +19,14 @@ val reaches : t -> int -> int -> bool
     from [u] to [v]. Reflexive: [reaches r v v = true]. *)
 
 val descendants : t -> int -> Bitset.t
-(** The row of nodes reachable from a node, itself included. The returned set
-    is shared with the index: treat it as read-only. *)
+(** The row of nodes reachable from a node. Reflexive, like {!reaches}:
+    [descendants r v] always contains [v] itself, even for isolated nodes —
+    callers wanting strict (proper) descendants must remove it. The returned
+    set is shared with the index: treat it as read-only. *)
 
 val ancestors : t -> int -> Bitset.t
-(** The column of nodes reaching a node, itself included (fresh set). *)
+(** The column of nodes reaching a node (fresh set). Reflexive like
+    {!descendants}: [ancestors r v] always contains [v] itself. *)
 
 val ancestors_of_set : t -> Bitset.t -> Bitset.t
 (** Union of [ancestors] over a set of nodes. *)

@@ -1,0 +1,10 @@
+let now_ns () = Monotonic_clock.now ()
+
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let elapsed_since start = Float.max 0.0 (now () -. start)
+
+let time f =
+  let start = now () in
+  let result = f () in
+  (result, elapsed_since start)

@@ -1,0 +1,23 @@
+(** Monotonic time source for all instrumentation.
+
+    Wall clocks ([Unix.gettimeofday]) can step backwards under NTP
+    adjustment and corrupt benchmark numbers; everything in this repository
+    that measures a duration goes through this module instead. The source is
+    the OS monotonic clock (CLOCK_MONOTONIC via the bechamel stubs), which
+    never steps. As defence in depth every elapsed-time computation is also
+    clamped at zero. *)
+
+val now_ns : unit -> int64
+(** Raw monotonic reading in nanoseconds. Only differences are meaningful. *)
+
+val now : unit -> float
+(** Monotonic reading in seconds (an arbitrary epoch; only differences are
+    meaningful). *)
+
+val elapsed_since : float -> float
+(** [elapsed_since start] is [now () -. start] clamped at [0.] — a duration
+    in seconds that is never negative. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Run a thunk and return its result with the elapsed monotonic seconds
+    (clamped at [0.]). *)

@@ -1,0 +1,277 @@
+type counter = {
+  c_name : string;
+  mutable c_value : int;
+}
+
+type gauge = {
+  g_name : string;
+  mutable g_value : float;
+  mutable g_set : bool;
+}
+
+(* Shared fixed log-scale bucket bounds: powers of 4 starting at 4ns, the
+   last bucket unbounded. 20 buckets span 4ns .. ~275s, plenty for anything
+   this repository times. *)
+let n_buckets = 21
+
+let bucket_bounds =
+  Array.init n_buckets (fun i ->
+      if i = n_buckets - 1 then infinity else 4e-9 *. (4.0 ** float_of_int i))
+
+let bucket_of d =
+  let i = ref 0 in
+  while !i < n_buckets - 1 && d > bucket_bounds.(!i) do
+    incr i
+  done;
+  !i
+
+type timer = {
+  t_name : string;
+  mutable t_count : int;
+  mutable t_sum : float;
+  mutable t_max : float;
+  t_buckets : int array;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Timer of timer
+
+(* --- registry --- *)
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let flag = ref false
+
+let set_enabled b = flag := b
+
+let is_enabled () = !flag
+
+let enabled f =
+  let saved = !flag in
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := saved) f
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Timer _ -> "timer"
+
+let register name make extract =
+  match Hashtbl.find_opt registry name with
+  | Some m ->
+    (match extract m with
+     | Some x -> x
+     | None ->
+       invalid_arg
+         (Printf.sprintf "Metrics: %S is already registered as a %s" name
+            (kind_name m)))
+  | None ->
+    let x, m = make () in
+    Hashtbl.replace registry name m;
+    x
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { c_name = name; c_value = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = { g_name = name; g_value = 0.0; g_set = false } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let timer name =
+  register name
+    (fun () ->
+      let t =
+        { t_name = name;
+          t_count = 0;
+          t_sum = 0.0;
+          t_max = 0.0;
+          t_buckets = Array.make n_buckets 0 }
+      in
+      (t, Timer t))
+    (function Timer t -> Some t | _ -> None)
+
+(* --- recording --- *)
+
+let incr c = if !flag then c.c_value <- c.c_value + 1
+
+let add c n = if !flag then c.c_value <- c.c_value + n
+
+let set g v =
+  if !flag then begin
+    g.g_value <- v;
+    g.g_set <- true
+  end
+
+let observe t d =
+  if !flag then begin
+    let d = Float.max 0.0 d in
+    t.t_count <- t.t_count + 1;
+    t.t_sum <- t.t_sum +. d;
+    if d > t.t_max then t.t_max <- d;
+    let b = t.t_buckets in
+    let i = bucket_of d in
+    b.(i) <- b.(i) + 1
+  end
+
+let time t f =
+  if not !flag then f ()
+  else begin
+    let start = Clock.now () in
+    Fun.protect ~finally:(fun () -> observe t (Clock.elapsed_since start)) f
+  end
+
+(* --- spans --- *)
+
+let spans : string list ref = ref []
+
+let span_stack () = !spans
+
+let with_span name f =
+  if not !flag then f ()
+  else begin
+    spans := name :: !spans;
+    let path = String.concat "/" (List.rev !spans) in
+    let t = timer ("span:" ^ path) in
+    let start = Clock.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        observe t (Clock.elapsed_since start);
+        match !spans with
+        | _ :: rest -> spans := rest
+        | [] -> ())
+      f
+  end
+
+(* --- reading --- *)
+
+let counter_value c = c.c_value
+
+let gauge_value g = if g.g_set then Some g.g_value else None
+
+type timer_stats = {
+  count : int;
+  sum : float;
+  max : float;
+  buckets : (float * int) list;
+}
+
+let timer_stats t =
+  { count = t.t_count;
+    sum = t.t_sum;
+    max = t.t_max;
+    buckets =
+      List.init n_buckets (fun i -> (bucket_bounds.(i), t.t_buckets.(i))) }
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  timers : (string * timer_stats) list;
+}
+
+let snapshot () =
+  let counters = ref [] and gauges = ref [] and timers = ref [] in
+  Hashtbl.iter
+    (fun _ metric ->
+      match metric with
+      | Counter c -> counters := (c.c_name, c.c_value) :: !counters
+      | Gauge g -> if g.g_set then gauges := (g.g_name, g.g_value) :: !gauges
+      | Timer t -> timers := (t.t_name, timer_stats t) :: !timers)
+    registry;
+  let by_name (a, _) (b, _) = compare a b in
+  { counters = List.sort by_name !counters;
+    gauges = List.sort by_name !gauges;
+    timers = List.sort by_name !timers }
+
+let reset () =
+  Hashtbl.iter
+    (fun _ metric ->
+      match metric with
+      | Counter c -> c.c_value <- 0
+      | Gauge g ->
+        g.g_value <- 0.0;
+        g.g_set <- false
+      | Timer t ->
+        t.t_count <- 0;
+        t.t_sum <- 0.0;
+        t.t_max <- 0.0;
+        Array.fill t.t_buckets 0 n_buckets 0)
+    registry
+
+(* --- JSON --- *)
+
+(* Wolves_cli.Json lives above this library in the dependency order (the CLI
+   depends on core which depends on us), so the emitter is inlined: the
+   grammar here is tiny and the names are our own. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let snapshot_to_json snap =
+  let buf = Buffer.create 1024 in
+  let field first key emit_value =
+    if not !first then Buffer.add_string buf ",";
+    first := false;
+    Buffer.add_string buf (Printf.sprintf "\"%s\":" (escape key));
+    emit_value ()
+  in
+  let obj entries emit_one =
+    Buffer.add_char buf '{';
+    let first = ref true in
+    List.iter (fun (key, v) -> field first key (fun () -> emit_one v)) entries;
+    Buffer.add_char buf '}'
+  in
+  let num f =
+    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    else Buffer.add_string buf "null"
+  in
+  Buffer.add_char buf '{';
+  let first = ref true in
+  field first "counters" (fun () ->
+      obj snap.counters (fun v -> Buffer.add_string buf (string_of_int v)));
+  field first "gauges" (fun () -> obj snap.gauges num);
+  field first "timers" (fun () ->
+      obj snap.timers (fun stats ->
+          Buffer.add_char buf '{';
+          let f = ref true in
+          field f "count" (fun () ->
+              Buffer.add_string buf (string_of_int stats.count));
+          field f "sum_s" (fun () -> num stats.sum);
+          field f "max_s" (fun () -> num stats.max);
+          field f "buckets" (fun () ->
+              obj
+                (List.filter_map
+                   (fun (bound, n) ->
+                     if n = 0 then None
+                     else
+                       Some
+                         ( (if Float.is_finite bound then
+                              Printf.sprintf "%.12g" bound
+                            else "inf"),
+                           n ))
+                   stats.buckets)
+                (fun n -> Buffer.add_string buf (string_of_int n)));
+          Buffer.add_char buf '}'));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let dump_json () = snapshot_to_json (snapshot ())

@@ -1,0 +1,108 @@
+(** A process-wide metrics registry for the WOLVES hot paths.
+
+    Counters, gauges and timers (log-scale histograms over the monotonic
+    {!Clock}), plus lightweight nestable spans, all registered under stable
+    dotted names ([soundness.subset_checks], [corrector.prune_probes], ...).
+
+    Everything sits behind one enable flag: when disabled (the default),
+    every recording operation is a single load-and-branch, so instrumented
+    hot loops cost essentially nothing in production. Handle creation
+    ({!counter} / {!gauge} / {!timer}) is always allowed — modules register
+    their metrics at load time — only {e recording} is gated.
+
+    The registry is global mutable state (like the clock it wraps); callers
+    that need isolation, such as per-experiment benchmark sections, use
+    {!reset} between measurements. Not thread-safe — the repository is
+    single-threaded today; sharding the registry is a scaling-PR concern. *)
+
+type counter
+type gauge
+type timer
+
+(* --- enable flag --- *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val enabled : (unit -> 'a) -> 'a
+(** Run a thunk with recording enabled, restoring the previous flag
+    afterwards (also on exceptions). *)
+
+(* --- registration (idempotent by name) --- *)
+
+val counter : string -> counter
+(** Find or create the counter of that name.
+    @raise Invalid_argument when the name is registered as another kind. *)
+
+val gauge : string -> gauge
+
+val timer : string -> timer
+
+(* --- recording (no-ops while disabled) --- *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val set : gauge -> float -> unit
+
+val observe : timer -> float -> unit
+(** Record one duration in seconds (clamped at [0.]). *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Time a thunk on the monotonic clock and {!observe} the duration (also
+    on exceptions). While disabled this is exactly [f ()]. *)
+
+(* --- spans --- *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Time a named, nestable region. Nested spans record under their
+    [/]-joined path: [with_span "correct" (fun () -> with_span "weak" f)]
+    records into the timers [span:correct] and [span:correct/weak]. The
+    span stack unwinds correctly on exceptions. While disabled this is
+    exactly [f ()]. *)
+
+val span_stack : unit -> string list
+(** The names of the currently open spans, innermost first (for tests). *)
+
+(* --- reading --- *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float option
+(** [None] until the gauge is first {!set}. *)
+
+type timer_stats = {
+  count : int;  (** number of observations *)
+  sum : float;  (** total observed seconds *)
+  max : float;  (** largest observation, [0.] when empty *)
+  buckets : (float * int) list;
+      (** (upper bound in seconds, observations ≤ bound); fixed log-scale
+          bounds — powers of 4 from 4ns — shared by every timer, the last
+          bucket unbounded ([infinity]). *)
+}
+
+val timer_stats : timer -> timer_stats
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  timers : (string * timer_stats) list;
+}
+(** All registered metrics, each section sorted by name. Gauges that were
+    never set are omitted. *)
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations survive). *)
+
+(* --- output --- *)
+
+val snapshot_to_json : snapshot -> string
+(** Render a snapshot as a JSON object
+    [{"counters": {..}, "gauges": {..}, "timers": {..}}]. Timer histograms
+    list only non-empty buckets; the unbounded bucket bound is the string
+    ["inf"]. *)
+
+val dump_json : unit -> string
+(** [snapshot_to_json (snapshot ())]. *)

@@ -2,6 +2,12 @@ open Wolves_workflow
 module Digraph = Wolves_graph.Digraph
 module Reach = Wolves_graph.Reach
 module Bitset = Wolves_graph.Bitset
+module Obs = Wolves_obs.Metrics
+
+let m_runs_recorded = Obs.counter "store.runs_recorded"
+let m_closure_builds = Obs.counter "store.closure_builds"
+let m_closure_hits = Obs.counter "store.closure_cache_hits"
+let m_provenance_queries = Obs.counter "store.provenance_queries"
 
 type run_id = int
 
@@ -39,6 +45,7 @@ let push t run =
   end;
   t.runs.(t.count) <- run;
   t.count <- t.count + 1;
+  Obs.incr m_runs_recorded;
   t.count - 1
 
 (* A deterministic split-mix step, so the store does not depend on the
@@ -135,8 +142,11 @@ let succeeded t id =
 let run_closure t id =
   let run = get_run t id in
   match run.closure with
-  | Some r -> r
+  | Some r ->
+    Obs.incr m_closure_hits;
+    r
   | None ->
+    Obs.incr m_closure_builds;
     let spec = t.store_spec in
     let g = Digraph.create ~initial_capacity:(Spec.n_tasks spec) () in
     Digraph.add_nodes g (Spec.n_tasks spec);
@@ -156,6 +166,7 @@ let items_of_run t id =
     (Provenance.items t.store_spec)
 
 let run_provenance t id task =
+  Obs.incr m_provenance_queries;
   let run = get_run t id in
   if run.statuses.(task) <> Succeeded then []
   else begin

@@ -144,6 +144,82 @@ let test_classify_unsound () =
    | Some S.Entangled -> ()
    | _ -> Alcotest.fail "expected entangled")
 
+(* Lane counting: [k] independent chains between a shared source and sink,
+   grouped without the source/sink, are [k] parallel lanes; a bridging edge
+   fuses two of them. *)
+let lanes_spec ?(bridge = false) k =
+  let chains = List.init k Fun.id in
+  let tasks =
+    ("src" :: List.concat_map
+                (fun i -> [ Printf.sprintf "in%d" i; Printf.sprintf "out%d" i ])
+                chains)
+    @ [ "dst" ]
+  in
+  let deps =
+    List.concat_map
+      (fun i ->
+        [ ("src", Printf.sprintf "in%d" i);
+          (Printf.sprintf "in%d" i, Printf.sprintf "out%d" i);
+          (Printf.sprintf "out%d" i, "dst") ])
+      chains
+    @ (if bridge then [ ("out0", "in1") ] else [])
+  in
+  let spec = Spec.of_tasks_exn ~name:"lanes" tasks deps in
+  let members =
+    Bitset.of_list (Spec.n_tasks spec)
+      (List.filter
+         (fun t -> Spec.task_name spec t <> "src" && Spec.task_name spec t <> "dst")
+         (Spec.tasks spec))
+  in
+  (spec, members)
+
+let test_classify_lane_counts () =
+  List.iter
+    (fun k ->
+      let spec, members = lanes_spec k in
+      match S.classify_unsound spec members with
+      | Some (S.Parallel_lanes n) ->
+        check_int (Printf.sprintf "%d chains -> %d lanes" k k) k n
+      | other ->
+        Alcotest.failf "expected %d lanes, got %s" k
+          (match other with
+           | None -> "sound"
+           | Some kind -> Format.asprintf "%a" S.pp_unsoundness_kind kind))
+    [ 2; 3; 5 ];
+  let spec, members = lanes_spec ~bridge:true 3 in
+  match S.classify_unsound spec members with
+  | Some (S.Parallel_lanes 2) -> ()
+  | other ->
+    Alcotest.failf "bridged chains should fuse to 2 lanes, got %s"
+      (match other with
+       | None -> "sound"
+       | Some kind -> Format.asprintf "%a" S.pp_unsoundness_kind kind)
+
+(* minimal_unsound_core: the result is itself unsound, and 1-minimal —
+   dropping any single member restores soundness. *)
+let core_is_1_minimal spec core =
+  (not (S.subset_sound spec core))
+  && List.for_all
+       (fun t ->
+         let reduced = Bitset.copy core in
+         Bitset.remove reduced t;
+         S.subset_sound spec reduced)
+       (Bitset.elements core)
+
+let test_minimal_unsound_core () =
+  let spec, view = Examples.figure1 () in
+  let c16 = Examples.figure1_unsound_composite view in
+  let members = Bitset.of_list (Spec.n_tasks spec) (View.members view c16) in
+  (match S.minimal_unsound_core spec members with
+   | None -> Alcotest.fail "figure 1's unsound composite must have a core"
+   | Some core ->
+     check_bool "core within members" true (Bitset.subset core members);
+     check_bool "core unsound and 1-minimal" true (core_is_1_minimal spec core));
+  (* Sound subsets have no core. *)
+  let sound = Bitset.of_list (Spec.n_tasks spec) [] in
+  check_bool "empty subset has no core" true
+    (S.minimal_unsound_core spec sound = None)
+
 (* ------------------------------------------------------------------ *)
 (* Corrector: Figure 3 and the paper's spot checks                     *)
 (* ------------------------------------------------------------------ *)
@@ -172,6 +248,27 @@ let test_fig3_counts () =
   (* And the weak output is NOT strongly optimal — the paper's point. *)
   Alcotest.(check (option bool)) "weak output not strongly optimal" (Some false)
     (C.Oracle.strongly_local_optimal spec weak.C.parts)
+
+(* outcome.checks counts only full soundness decisions; the subset DP's
+   bit-parallel mask evaluations and the anytime search's partial pruning
+   probes report under outcome.probes instead of inflating checks. *)
+let test_checks_vs_probes () =
+  let spec, view = Examples.figure3 () in
+  let members = View.members view (Examples.figure3_composite view) in
+  let weak = C.split_subset C.Weak spec members in
+  let strong = C.split_subset C.Strong spec members in
+  let optimal = C.split_subset C.Optimal spec members in
+  check_int "weak probes nothing partially" 0 weak.C.probes;
+  check_int "strong probes nothing partially" 0 strong.C.probes;
+  check_bool "weak performs full checks" true (weak.C.checks > 0);
+  check_bool "optimal's mask evaluations are probes" true
+    (optimal.C.probes > 0);
+  check_bool "optimal's checks stay below its probes" true
+    (optimal.C.checks < optimal.C.probes);
+  let anytime, proven = C.split_subset_anytime spec members in
+  check_bool "anytime proves figure 3" true proven;
+  check_bool "anytime separates pruning probes from checks" true
+    (anytime.C.probes > 0 && anytime.C.checks > 0)
 
 let test_fig3_spot_checks () =
   (* Direct transcription of the paper's §2.2 narrative. *)
@@ -495,6 +592,17 @@ let prop_corrected_views_sound =
       let corrected, _ = C.correct criterion view in
       S.is_sound corrected)
 
+let prop_minimal_core_is_minimal =
+  QCheck2.Test.make ~name:"minimal unsound core is unsound and 1-minimal"
+    ~count:150 gen_instance
+    (fun input ->
+      let spec, members = instance_of input in
+      let set = Bitset.of_list (Spec.n_tasks spec) members in
+      match S.minimal_unsound_core spec set with
+      | None -> S.subset_sound spec set
+      | Some core ->
+        Bitset.subset core set && core_is_1_minimal spec core)
+
 let prop_sound_view_preserves_paths =
   QCheck2.Test.make
     ~name:"all composites sound => literal Def 2.1 holds (one-way Prop 2.1)"
@@ -538,13 +646,19 @@ let () =
           Alcotest.test_case "naive check respects fuel" `Quick test_naive_fuel;
           Alcotest.test_case "unsoundness classification" `Quick
             test_classify_unsound;
+          Alcotest.test_case "parallel lane counting" `Quick
+            test_classify_lane_counts;
+          Alcotest.test_case "minimal unsound core" `Quick
+            test_minimal_unsound_core;
           qt prop_subset_io_matches_definition;
+          qt prop_minimal_core_is_minimal;
           qt prop_sound_view_preserves_paths ] );
       ( "corrector",
         [ Alcotest.test_case "figure 3: weak 8, strong 5, optimal 5" `Quick
             test_fig3_counts;
           Alcotest.test_case "figure 3: paper spot checks" `Quick
             test_fig3_spot_checks;
+          Alcotest.test_case "checks vs probes" `Quick test_checks_vs_probes;
           Alcotest.test_case "sound composites untouched" `Quick
             test_sound_composite_untouched;
           Alcotest.test_case "split_composite at view level" `Quick

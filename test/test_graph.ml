@@ -96,6 +96,26 @@ let bitset_model_prop =
       && S.subset sx sy = Bitset.subset bx by
       && S.disjoint sx sy = Bitset.disjoint bx by)
 
+(* iter uses lowest-set-bit extraction; pin it against the straightforward
+   per-index scan, and against elements/fold, across word boundaries. *)
+let bitset_iter_prop =
+  QCheck2.Test.make ~name:"iter agrees with per-index scan" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 200) (list (int_bound 199)))
+    (fun (n, xs) ->
+      let xs = List.filter (fun x -> x < n) xs in
+      let s = Bitset.of_list n xs in
+      let via_iter = ref [] in
+      Bitset.iter (fun i -> via_iter := i :: !via_iter) s;
+      let via_iter = List.rev !via_iter in
+      let via_scan =
+        List.filter (fun i -> Bitset.mem s i) (List.init n Fun.id)
+      in
+      via_iter = via_scan
+      && via_iter = Bitset.elements s
+      && via_iter
+         = List.rev (Bitset.fold (fun i acc -> i :: acc) s []))
+
 (* ------------------------------------------------------------------ *)
 (* Digraph                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -566,7 +586,8 @@ let () =
           Alcotest.test_case "set operations" `Quick test_bitset_set_ops;
           Alcotest.test_case "capacity mismatch" `Quick test_bitset_capacity_mismatch;
           Alcotest.test_case "choose/fold/quantifiers" `Quick test_bitset_choose_fold;
-          qt bitset_model_prop ] );
+          qt bitset_model_prop;
+          qt bitset_iter_prop ] );
       ( "digraph",
         [ Alcotest.test_case "build and query" `Quick test_digraph_build;
           Alcotest.test_case "idempotent add_edge" `Quick test_digraph_idempotent_add;

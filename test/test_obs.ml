@@ -1,0 +1,290 @@
+(* The Wolves_obs metrics registry: enable-flag gating, counter/gauge/timer
+   semantics, span nesting, reset, and a round-trip through the JSON dump. *)
+
+module M = Wolves_obs.Metrics
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* A tiny JSON reader, just enough to round-trip the registry dump.    *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Num of float
+  | Str of string
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else raise (Bad_json (Printf.sprintf "expected %c at offset %d" c !pos))
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let closed = ref false in
+    while not !closed do
+      if !pos >= n then raise (Bad_json "unterminated string");
+      (match s.[!pos] with
+       | '"' -> closed := true
+       | '\\' ->
+         incr pos;
+         if !pos >= n then raise (Bad_json "truncated escape");
+         (match s.[!pos] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | c -> Buffer.add_char buf c)
+       | c -> Buffer.add_char buf c);
+      incr pos
+    done;
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let more = ref true in
+        while !more do
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (key, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos
+          | Some '}' ->
+            incr pos;
+            more := false
+          | _ -> raise (Bad_json "bad object")
+        done;
+        Obj (List.rev !fields)
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 'n' ->
+      pos := !pos + 4;
+      Null
+    | Some _ ->
+      let start = !pos in
+      while
+        !pos < n
+        && (match s.[!pos] with
+            | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+            | _ -> false)
+      do
+        incr pos
+      done;
+      if !pos = start then raise (Bad_json "bad value");
+      Num (float_of_string (String.sub s start (!pos - start)))
+    | None -> raise (Bad_json "unexpected end of input")
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad_json "trailing garbage");
+  v
+
+let member key = function
+  | Obj fields ->
+    (match List.assoc_opt key fields with
+     | Some v -> v
+     | None -> Alcotest.failf "JSON member %S missing" key)
+  | _ -> Alcotest.failf "JSON member %S looked up in a non-object" key
+
+let as_num = function
+  | Num f -> f
+  | _ -> Alcotest.fail "expected a JSON number"
+
+(* ------------------------------------------------------------------ *)
+(* counters, gauges                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_gating () =
+  M.reset ();
+  M.set_enabled false;
+  let c = M.counter "test.gating" in
+  M.incr c;
+  M.add c 10;
+  check_int "disabled recording is a no-op" 0 (M.counter_value c);
+  M.enabled (fun () ->
+      M.incr c;
+      M.add c 4);
+  check_int "enabled recording counts" 5 (M.counter_value c);
+  check_bool "enabled restores the flag" false (M.is_enabled ())
+
+let test_registration_idempotent () =
+  M.reset ();
+  let a = M.counter "test.same" in
+  let b = M.counter "test.same" in
+  M.enabled (fun () -> M.incr a);
+  check_int "same name, same counter" 1 (M.counter_value b);
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics: \"test.same\" is already registered as a counter")
+    (fun () -> ignore (M.timer "test.same"))
+
+let test_gauge () =
+  M.reset ();
+  let g = M.gauge "test.gauge" in
+  check_bool "unset gauge reads None" true (M.gauge_value g = None);
+  M.set g 1.5;
+  check_bool "disabled set ignored" true (M.gauge_value g = None);
+  M.enabled (fun () -> M.set g 2.5);
+  check_bool "set gauge reads back" true (M.gauge_value g = Some 2.5)
+
+(* ------------------------------------------------------------------ *)
+(* timers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_timer_observe () =
+  M.reset ();
+  let t = M.timer "test.timer" in
+  M.enabled (fun () ->
+      M.observe t 1e-8;
+      M.observe t 0.5;
+      M.observe t (-1.0) (* clamped to 0 *));
+  let st = M.timer_stats t in
+  check_int "count" 3 st.M.count;
+  check (Alcotest.float 1e-9) "sum" (0.5 +. 1e-8) st.M.sum;
+  check (Alcotest.float 1e-9) "max" 0.5 st.M.max;
+  check_int "buckets account for every observation" 3
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 st.M.buckets);
+  (* Each observation in a bucket whose bound covers it. *)
+  List.iter
+    (fun d ->
+      check_bool
+        (Printf.sprintf "some bucket bound covers %g" d)
+        true
+        (List.exists (fun (bound, n) -> n > 0 && d <= bound) st.M.buckets))
+    [ 0.0; 1e-8; 0.5 ]
+
+let test_timer_time () =
+  M.reset ();
+  let t = M.timer "test.time" in
+  let r = M.enabled (fun () -> M.time t (fun () -> 41 + 1)) in
+  check_int "time returns the thunk's value" 42 r;
+  check_int "one observation" 1 (M.timer_stats t).M.count;
+  (try
+     M.enabled (fun () -> M.time t (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  check_int "observed also on exception" 2 (M.timer_stats t).M.count
+
+(* ------------------------------------------------------------------ *)
+(* spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  M.reset ();
+  M.enabled (fun () ->
+      M.with_span "outer" (fun () ->
+          check_bool "outer open" true (M.span_stack () = [ "outer" ]);
+          M.with_span "inner" (fun () ->
+              check_bool "inner nested" true
+                (M.span_stack () = [ "inner"; "outer" ]));
+          check_bool "inner closed" true (M.span_stack () = [ "outer" ])));
+  check_bool "all spans closed" true (M.span_stack () = []);
+  check_int "outer timer recorded" 1
+    (M.timer_stats (M.timer "span:outer")).M.count;
+  check_int "nested timer keyed by path" 1
+    (M.timer_stats (M.timer "span:outer/inner")).M.count
+
+let test_span_unwinds_on_exception () =
+  M.reset ();
+  (try
+     M.enabled (fun () ->
+         M.with_span "fails" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  check_bool "stack unwound" true (M.span_stack () = []);
+  check_int "duration still recorded" 1
+    (M.timer_stats (M.timer "span:fails")).M.count
+
+(* ------------------------------------------------------------------ *)
+(* reset, snapshot, JSON                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_reset () =
+  M.reset ();
+  let c = M.counter "test.reset.c" in
+  let g = M.gauge "test.reset.g" in
+  let t = M.timer "test.reset.t" in
+  M.enabled (fun () ->
+      M.incr c;
+      M.set g 7.0;
+      M.observe t 0.25);
+  M.reset ();
+  check_int "counter zeroed" 0 (M.counter_value c);
+  check_bool "gauge unset" true (M.gauge_value g = None);
+  check_int "timer emptied" 0 (M.timer_stats t).M.count;
+  M.enabled (fun () -> M.incr c);
+  check_int "registration survives reset" 1 (M.counter_value c)
+
+let test_json_round_trip () =
+  M.reset ();
+  let c = M.counter "test.rt.c" in
+  let g = M.gauge "test.rt.g" in
+  let t = M.timer "test.rt.t" in
+  M.enabled (fun () ->
+      M.incr c;
+      M.add c 2;
+      M.set g 2.5;
+      M.observe t 1e-8;
+      M.observe t 1e-8;
+      M.observe t 0.5);
+  let doc = parse_json (M.dump_json ()) in
+  check (Alcotest.float 0.0) "counter round-trips" 3.0
+    (as_num (member "test.rt.c" (member "counters" doc)));
+  check (Alcotest.float 0.0) "gauge round-trips" 2.5
+    (as_num (member "test.rt.g" (member "gauges" doc)));
+  let timer = member "test.rt.t" (member "timers" doc) in
+  check (Alcotest.float 0.0) "timer count round-trips" 3.0
+    (as_num (member "count" timer));
+  check (Alcotest.float 1e-12) "timer sum round-trips" (0.5 +. 2e-8)
+    (as_num (member "sum_s" timer));
+  check (Alcotest.float 0.0) "timer max round-trips" 0.5
+    (as_num (member "max_s" timer));
+  let buckets =
+    match member "buckets" timer with
+    | Obj fields -> fields
+    | _ -> Alcotest.fail "buckets is an object"
+  in
+  check (Alcotest.float 0.0) "bucket totals round-trip" 3.0
+    (List.fold_left (fun acc (_, v) -> acc +. as_num v) 0.0 buckets);
+  check_bool "only non-empty buckets emitted" true
+    (List.for_all (fun (_, v) -> as_num v > 0.0) buckets)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "counter gating" `Quick test_counter_gating;
+          Alcotest.test_case "idempotent registration" `Quick
+            test_registration_idempotent;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "timer observe" `Quick test_timer_observe;
+          Alcotest.test_case "timer time" `Quick test_timer_time;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span unwinds on exception" `Quick
+            test_span_unwinds_on_exception;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "JSON round-trip" `Quick test_json_round_trip ] ) ]
