@@ -170,29 +170,63 @@ let validate_cmd =
 (* --- correct --- *)
 
 let correct_cmd =
-  let run file criterion output dot metrics =
+  let deadline_arg =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS"
+           ~doc:"Correct under a wall-clock budget (milliseconds): the \
+                 corrector degrades optimal → strong → weak as the budget \
+                 expires and reports which tier answered. Overrides \
+                 $(b,--criterion).")
+  in
+  let run file criterion deadline output dot metrics =
     match load_view file with
     | Error msg -> fail "%s" msg
     | Ok view ->
-      let (corrected, outcomes), elapsed =
-        with_metrics metrics (fun () ->
-            Render.time (fun () -> C.correct criterion view))
-      in
-      print_string (Render.correction_summary view outcomes);
-      Printf.printf "corrected in %.4fs under the %s criterion\n" elapsed
-        (Format.asprintf "%a" C.pp_criterion criterion);
-      print_string (Render.view_summary corrected);
-      Option.iter (fun path -> write_file path (serialize_view path corrected)) output;
-      Option.iter (fun path -> write_file path (Render.view_dot corrected)) dot;
-      `Ok ()
+      (match deadline with
+       | Some ms ->
+         let (corrected, outcomes), elapsed =
+           with_metrics metrics (fun () ->
+               Render.time (fun () ->
+                   C.correct_with_deadline ~deadline_s:(ms /. 1000.0) view))
+         in
+         if outcomes = [] then print_endline "view already sound"
+         else
+           List.iter
+             (fun (c, o) ->
+               Format.printf "%s: %a%s@."
+                 (View.composite_name view c)
+                 C.pp_tier_outcome o
+                 (if o.C.proven_optimal then ", proven minimum" else ""))
+             outcomes;
+         Printf.printf "corrected in %.4fs under a %.3f ms deadline\n" elapsed
+           ms;
+         print_string (Render.view_summary corrected);
+         Option.iter
+           (fun path -> write_file path (serialize_view path corrected))
+           output;
+         Option.iter (fun path -> write_file path (Render.view_dot corrected)) dot;
+         `Ok ()
+       | None ->
+         let (corrected, outcomes), elapsed =
+           with_metrics metrics (fun () ->
+               Render.time (fun () -> C.correct criterion view))
+         in
+         print_string (Render.correction_summary view outcomes);
+         Printf.printf "corrected in %.4fs under the %s criterion\n" elapsed
+           (Format.asprintf "%a" C.pp_criterion criterion);
+         print_string (Render.view_summary corrected);
+         Option.iter (fun path -> write_file path (serialize_view path corrected)) output;
+         Option.iter (fun path -> write_file path (Render.view_dot corrected)) dot;
+         `Ok ())
   in
   Cmd.v
     (Cmd.info "correct"
        ~doc:
          "Resolve every unsound composite by splitting (Unsound View \
-          Corrector), under the chosen optimality criterion.")
-    Term.(ret (const run $ file_arg $ criterion_arg $ output_arg $ dot_arg
-               $ metrics_arg))
+          Corrector), under the chosen optimality criterion — or under a \
+          wall-clock deadline with $(b,--deadline), degrading optimal → \
+          strong → weak as the budget expires.")
+    Term.(ret (const run $ file_arg $ criterion_arg $ deadline_arg
+               $ output_arg $ dot_arg $ metrics_arg))
 
 (* --- split-task --- *)
 
@@ -432,7 +466,7 @@ let audit_cmd =
   in
   let run dir correct_ =
     match R.load_dir dir with
-    | Error msg -> fail "%s" msg
+    | Error e -> fail "%a" R.pp_io_error e
     | Ok repo ->
       let audit = R.audit repo in
       Format.printf "%a@." R.pp_audit audit;
@@ -442,7 +476,7 @@ let audit_cmd =
         | Ok () ->
           Printf.printf "corrected and rewrote %d view(s)\n" repaired;
           `Ok ()
-        | Error msg -> fail "%s" msg
+        | Error e -> fail "%a" R.pp_io_error e
       end
       else `Ok ()
   in
@@ -495,64 +529,188 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"OUT.csv"
            ~doc:"Persist the recorded runs as CSV.")
   in
-  let run file runs workers failure_rate save metrics =
+  let retries_arg =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+           ~doc:"Extra attempts granted to a crashed task.")
+  in
+  let backoff_arg =
+    Arg.(value & opt float 1.0 & info [ "backoff" ] ~docv:"F"
+           ~doc:"Base retry delay in simulated seconds (doubles per attempt, \
+                 jittered).")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"F"
+           ~doc:"Per-task timeout in simulated seconds; longer tasks end \
+                 $(b,timed out).")
+  in
+  let resume_arg =
+    Arg.(value & opt (some file) None & info [ "resume" ] ~docv:"TRACE.csv"
+           ~doc:"Resume from a checkpoint written by $(b,--save-trace): \
+                 reuse every completed output and re-execute only the failed \
+                 frontier and its descendants (a single run; $(b,--runs) is \
+                 ignored).")
+  in
+  let save_trace_arg =
+    Arg.(value & opt (some string) None & info [ "save-trace" ] ~docv:"OUT.csv"
+           ~doc:"Write the last run's trace as a resumable checkpoint.")
+  in
+  let run file runs workers failure_rate retries backoff timeout resume
+      save_trace save metrics =
     match load_view file with
     | Error msg -> fail "%s" msg
     | Ok view ->
       let spec = View.spec view in
       let module Engine = Wolves_engine.Engine in
       let module Store = Wolves_provenance.Store in
-      let store = Store.create spec in
-      let makespans = ref [] in
       let duration = Engine.durations_from_attrs spec in
-      with_metrics metrics (fun () ->
-          for seed = 1 to runs do
-            let config =
-              { Engine.default_config with
-                Engine.workers;
-                failure_rate;
-                seed;
-                duration;
-                policy = Engine.Critical_path_first }
-            in
-            let trace = Engine.run ~config spec in
-            makespans := trace.Engine.makespan :: !makespans;
-            match Store.record_run store (Engine.statuses trace) with
-            | Ok _ -> ()
-            | Error msg -> failwith msg
-          done);
-      let mean =
-        List.fold_left ( +. ) 0.0 !makespans /. float_of_int runs
+      let config seed =
+        { Engine.default_config with
+          Engine.workers;
+          failure_rate;
+          seed;
+          duration;
+          policy = Engine.Critical_path_first;
+          retries;
+          backoff;
+          timeout }
       in
-      Printf.printf "%d runs on %d workers, failure rate %.2f\n" runs workers
-        failure_rate;
-      let base = { Engine.default_config with Engine.duration } in
-      Printf.printf "mean makespan %.2f (critical path %.2f, total work %.2f)\n"
-        mean
-        (Engine.critical_path_length base spec)
-        (Engine.total_work base spec);
-      print_endline "per-task success rates:";
-      List.iter
-        (fun t ->
-          Printf.printf "  %-40s %.0f%%\n" (Spec.task_name spec t)
-            (100.0 *. Store.success_rate store t))
-        (Spec.tasks spec);
-      (match save with
-       | None -> `Ok ()
-       | Some path ->
-         (match Store.save_csv store path with
-          | Ok () ->
-            Printf.printf "saved runs to %s\n" path;
-            `Ok ()
-          | Error msg -> fail "%s" msg))
+      let fault_summary traces =
+        let count f =
+          List.fold_left
+            (fun acc trace ->
+              acc
+              + List.length (List.filter f trace.Engine.events))
+            0 traces
+        in
+        let crashed e = e.Engine.outcome = Engine.Crashed in
+        let timed_out e = e.Engine.outcome = Engine.Timed_out in
+        let final_crashes =
+          List.fold_left
+            (fun acc trace ->
+              acc
+              + List.length
+                  (List.filter
+                     (fun t -> Engine.outcome_of trace t = Engine.Crashed)
+                     (Spec.tasks spec)))
+            0 traces
+        in
+        Printf.printf
+          "faults: %d crashed attempts (%d unrecovered), %d timeouts\n"
+          (count crashed) final_crashes (count timed_out)
+      in
+      let save_last_trace trace =
+        match save_trace with
+        | None -> Ok ()
+        | Some path ->
+          (match Engine.save_trace path trace with
+           | Ok () ->
+             Printf.printf "checkpointed trace to %s\n" path;
+             Ok ()
+           | Error msg -> Error msg)
+      in
+      (match
+         try
+           Engine.validate_config (config 0);
+           None
+         with Invalid_argument msg -> Some msg
+       with
+       | Some msg -> fail "%s" msg
+       | None ->
+      match resume with
+       | Some trace_file ->
+         (match
+            with_metrics metrics (fun () ->
+                match Engine.load_trace spec trace_file with
+                | Error msg -> Error msg
+                | Ok prior ->
+                  let resumed = Engine.resume ~config:(config 1) prior in
+                  Ok (prior, resumed))
+          with
+          | Error msg -> fail "%s: %s" trace_file msg
+          | Ok (prior, resumed) ->
+            let n = Spec.n_tasks spec in
+            let reused = List.length (Engine.reused_tasks resumed) in
+            let executed = List.length (Engine.executed_tasks resumed) in
+            Printf.printf
+              "resumed from %s: reused %d/%d outputs, re-executed %d \
+               (%.0f%% of tasks)\n"
+              trace_file reused n executed
+              (100.0 *. float_of_int executed /. float_of_int n);
+            let full_work = Engine.total_work (config 1) spec in
+            Printf.printf
+              "work: %.2f of %.2f simulated seconds (saved %.0f%%); \
+               makespan %.2f (prior attempt: %.2f)\n"
+              resumed.Engine.busy_time full_work
+              (100.0 *. (1.0 -. (resumed.Engine.busy_time /. full_work)))
+              resumed.Engine.makespan prior.Engine.makespan;
+            fault_summary [ resumed ];
+            (match save_last_trace resumed with
+             | Ok () -> `Ok ()
+             | Error msg -> fail "%s" msg))
+       | None ->
+         let store = Store.create spec in
+         let makespans = ref [] in
+         let last_trace = ref None in
+         with_metrics metrics (fun () ->
+             for seed = 1 to runs do
+               let trace = Engine.run ~config:(config seed) spec in
+               last_trace := Some trace;
+               makespans := trace.Engine.makespan :: !makespans;
+               match Store.record_run store (Engine.statuses trace) with
+               | Ok _ -> ()
+               | Error msg -> failwith msg
+             done);
+         let mean =
+           List.fold_left ( +. ) 0.0 !makespans /. float_of_int runs
+         in
+         Printf.printf "%d runs on %d workers, failure rate %.2f\n" runs
+           workers failure_rate;
+         if retries > 0 || timeout <> None then
+           Printf.printf "fault tolerance: %d retries, backoff %.2f%s\n"
+             retries backoff
+             (match timeout with
+              | Some cap -> Printf.sprintf ", timeout %.2f" cap
+              | None -> "");
+         let base = { Engine.default_config with Engine.duration } in
+         Printf.printf
+           "mean makespan %.2f (critical path %.2f, total work %.2f)\n" mean
+           (Engine.critical_path_length base spec)
+           (Engine.total_work base spec);
+         (match !last_trace with
+          | Some t -> fault_summary [ t ]
+          | None -> ());
+         print_endline "per-task success rates:";
+         List.iter
+           (fun t ->
+             Printf.printf "  %-40s %.0f%%\n" (Spec.task_name spec t)
+               (100.0 *. Store.success_rate store t))
+           (Spec.tasks spec);
+         (match !last_trace with
+          | Some t ->
+            (match save_last_trace t with
+             | Ok () -> ()
+             | Error msg -> failwith msg)
+          | None -> ());
+         (match save with
+          | None -> `Ok ()
+          | Some path ->
+            (match Store.save_csv store path with
+             | Ok () ->
+               Printf.printf "saved runs to %s\n" path;
+               `Ok ()
+             | Error msg -> fail "%s" msg)))
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:
          "Execute the workflow repeatedly on the simulation engine, feed the \
-          provenance store, and report makespan and per-task success rates.")
+          provenance store, and report makespan and per-task success rates. \
+          Supports fault tolerance: $(b,--retries)/$(b,--backoff) for crash \
+          recovery, $(b,--timeout) for runaway tasks, and \
+          $(b,--save-trace)/$(b,--resume) for checkpoint/resume.")
     Term.(ret (const run $ file_arg $ runs_arg $ workers_arg $ fail_arg
-               $ save_arg $ metrics_arg))
+               $ retries_arg $ backoff_arg $ timeout_arg $ resume_arg
+               $ save_trace_arg $ save_arg $ metrics_arg))
 
 (* --- diagnose --- *)
 

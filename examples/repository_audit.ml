@@ -43,9 +43,9 @@ let () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "wolves_corpus" in
   (match R.save_dir dir corrected with
    | Ok () -> Printf.printf "\nsaved the corrected corpus to %s\n" dir
-   | Error msg -> failwith msg);
+   | Error e -> failwith (Format.asprintf "%a" R.pp_io_error e));
   match R.load_dir dir with
   | Ok reloaded ->
     Printf.printf "reloaded %d MoML files; all sound: %b\n" (R.size reloaded)
       ((R.audit reloaded).R.unsound_views = 0)
-  | Error msg -> failwith msg
+  | Error e -> failwith (Format.asprintf "%a" R.pp_io_error e)

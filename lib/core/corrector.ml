@@ -3,6 +3,7 @@ module Bitset = Wolves_graph.Bitset
 module Digraph = Wolves_graph.Digraph
 module Reach = Wolves_graph.Reach
 module Obs = Wolves_obs.Metrics
+module Clock = Wolves_obs.Clock
 
 (* Registry counters (recorded only while metrics are enabled). The local
    [ctx] counters below always run: they feed the per-outcome numbers. *)
@@ -17,7 +18,11 @@ let m_uncertified = Obs.counter "corrector.uncertified"
 let m_anytime_nodes = Obs.counter "corrector.anytime.nodes"
 let m_anytime_proven = Obs.counter "corrector.anytime.proven"
 let m_anytime_cut = Obs.counter "corrector.anytime.budget_cut"
+let m_deadline_weak = Obs.counter "corrector.deadline.answered_weak"
+let m_deadline_strong = Obs.counter "corrector.deadline.answered_strong"
+let m_deadline_optimal = Obs.counter "corrector.deadline.answered_optimal"
 let t_split = Obs.timer "corrector.split"
+let t_deadline = Obs.timer "corrector.with_deadline"
 
 type criterion =
   | Weak
@@ -64,15 +69,30 @@ type ctx = {
   n : int;
   checks : int ref;
   probes : int ref;
+  stop : unit -> bool;
+      (** deadline hook polled before every soundness check; checks raise
+          {!Expired} once it returns true *)
 }
 
+exception Expired
+
+let no_stop () = false
+
 let make_ctx spec =
-  { spec; n = Spec.n_tasks spec; checks = ref 0; probes = ref 0 }
+  { spec; n = Spec.n_tasks spec; checks = ref 0; probes = ref 0;
+    stop = no_stop }
 
 let sound ctx set =
+  if ctx.stop () then raise Expired;
   incr ctx.checks;
   Obs.incr m_checks;
   Soundness.subset_sound ctx.spec set
+
+let witnesses ctx set =
+  if ctx.stop () then raise Expired;
+  incr ctx.checks;
+  Obs.incr m_checks;
+  Soundness.subset_witnesses ctx.spec set
 
 (* ------------------------------------------------------------------ *)
 (* Weak local optimality: greedy pair merging from singletons.         *)
@@ -152,9 +172,7 @@ let try_closure ctx ~budget parts part_of_task seed_i seed_j =
   in
   let budget = ref budget in
   let rec solve included u =
-    incr ctx.checks;
-    Obs.incr m_checks;
-    match Soundness.subset_witnesses ctx.spec u with
+    match witnesses ctx u with
     | [] -> Some included
     | (x, y) :: _ ->
       let fix_in = absorb_for Digraph.pred u x in
@@ -243,8 +261,11 @@ let exhaustive_combinable ctx parts =
   done;
   !result
 
-let strong_split ctx ~config members =
-  let parts = ref (weak_split ctx members) in
+(* The strong loop starting from an arbitrary partition (normally the weak
+   corrector's); factored out so the deadline chain can hand it the weak
+   result it already holds and abandon it mid-flight via [ctx.stop]. *)
+let strong_refine ctx ~config parts0 =
+  let parts = ref parts0 in
   let continue_ = ref true in
   let certified = ref false in
   while !continue_ do
@@ -264,6 +285,9 @@ let strong_split ctx ~config members =
   done;
   Obs.incr (if !certified then m_certified else m_uncertified);
   (!parts, !certified)
+
+let strong_split ctx ~config members =
+  strong_refine ctx ~config (weak_split ctx members)
 
 (* ------------------------------------------------------------------ *)
 (* Optimal split: exact minimum partition into sound parts, by dynamic  *)
@@ -415,16 +439,15 @@ let split_subset ?(config = default_config) criterion spec members =
 (* Anytime exact split: branch-and-bound over topological assignments.  *)
 (* ------------------------------------------------------------------ *)
 
-let split_subset_anytime ?(config = default_config) ?(node_budget = 2_000_000)
-    spec members =
-  let members = check_members spec members in
-  let ctx = make_ctx spec in
+(* The branch-and-bound core: improve on [incumbent] within [node_budget]
+   nodes, additionally cut by the external [stop] hook (polled per node, so
+   a raised deadline never escapes as an exception — the incumbent is always
+   returned). Returns the best partition found (as sorted lists) and whether
+   the search ran to completion (proving minimality). *)
+let bb_search ctx ~node_budget ~stop members incumbent =
+  let spec = ctx.spec in
   let member_set = Bitset.of_list ctx.n members in
-  if List.length members = 1 || sound ctx member_set then
-    (outcome_of_ctx ctx ~parts:[ members ] ~certified_strong:true, true)
-  else begin
-    (* Incumbent: the strong corrector's split. *)
-    let incumbent, _ = strong_split ctx ~config members in
+  begin
     let best = ref (Array.map Bitset.copy incumbent) in
     let best_count = ref (Array.length incumbent) in
     let g = Spec.graph spec in
@@ -477,7 +500,7 @@ let split_subset_anytime ?(config = default_config) ?(node_budget = 2_000_000)
     let nodes = ref 0 in
     let complete = ref true in
     let rec search i used =
-      if !nodes >= node_budget then complete := false
+      if !nodes >= node_budget || stop () then complete := false
       else begin
         incr nodes;
         if used >= !best_count then () (* cannot improve *)
@@ -521,10 +544,126 @@ let split_subset_anytime ?(config = default_config) ?(node_budget = 2_000_000)
       Array.to_list (Array.map Bitset.elements !best)
       |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
     in
+    (parts_lists, !complete)
+  end
+
+let split_subset_anytime ?(config = default_config) ?(node_budget = 2_000_000)
+    spec members =
+  let members = check_members spec members in
+  let ctx = make_ctx spec in
+  let member_set = Bitset.of_list ctx.n members in
+  if List.length members = 1 || sound ctx member_set then
+    (outcome_of_ctx ctx ~parts:[ members ] ~certified_strong:true, true)
+  else begin
+    (* Incumbent: the strong corrector's split. *)
+    let incumbent, _ = strong_split ctx ~config members in
+    let parts_lists, complete =
+      bb_search ctx ~node_budget ~stop:no_stop members incumbent
+    in
     (* A proven minimum is strongly local optimal (a combinable subset would
        contradict minimality); a budget-cut result is not certified. *)
-    (outcome_of_ctx ctx ~parts:parts_lists ~certified_strong:!complete,
-     !complete)
+    (outcome_of_ctx ctx ~parts:parts_lists ~certified_strong:complete, complete)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Deadline-degrading correction: optimal when time allows, falling     *)
+(* back to strong, then weak, as the budget expires.                    *)
+(* ------------------------------------------------------------------ *)
+
+type tier_outcome = {
+  result : outcome;
+  tier : criterion;
+      (** the guarantee level of the returned partition: the tier whose
+          search last {e completed} *)
+  elapsed_s : float;
+  abandoned : criterion option;
+      (** the tier whose search the deadline interrupted, if any *)
+  proven_optimal : bool;
+}
+
+let pp_tier_outcome ppf o =
+  Format.fprintf ppf "%a tier, %d parts, %.3f ms%s" pp_criterion o.tier
+    (List.length o.result.parts)
+    (o.elapsed_s *. 1000.0)
+    (match o.abandoned with
+     | None -> ""
+     | Some c -> Format.asprintf " (abandoned %a)" pp_criterion c)
+
+let default_check_cost_s = 1e-4
+
+let with_deadline ?(config = default_config) ?(node_budget = 2_000_000)
+    ?(check_cost_s = default_check_cost_s) ~deadline_s spec members =
+  Obs.time t_deadline @@ fun () ->
+  let start = Clock.now () in
+  let members = check_members spec members in
+  let ctx = make_ctx spec in
+  (* Budget consumption is the max of real elapsed time and the modeled cost
+     of the soundness checks performed so far. The modeled component makes
+     degradation deterministic across machines (the gadgets of this repo are
+     so small that every tier finishes in microseconds, which would make
+     deadline behaviour a lottery of hardware speed); the wall-clock
+     component keeps the deadline honest on instances large enough for real
+     time to dominate. *)
+  let consumed () =
+    Float.max (Clock.elapsed_since start)
+      (float_of_int !(ctx.checks) *. check_cost_s)
+  in
+  let expired () = consumed () >= deadline_s in
+  let member_set = Bitset.of_list ctx.n members in
+  let finish tier ~parts ~certified ~abandoned ~proven =
+    Obs.incr
+      (match tier with
+       | Weak -> m_deadline_weak
+       | Strong -> m_deadline_strong
+       | Optimal -> m_deadline_optimal);
+    { result = outcome_of_ctx ctx ~parts ~certified_strong:certified;
+      tier;
+      elapsed_s = Clock.elapsed_since start;
+      abandoned;
+      proven_optimal = proven }
+  in
+  if List.length members = 1 || sound ctx member_set then
+    (* Already sound: the trivial split is minimal, whatever the budget. *)
+    finish Optimal ~parts:[ members ] ~certified:true ~abandoned:None
+      ~proven:true
+  else begin
+    (* Tier 1 — weak floor. Runs to completion regardless of the deadline:
+       there is no cheaper sound answer to degrade to, and it is the
+       incumbent everything later improves on. *)
+    let weak_parts = weak_split ctx members in
+    let weak_fallback () =
+      finish Weak
+        ~parts:(parts_to_lists weak_parts)
+        ~certified:false ~abandoned:(Some Strong) ~proven:false
+    in
+    if expired () then weak_fallback ()
+    else begin
+      (* Tier 2 — strong refinement of the weak result, interruptible
+         between soundness checks. The stop-threaded context shares the
+         counter refs, so abandoned work still shows up in the outcome. *)
+      match strong_refine { ctx with stop = expired } ~config weak_parts with
+      | exception Expired -> weak_fallback ()
+      | strong_parts, certified ->
+        if expired () then
+          finish Strong
+            ~parts:(parts_to_lists strong_parts)
+            ~certified ~abandoned:(Some Optimal) ~proven:false
+        else begin
+          (* Tier 3 — exact branch-and-bound, cut per node by the deadline.
+             Run with the non-raising context: a cut search still returns
+             its incumbent (≥ the strong result), it just is not proven
+             minimal. *)
+          let bb_parts, complete =
+            bb_search ctx ~node_budget ~stop:expired members strong_parts
+          in
+          if complete then
+            finish Optimal ~parts:bb_parts ~certified:true ~abandoned:None
+              ~proven:true
+          else
+            finish Strong ~parts:bb_parts ~certified
+              ~abandoned:(Some Optimal) ~proven:false
+        end
+    end
   end
 
 let unique_name taken base =
@@ -586,6 +725,36 @@ let correct ?(config = default_config) criterion view =
       report.Soundness.unsound
   in
   let replacements = List.map (fun (c, o) -> (c, o.parts)) outcomes in
+  (rebuild_view view replacements, outcomes)
+
+let correct_with_deadline ?(config = default_config) ?(node_budget = 2_000_000)
+    ?(check_cost_s = default_check_cost_s) ~deadline_s view =
+  let spec = View.spec view in
+  let report = Soundness.validate view in
+  (* One budget shared across all unsound composites: each gets whatever
+     remains when its turn comes (clamped at zero — the weak floor still
+     guarantees a sound answer for every composite). Consumption is each
+     composite's, under the same wall-vs-modeled accounting as
+     {!with_deadline}. *)
+  let remaining = ref deadline_s in
+  let outcomes =
+    List.map
+      (fun (c, _) ->
+        let o =
+          with_deadline ~config ~node_budget ~check_cost_s
+            ~deadline_s:(Float.max 0.0 !remaining)
+            spec (View.members view c)
+        in
+        remaining :=
+          !remaining
+          -. Float.max o.elapsed_s
+               (float_of_int o.result.checks *. check_cost_s);
+        (c, o))
+      report.Soundness.unsound
+  in
+  let replacements =
+    List.map (fun (c, o) -> (c, o.result.parts)) outcomes
+  in
   (rebuild_view view replacements, outcomes)
 
 let combinable spec a b =

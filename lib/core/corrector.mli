@@ -97,6 +97,67 @@ val split_subset_anytime :
     any part with an unreachable (final input, final output) pair can never
     become sound and the branch is cut. *)
 
+(** Result of a deadline-bounded correction (see {!with_deadline}). *)
+type tier_outcome = {
+  result : outcome;
+      (** The returned split; always sound, at worst the weak corrector's.
+          Its counters include the work of abandoned tiers. *)
+  tier : criterion;
+      (** The guarantee level actually delivered: the highest tier whose
+          search ran to completion. *)
+  elapsed_s : float;  (** wall-clock seconds actually spent *)
+  abandoned : criterion option;
+      (** The tier whose search the deadline interrupted, if any ([Strong]
+          when even the strong refinement was cut, [Optimal] when only the
+          exact search was). *)
+  proven_optimal : bool;
+      (** [true] iff the exact search completed, proving the split minimum. *)
+}
+
+val pp_tier_outcome : Format.formatter -> tier_outcome -> unit
+(** One-line rendering: tier, part count, elapsed ms, abandoned tier. *)
+
+val default_check_cost_s : float
+(** Modeled cost of one full soundness check: [1e-4] (100 µs), roughly a
+    closure-matrix soundness query over a workflow of the scale the paper's
+    WfMS deployments manage. *)
+
+val with_deadline :
+  ?config:config ->
+  ?node_budget:int ->
+  ?check_cost_s:float ->
+  deadline_s:float ->
+  Spec.t ->
+  Spec.task list ->
+  tier_outcome
+(** Deadline-degrading correction chain: weak → strong → optimal, each tier
+    improving on the previous, stopping (between soundness checks / search
+    nodes) once the budget of [deadline_s] seconds is consumed. The budget
+    is consumed by the {e larger} of wall-clock time and the modeled cost of
+    the soundness checks performed ([checks × check_cost_s]): the modeled
+    component makes degradation deterministic across machines — on the
+    repo's gadget-sized inputs every tier finishes in microseconds, so a
+    pure wall-clock deadline would be a hardware lottery — while the
+    wall-clock component keeps the deadline honest on instances big enough
+    for real time to dominate.
+
+    The weak tier always runs to completion — it is the floor, so the
+    answer is always a valid sound split — and with [deadline_s = 0.] it is
+    also the answer. With a generous deadline the chain behaves exactly
+    like {!split_subset_anytime} (the optimal tier still honours
+    [node_budget]). @raise Invalid_argument as {!split_subset}. *)
+
+val correct_with_deadline :
+  ?config:config ->
+  ?node_budget:int ->
+  ?check_cost_s:float ->
+  deadline_s:float ->
+  View.t ->
+  View.t * (View.composite * tier_outcome) list
+(** {!correct} under one shared deadline: each unsound composite gets the
+    budget remaining when its turn comes (possibly zero — the weak floor
+    still answers). The returned view is sound. *)
+
 val split_composite :
   ?config:config -> criterion -> View.t -> View.composite -> View.t * outcome
 (** The demo's "Split Task" action: replace one composite by its split. The

@@ -1,21 +1,35 @@
 open Wolves_workflow
 module Store = Wolves_provenance.Store
+module Bitset = Wolves_graph.Bitset
+module Reach = Wolves_graph.Reach
+
 module Obs = Wolves_obs.Metrics
 
 let m_runs = Obs.counter "engine.runs"
 let m_events = Obs.counter "engine.events_scheduled"
 let m_crashes = Obs.counter "engine.crashes_injected"
+let m_retries = Obs.counter "engine.retries"
+let m_timeouts = Obs.counter "engine.timeouts"
 let m_not_run = Obs.counter "engine.tasks_not_run"
+let m_resumes = Obs.counter "engine.resumes"
+let m_reused = Obs.counter "engine.tasks_reused"
 let g_makespan = Obs.gauge "engine.last_makespan"
 let t_run = Obs.timer "engine.run"
+
+(* Simulated seconds of one attempt's worker occupancy; the discrete-event
+   analog of a per-attempt span (real-time spans are meaningless inside a
+   simulation step). *)
+let t_attempt = Obs.timer "engine.attempt_sim"
 
 type outcome =
   | Completed of string
   | Crashed
+  | Timed_out
   | Not_run
 
 type event = {
   task : Spec.task;
+  attempt : int;
   started : float;
   finished : float;
   outcome : outcome;
@@ -45,6 +59,9 @@ type config = {
   seed : int;
   salts : (Spec.task * int) list;
   policy : policy;
+  retries : int;
+  backoff : float;
+  timeout : float option;
 }
 
 let default_config =
@@ -53,7 +70,23 @@ let default_config =
     failure_rate = 0.0;
     seed = 0;
     salts = [];
-    policy = Fifo }
+    policy = Fifo;
+    retries = 0;
+    backoff = 1.0;
+    timeout = None }
+
+let validate_config config =
+  if config.workers < 1 then invalid_arg "Engine.run: need at least one worker";
+  if not (config.failure_rate >= 0.0 && config.failure_rate <= 1.0) then
+    invalid_arg "Engine.run: failure_rate must be within [0, 1]";
+  if config.retries < 0 then
+    invalid_arg "Engine.run: retries must be non-negative";
+  if not (config.backoff > 0.0) then
+    invalid_arg "Engine.run: backoff must be positive";
+  match config.timeout with
+  | Some cap when not (cap > 0.0) ->
+    invalid_arg "Engine.run: timeout must be positive"
+  | Some _ | None -> ()
 
 (* FNV-1a over a string: cheap, deterministic content hashing for output
    values. Not cryptographic — collision resistance is irrelevant here. *)
@@ -137,9 +170,19 @@ let durations_from_attrs ?(key = "duration") ?(default = 1.0) spec task =
   | Some d when d > 0.0 -> d
   | Some _ | None -> default
 
-let run ?(config = default_config) spec =
+(* Scheduled payloads of the simulated-time heap: a worker finishing an
+   attempt ([cut] when the attempt is ended by the timeout rather than by
+   completing), or a crashed task waking up from its backoff delay. *)
+type sched =
+  | Finish of { task : Spec.task; attempt : int; cut : bool }
+  | Wake of Spec.task
+
+(* The core discrete-event loop shared by [run] (reuse is empty) and
+   [resume] (reuse returns the prior run's output hash for every task that
+   does not need re-execution). *)
+let exec ~config ~reuse spec =
   Obs.time t_run @@ fun () ->
-  if config.workers < 1 then invalid_arg "Engine.run: need at least one worker";
+  validate_config config;
   let n = Spec.n_tasks spec in
   let duration t =
     let d = config.duration t in
@@ -149,9 +192,40 @@ let run ?(config = default_config) spec =
   let salt t =
     match List.assoc_opt t config.salts with Some s -> s | None -> 0
   in
+  (* Independent uniform draw in [0,1) per (task, attempt, lane): lane 0
+     decides crashes, lane 1 jitters the backoff. Values never feed the
+     draws, so salting a task perturbs outputs without perturbing the
+     failure pattern — the property the provenance exactness experiments
+     rely on. *)
+  let draw t attempt lane =
+    float_of_int (mix (mix config.seed ((t * 2) + lane + 1)) attempt land 0xFFFFFF)
+    /. 16777216.0
+  in
   (* outcome slots; None = not decided yet *)
   let outcomes : outcome option array = Array.make n None in
   let missing_inputs = Array.init n (fun t -> List.length (Spec.producers spec t)) in
+  let events = ref [] in
+  let clock = ref 0.0 in
+  let busy = ref 0.0 in
+  (* Checkpoint/resume: pre-seed reused outputs. They occupy no worker and no
+     simulated time; their events carry attempt 0. The reuse set is
+     ancestor-closed (a task only completed when all its ancestors did), so
+     seeding in topological order is safe. *)
+  List.iter
+    (fun t ->
+      match reuse t with
+      | None -> ()
+      | Some v ->
+        Obs.incr m_reused;
+        outcomes.(t) <- Some (Completed v);
+        events :=
+          { task = t; attempt = 0; started = 0.0; finished = 0.0;
+            outcome = Completed v }
+          :: !events;
+        List.iter
+          (fun c -> missing_inputs.(c) <- missing_inputs.(c) - 1)
+          (Spec.consumers spec t))
+    (Spec.topological_order spec);
   (* Priority of a ready task under the scheduling policy (lower = first). *)
   let downstream = Array.make n 0.0 in
   List.iter
@@ -179,29 +253,49 @@ let run ?(config = default_config) spec =
     Heap.push ready (priority t, !ready_tie, t)
   in
   List.iter
-    (fun t -> if missing_inputs.(t) = 0 then ready_push t)
+    (fun t ->
+      if outcomes.(t) = None && missing_inputs.(t) = 0 then ready_push t)
     (Spec.topological_order spec);
   let running = Heap.create () in
   let free_workers = ref config.workers in
-  let clock = ref 0.0 in
-  let busy = ref 0.0 in
-  let events = ref [] in
   let tie = ref 0 in
-  (* Mark a task (and transitively its dependents with missing inputs) as
-     decided-not-run lazily: a dependent is Not_run when scheduled-time
-     arrives and an input is missing. *)
+  let push_sched time item =
+    incr tie;
+    Heap.push running (time, !tie, item)
+  in
+  let attempts = Array.make n 0 in
   let value_of t =
     match outcomes.(t) with
     | Some (Completed v) -> Some v
-    | Some (Crashed | Not_run) | None -> None
+    | Some (Crashed | Timed_out | Not_run) | None -> None
+  in
+  let notify_consumers t =
+    List.iter
+      (fun c ->
+        missing_inputs.(c) <- missing_inputs.(c) - 1;
+        if missing_inputs.(c) = 0 then ready_push c)
+      (Spec.consumers spec t)
+  in
+  let finalize t attempt ~started outcome =
+    outcomes.(t) <- Some outcome;
+    events :=
+      { task = t; attempt; started; finished = !clock; outcome } :: !events;
+    notify_consumers t
   in
   let start_task t =
     decr free_workers;
     Obs.incr m_events;
+    attempts.(t) <- attempts.(t) + 1;
     let d = duration t in
-    busy := !busy +. d;
-    incr tie;
-    Heap.push running (!clock +. d, !tie, t)
+    let occupied, cut =
+      match config.timeout with
+      | Some cap when d > cap -> (cap, true)
+      | Some _ | None -> (d, false)
+    in
+    busy := !busy +. occupied;
+    Obs.observe t_attempt occupied;
+    push_sched (!clock +. occupied)
+      (Finish { task = t; attempt = attempts.(t); cut })
   in
   let schedule_ready () =
     let continue_sched = ref true in
@@ -216,18 +310,15 @@ let run ?(config = default_config) spec =
       in
       if inputs_ok then start_task t
       else begin
-        (* An input crashed or never ran: decide Not_run immediately, which
-           occupies no worker and takes no time. *)
+        (* An input crashed, timed out or never ran: decide Not_run
+           immediately, which occupies no worker and takes no time. *)
         outcomes.(t) <- Some Not_run;
         Obs.incr m_not_run;
         events :=
-          { task = t; started = !clock; finished = !clock; outcome = Not_run }
+          { task = t; attempt = 0; started = !clock; finished = !clock;
+            outcome = Not_run }
           :: !events;
-        List.iter
-          (fun c ->
-            missing_inputs.(c) <- missing_inputs.(c) - 1;
-            if missing_inputs.(c) = 0 then ready_push c)
-          (Spec.consumers spec t)
+        notify_consumers t
       end
     done
   in
@@ -236,42 +327,55 @@ let run ?(config = default_config) spec =
   while !continue_ do
     match Heap.pop running with
     | None -> continue_ := false
-    | Some (finish_time, _, t) ->
-      clock := finish_time;
+    | Some (time, _, Wake t) ->
+      (* Backoff expired: the task re-enters the ready queue and competes
+         for a worker again. *)
+      clock := time;
+      ready_push t;
+      schedule_ready ()
+    | Some (time, _, Finish { task = t; attempt; cut }) ->
+      clock := time;
       incr free_workers;
-      let crash_draw =
-        float_of_int (mix config.seed t land 0xFFFFFF) /. 16777216.0
+      let d = duration t in
+      let occupied =
+        match config.timeout with Some cap when cut -> cap | _ -> d
       in
-      let outcome =
-        if crash_draw < config.failure_rate then begin
-          Obs.incr m_crashes;
-          Crashed
-        end
-        else begin
-          let inputs =
-            List.filter_map value_of (Spec.producers spec t)
-          in
-          let material =
-            String.concat "|"
-              (Spec.task_name spec t
-               :: string_of_int (salt t)
-               :: List.sort compare inputs)
-          in
-          Completed (fnv material)
-        end
-      in
-      outcomes.(t) <- Some outcome;
-      events :=
-        { task = t;
-          started = finish_time -. duration t;
-          finished = finish_time;
-          outcome }
-        :: !events;
-      List.iter
-        (fun c ->
-          missing_inputs.(c) <- missing_inputs.(c) - 1;
-          if missing_inputs.(c) = 0 then ready_push c)
-        (Spec.consumers spec t);
+      let started = time -. occupied in
+      (if cut then begin
+         (* Timeouts are deterministic in simulated time (the duration is
+            fixed), so retrying would time out again: Timed_out is final. *)
+         Obs.incr m_timeouts;
+         finalize t attempt ~started Timed_out
+       end
+       else if draw t attempt 0 < config.failure_rate then begin
+         Obs.incr m_crashes;
+         if attempt <= config.retries then begin
+           (* Record the failed attempt, back off exponentially (jittered),
+              and try again. The outcome stays undecided, so consumers keep
+              waiting instead of being skipped. *)
+           Obs.incr m_retries;
+           events :=
+             { task = t; attempt; started; finished = time; outcome = Crashed }
+             :: !events;
+           let delay =
+             config.backoff
+             *. Float.pow 2.0 (float_of_int (attempt - 1))
+             *. (0.5 +. draw t attempt 1)
+           in
+           push_sched (time +. delay) (Wake t)
+         end
+         else finalize t attempt ~started Crashed
+       end
+       else begin
+         let inputs = List.filter_map value_of (Spec.producers spec t) in
+         let material =
+           String.concat "|"
+             (Spec.task_name spec t
+              :: string_of_int (salt t)
+              :: List.sort compare inputs)
+         in
+         finalize t attempt ~started (Completed (fnv material))
+       end);
       schedule_ready ()
   done;
   Obs.incr m_runs;
@@ -281,15 +385,51 @@ let run ?(config = default_config) spec =
     makespan = !clock;
     busy_time = !busy }
 
+let run ?(config = default_config) spec = exec ~config ~reuse:(fun _ -> None) spec
+
+(* The last event of a task decides: a retried task has earlier Crashed
+   attempt events followed by its final outcome. *)
 let outcome_of trace t =
-  match List.find_opt (fun e -> e.task = t) trace.events with
-  | Some e -> e.outcome
-  | None -> Not_run
+  List.fold_left
+    (fun acc e -> if e.task = t then Some e.outcome else acc)
+    None trace.events
+  |> Option.value ~default:Not_run
 
 let output_value trace t =
   match outcome_of trace t with
   | Completed v -> Some v
-  | Crashed | Not_run -> None
+  | Crashed | Timed_out | Not_run -> None
+
+let n_attempts trace t =
+  List.length (List.filter (fun e -> e.task = t && e.attempt >= 1) trace.events)
+
+let executed_tasks trace =
+  List.filter (fun t -> n_attempts trace t >= 1) (Spec.tasks trace.spec)
+
+let reused_tasks trace =
+  List.filter_map
+    (fun e -> if e.attempt = 0 && e.outcome <> Not_run then Some e.task else None)
+    trace.events
+  |> List.sort_uniq compare
+
+let resume ?(config = default_config) prior =
+  let spec = prior.spec in
+  let r = Spec.reach spec in
+  (* Re-execute the failed/Not_run frontier plus everything downstream of a
+     salted task; every other completed output is reused verbatim. *)
+  let dirty = Bitset.create (Spec.n_tasks spec) in
+  List.iter
+    (fun t ->
+      match outcome_of prior t with
+      | Completed _ -> ()
+      | Crashed | Timed_out | Not_run -> Bitset.add dirty t)
+    (Spec.tasks spec);
+  List.iter
+    (fun (t, _) -> Bitset.union_into ~into:dirty (Reach.descendants r t))
+    config.salts;
+  Obs.incr m_resumes;
+  let reuse t = if Bitset.mem dirty t then None else output_value prior t in
+  exec ~config ~reuse spec
 
 let statuses trace =
   List.map
@@ -297,7 +437,7 @@ let statuses trace =
       let status =
         match outcome_of trace t with
         | Completed _ -> Store.Succeeded
-        | Crashed -> Store.Failed
+        | Crashed | Timed_out -> Store.Failed
         | Not_run -> Store.Skipped
       in
       (t, status))
@@ -324,10 +464,16 @@ let pp_trace ppf trace =
     (fun e ->
       Format.fprintf ppf "  [%6.2f - %6.2f] %-30s %s@." e.started e.finished
         (Spec.task_name trace.spec e.task)
-        (match e.outcome with
-         | Completed v -> "ok " ^ String.sub v 0 8
-         | Crashed -> "CRASHED"
-         | Not_run -> "not run"))
+        (let tag =
+           match e.outcome with
+           | Completed v -> "ok " ^ String.sub v 0 8
+           | Crashed -> "CRASHED"
+           | Timed_out -> "TIMED OUT"
+           | Not_run -> "not run"
+         in
+         if e.attempt = 0 && e.outcome <> Not_run then tag ^ " (reused)"
+         else if e.attempt > 1 then Printf.sprintf "%s (attempt %d)" tag e.attempt
+         else tag))
     trace.events
 
 let gantt ?(width = 60) trace =
@@ -335,7 +481,7 @@ let gantt ?(width = 60) trace =
   let scale t = int_of_float (Float.round (t /. span *. float_of_int width)) in
   let buf = Buffer.create 1024 in
   let rows =
-    List.filter (fun e -> e.outcome <> Not_run) trace.events
+    List.filter (fun e -> e.outcome <> Not_run && e.attempt >= 1) trace.events
     |> List.sort (fun a b -> compare (a.started, a.task) (b.started, b.task))
   in
   List.iter
@@ -345,7 +491,10 @@ let gantt ?(width = 60) trace =
       let bar =
         String.make from_col ' '
         ^ String.make (to_col - from_col)
-            (match e.outcome with Crashed -> 'x' | _ -> '#')
+            (match e.outcome with
+             | Crashed -> 'x'
+             | Timed_out -> 't'
+             | Completed _ | Not_run -> '#')
       in
       Buffer.add_string buf
         (Printf.sprintf "%-24s |%-*s|\n"
@@ -355,3 +504,141 @@ let gantt ?(width = 60) trace =
   Buffer.add_string buf
     (Printf.sprintf "%-24s  0%*s%.1f\n" "" (width - 2) "" trace.makespan);
   Buffer.contents buf
+
+(* --- trace persistence ------------------------------------------------- *)
+
+let outcome_tag = function
+  | Completed _ -> "completed"
+  | Crashed -> "crashed"
+  | Timed_out -> "timed-out"
+  | Not_run -> "not-run"
+
+let quote_field s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let trace_header = "task,attempt,started,finished,outcome,value"
+
+let save_trace path trace =
+  try
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (trace_header ^ "\n");
+        List.iter
+          (fun e ->
+            Out_channel.output_string oc
+              (Printf.sprintf "%s,%d,%.17g,%.17g,%s,%s\n"
+                 (quote_field (Spec.task_name trace.spec e.task))
+                 e.attempt e.started e.finished (outcome_tag e.outcome)
+                 (match e.outcome with Completed v -> v | _ -> "")))
+          trace.events);
+    Ok ()
+  with Sys_error msg -> Error msg
+
+(* A minimal CSV row reader handling our own quoting. *)
+let parse_row line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let i = ref 0 in
+  let bad = ref false in
+  while (not !bad) && !i < n do
+    if Buffer.length buf = 0 && !i < n && line.[!i] = '"' then begin
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if line.[!i] = '"' then
+          if !i + 1 < n && line.[!i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf line.[!i];
+          incr i
+        end
+      done;
+      if not !closed then bad := true
+    end
+    else if line.[!i] = ',' then begin
+      fields := Buffer.contents buf :: !fields;
+      Buffer.clear buf;
+      incr i
+    end
+    else begin
+      Buffer.add_char buf line.[!i];
+      incr i
+    end
+  done;
+  if !bad then None
+  else begin
+    fields := Buffer.contents buf :: !fields;
+    Some (List.rev !fields)
+  end
+
+let load_trace spec path =
+  try
+    let lines = In_channel.with_open_text path In_channel.input_lines in
+    match lines with
+    | [] -> Error "empty trace file"
+    | header :: rows ->
+      if header <> trace_header then Error "unexpected trace header"
+      else begin
+        let events = ref [] in
+        let error = ref None in
+        List.iteri
+          (fun lineno line ->
+            if !error = None && String.trim line <> "" then begin
+              let fail () =
+                error := Some (Printf.sprintf "line %d: bad row" (lineno + 2))
+              in
+              match parse_row line with
+              | Some [ name; attempt_s; started_s; finished_s; tag; value ] ->
+                (match
+                   ( Spec.task_of_name spec name,
+                     int_of_string_opt attempt_s,
+                     float_of_string_opt started_s,
+                     float_of_string_opt finished_s )
+                 with
+                 | Some task, Some attempt, Some started, Some finished ->
+                   let outcome =
+                     match tag with
+                     | "completed" -> Some (Completed value)
+                     | "crashed" -> Some Crashed
+                     | "timed-out" -> Some Timed_out
+                     | "not-run" -> Some Not_run
+                     | _ -> None
+                   in
+                   (match outcome with
+                    | Some outcome ->
+                      events :=
+                        { task; attempt; started; finished; outcome } :: !events
+                    | None -> fail ())
+                 | _ -> fail ())
+              | Some _ | None -> fail ()
+            end)
+          rows;
+        match !error with
+        | Some msg -> Error msg
+        | None ->
+          let events = List.rev !events in
+          let makespan =
+            List.fold_left (fun acc e -> Float.max acc e.finished) 0.0 events
+          in
+          let busy =
+            List.fold_left
+              (fun acc e ->
+                if e.attempt >= 1 then acc +. (e.finished -. e.started) else acc)
+              0.0 events
+          in
+          Ok { spec; events; makespan; busy_time = busy }
+      end
+  with Sys_error msg -> Error msg

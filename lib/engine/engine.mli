@@ -3,9 +3,10 @@
     The paper's setting is a workflow management system executing "in-silico"
     experiments; this engine is that substrate. It schedules a specification
     over [workers] simulated machines, respecting dependencies, with
-    per-task durations and failure injection, and produces an execution
-    trace: per-task status, timing, and an {e output value} per succeeded
-    task.
+    per-task durations, failure injection, bounded retries with exponential
+    backoff, per-task timeouts, and checkpoint/resume — and produces an
+    execution trace: per-task status, timing, and an {e output value} per
+    succeeded task.
 
     Output values are content hashes of (task identity, input values,
     per-run task salt), so dataflow is observable: the output of a task
@@ -18,12 +19,18 @@ open Wolves_workflow
 
 type outcome =
   | Completed of string  (** the task's output value (content hash) *)
-  | Crashed              (** failure injected *)
+  | Crashed              (** failure injected, retry budget exhausted *)
+  | Timed_out            (** ran longer than the configured timeout *)
   | Not_run              (** skipped: an input never arrived *)
 
-(** One scheduling event, in simulated time. *)
+(** One scheduling event, in simulated time. A retried task contributes one
+    event per attempt: every non-final attempt has outcome {!Crashed}, the
+    last one carries the final outcome. [attempt] is 1-based for attempts
+    actually executed; reused checkpoint results (see {!resume}) and
+    skip decisions appear with [attempt = 0] and zero duration. *)
 type event = {
   task : Spec.task;
+  attempt : int;
   started : float;
   finished : float;
   outcome : outcome;
@@ -33,7 +40,7 @@ type trace = {
   spec : Spec.t;
   events : event list;      (** ordered by finish time *)
   makespan : float;         (** total simulated duration *)
-  busy_time : float;        (** summed task durations actually executed *)
+  busy_time : float;        (** summed worker-occupied time over all attempts *)
 }
 
 (** Ready-queue ordering when workers are scarce. *)
@@ -53,17 +60,30 @@ val policy_name : policy -> string
 type config = {
   workers : int;            (** simulated parallel machines, ≥ 1 *)
   duration : Spec.task -> float;  (** simulated runtime of each task, > 0 *)
-  failure_rate : float;     (** independent crash probability per task *)
-  seed : int;               (** drives failures and value salts *)
+  failure_rate : float;     (** independent crash probability per attempt,
+                                within [0, 1] *)
+  seed : int;               (** drives failures, backoff jitter, value salts *)
   salts : (Spec.task * int) list;
       (** override the value salt of specific tasks: re-running with a
           changed salt models changed inputs/parameters, and exactly the
           descendants of salted tasks change outputs *)
   policy : policy;
+  retries : int;
+      (** extra attempts granted after a crash (0 = fail on first crash);
+          timeouts are deterministic and never retried *)
+  backoff : float;
+      (** base delay, in simulated seconds, before the first retry; doubles
+          per further attempt and is jittered by a factor in [0.5, 1.5)
+          drawn from the deterministic PRNG *)
+  timeout : float option;
+      (** when set, a task whose duration exceeds the cap is cut at the cap
+          with outcome {!Timed_out} (the worker stays occupied for the full
+          cap) *)
 }
 
 val default_config : config
-(** 1 worker, unit durations, no failures, seed 0, no salts, FIFO. *)
+(** 1 worker, unit durations, no failures, seed 0, no salts, FIFO,
+    no retries (backoff 1.0), no timeout. *)
 
 val durations_from_attrs :
   ?key:string -> ?default:float -> Spec.t -> Spec.task -> float
@@ -71,18 +91,48 @@ val durations_from_attrs :
     [key]), falling back to [default] (1.0) when absent or unparseable —
     the bridge from annotated workflow documents to the simulator. *)
 
+val validate_config : config -> unit
+(** The validation {!run} performs up front, exposed so callers (the CLI)
+    can reject a bad configuration with a clean message before any work.
+    @raise Invalid_argument on a non-positive worker count, a failure rate
+    outside [0, 1], negative retries, a non-positive backoff or timeout.
+    (Durations are validated per task as {!run} encounters them.) *)
+
 val run : ?config:config -> Spec.t -> trace
 (** Execute the workflow once. @raise Invalid_argument on a non-positive
-    worker count or duration. *)
+    worker count or duration, a failure rate outside [0, 1], negative
+    retries, a non-positive backoff or timeout. *)
+
+val resume : ?config:config -> trace -> trace
+(** [resume ~config prior] re-executes only what a fresh run could not reuse
+    from [prior]: tasks whose final outcome is not [Completed], plus every
+    descendant (inclusive) of a task salted in [config.salts]. All other
+    completed output values are reused verbatim (recorded as [attempt = 0]
+    events at time zero, occupying no worker). Because the engine's reused
+    set is ancestor-closed, a resumed run that succeeds produces output
+    values identical to a fresh zero-failure run with the same salts.
+    @raise Invalid_argument as {!run}. *)
 
 val outcome_of : trace -> Spec.task -> outcome
+(** The task's {e final} outcome — the last event's, so retried tasks
+    report the outcome of their last attempt, not the first crash. *)
 
 val output_value : trace -> Spec.task -> string option
 (** The task's output value, when it completed. *)
 
+val n_attempts : trace -> Spec.task -> int
+(** How many times the task actually executed (reused results count 0). *)
+
+val executed_tasks : trace -> Spec.task list
+(** Tasks that ran at least one attempt in this trace (increasing order). *)
+
+val reused_tasks : trace -> Spec.task list
+(** Tasks whose result was reused from a prior trace (increasing order). *)
+
 val statuses : trace -> (Spec.task * Wolves_provenance.Store.status) list
 (** The trace as a status assignment accepted by
-    {!Wolves_provenance.Store.record_run}. *)
+    {!Wolves_provenance.Store.record_run}. [Timed_out] maps to
+    [Store.Failed], like [Crashed]. *)
 
 val critical_path_length : config -> Spec.t -> float
 (** Sum of durations along the heaviest dependency path — the makespan lower
@@ -96,6 +146,14 @@ val pp_trace : Format.formatter -> trace -> unit
 (** Event log rendering. *)
 
 val gantt : ?width:int -> trace -> string
-(** ASCII Gantt chart: one row per executed task ordered by start time,
-    bars scaled to [width] columns (default 60); crashed tasks end in [x],
-    skipped tasks are omitted. *)
+(** ASCII Gantt chart: one row per executed attempt ordered by start time,
+    bars scaled to [width] columns (default 60); crashed attempts render as
+    [x], timed-out ones as [t]; skipped and reused tasks are omitted. *)
+
+val save_trace : string -> trace -> (unit, string) result
+(** Persist the trace as CSV (one row per event) for later {!resume} — the
+    checkpoint file format. *)
+
+val load_trace : Spec.t -> string -> (trace, string) result
+(** Read a trace previously written by {!save_trace}, resolving task names
+    against [spec]. Fails on unknown tasks or malformed rows. *)

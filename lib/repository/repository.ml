@@ -180,36 +180,65 @@ let update repo ~id new_spec =
       List.map (fun e -> if e.id = id then replacement else e) repo.items;
     Ok impact
 
+type io_error =
+  | Io_error of string
+  | Entry_error of string * Moml.error
+
+let pp_io_error ppf = function
+  | Io_error msg -> Format.pp_print_string ppf msg
+  | Entry_error (file, err) ->
+    Format.fprintf ppf "%s: %a" file Moml.pp_error err
+
+exception Io of io_error
+
 let save_dir dir repo =
   try
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    (match (try Some (Sys.is_directory dir) with Sys_error _ -> None) with
+     | Some true -> ()
+     | Some false ->
+       raise (Io (Io_error (dir ^ ": exists and is not a directory")))
+     | None -> Sys.mkdir dir 0o755);
     List.iter
       (fun e ->
-        match Moml.save (Filename.concat dir (e.id ^ ".moml")) e.view with
-        | Ok () -> ()
-        | Error err -> failwith (Format.asprintf "%a" Moml.pp_error err))
+        let file = e.id ^ ".moml" in
+        let final = Filename.concat dir file in
+        (* Atomic per file: build the entry under a temporary name and only
+           rename it into place once fully written, so an interrupted or
+           failed save never leaves a truncated [.moml] behind. *)
+        let tmp = final ^ ".tmp" in
+        match Moml.save tmp e.view with
+        | Ok () -> Sys.rename tmp final
+        | Error err ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          raise (Io (Entry_error (file, err))))
       (entries repo);
     Ok ()
   with
-  | Sys_error msg | Failure msg -> Error msg
+  | Io err -> Error err
+  | Sys_error msg -> Error (Io_error msg)
 
 let load_dir dir =
-  try
+  match Sys.readdir dir with
+  | exception Sys_error msg -> Error (Io_error msg)
+  | files ->
     let files =
-      Sys.readdir dir |> Array.to_list
+      Array.to_list files
       |> List.filter (fun f -> Filename.check_suffix f ".moml")
       |> List.sort compare
     in
     let repo = create () in
-    List.iter
-      (fun file ->
-        match Moml.load (Filename.concat dir file) with
-        | Ok (spec, view) ->
-          ignore
-            (add repo ~id:(Filename.chop_suffix file ".moml") ~origin:"imported"
-               spec view)
-        | Error err -> failwith (Format.asprintf "%s: %a" file Moml.pp_error err))
-      files;
-    Ok repo
-  with
-  | Sys_error msg | Failure msg -> Error msg
+    (try
+       List.iter
+         (fun file ->
+           match Moml.load (Filename.concat dir file) with
+           | Ok (spec, view) ->
+             ignore
+               (add repo
+                  ~id:(Filename.chop_suffix file ".moml")
+                  ~origin:"imported" spec view)
+           | Error err -> raise (Io (Entry_error (file, err))))
+         files;
+       Ok repo
+     with
+     | Io err -> Error err
+     | Sys_error msg -> Error (Io_error msg))

@@ -81,9 +81,23 @@ val update :
     the entry is replaced in place with an ["+evolved"] origin suffix, and
     the per-composite soundness impact is returned. *)
 
-val save_dir : string -> t -> (unit, string) result
-(** Write one MoML file per entry ([<id>.moml]) into the directory (created
-    if missing). *)
+(** Failure of directory persistence. *)
+type io_error =
+  | Io_error of string
+      (** filesystem trouble (the [Sys_error] message) *)
+  | Entry_error of string * Wolves_moml.Moml.error
+      (** one entry failed to (de)serialise: file basename and the MoML
+          error *)
 
-val load_dir : string -> (t, string) result
-(** Load every [*.moml] file of a directory; entry ids are file basenames. *)
+val pp_io_error : Format.formatter -> io_error -> unit
+
+val save_dir : string -> t -> (unit, io_error) result
+(** Write one MoML file per entry ([<id>.moml]) into the directory (created
+    if missing). Each file is written atomically — built under a temporary
+    name, renamed into place when complete — so a failed save never leaves a
+    truncated entry behind (earlier entries of the corpus may already have
+    been written). *)
+
+val load_dir : string -> (t, io_error) result
+(** Load every [*.moml] file of a directory; entry ids are file basenames.
+    Stops at the first entry that fails to parse. *)

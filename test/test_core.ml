@@ -335,6 +335,58 @@ let test_invalid_inputs () =
       ignore (C.split_subset C.Optimal spec (List.filteri (fun i _ -> i < 19) ms)))
 
 (* ------------------------------------------------------------------ *)
+(* Deadline-degrading correction                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_tiers () =
+  let spec, view = Examples.figure3 () in
+  let members = View.members view (Examples.figure3_composite view) in
+  (* Zero budget: only the weak floor runs. *)
+  let zero = C.with_deadline ~deadline_s:0.0 spec members in
+  check_bool "zero budget answers weak" true (zero.C.tier = C.Weak);
+  check_int "weak floor = 8 parts" 8 (List.length zero.C.result.C.parts);
+  check_bool "strong was abandoned" true (zero.C.abandoned = Some C.Strong);
+  check_bool "not proven optimal" false zero.C.proven_optimal;
+  check_bool "weak floor still a valid sound split" true
+    (C.Oracle.valid_split spec members zero.C.result.C.parts);
+  (* 1 ms budget: the weak tier's 77 checks already cost 7.7 ms in the
+     modeled budget, so the strong refinement is deterministically cut —
+     this PR's acceptance gate for [correct --deadline 1]. *)
+  let ms1 = C.with_deadline ~deadline_s:0.001 spec members in
+  check_bool "1 ms answers the weak tier" true (ms1.C.tier = C.Weak);
+  check_bool "1 ms abandoned strong" true (ms1.C.abandoned = Some C.Strong);
+  (* Generous budget: the full chain runs, the minimum is proven. *)
+  let full = C.with_deadline ~deadline_s:60.0 spec members in
+  check_bool "generous budget reaches optimal" true (full.C.tier = C.Optimal);
+  check_bool "proven minimum" true full.C.proven_optimal;
+  check_int "optimal = 5 parts" 5 (List.length full.C.result.C.parts);
+  check_bool "nothing abandoned" true (full.C.abandoned = None);
+  (* Cutting the exact search with a node budget delivers the Strong tier:
+     the strong refinement completed, the minimality proof did not. *)
+  let cut = C.with_deadline ~deadline_s:60.0 ~node_budget:50 spec members in
+  check_bool "node-cut delivers the strong tier" true (cut.C.tier = C.Strong);
+  check_bool "strong tier not proven minimum" false cut.C.proven_optimal;
+  check_bool "optimal abandoned" true (cut.C.abandoned = Some C.Optimal);
+  check_int "strong = 5 parts" 5 (List.length cut.C.result.C.parts);
+  (* Tiers never get worse with more budget. *)
+  check_bool "tier part counts monotone" true
+    (List.length full.C.result.C.parts <= List.length zero.C.result.C.parts)
+
+let test_correct_with_deadline () =
+  let _, view = Examples.figure3 () in
+  let view', outcomes = C.correct_with_deadline ~deadline_s:60.0 view in
+  check_bool "deadline-corrected view sound" true (S.is_sound view');
+  check_int "one composite corrected" 1 (List.length outcomes);
+  let _, o = List.hd outcomes in
+  check_bool "reached optimal under a generous deadline" true
+    (o.C.tier = C.Optimal);
+  (* A zero deadline still yields a sound view via the weak floor. *)
+  let view0, outcomes0 = C.correct_with_deadline ~deadline_s:0.0 view in
+  check_bool "zero-deadline view still sound" true (S.is_sound view0);
+  let _, o0 = List.hd outcomes0 in
+  check_bool "zero deadline answered weak" true (o0.C.tier = C.Weak)
+
+(* ------------------------------------------------------------------ *)
 (* Merge-based resolution (extension)                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -664,6 +716,10 @@ let () =
           Alcotest.test_case "split_composite at view level" `Quick
             test_split_composite_view_level;
           Alcotest.test_case "invalid inputs rejected" `Quick test_invalid_inputs;
+          Alcotest.test_case "deadline tiers on figure 3" `Quick
+            test_deadline_tiers;
+          Alcotest.test_case "correct_with_deadline" `Quick
+            test_correct_with_deadline;
           qt prop_weak_is_weakly_optimal;
           qt prop_strong_is_strongly_optimal;
           qt prop_part_count_ordering;

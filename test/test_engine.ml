@@ -168,7 +168,267 @@ let test_bad_config () =
       ignore
         (Engine.run
            ~config:{ (cfg ()) with Engine.duration = (fun _ -> 0.0) }
-           spec))
+           spec));
+  let rate_msg =
+    Invalid_argument "Engine.run: failure_rate must be within [0, 1]"
+  in
+  Alcotest.check_raises "failure rate above 1" rate_msg (fun () ->
+      ignore
+        (Engine.run ~config:{ (cfg ()) with Engine.failure_rate = 1.5 } spec));
+  Alcotest.check_raises "negative failure rate" rate_msg (fun () ->
+      ignore
+        (Engine.run ~config:{ (cfg ()) with Engine.failure_rate = -0.1 } spec));
+  Alcotest.check_raises "nan failure rate" rate_msg (fun () ->
+      ignore
+        (Engine.run
+           ~config:{ (cfg ()) with Engine.failure_rate = Float.nan }
+           spec));
+  Alcotest.check_raises "negative retries"
+    (Invalid_argument "Engine.run: retries must be non-negative") (fun () ->
+      ignore (Engine.run ~config:{ (cfg ()) with Engine.retries = -1 } spec));
+  Alcotest.check_raises "zero backoff"
+    (Invalid_argument "Engine.run: backoff must be positive") (fun () ->
+      ignore (Engine.run ~config:{ (cfg ()) with Engine.backoff = 0.0 } spec));
+  Alcotest.check_raises "zero timeout"
+    (Invalid_argument "Engine.run: timeout must be positive") (fun () ->
+      ignore
+        (Engine.run ~config:{ (cfg ()) with Engine.timeout = Some 0.0 } spec))
+
+(* --- fault tolerance: retries, timeouts, checkpoint/resume ---------- *)
+
+let test_retry_recovery () =
+  let spec = fig1 () in
+  (* A seed where at least one task crashes and the retry budget recovers
+     every crash. *)
+  let rec find seed =
+    if seed > 50_000 then Alcotest.fail "no recovering seed found"
+    else begin
+      let config =
+        { (cfg ~failure_rate:0.15 ~seed ()) with
+          Engine.retries = 3;
+          backoff = 0.5 }
+      in
+      let trace = Engine.run ~config spec in
+      let retried =
+        List.filter (fun t -> Engine.n_attempts trace t > 1) (Spec.tasks spec)
+      in
+      if
+        retried <> []
+        && List.for_all
+             (fun t -> Engine.output_value trace t <> None)
+             (Spec.tasks spec)
+      then (trace, retried)
+      else find (seed + 1)
+    end
+  in
+  let trace, retried = find 0 in
+  List.iter
+    (fun t ->
+      let evs =
+        List.filter (fun e -> e.Engine.task = t) trace.Engine.events
+      in
+      List.iteri
+        (fun i e ->
+          if i < List.length evs - 1 then
+            check_bool "non-final attempts crashed" true
+              (e.Engine.outcome = Engine.Crashed)
+          else
+            check_bool "final attempt completed" true
+              (match e.Engine.outcome with
+               | Engine.Completed _ -> true
+               | _ -> false))
+        evs;
+      check_bool "outcome_of reports the final attempt" true
+        (match Engine.outcome_of trace t with
+         | Engine.Completed _ -> true
+         | _ -> false))
+    retried;
+  (* Output values are content hashes: independent of the failure path, so
+     a recovered run equals a clean one. *)
+  let clean = Engine.run ~config:(cfg ()) spec in
+  List.iter
+    (fun t ->
+      check_bool "recovered values = clean values" true
+        (Engine.output_value trace t = Engine.output_value clean t))
+    (Spec.tasks spec)
+
+let test_timeout () =
+  let spec = fig1 () in
+  let t2 = Spec.task_of_name_exn spec "2:Split Entries" in
+  let config =
+    { (cfg ()) with
+      Engine.duration = (fun t -> if t = t2 then 10.0 else 1.0);
+      timeout = Some 5.0;
+      retries = 2 }
+  in
+  let trace = Engine.run ~config spec in
+  check_bool "runaway task timed out" true
+    (Engine.outcome_of trace t2 = Engine.Timed_out);
+  check_int "timeouts are deterministic, not retried" 1
+    (Engine.n_attempts trace t2);
+  List.iter
+    (fun t ->
+      if t <> t2 && Spec.depends spec t2 t then
+        check_bool "downstream of the timeout skipped" true
+          (Engine.outcome_of trace t = Engine.Not_run))
+    (Spec.tasks spec);
+  check_bool "Timed_out maps to Store.Failed" true
+    (List.assoc t2 (Engine.statuses trace) = Store.Failed);
+  (* The worker stays occupied up to the cap, no longer. *)
+  let ev =
+    List.find (fun e -> e.Engine.task = t2) trace.Engine.events
+  in
+  check_float "cut at the cap" 5.0 (ev.Engine.finished -. ev.Engine.started)
+
+let test_resume_after_crash () =
+  let spec = fig1 () in
+  let t2 = Spec.task_of_name_exn spec "2:Split Entries" in
+  let rec find_seed seed =
+    if seed > 50_000 then Alcotest.fail "no crashing seed found"
+    else
+      let trace = Engine.run ~config:(cfg ~failure_rate:0.08 ~seed ()) spec in
+      if Engine.outcome_of trace t2 = Engine.Crashed then trace
+      else find_seed (seed + 1)
+  in
+  let prior = find_seed 0 in
+  let completed_before =
+    List.filter
+      (fun t -> Engine.output_value prior t <> None)
+      (Spec.tasks spec)
+  in
+  let resumed = Engine.resume ~config:(cfg ()) prior in
+  check_int "reused exactly the completed prior tasks"
+    (List.length completed_before)
+    (List.length (Engine.reused_tasks resumed));
+  check_int "re-executed exactly the rest"
+    (Spec.n_tasks spec - List.length completed_before)
+    (List.length (Engine.executed_tasks resumed));
+  let fresh = Engine.run ~config:(cfg ()) spec in
+  List.iter
+    (fun t ->
+      check_bool "resumed values = fresh zero-failure values" true
+        (Engine.output_value resumed t = Engine.output_value fresh t))
+    (Spec.tasks spec)
+
+let test_resume_salted_cone () =
+  let spec = fig1 () in
+  let prior = Engine.run ~config:(cfg ()) spec in
+  let t2 = Spec.task_of_name_exn spec "2:Split Entries" in
+  let resumed = Engine.resume ~config:(cfg ~salts:[ (t2, 5) ] ()) prior in
+  (* Even though the prior run fully succeeded, salting invalidates exactly
+     the salted task's descendant cone. *)
+  List.iter
+    (fun t ->
+      check_bool
+        (Printf.sprintf "%s re-executed iff descendant of 2"
+           (Spec.task_name spec t))
+        (Spec.depends spec t2 t)
+        (Engine.n_attempts resumed t >= 1))
+    (Spec.tasks spec);
+  let fresh = Engine.run ~config:(cfg ~salts:[ (t2, 5) ] ()) spec in
+  List.iter
+    (fun t ->
+      check_bool "salted resume = salted fresh run" true
+        (Engine.output_value resumed t = Engine.output_value fresh t))
+    (Spec.tasks spec)
+
+let test_trace_roundtrip () =
+  let spec = fig1 () in
+  let config =
+    { (cfg ~failure_rate:0.3 ~seed:3 ()) with
+      Engine.retries = 1;
+      backoff = 0.5 }
+  in
+  let trace = Engine.run ~config spec in
+  let path = Filename.temp_file "wolves_trace" ".csv" in
+  (match Engine.save_trace path trace with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "save_trace: %s" msg);
+  (match Engine.load_trace spec path with
+   | Error msg -> Alcotest.failf "load_trace: %s" msg
+   | Ok loaded ->
+     check_int "same event count"
+       (List.length trace.Engine.events)
+       (List.length loaded.Engine.events);
+     check_float "same makespan" trace.Engine.makespan loaded.Engine.makespan;
+     check_float "same busy time" trace.Engine.busy_time
+       loaded.Engine.busy_time;
+     List.iter
+       (fun t ->
+         check_bool "same final outcome" true
+           (Engine.outcome_of loaded t = Engine.outcome_of trace t))
+       (Spec.tasks spec);
+     (* Resuming from the reloaded checkpoint completes the workflow with
+        the same values as a fresh zero-failure run. *)
+     let resumed = Engine.resume ~config:(cfg ()) loaded in
+     let fresh = Engine.run ~config:(cfg ()) spec in
+     List.iter
+       (fun t ->
+         check_bool "resume-from-disk = fresh run" true
+           (Engine.output_value resumed t = Engine.output_value fresh t))
+       (Spec.tasks spec));
+  Sys.remove path;
+  match Engine.load_trace spec "/nonexistent/trace.csv" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error for a missing trace file"
+
+(* Chaos test: after crash+retry runs, the store's influence answers match
+   salted-replay ground truth exactly — no spurious, no missing. *)
+let test_chaos_influence_exact () =
+  let spec = Gen.generate Gen.Layered ~seed:9 ~size:14 in
+  let store = Store.create spec in
+  let config ?(salts = []) seed =
+    { (cfg ~workers:2 ~failure_rate:0.25 ~seed ~salts ()) with
+      Engine.retries = 2;
+      backoff = 0.5 }
+  in
+  let runs =
+    List.map
+      (fun seed ->
+        let trace = Engine.run ~config:(config seed) spec in
+        match Store.record_run store (Engine.statuses trace) with
+        | Ok id -> (seed, id, trace)
+        | Error msg -> Alcotest.failf "record_run: %s" msg)
+      [ 1; 2; 3; 4 ]
+  in
+  check_bool "chaos actually injected some crashes" true
+    (List.exists
+       (fun (_, _, trace) ->
+         List.exists
+           (fun e -> e.Engine.outcome = Engine.Crashed)
+           trace.Engine.events)
+       runs);
+  let spurious = ref 0 and missing = ref 0 in
+  List.iter
+    (fun x ->
+      let replays =
+        List.map
+          (fun (seed, id, base) ->
+            (id, base, Engine.run ~config:(config ~salts:[ (x, 77) ] seed) spec))
+          runs
+      in
+      List.iter
+        (fun y ->
+          if x <> y then begin
+            let influenced = Store.runs_where_influences store x y in
+            List.iter
+              (fun (id, base, replay) ->
+                let claimed = List.mem id influenced in
+                let truth =
+                  match
+                    (Engine.output_value base y, Engine.output_value replay y)
+                  with
+                  | Some a, Some b -> a <> b
+                  | _ -> false
+                in
+                if claimed && not truth then incr spurious;
+                if truth && not claimed then incr missing)
+              replays
+          end)
+        (Spec.tasks spec))
+    (Spec.tasks spec);
+  check_int "no spurious influence answers" 0 !spurious;
+  check_int "no missing influence answers" 0 !missing
 
 (* Properties over generated workflows. *)
 let gen_spec =
@@ -221,6 +481,21 @@ let prop_salt_changes_exactly_descendants =
           = Spec.depends spec target t)
         (Spec.tasks spec))
 
+(* Resuming a crashed trace with failures off is indistinguishable from a
+   fresh zero-failure run — the checkpoint reuse is semantically invisible. *)
+let prop_resume_equals_fresh =
+  QCheck2.Test.make
+    ~name:"resume of a crashed trace = fresh zero-failure run" ~count:60
+    QCheck2.Gen.(pair gen_spec (int_range 0 200))
+    (fun ((_, spec), seed) ->
+      let prior = Engine.run ~config:(cfg ~failure_rate:0.3 ~seed ()) spec in
+      let resumed = Engine.resume ~config:(cfg ()) prior in
+      let fresh = Engine.run ~config:(cfg ()) spec in
+      List.for_all
+        (fun t ->
+          Engine.output_value resumed t = Engine.output_value fresh t)
+        (Spec.tasks spec))
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "wolves_engine"
@@ -236,4 +511,16 @@ let () =
           Alcotest.test_case "config validation" `Quick test_bad_config;
           qt prop_makespan_bounds;
           qt prop_statuses_always_consistent;
-          qt prop_salt_changes_exactly_descendants ] ) ]
+          qt prop_salt_changes_exactly_descendants ] );
+      ( "fault tolerance",
+        [ Alcotest.test_case "retry recovery" `Quick test_retry_recovery;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+          Alcotest.test_case "resume after crash" `Quick
+            test_resume_after_crash;
+          Alcotest.test_case "resume with salted cone" `Quick
+            test_resume_salted_cone;
+          Alcotest.test_case "trace save/load round-trip" `Quick
+            test_trace_roundtrip;
+          Alcotest.test_case "chaos influence exactness" `Slow
+            test_chaos_influence_exact;
+          qt prop_resume_equals_fresh ] ) ]

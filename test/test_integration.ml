@@ -159,10 +159,10 @@ let test_repository_evolution_journey () =
   let dir = in_tmp "wolves_integration_repo" in
   (match R.save_dir dir repo' with
    | Ok () -> ()
-   | Error msg -> Alcotest.fail msg);
+   | Error e -> Alcotest.failf "save_dir: %a" R.pp_io_error e);
   (match R.load_dir dir with
    | Ok loaded -> check_int "reload" (R.size repo') (R.size loaded)
-   | Error msg -> Alcotest.fail msg);
+   | Error e -> Alcotest.failf "load_dir: %a" R.pp_io_error e);
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Sys.rmdir dir
 

@@ -149,9 +149,14 @@ let test_repo_persistence () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "wolves_repo_test" in
   (match R.save_dir dir repo with
    | Ok () -> ()
-   | Error msg -> Alcotest.failf "save_dir: %s" msg);
+   | Error e -> Alcotest.failf "save_dir: %a" R.pp_io_error e);
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".tmp" then
+        Alcotest.failf "temporary file left behind: %s" f)
+    (Sys.readdir dir);
   (match R.load_dir dir with
-   | Error msg -> Alcotest.failf "load_dir: %s" msg
+   | Error e -> Alcotest.failf "load_dir: %a" R.pp_io_error e
    | Ok repo' ->
      check_int "same entry count" (R.size repo) (R.size repo');
      List.iter2
@@ -163,7 +168,9 @@ let test_repo_persistence () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Sys.rmdir dir;
   match R.load_dir "/nonexistent-dir" with
-  | Error _ -> ()
+  | Error (R.Io_error _) -> ()
+  | Error (R.Entry_error _) ->
+    Alcotest.fail "expected a filesystem error, got an entry error"
   | Ok _ -> Alcotest.fail "expected an error for a missing directory"
 
 
