@@ -1312,6 +1312,130 @@ let e_bechamel () =
        ~header:[ "kernel"; "time/run" ] (List.sort compare rows))
 
 (* ------------------------------------------------------------------ *)
+(* E-LINT: lint throughput and autofix convergence                      *)
+(* ------------------------------------------------------------------ *)
+
+let e_lint () =
+  section "E-LINT"
+    "static analysis at scale: the rule-driven linter (Prop 2.1 soundness \
+     plus structural/DSL rules) sweeps a generated 500-spec corpus; the \
+     autofix fixpoint leaves every view sound";
+  let module Lint = Wolves_lint.Lint in
+  let module LD = Wolves_lint.Diagnostic in
+  let module LFix = Wolves_lint.Fix in
+  let module Wfdsl = Wolves_lang.Wfdsl in
+
+  (* 4 families x 5 sizes x 25 seeds = 500 specs (smoke: 4 x 2 x 5 = 40);
+     every other view is perturbed toward unsoundness so the Error-severity
+     path is exercised as hard as the structural rules. *)
+  let sizes = sm [ 20; 40; 80; 120; 200 ] [ 20; 40 ] in
+  let seeds = sm 25 5 in
+  let corpus =
+    List.concat_map
+      (fun family ->
+        List.concat_map
+          (fun size ->
+            List.init seeds (fun i ->
+                let seed = (size * 131) + i in
+                let spec = Gen.generate family ~seed ~size in
+                let view =
+                  Views.build ~seed (Views.Connected_groups 4) spec
+                in
+                let view =
+                  if i mod 2 = 0 then
+                    Views.inject_unsoundness ~seed ~attempts:12 view
+                  else view
+                in
+                (family, view)))
+          sizes)
+      Gen.all_families
+  in
+  let n_specs = List.length corpus in
+  let n_tasks =
+    List.fold_left
+      (fun acc (_, v) -> acc + Spec.n_tasks (View.spec v))
+      0 corpus
+  in
+
+  (* Render to .wf and re-parse with the source map up front, so the timed
+     region is pure analysis (all three rule layers) with no I/O. *)
+  let parsed =
+    List.map
+      (fun (family, view) ->
+        match Wfdsl.of_string_with_source (Wfdsl.to_string view) with
+        | Ok (_, view', source) -> (family, view', Some source)
+        | Error _ -> (family, view, None))
+      corpus
+  in
+
+  let per_family = Hashtbl.create 8 in
+  let all = ref [] in
+  let _, lint_wall =
+    Render.time (fun () ->
+        List.iter
+          (fun (family, view, source) ->
+            let ds = Lint.run ?source view in
+            let name = Gen.family_name family in
+            let specs, diags =
+              Option.value ~default:(0, 0) (Hashtbl.find_opt per_family name)
+            in
+            Hashtbl.replace per_family name (specs + 1, diags + List.length ds);
+            all := ds :: !all)
+          parsed)
+  in
+  let diagnostics = List.concat !all in
+  let by_severity s =
+    List.length (List.filter (fun d -> d.LD.severity = s) diagnostics)
+  in
+
+  (* Autofix on a slice of the corpus: fixpoint must converge with every
+     view sound afterwards. *)
+  let fix_n = sm 100 20 in
+  let fix_applied = ref 0 and fix_sound = ref 0 in
+  let _, fix_wall =
+    Render.time (fun () ->
+        List.iteri
+          (fun i (_, view, _) ->
+            if i < fix_n then begin
+              let fixed, applied = LFix.apply view in
+              fix_applied := !fix_applied + List.length applied;
+              if S.is_sound fixed then incr fix_sound
+            end)
+          parsed)
+  in
+
+  let specs_per_s = float_of_int n_specs /. lint_wall in
+  let tasks_per_s = float_of_int n_tasks /. lint_wall in
+  Report.kv "corpus_specs" (Json.Int n_specs);
+  Report.kv "corpus_tasks" (Json.Int n_tasks);
+  Report.kv "lint_wall_s" (Json.Float lint_wall);
+  Report.kv "specs_per_s" (Json.Float specs_per_s);
+  Report.kv "tasks_per_s" (Json.Float tasks_per_s);
+  Report.kv "diagnostics_total" (Json.Int (List.length diagnostics));
+  Report.kv "errors" (Json.Int (by_severity LD.Error));
+  Report.kv "warnings" (Json.Int (by_severity LD.Warning));
+  Report.kv "hints" (Json.Int (by_severity LD.Hint));
+  Report.kv "fix_specs" (Json.Int (min fix_n n_specs));
+  Report.kv "fix_wall_s" (Json.Float fix_wall);
+  Report.kv "fix_applied" (Json.Int !fix_applied);
+  Report.kv "fix_all_sound" (Json.Bool (!fix_sound = min fix_n n_specs));
+
+  let rows =
+    Hashtbl.fold
+      (fun name (specs, diags) acc -> [ name; string_of_int specs; string_of_int diags ] :: acc)
+      per_family []
+  in
+  print_endline
+    (Table.render ~align:[ Table.Left; Table.Right; Table.Right ]
+       ~header:[ "family"; "specs"; "diagnostics" ] (List.sort compare rows));
+  Printf.printf
+    "lint: %d specs (%d tasks) in %s  =  %.0f specs/s, %.0f tasks/s\n"
+    n_specs n_tasks (fmt_s lint_wall) specs_per_s tasks_per_s;
+  Printf.printf "fix: %d views, %d fixes in %s, all sound: %b\n"
+    (min fix_n n_specs) !fix_applied (fmt_s fix_wall)
+    (!fix_sound = min fix_n n_specs)
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1322,7 +1446,7 @@ let sections =
     ("E-INC", e_inc); ("E-INDEX", e_index); ("E-BB", e_bb);
     ("E-MIXED", e_mixed); ("E-SUGGEST", e_suggest); ("E-SCHED", e_sched);
     ("E-TEMPLATES", e_templates); ("E-FAULT", e_fault);
-    ("E-MICRO", e_bechamel) ]
+    ("E-LINT", e_lint); ("E-MICRO", e_bechamel) ]
 
 let () =
   let json_out = ref None in

@@ -24,7 +24,9 @@ let load_view file =
   if Filename.check_suffix file ".wf" then
     match Wolves_lang.Wfdsl.load file with
     | Ok (_, view) -> Ok view
-    | Error e -> Error (Format.asprintf "%s: %a" file Wolves_lang.Wfdsl.pp_error e)
+    | Error e ->
+      (* [load] errors carry the path; pp_error renders it. *)
+      Error (Format.asprintf "%a" Wolves_lang.Wfdsl.pp_error e)
   else
     match Moml.load file with
     | Ok (_, view) -> Ok view
@@ -1001,6 +1003,111 @@ let suggest_cmd =
 
 (* --- stats --- *)
 
+(* --- lint --- *)
+
+module Lint = Wolves_lint.Lint
+module Lint_fix = Wolves_lint.Fix
+module Lint_diag = Wolves_lint.Diagnostic
+module Sarif = Wolves_lint.Sarif
+
+let lint_cmd =
+  let files_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Workflow documents to lint ($(b,.wf) DSL or MoML).")
+  in
+  let rules_arg =
+    Arg.(value & opt (some (list string)) None & info [ "rules" ]
+           ~docv:"ID,..." ~doc:"Only run these rules (comma-separated ids).")
+  in
+  let disable_arg =
+    Arg.(value & opt (list string) [] & info [ "disable" ] ~docv:"ID,..."
+           ~doc:"Skip these rules (comma-separated ids).")
+  in
+  let threshold_arg =
+    let sev_conv =
+      Arg.conv
+        ( (fun s ->
+            match Lint_diag.severity_of_string s with
+            | Some s -> Ok s
+            | None -> Error (`Msg (Printf.sprintf "unknown severity %S" s))),
+          fun ppf s ->
+            Format.pp_print_string ppf (Lint_diag.severity_to_string s) )
+    in
+    Arg.(value & opt sev_conv Lint_diag.Hint & info [ "severity-threshold" ]
+           ~docv:"SEVERITY"
+           ~doc:"Report only diagnostics at least this severe: $(b,hint), \
+                 $(b,warning) or $(b,error).")
+  in
+  let fan_arg =
+    Arg.(value & opt int 8 & info [ "fan-threshold" ] ~docv:"N"
+           ~doc:"Degree at which $(b,spec/fan-bottleneck) fires.")
+  in
+  let fix_flag =
+    Arg.(value & flag & info [ "fix" ]
+           ~doc:"Apply every machine-applicable fix in place (redundant \
+                 edges dropped, unsound composites split, combinable \
+                 composites merged) and report what remains.")
+  in
+  let sarif_arg =
+    Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"OUT.sarif"
+           ~doc:"Also write a SARIF 2.1.0 report to this file.")
+  in
+  let run files rules disabled threshold fan_threshold fix sarif json color
+      metrics =
+    let config = { Lint.rules; disabled; threshold; fan_threshold } in
+    match Lint.validate_config config with
+    | Error msg -> fail "%s" msg
+    | Ok () ->
+      let lint_one file =
+        if fix then
+          match Lint_fix.fix_file ~config file with
+          | Error msg -> Error msg
+          | Ok applied ->
+            List.iter
+              (fun a ->
+                Printf.printf "%s: %s\n" file
+                  (Format.asprintf "%a" Lint_fix.pp_applied a))
+              applied;
+            Lint.run_file ~config file
+        else Lint.run_file ~config file
+      in
+      let result =
+        with_metrics metrics (fun () ->
+            List.fold_left
+              (fun acc file ->
+                match acc with
+                | Error _ as e -> e
+                | Ok diagnostics ->
+                  Result.map
+                    (fun ds -> diagnostics @ ds)
+                    (lint_one file))
+              (Ok []) files)
+      in
+      (match result with
+       | Error msg -> fail "%s" msg
+       | Ok diagnostics ->
+         Option.iter
+           (fun path -> write_file path (Sarif.report diagnostics))
+           sarif;
+         if json then
+           print_endline (Json.to_string ~pretty:true (Lint.to_json diagnostics))
+         else print_string (Lint.to_terminal ~color diagnostics);
+         if Lint.errors diagnostics > 0 then exit 1 else `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyse workflow documents: spec-level structure \
+          (orphans, redundant edges, disconnected pipelines, fan \
+          bottlenecks), view-level soundness (unsound composites with \
+          minimal witnesses, degenerate/monolithic views, combinable \
+          composites) and $(b,.wf)-source style. Exits 1 when any \
+          error-severity diagnostic remains; $(b,--fix) applies \
+          machine-applicable fixes in place.")
+    Term.(ret (const run $ files_arg $ rules_arg $ disable_arg
+               $ threshold_arg $ fan_arg $ fix_flag $ sarif_arg $ json_arg
+               $ color_arg $ metrics_arg))
+
 let stats_cmd =
   let run file criterion json metrics =
     match load_view file with
@@ -1094,9 +1201,9 @@ let main =
   in
   Cmd.group
     (Cmd.info "wolves" ~version:"1.0.0" ~doc)
-    [ show_cmd; validate_cmd; correct_cmd; split_cmd; merge_cmd; resolve_cmd;
-      diagnose_cmd; provenance_cmd; query_cmd; simulate_cmd; stats_cmd;
-      suggest_cmd; evolve_cmd; edit_cmd; report_cmd; estimate_cmd;
+    [ show_cmd; validate_cmd; lint_cmd; correct_cmd; split_cmd; merge_cmd;
+      resolve_cmd; diagnose_cmd; provenance_cmd; query_cmd; simulate_cmd;
+      stats_cmd; suggest_cmd; evolve_cmd; edit_cmd; report_cmd; estimate_cmd;
       generate_cmd; audit_cmd ]
 
 let () = exit (Cmd.eval main)

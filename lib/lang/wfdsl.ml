@@ -1,18 +1,25 @@
 open Wolves_workflow
 
 type error = {
+  file : string option;
   line : int;
   column : int;
   message : string;
 }
 
 let pp_error ppf e =
-  Format.fprintf ppf "line %d, column %d: %s" e.line e.column e.message
+  (match e.file with
+   | Some path -> Format.fprintf ppf "%s: " path
+   | None -> ());
+  if e.line = 0 then Format.pp_print_string ppf e.message
+  else Format.fprintf ppf "line %d, column %d: %s" e.line e.column e.message
 
 exception Fail of error
 
 let fail line column fmt =
-  Format.kasprintf (fun message -> raise (Fail { line; column; message })) fmt
+  Format.kasprintf
+    (fun message -> raise (Fail { file = None; line; column; message }))
+    fmt
 
 (* --- lexer --- *)
 
@@ -243,7 +250,7 @@ let parse_statements st =
 let parse input =
   let st = { rest = tokenize input } in
   expect st Kw_workflow "'workflow'";
-  let wf_name, _, _ = expect_name st "the workflow name" in
+  let wf_name, wf_line, wf_column = expect_name st "the workflow name" in
   expect st Lbrace "'{'";
   let statements = parse_statements st in
   expect st Rbrace "'}'";
@@ -252,13 +259,27 @@ let parse input =
    | _ ->
      let lx = peek st in
      fail lx.l_line lx.l_column "trailing input after the workflow");
-  (wf_name, statements)
+  (wf_name, (wf_line, wf_column), statements)
 
 (* --- elaboration --- *)
 
-let of_string input =
+type position = {
+  pos_line : int;
+  pos_column : int;
+}
+
+type source_map = {
+  workflow_position : position;
+  task_decls : (string * position) list;
+  edge_occurrences : ((string * string) * position) list;
+  composite_decls : (string * position) list;
+}
+
+let pos (l, c) = { pos_line = l; pos_column = c }
+
+let of_string_with_source input =
   try
-    let wf_name, statements = parse input in
+    let wf_name, wf_pos, statements = parse input in
     (* First pass: declared tasks with their positions. *)
     let declared = Hashtbl.create 32 in
     List.iter
@@ -278,8 +299,8 @@ let of_string input =
         | St_chain chain ->
           List.iter check_declared chain;
           let rec pairs = function
-            | (a, _, _) :: ((b, _, _) :: _ as rest) ->
-              edges := (a, b) :: !edges;
+            | (a, al, ac) :: ((b, _, _) :: _ as rest) ->
+              edges := ((a, b), (al, ac)) :: !edges;
               pairs rest
             | [ _ ] | [] -> ()
           in
@@ -305,7 +326,7 @@ let of_string input =
       | Ok () ->
         (match
            step
-             (fun (p, c) -> Spec.Builder.add_dependency b p c)
+             (fun ((p, c), _) -> Spec.Builder.add_dependency b p c)
              (List.rev !edges)
          with
          | Error e -> Error e
@@ -352,8 +373,29 @@ let of_string input =
       in
       (match View.make spec (groups @ singletons) with
        | Error e -> fail 1 1 "%s" (Format.asprintf "%a" View.pp_error e)
-       | Ok view -> Ok (spec, view))
+       | Ok view ->
+         let source =
+           { workflow_position = pos wf_pos;
+             task_decls =
+               List.filter_map
+                 (function
+                   | St_task (n, l, c, _) -> Some (n, pos (l, c))
+                   | St_chain _ | St_composite _ -> None)
+                 statements;
+             edge_occurrences =
+               List.rev_map (fun (e, p) -> (e, pos p)) !edges;
+             composite_decls =
+               List.filter_map
+                 (function
+                   | St_composite (n, l, c, _) -> Some (n, pos (l, c))
+                   | St_task _ | St_chain _ -> None)
+                 statements }
+         in
+         Ok (spec, view, source))
   with Fail e -> Error e
+
+let of_string input =
+  Result.map (fun (spec, view, _) -> (spec, view)) (of_string_with_source input)
 
 (* --- printer --- *)
 
@@ -420,10 +462,20 @@ let to_string view =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let load path =
+(* Every error escaping [load]/[save] names the file, so CLI and lint
+   diagnostics can point at it without the caller re-threading the path. *)
+let attach_file path = function
+  | Ok _ as ok -> ok
+  | Error e -> Error { e with file = Some path }
+
+let load_with_source path =
   match In_channel.with_open_text path In_channel.input_all with
-  | text -> of_string text
-  | exception Sys_error msg -> Error { line = 0; column = 0; message = msg }
+  | text -> attach_file path (of_string_with_source text)
+  | exception Sys_error msg ->
+    Error { file = Some path; line = 0; column = 0; message = msg }
+
+let load path =
+  Result.map (fun (spec, view, _) -> (spec, view)) (load_with_source path)
 
 let save path view =
   match
@@ -431,4 +483,5 @@ let save path view =
         Out_channel.output_string oc (to_string view))
   with
   | () -> Ok ()
-  | exception Sys_error msg -> Error { line = 0; column = 0; message = msg }
+  | exception Sys_error msg ->
+    Error { file = Some path; line = 0; column = 0; message = msg }

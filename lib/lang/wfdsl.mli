@@ -31,12 +31,17 @@
 open Wolves_workflow
 
 type error = {
-  line : int;    (** 1-based *)
+  file : string option;
+      (** The path being read or written, when the error came from {!load} or
+          {!save}; [None] for in-memory parses. *)
+  line : int;    (** 1-based; 0 for I/O failures. *)
   column : int;  (** 1-based *)
   message : string;
 }
 
 val pp_error : Format.formatter -> error -> unit
+(** Renders as [FILE: line L, column C: MSG]; the [FILE:] prefix is omitted
+    when no file is attached, the position when [line] is 0 (I/O errors). *)
 
 val of_string : string -> (Spec.t * View.t, error) result
 (** Parse a document into a specification and view (singletons for tasks in
@@ -44,12 +49,41 @@ val of_string : string -> (Spec.t * View.t, error) result
     between composites) are reported as errors at the document's location of
     the offending name where possible. *)
 
+(** Source positions retained from a parse, for diagnostics that point back
+    into the [.wf] text (the lint analyzer's spans). All positions are
+    1-based (line, column) of the relevant name token. *)
+type position = {
+  pos_line : int;
+  pos_column : int;
+}
+
+type source_map = {
+  workflow_position : position;  (** the workflow's name token *)
+  task_decls : (string * position) list;
+      (** every [task] declaration, document order *)
+  edge_occurrences : ((string * string) * position) list;
+      (** every producer→consumer pair as written — chains expanded, {e
+          duplicates kept} in document order; the position is the producer
+          name's occurrence in that statement *)
+  composite_decls : (string * position) list;
+      (** every explicit [composite] block, document order *)
+}
+
+val of_string_with_source : string -> (Spec.t * View.t * source_map, error) result
+(** Like {!of_string}, additionally returning the source map. *)
+
 val to_string : View.t -> string
 (** Canonical rendering; [of_string ∘ to_string] preserves the
     specification and partition. Singleton composites named after their only
     task are rendered implicitly. *)
 
 val load : string -> (Spec.t * View.t, error) result
-(** Read a [.wf] file. I/O failures are reported at line 0. *)
+(** Read a [.wf] file. Every error — parse or I/O — carries the path in
+    [file]; I/O failures are reported at line 0. *)
+
+val load_with_source : string -> (Spec.t * View.t * source_map, error) result
+(** {!load}, additionally returning the source map. *)
 
 val save : string -> View.t -> (unit, error) result
+(** Write the canonical rendering. I/O failures carry the path in [file] and
+    are reported at line 0. *)

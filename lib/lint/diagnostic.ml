@@ -1,0 +1,117 @@
+type severity =
+  | Error
+  | Warning
+  | Hint
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "hint" -> Some Hint
+  | _ -> None
+
+let severity_rank = function
+  | Error -> 3
+  | Warning -> 2
+  | Hint -> 1
+
+type position = {
+  line : int;
+  column : int;
+}
+
+type anchor =
+  | Task of string
+  | Composite of string
+  | Edge of string * string
+  | Workflow of string
+
+let anchor_name = function
+  | Task t -> Printf.sprintf "task %S" t
+  | Composite c -> Printf.sprintf "composite %S" c
+  | Edge (a, b) -> Printf.sprintf "edge %S -> %S" a b
+  | Workflow w -> Printf.sprintf "workflow %S" w
+
+type location = {
+  file : string option;
+  position : position option;
+  anchor : anchor;
+}
+
+type related = {
+  r_location : location;
+  note : string;
+}
+
+type fix =
+  | Drop_edge of string * string
+  | Split_composite of string
+  | Merge_composites of string * string
+  | Rename_composite of string * string
+  | Canonicalize of string
+
+let fix_description = function
+  | Drop_edge (a, b) -> Printf.sprintf "drop the redundant edge %S -> %S" a b
+  | Split_composite c -> Printf.sprintf "split %S into sound parts" c
+  | Merge_composites (a, b) -> Printf.sprintf "merge %S and %S" a b
+  | Rename_composite (old_, new_) ->
+    Printf.sprintf "rename composite %S to %S" old_ new_
+  | Canonicalize what -> Printf.sprintf "re-render canonically (%s)" what
+
+type t = {
+  rule : string;
+  severity : severity;
+  location : location;
+  message : string;
+  related : related list;
+  fix : fix option;
+}
+
+(* Deterministic total order used to sort every report. *)
+
+let anchor_key = function
+  | Workflow w -> (0, w, "")
+  | Task t -> (1, t, "")
+  | Composite c -> (2, c, "")
+  | Edge (a, b) -> (3, a, b)
+
+let position_key = function
+  | Some { line; column } -> (line, column)
+  | None -> (max_int, max_int)
+
+let compare a b =
+  let c =
+    Stdlib.compare
+      (Option.value ~default:"" a.location.file)
+      (Option.value ~default:"" b.location.file)
+  in
+  if c <> 0 then c
+  else
+    let c =
+      Stdlib.compare (position_key a.location.position)
+        (position_key b.location.position)
+    in
+    if c <> 0 then c
+    else
+      let c =
+        Stdlib.compare (anchor_key a.location.anchor)
+          (anchor_key b.location.anchor)
+      in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a.rule b.rule in
+        if c <> 0 then c else Stdlib.compare a.message b.message
+
+let pp ppf d =
+  (match (d.location.file, d.location.position) with
+   | Some f, Some p -> Format.fprintf ppf "%s:%d:%d: " f p.line p.column
+   | Some f, None ->
+     Format.fprintf ppf "%s: %s: " f (anchor_name d.location.anchor)
+   | None, Some p -> Format.fprintf ppf "%d:%d: " p.line p.column
+   | None, None -> Format.fprintf ppf "%s: " (anchor_name d.location.anchor));
+  Format.fprintf ppf "%s %s: %s" (severity_to_string d.severity) d.rule
+    d.message

@@ -1,0 +1,83 @@
+(** Typed lint diagnostics.
+
+    A diagnostic names the rule that fired, a severity, a location — a
+    source span when the lint ran over a [.wf] document, the task/composite
+    name otherwise — a human message, related locations (witness tasks,
+    first occurrences, core members), and an optional machine-applicable
+    fix that {!Fix} can apply. *)
+
+type severity =
+  | Error    (** the view misleads provenance analysis (unsoundness) *)
+  | Warning  (** structural mistakes worth fixing *)
+  | Hint     (** style and missed-abstraction suggestions *)
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"], ["hint"]. *)
+
+val severity_of_string : string -> severity option
+
+val severity_rank : severity -> int
+(** [Error] = 3, [Warning] = 2, [Hint] = 1 — for threshold comparison. *)
+
+type position = {
+  line : int;    (** 1-based *)
+  column : int;  (** 1-based *)
+}
+
+(** What the diagnostic is about, independent of any source text. *)
+type anchor =
+  | Task of string
+  | Composite of string
+  | Edge of string * string  (** producer, consumer *)
+  | Workflow of string       (** the workflow's name *)
+
+val anchor_name : anchor -> string
+(** A printable identification such as ["task \"align\""] or
+    ["edge \"a\" -> \"b\""]. *)
+
+type location = {
+  file : string option;        (** the linted document, when known *)
+  position : position option;  (** resolved from the [.wf] source map *)
+  anchor : anchor;
+}
+
+type related = {
+  r_location : location;
+  note : string;  (** e.g. ["first occurrence"], ["unreached output"] *)
+}
+
+(** Machine-applicable fixes, applied by {!Fix} to the canonical [.wf]
+    rendering. *)
+type fix =
+  | Drop_edge of string * string
+      (** remove the redundant dependency producer → consumer *)
+  | Split_composite of string
+      (** split the unsound composite into sound parts (strong criterion) *)
+  | Merge_composites of string * string
+      (** fuse two sound-combinable composites (Def 2.4) *)
+  | Rename_composite of string * string
+      (** old name, new name — degenerate singleton aliases fold back onto
+          their member's name, making the composite implicit *)
+  | Canonicalize of string
+      (** resolved by re-rendering the canonical form (e.g. duplicate edge
+          statements collapse); the string describes what goes away *)
+
+val fix_description : fix -> string
+
+type t = {
+  rule : string;  (** rule identifier, e.g. ["view/unsound-composite"] *)
+  severity : severity;
+  location : location;
+  message : string;
+  related : related list;
+  fix : fix option;
+}
+
+val compare : t -> t -> int
+(** Total, deterministic order: by file, then source position (positionless
+    locations last), then anchor, then rule, then message. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering: [FILE:LINE:COL: severity rule: message] when a
+    source position is known, [FILE: anchor: severity rule: message]
+    otherwise. *)

@@ -1,0 +1,172 @@
+open Wolves_workflow
+module D = Diagnostic
+module S = Wolves_core.Soundness
+module C = Wolves_core.Corrector
+module Wfdsl = Wolves_lang.Wfdsl
+module Metrics = Wolves_obs.Metrics
+
+type applied = {
+  rule : string;
+  fix : D.fix;
+  round : int;
+}
+
+let pp_applied ppf a =
+  Format.fprintf ppf "[round %d] %s: %s" a.round a.rule
+    (D.fix_description a.fix)
+
+let c_fixes = Metrics.counter "lint.fixes"
+let c_rounds = Metrics.counter "lint.fix_rounds"
+
+(* Rebuild the view on a specification with some edges dropped and some
+   composites renamed. Task attributes and the partition are preserved;
+   dropped edges are redundant, so reachability — and with it every
+   soundness verdict — is unchanged. *)
+let rebuild view ~drop_edges ~renames =
+  if drop_edges = [] && renames = [] then view
+  else begin
+    let spec = View.spec view in
+    let b = Spec.Builder.create ~name:(Spec.name spec) () in
+    List.iter
+      (fun t ->
+        let name = Spec.task_name spec t in
+        ignore (Spec.Builder.add_task_exn b name);
+        List.iter
+          (fun (key, value) -> Spec.Builder.set_attr_exn b name ~key value)
+          (Spec.attrs spec t))
+      (Spec.tasks spec);
+    Wolves_graph.Digraph.iter_edges
+      (fun u v ->
+        let edge = (Spec.task_name spec u, Spec.task_name spec v) in
+        if not (List.mem edge drop_edges) then
+          Spec.Builder.add_dependency_exn b (fst edge) (snd edge))
+      (Spec.graph spec);
+    let spec' = Spec.Builder.finish_exn b in
+    let groups =
+      List.map
+        (fun c ->
+          let name = View.composite_name view c in
+          let name =
+            match List.assoc_opt name renames with
+            | Some fresh -> fresh
+            | None -> name
+          in
+          (name, List.map (Spec.task_name spec) (View.members view c)))
+        (View.composites view)
+    in
+    View.make_exn spec' groups
+  end
+
+(* One round: partition the batch of fixes by kind, then apply in an order
+   that keeps every step meaningful — graph surgery first (it can only
+   improve soundness), then splits of still-unsound composites, then merges
+   re-verified against the current view. *)
+let apply_round view fixes =
+  let drop_edges =
+    List.filter_map
+      (function D.Drop_edge (a, b) -> Some (a, b) | _ -> None)
+      fixes
+  in
+  let renames =
+    List.filter_map
+      (function D.Rename_composite (o, n) -> Some (o, n) | _ -> None)
+      fixes
+  in
+  let view = rebuild view ~drop_edges ~renames in
+  let view =
+    List.fold_left
+      (fun view fix ->
+        match fix with
+        | D.Split_composite name ->
+          (match View.composite_of_name view name with
+           | Some c when not (S.composite_sound view c) ->
+             fst (C.split_composite C.Strong view c)
+           | Some _ | None -> view)
+        | _ -> view)
+      view fixes
+  in
+  List.fold_left
+    (fun view fix ->
+      match fix with
+      | D.Merge_composites (na, nb) ->
+        (match (View.composite_of_name view na, View.composite_of_name view nb)
+         with
+         | Some a, Some b when a <> b ->
+           (* Earlier merges may have changed either side; re-verify, and
+              never merge down to a single composite — that would trade the
+              hint for a view/monolithic-view warning. *)
+           let spec = View.spec view in
+           if
+             View.n_composites view > 2
+             && S.composite_sound view a && S.composite_sound view b
+             && C.combinable spec (View.members view a) (View.members view b)
+           then View.merge_exn view [ a; b ]
+           else view
+         | _ -> view)
+      | _ -> view)
+    view fixes
+
+let apply ?(config = Lint.default_config) ?(max_rounds = 256) ?file ?source
+    view =
+  let log = ref [] in
+  let rec go view round source =
+    if round > max_rounds then view
+    else begin
+      let diagnostics = Lint.run ~config ?file ?source view in
+      let fixable =
+        List.filter_map
+          (fun d ->
+            match d.D.fix with
+            | Some fix -> Some (d.D.rule, fix)
+            | None -> None)
+          diagnostics
+      in
+      let structural =
+        List.filter
+          (function _, D.Canonicalize _ -> false | _ -> true)
+          fixable
+      in
+      (* Canonicalize fixes are performed by the caller's re-rendering; they
+         can only arise from the source map, i.e. in round one. *)
+      List.iter
+        (fun (rule, fix) -> log := { rule; fix; round } :: !log)
+        fixable;
+      if structural = [] then view
+      else begin
+        Metrics.incr c_rounds;
+        Metrics.add c_fixes (List.length structural);
+        let view' = apply_round view (List.map snd structural) in
+        go view' (round + 1) None
+      end
+    end
+  in
+  let final = go view 1 source in
+  (final, List.rev !log)
+
+let fix_file ?(config = Lint.default_config) path =
+  let write view =
+    let rendered =
+      if Filename.check_suffix path ".wf" then Wfdsl.to_string view
+      else Wolves_moml.Moml.to_string view
+    in
+    match
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc rendered)
+    with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error msg
+  in
+  if Filename.check_suffix path ".wf" then
+    match Wfdsl.load_with_source path with
+    | Error e -> Error (Format.asprintf "%a" Wfdsl.pp_error e)
+    | Ok (_, view, source) ->
+      let fixed, applied = apply ~config ~file:path ~source view in
+      if applied = [] then Ok []
+      else Result.map (fun () -> applied) (write fixed)
+  else
+    match Wolves_moml.Moml.load path with
+    | Error e -> Error (Format.asprintf "%s: %a" path Wolves_moml.Moml.pp_error e)
+    | Ok (_, view) ->
+      let fixed, applied = apply ~config ~file:path view in
+      if applied = [] then Ok []
+      else Result.map (fun () -> applied) (write fixed)

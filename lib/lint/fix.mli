@@ -1,0 +1,47 @@
+(** The lint autofix engine.
+
+    Applies every machine-applicable fix the analyzer attached — dropping
+    redundant edges, splitting unsound composites with the strong
+    {!Wolves_core.Corrector}, merging sound-combinable composites, folding
+    degenerate singleton aliases — and iterates until a fixpoint: {b
+    re-linting the result yields no fixable diagnostics}.
+
+    Guarantees:
+    - the returned view's {!Wolves_core.Soundness} verdict is
+      unchanged-or-improved: sound views stay sound, unsound composites
+      are split into sound parts (dropping a redundant edge never changes
+      reachability, and merges are applied only when the union is sound);
+    - the engine is idempotent: applying it to its own output changes
+      nothing. *)
+
+open Wolves_workflow
+
+type applied = {
+  rule : string;            (** the rule whose fix this was *)
+  fix : Diagnostic.fix;
+  round : int;              (** 1-based fixpoint round *)
+}
+
+val pp_applied : Format.formatter -> applied -> unit
+
+val apply :
+  ?config:Lint.config ->
+  ?max_rounds:int ->
+  ?file:string ->
+  ?source:Wolves_lang.Wfdsl.source_map ->
+  View.t ->
+  View.t * applied list
+(** Lint, apply fixes, re-lint, until no fixable diagnostic remains (or
+    [max_rounds], default 256, as a safety net — every round applies at
+    least one fix, and each kind strictly consumes a finite budget: drops
+    remove edges, splits remove unsound composites, merges remove
+    composites, so convergence is guaranteed well before the cap). Only
+    diagnostics that pass [config]'s rule filters and
+    severity threshold are fixed. [source] lets round one see the DSL-layer
+    diagnostics; [Canonicalize] fixes are recorded as applied (the caller's
+    canonical re-rendering performs them). *)
+
+val fix_file : ?config:Lint.config -> string -> (applied list, string) result
+(** {!apply} on a document and rewrite it in place — canonical [.wf]
+    rendering for [.wf] files, MoML otherwise. Nothing is written when no
+    fix applies. *)

@@ -1,0 +1,133 @@
+module D = Diagnostic
+module Json = Wolves_cli.Json
+module Wfdsl = Wolves_lang.Wfdsl
+
+type config = {
+  rules : string list option;
+  disabled : string list;
+  threshold : D.severity;
+  fan_threshold : int;
+}
+
+let default_config =
+  { rules = None; disabled = []; threshold = D.Hint; fan_threshold = 8 }
+
+let rule_enabled config id =
+  (match config.rules with
+   | None -> true
+   | Some whitelist -> List.mem id whitelist)
+  && not (List.mem id config.disabled)
+
+let validate_config config =
+  let unknown ids =
+    List.find_opt (fun id -> Rules.find id = None) ids
+  in
+  match unknown (Option.value ~default:[] config.rules @ config.disabled) with
+  | Some id ->
+    Error
+      (Printf.sprintf "unknown lint rule %S (known: %s)" id
+         (String.concat ", " (List.map (fun m -> m.Rules.id) Rules.all)))
+  | None -> Ok ()
+
+let run ?(config = default_config) ?file ?source view =
+  let diagnostics =
+    Rules.analyze ~fan_threshold:config.fan_threshold
+      ~enabled:(rule_enabled config)
+      { Rules.view; file; source }
+  in
+  List.filter
+    (fun d ->
+      D.severity_rank d.D.severity >= D.severity_rank config.threshold)
+    diagnostics
+
+let run_file ?(config = default_config) path =
+  if Filename.check_suffix path ".wf" then
+    match Wfdsl.load_with_source path with
+    | Ok (_, view, source) -> Ok (run ~config ~file:path ~source view)
+    | Error e -> Error (Format.asprintf "%a" Wfdsl.pp_error e)
+  else
+    match Wolves_moml.Moml.load path with
+    | Ok (_, view) -> Ok (run ~config ~file:path view)
+    | Error e ->
+      Error (Format.asprintf "%s: %a" path Wolves_moml.Moml.pp_error e)
+
+let errors diagnostics =
+  List.length (List.filter (fun d -> d.D.severity = D.Error) diagnostics)
+
+(* --- terminal backend --- *)
+
+let severity_color = function
+  | D.Error -> "\027[31m"
+  | D.Warning -> "\027[33m"
+  | D.Hint -> "\027[36m"
+
+let to_terminal ?(color = false) diagnostics =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun d ->
+      if color then
+        add "%s%s\027[0m\n"
+          (severity_color d.D.severity)
+          (Format.asprintf "%a" D.pp d)
+      else add "%s\n" (Format.asprintf "%a" D.pp d);
+      List.iter
+        (fun r ->
+          let where =
+            match (r.D.r_location.D.position, r.D.r_location.D.file) with
+            | Some p, Some f -> Printf.sprintf "%s:%d:%d" f p.D.line p.D.column
+            | Some p, None -> Printf.sprintf "%d:%d" p.D.line p.D.column
+            | None, _ -> D.anchor_name r.D.r_location.D.anchor
+          in
+          add "    %s: %s\n" where r.D.note)
+        d.D.related;
+      match d.D.fix with
+      | Some fix -> add "    fix: %s\n" (D.fix_description fix)
+      | None -> ())
+    diagnostics;
+  let count s =
+    List.length (List.filter (fun d -> d.D.severity = s) diagnostics)
+  in
+  add "%d error(s), %d warning(s), %d hint(s)\n" (count D.Error)
+    (count D.Warning) (count D.Hint);
+  Buffer.contents buf
+
+(* --- JSON backend --- *)
+
+let location_json l =
+  Json.Obj
+    (List.concat
+       [ (match l.D.file with
+          | Some f -> [ ("file", Json.String f) ]
+          | None -> []);
+         (match l.D.position with
+          | Some p ->
+            [ ("line", Json.Int p.D.line); ("column", Json.Int p.D.column) ]
+          | None -> []);
+         [ ("anchor", Json.String (D.anchor_name l.D.anchor)) ] ])
+
+let to_json diagnostics =
+  Json.List
+    (List.map
+       (fun d ->
+         Json.Obj
+           (List.concat
+              [ [ ("rule", Json.String d.D.rule);
+                  ("severity", Json.String (D.severity_to_string d.D.severity));
+                  ("location", location_json d.D.location);
+                  ("message", Json.String d.D.message) ];
+                (if d.D.related = [] then []
+                 else
+                   [ ( "related",
+                       Json.List
+                         (List.map
+                            (fun r ->
+                              Json.Obj
+                                [ ("location", location_json r.D.r_location);
+                                  ("note", Json.String r.D.note) ])
+                            d.D.related) ) ]);
+                (match d.D.fix with
+                 | Some fix ->
+                   [ ("fix", Json.String (D.fix_description fix)) ]
+                 | None -> []) ]))
+       diagnostics)

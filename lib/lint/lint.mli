@@ -1,0 +1,55 @@
+(** The lint driver: configuration, the entry points, and the human/JSON
+    output backends (SARIF lives in {!Sarif}, autofix in {!Fix}).
+
+    The paper's Proposition 2.1 makes view soundness a polynomial static
+    check; this module generalises that into a rule-driven analyzer over
+    workflow specifications, views and [.wf] documents — see {!Rules} for
+    the rule catalogue. *)
+
+open Wolves_workflow
+
+type config = {
+  rules : string list option;
+      (** Whitelist of rule ids ([None] = all rules). *)
+  disabled : string list;
+      (** Rule ids to skip (applied after the whitelist). *)
+  threshold : Diagnostic.severity;
+      (** Keep only diagnostics at least this severe ([Hint] keeps all). *)
+  fan_threshold : int;
+      (** Degree at which [spec/fan-bottleneck] fires. *)
+}
+
+val default_config : config
+(** All rules, no disables, [Hint] threshold, fan threshold 8. *)
+
+val rule_enabled : config -> string -> bool
+
+val validate_config : config -> (unit, string) result
+(** [Error] names the first unknown rule id mentioned by [rules] or
+    [disabled]. *)
+
+val run :
+  ?config:config ->
+  ?file:string ->
+  ?source:Wolves_lang.Wfdsl.source_map ->
+  View.t ->
+  Diagnostic.t list
+(** Lint a view (and its specification). With [source], diagnostics carry
+    [.wf] line/column spans and the DSL-layer rules run. Deterministic:
+    the result is sorted by {!Diagnostic.compare}. *)
+
+val run_file : ?config:config -> string -> (Diagnostic.t list, string) result
+(** Load [FILE.wf] (with its source map) or any other extension as MoML,
+    then {!run}. The error string names the file. *)
+
+val errors : Diagnostic.t list -> int
+(** Number of [Error]-severity diagnostics — the CI gate's exit criterion. *)
+
+val to_terminal : ?color:bool -> Diagnostic.t list -> string
+(** One line per diagnostic plus indented related locations and fixes,
+    ending with a [N error(s), N warning(s), N hint(s)] summary line. *)
+
+val to_json : Diagnostic.t list -> Wolves_cli.Json.t
+(** Machine-readable report: a list of diagnostic objects with [rule],
+    [severity], [file], [line]/[column] (when resolved), [anchor],
+    [message], [related] and [fix]. *)

@@ -1,0 +1,674 @@
+open Wolves_workflow
+module D = Diagnostic
+module S = Wolves_core.Soundness
+module C = Wolves_core.Corrector
+module Wfdsl = Wolves_lang.Wfdsl
+module Bitset = Wolves_graph.Bitset
+module Metrics = Wolves_obs.Metrics
+
+type layer =
+  | Spec_level
+  | View_level
+  | Dsl_level
+
+let layer_name = function
+  | Spec_level -> "spec"
+  | View_level -> "view"
+  | Dsl_level -> "dsl"
+
+type meta = {
+  id : string;
+  layer : layer;
+  severity : D.severity;
+  doc : string;
+  fixable : bool;
+}
+
+type target = {
+  view : View.t;
+  file : string option;
+  source : Wfdsl.source_map option;
+}
+
+(* --- shared analysis context --- *)
+
+type ctx = {
+  t : target;
+  spec : Spec.t;
+  reach : Wolves_graph.Reach.t;
+  report : S.report Lazy.t;  (* Prop 2.1 validation, shared by view rules *)
+  fan_threshold : int;
+}
+
+(* Source-map position resolution. Implicit singleton composites fall back
+   to their member's declaration site. *)
+
+let task_pos ctx name =
+  Option.bind ctx.t.source (fun src ->
+      List.assoc_opt name src.Wfdsl.task_decls)
+
+let composite_pos ctx c =
+  match ctx.t.source with
+  | None -> None
+  | Some src ->
+    let name = View.composite_name ctx.t.view c in
+    (match List.assoc_opt name src.Wfdsl.composite_decls with
+     | Some p -> Some p
+     | None ->
+       (match View.members ctx.t.view c with
+        | [ single ] -> task_pos ctx (Spec.task_name ctx.spec single)
+        | _ -> None))
+
+let edge_pos ctx pair =
+  Option.bind ctx.t.source (fun src ->
+      List.assoc_opt pair src.Wfdsl.edge_occurrences)
+
+let workflow_pos ctx =
+  Option.map (fun src -> src.Wfdsl.workflow_position) ctx.t.source
+
+let to_position = function
+  | None -> None
+  | Some p ->
+    Some { D.line = p.Wfdsl.pos_line; column = p.Wfdsl.pos_column }
+
+let loc ctx anchor =
+  let position =
+    match anchor with
+    | D.Task name -> task_pos ctx name
+    | D.Composite name ->
+      (match View.composite_of_name ctx.t.view name with
+       | Some c -> composite_pos ctx c
+       | None -> None)
+    | D.Edge (a, b) -> edge_pos ctx (a, b)
+    | D.Workflow _ -> workflow_pos ctx
+  in
+  { D.file = ctx.t.file; position = to_position position; anchor }
+
+let related ctx anchor note = { D.r_location = loc ctx anchor; note }
+
+let task_name ctx t = Spec.task_name ctx.spec t
+
+(* Is the task a member of an explicit [composite] block of the source
+   document (as opposed to an implicit singleton)? *)
+let in_explicit_composite ctx t =
+  match ctx.t.source with
+  | None -> false
+  | Some src ->
+    List.exists
+      (fun (name, _) ->
+        match View.composite_of_name ctx.t.view name with
+        | Some c -> List.mem t (View.members ctx.t.view c)
+        | None -> false)
+      src.Wfdsl.composite_decls
+
+let has_no_edges ctx t =
+  Spec.producers ctx.spec t = [] && Spec.consumers ctx.spec t = []
+
+(* A task is "unused" (DSL layer) when it is declared but appears in no
+   dependency statement and no explicit composite block. *)
+let is_unused ctx t =
+  ctx.t.source <> None && has_no_edges ctx t
+  && not (in_explicit_composite ctx t)
+
+(* --- spec-level rules --- *)
+
+(* Orphan tasks: no producers and no consumers. When the DSL rule
+   [dsl/unused-task] already covers the task (declared and referenced
+   nowhere at all), this rule stays quiet — one diagnostic per defect. *)
+let check_orphan ctx =
+  if Spec.n_tasks ctx.spec < 2 then []
+  else
+    List.filter_map
+      (fun t ->
+        if has_no_edges ctx t && not (is_unused ctx t) then
+          let name = task_name ctx t in
+          Some
+            { D.rule = "spec/orphan-task";
+              severity = D.Warning;
+              location = loc ctx (D.Task name);
+              message =
+                Printf.sprintf
+                  "task %S has no dependencies in either direction; it is \
+                   disconnected from the rest of the workflow"
+                  name;
+              related = [];
+              fix = None }
+        else None)
+      (Spec.tasks ctx.spec)
+
+(* Redundant transitive edges: u -> v with another path u ~> w ~> v. The
+   fix (dropping the edge) never changes reachability, hence never changes
+   any soundness verdict. *)
+let check_redundant_edge ctx =
+  let g = Spec.graph ctx.spec in
+  Wolves_graph.Digraph.fold_edges
+    (fun u v acc ->
+      let witness =
+        List.fold_left
+          (fun best w ->
+            if w <> v && Wolves_graph.Reach.reaches ctx.reach w v then
+              match best with
+              | Some b when b <= w -> best
+              | _ -> Some w
+            else best)
+          None (Wolves_graph.Digraph.succ g u)
+      in
+      match witness with
+      | None -> acc
+      | Some w ->
+        let un = task_name ctx u and vn = task_name ctx v in
+        let wn = task_name ctx w in
+        { D.rule = "spec/redundant-edge";
+          severity = D.Warning;
+          location = loc ctx (D.Edge (un, vn));
+          message =
+            Printf.sprintf
+              "dependency %S -> %S is redundant: the path through %S \
+               already implies it"
+              un vn wn;
+          related = [ related ctx (D.Task wn) "intermediate task" ];
+          fix = Some (D.Drop_edge (un, vn)) }
+        :: acc)
+    g []
+  |> List.rev
+
+(* Weakly-connected components of ≥ 2 tasks; two or more of them means the
+   document glues unrelated pipelines together. Lone orphan tasks are the
+   orphan rule's business, not this one's. *)
+let check_disconnected ctx =
+  let n = Spec.n_tasks ctx.spec in
+  if n = 0 then []
+  else begin
+    let comp = Array.make n (-1) in
+    let g = Spec.graph ctx.spec in
+    let next = ref 0 in
+    for s = 0 to n - 1 do
+      if comp.(s) < 0 then begin
+        let id = !next in
+        incr next;
+        let stack = ref [ s ] in
+        comp.(s) <- id;
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | u :: rest ->
+            stack := rest;
+            List.iter
+              (fun v ->
+                if comp.(v) < 0 then begin
+                  comp.(v) <- id;
+                  stack := v :: !stack
+                end)
+              (Wolves_graph.Digraph.succ g u @ Wolves_graph.Digraph.pred g u)
+        done
+      end
+    done;
+    let sizes = Array.make !next 0 in
+    let representative = Array.make !next max_int in
+    Array.iteri
+      (fun t id ->
+        sizes.(id) <- sizes.(id) + 1;
+        if t < representative.(id) then representative.(id) <- t)
+      comp;
+    let big =
+      List.filter (fun id -> sizes.(id) >= 2)
+        (List.init !next (fun id -> id))
+    in
+    if List.length big < 2 then []
+    else
+      [ { D.rule = "spec/disconnected";
+          severity = D.Warning;
+          location = loc ctx (D.Workflow (Spec.name ctx.spec));
+          message =
+            Printf.sprintf
+              "the dependency graph splits into %d disconnected pipelines \
+               (no dataflow between them); consider separate workflows"
+              (List.length big);
+          related =
+            List.map
+              (fun id ->
+                related ctx
+                  (D.Task (task_name ctx representative.(id)))
+                  (Printf.sprintf "pipeline of %d tasks" sizes.(id)))
+              big;
+          fix = None } ]
+  end
+
+(* Suspicious hubs: fan-in or fan-out at or above the threshold. High fan
+   degrees are where view designers tend to group independent branches —
+   the dominant unsoundness mistake. *)
+let check_fan_bottleneck ctx =
+  List.filter_map
+    (fun t ->
+      let fan_in = List.length (Spec.producers ctx.spec t) in
+      let fan_out = List.length (Spec.consumers ctx.spec t) in
+      if fan_in < ctx.fan_threshold && fan_out < ctx.fan_threshold then None
+      else
+        let name = task_name ctx t in
+        let side, degree =
+          if fan_in >= fan_out then ("fan-in", fan_in) else ("fan-out", fan_out)
+        in
+        Some
+          { D.rule = "spec/fan-bottleneck";
+            severity = D.Hint;
+            location = loc ctx (D.Task name);
+            message =
+              Printf.sprintf
+                "task %S has %s %d (threshold %d): a likely bottleneck, and \
+                 grouping its branches into one composite is the classic \
+                 unsoundness mistake"
+                name side degree ctx.fan_threshold;
+            related = [];
+            fix = None })
+    (Spec.tasks ctx.spec)
+
+(* --- view-level rules --- *)
+
+(* Unsound composites (Prop 2.1): reported with the minimal unsound core
+   and one witness (t_in, t_out) pair taken from that core — the smallest
+   explanation of the defect. Fixed by the strong corrector. *)
+let check_unsound ctx =
+  let report = Lazy.force ctx.report in
+  List.map
+    (fun (c, witnesses) ->
+      let cname = View.composite_name ctx.t.view c in
+      let members = View.members ctx.t.view c in
+      let set = Bitset.of_list (Spec.n_tasks ctx.spec) members in
+      let core = S.minimal_unsound_core ctx.spec set in
+      let core_tasks =
+        match core with
+        | Some core -> Bitset.elements core
+        | None -> []
+      in
+      let witness =
+        match core with
+        | Some core ->
+          (match S.subset_witnesses ctx.spec core with
+           | pair :: _ -> Some pair
+           | [] -> None)
+        | None -> None
+      in
+      let witness =
+        match (witness, witnesses) with
+        | Some pair, _ -> Some pair
+        | None, pair :: _ -> Some pair
+        | None, [] -> None
+      in
+      let kind =
+        match S.classify_unsound ctx.spec set with
+        | Some k -> Format.asprintf " (%a)" S.pp_unsoundness_kind k
+        | None -> ""
+      in
+      let witness_text, witness_related =
+        match witness with
+        | None -> ("", [])
+        | Some (ti, to_) ->
+          let ni = task_name ctx ti and no = task_name ctx to_ in
+          ( Printf.sprintf ": input %S cannot reach output %S" ni no,
+            [ related ctx (D.Task ni) "input with no path to the output";
+              related ctx (D.Task no) "output the input cannot reach" ] )
+      in
+      let core_text =
+        match core_tasks with
+        | [] -> ""
+        | ts ->
+          Printf.sprintf "; minimal unsound core: {%s}"
+            (String.concat ", " (List.map (task_name ctx) ts))
+      in
+      { D.rule = "view/unsound-composite";
+        severity = D.Error;
+        location = loc ctx (D.Composite cname);
+        message =
+          Printf.sprintf
+            "composite %S is unsound%s%s%s — view-level provenance over it \
+             reports spurious dependencies"
+            cname kind witness_text core_text;
+        related =
+          witness_related
+          @ List.map
+              (fun t ->
+                related ctx (D.Task (task_name ctx t))
+                  "member of the minimal unsound core")
+              core_tasks;
+        fix = Some (D.Split_composite cname) })
+    report.S.unsound
+
+(* Degenerate composites: a singleton whose name differs from its member's,
+   adding an aliasing layer without abstracting anything. Folding the name
+   back onto the member makes the composite implicit in the canonical
+   rendering. *)
+let check_degenerate ctx =
+  List.filter_map
+    (fun c ->
+      match View.members ctx.t.view c with
+      | [ single ] ->
+        let cname = View.composite_name ctx.t.view c in
+        let tname = task_name ctx single in
+        if cname = tname then None
+        else
+          let fix =
+            (* Renaming must not collide with another composite. *)
+            if View.composite_of_name ctx.t.view tname = None then
+              Some (D.Rename_composite (cname, tname))
+            else None
+          in
+          Some
+            { D.rule = "view/degenerate-composite";
+              severity = D.Warning;
+              location = loc ctx (D.Composite cname);
+              message =
+                Printf.sprintf
+                  "composite %S only aliases task %S: it hides nothing and \
+                   renames one node"
+                  cname tname;
+              related = [ related ctx (D.Task tname) "the single member" ];
+              fix }
+      | _ -> None)
+    (View.composites ctx.t.view)
+
+(* Monolithic views: one composite swallowing the entire workflow. Always
+   sound (the full task set is sound by definition), and useless — every
+   provenance question collapses to "everything depends on everything". *)
+let check_monolithic ctx =
+  if View.n_composites ctx.t.view = 1 && Spec.n_tasks ctx.spec >= 2 then
+    match View.composites ctx.t.view with
+    | [ c ] ->
+      let cname = View.composite_name ctx.t.view c in
+      [ { D.rule = "view/monolithic-view";
+          severity = D.Warning;
+          location = loc ctx (D.Composite cname);
+          message =
+            Printf.sprintf
+              "the single composite %S hides all %d tasks: the view answers \
+               no provenance question more precisely than \"everything\""
+              cname (Spec.n_tasks ctx.spec);
+          related = [];
+          fix = None } ]
+    | _ -> []
+  else []
+
+(* Adjacent sound composites whose union is still sound (Def 2.4
+   combinability): the view is not weakly locally optimal (Def 2.5) — it
+   could abstract more without losing correctness. Pairs touching an
+   unsound composite are skipped: splitting comes first. *)
+let check_combinable ctx =
+  let view = ctx.t.view in
+  let report = Lazy.force ctx.report in
+  let unsound =
+    List.fold_left
+      (fun acc (c, _) -> c :: acc)
+      [] report.S.unsound
+  in
+  let seen = Hashtbl.create 16 in
+  Wolves_graph.Digraph.fold_edges
+    (fun u v acc ->
+      let a = min u v and b = max u v in
+      if a = b || Hashtbl.mem seen (a, b) then acc
+      else begin
+        Hashtbl.replace seen (a, b) ();
+        if List.mem a unsound || List.mem b unsound then acc
+        else if
+          C.combinable ctx.spec (View.members view a) (View.members view b)
+        then
+          let na = View.composite_name view a
+          and nb = View.composite_name view b in
+          { D.rule = "view/combinable-composites";
+            severity = D.Hint;
+            location = loc ctx (D.Composite na);
+            message =
+              Printf.sprintf
+                "composites %S and %S are sound-combinable (Def 2.4): \
+                 merging them yields a smaller view that is still sound"
+                na nb;
+            related = [ related ctx (D.Composite nb) "the other half" ];
+            (* A machine merge is only offered while it cannot collapse the
+               view into a single all-hiding composite (which
+               view/monolithic-view would immediately flag). *)
+            fix =
+              (if View.n_composites view > 2 then
+                 Some (D.Merge_composites (na, nb))
+               else None) }
+          :: acc
+        else acc
+      end)
+    (View.view_graph view) []
+  |> List.rev
+
+(* --- DSL-level rules --- *)
+
+(* Tasks declared but never referenced by any dependency statement or
+   explicit composite block. *)
+let check_unused ctx =
+  match ctx.t.source with
+  | None -> []
+  | Some _ ->
+    List.filter_map
+      (fun t ->
+        if is_unused ctx t then
+          let name = task_name ctx t in
+          Some
+            { D.rule = "dsl/unused-task";
+              severity = D.Warning;
+              location = loc ctx (D.Task name);
+              message =
+                Printf.sprintf
+                  "task %S is declared but never referenced by any \
+                   dependency or composite"
+                  name;
+              related = [];
+              fix = None }
+        else None)
+      (Spec.tasks ctx.spec)
+
+(* The same dependency written more than once. Harmless to the elaborated
+   graph (edges are a set) but noise in the document; the canonical
+   rendering drops the duplicates. *)
+let check_duplicate_edge ctx =
+  match ctx.t.source with
+  | None -> []
+  | Some src ->
+    let counts = Hashtbl.create 32 in
+    List.iter
+      (fun (pair, p) ->
+        let prev = try Hashtbl.find counts pair with Not_found -> [] in
+        Hashtbl.replace counts pair (p :: prev))
+      src.Wfdsl.edge_occurrences;
+    List.filter_map
+      (fun (pair, _) ->
+        match List.rev (try Hashtbl.find counts pair with Not_found -> []) with
+        | first :: (second :: _ as dups) ->
+          (* Report once, at the second occurrence. *)
+          Hashtbl.remove counts pair;
+          let a, b = pair in
+          Some
+            { D.rule = "dsl/duplicate-edge";
+              severity = D.Warning;
+              location =
+                { D.file = ctx.t.file;
+                  position =
+                    Some
+                      { D.line = second.Wfdsl.pos_line;
+                        column = second.Wfdsl.pos_column };
+                  anchor = D.Edge (a, b) };
+              message =
+                Printf.sprintf "dependency %S -> %S is declared %d times" a b
+                  (1 + List.length dups);
+              related =
+                [ { D.r_location =
+                      { D.file = ctx.t.file;
+                        position =
+                          Some
+                            { D.line = first.Wfdsl.pos_line;
+                              column = first.Wfdsl.pos_column };
+                        anchor = D.Edge (a, b) };
+                    note = "first declaration" } ];
+              fix =
+                Some
+                  (D.Canonicalize
+                     (Printf.sprintf "duplicate %S -> %S statements collapse"
+                        a b)) }
+        | _ -> None)
+      src.Wfdsl.edge_occurrences
+
+(* Composite names shadowing task names (other than the canonical implicit
+   singleton): "the provenance of c" becomes ambiguous. *)
+let check_shadowed ctx =
+  List.filter_map
+    (fun c ->
+      let cname = View.composite_name ctx.t.view c in
+      match Spec.task_of_name ctx.spec cname with
+      | None -> None
+      | Some t ->
+        (match View.members ctx.t.view c with
+         | [ single ] when single = t -> None  (* canonical singleton *)
+         | _ ->
+           Some
+             { D.rule = "dsl/shadowed-name";
+               severity = D.Warning;
+               location = loc ctx (D.Composite cname);
+               message =
+                 Printf.sprintf
+                   "composite %S shares its name with a task: references to \
+                    %S are ambiguous between the composite and the task"
+                   cname cname;
+               related =
+                 [ related ctx (D.Task cname) "the task being shadowed" ];
+               fix = None }))
+    (View.composites ctx.t.view)
+
+(* --- registry --- *)
+
+type rule = {
+  meta : meta;
+  check : ctx -> D.t list;
+}
+
+let rules =
+  [ { meta =
+        { id = "spec/orphan-task";
+          layer = Spec_level;
+          severity = D.Warning;
+          doc = "task with no dependencies in either direction";
+          fixable = false };
+      check = check_orphan };
+    { meta =
+        { id = "spec/redundant-edge";
+          layer = Spec_level;
+          severity = D.Warning;
+          doc = "dependency already implied by a longer path (transitive)";
+          fixable = true };
+      check = check_redundant_edge };
+    { meta =
+        { id = "spec/disconnected";
+          layer = Spec_level;
+          severity = D.Warning;
+          doc = "two or more disconnected pipelines in one workflow";
+          fixable = false };
+      check = check_disconnected };
+    { meta =
+        { id = "spec/fan-bottleneck";
+          layer = Spec_level;
+          severity = D.Hint;
+          doc = "suspiciously high fan-in or fan-out degree";
+          fixable = false };
+      check = check_fan_bottleneck };
+    { meta =
+        { id = "view/unsound-composite";
+          layer = View_level;
+          severity = D.Error;
+          doc =
+            "composite violating Def 2.3 soundness, with a minimal witness \
+             core";
+          fixable = true };
+      check = check_unsound };
+    { meta =
+        { id = "view/degenerate-composite";
+          layer = View_level;
+          severity = D.Warning;
+          doc = "singleton composite that only renames its member";
+          fixable = true };
+      check = check_degenerate };
+    { meta =
+        { id = "view/monolithic-view";
+          layer = View_level;
+          severity = D.Warning;
+          doc = "a single composite hiding the entire workflow";
+          fixable = false };
+      check = check_monolithic };
+    { meta =
+        { id = "view/combinable-composites";
+          layer = View_level;
+          severity = D.Hint;
+          doc =
+            "adjacent sound composites whose union is sound (weak local \
+             optimality violation)";
+          fixable = true };
+      check = check_combinable };
+    { meta =
+        { id = "dsl/unused-task";
+          layer = Dsl_level;
+          severity = D.Warning;
+          doc = "task declared but never referenced by an edge or composite";
+          fixable = false };
+      check = check_unused };
+    { meta =
+        { id = "dsl/duplicate-edge";
+          layer = Dsl_level;
+          severity = D.Warning;
+          doc = "the same dependency declared more than once";
+          fixable = true };
+      check = check_duplicate_edge };
+    { meta =
+        { id = "dsl/shadowed-name";
+          layer = Dsl_level;
+          severity = D.Warning;
+          doc = "composite name shadowing a task name";
+          fixable = false };
+      check = check_shadowed } ]
+
+let all = List.map (fun r -> r.meta) rules
+
+let find id = List.find_opt (fun m -> m.id = id) all
+
+(* --- observability --- *)
+
+let metric_name prefix id =
+  prefix ^ String.map (fun c -> if c = '/' then '.' else c) id
+
+let hit_counters =
+  List.map (fun r -> (r.meta.id, Metrics.counter (metric_name "lint.hits." r.meta.id))) rules
+
+let rule_timers =
+  List.map (fun r -> (r.meta.id, Metrics.timer (metric_name "lint.time." r.meta.id))) rules
+
+let c_targets = Metrics.counter "lint.targets"
+let c_diagnostics = Metrics.counter "lint.diagnostics"
+let t_analyze = Metrics.timer "lint.analyze"
+
+(* --- driver --- *)
+
+let analyze ?(fan_threshold = 8) ~enabled t =
+  Metrics.incr c_targets;
+  Metrics.time t_analyze (fun () ->
+      let spec = View.spec t.view in
+      let ctx =
+        { t;
+          spec;
+          reach = Spec.reach spec;
+          report = lazy (S.validate t.view);
+          fan_threshold }
+      in
+      let diagnostics =
+        List.concat_map
+          (fun r ->
+            if not (enabled r.meta.id) then []
+            else
+              Metrics.time (List.assoc r.meta.id rule_timers) (fun () ->
+                  let ds = r.check ctx in
+                  Metrics.add (List.assoc r.meta.id hit_counters)
+                    (List.length ds);
+                  ds))
+          rules
+      in
+      Metrics.add c_diagnostics (List.length diagnostics);
+      List.sort D.compare diagnostics)

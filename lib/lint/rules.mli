@@ -1,0 +1,61 @@
+(** The lint rule registry: every rule's metadata and the analysis driver.
+
+    Rules come in three layers:
+
+    - {b spec-level}: structural mistakes in the dependency graph itself —
+      orphan tasks, redundant transitive edges, disconnected pipelines,
+      suspicious fan-in/fan-out hubs. Run on every input.
+    - {b view-level}: the paper's subject — unsound composites (Prop 2.1,
+      reported with a minimal witness pair via
+      {!Wolves_core.Soundness.minimal_unsound_core}), degenerate composites,
+      monolithic views, and adjacent composites that are sound-combinable
+      (weak-local-optimality violations, Def 2.4/2.5). Run on every input.
+    - {b DSL-level}: [.wf]-document mistakes that the elaborated
+      specification can no longer show — duplicate edge statements, tasks
+      declared but never referenced, composite names shadowing task names.
+      Rules that need the raw statements only run when a
+      {!Wolves_lang.Wfdsl.source_map} is available. *)
+
+open Wolves_workflow
+
+type layer =
+  | Spec_level
+  | View_level
+  | Dsl_level
+
+val layer_name : layer -> string
+
+type meta = {
+  id : string;           (** e.g. ["view/unsound-composite"] *)
+  layer : layer;
+  severity : Diagnostic.severity;
+  doc : string;          (** one-line description, shown in SARIF metadata *)
+  fixable : bool;        (** whether the rule ever attaches a machine fix *)
+}
+
+val all : meta list
+(** Every rule, in a fixed documentation order. *)
+
+val find : string -> meta option
+
+(** What a lint pass runs over. *)
+type target = {
+  view : View.t;
+  file : string option;
+      (** the document's path, threaded into diagnostic locations *)
+  source : Wolves_lang.Wfdsl.source_map option;
+      (** present when the target came from [.wf] text: diagnostics then
+          carry line/column spans and the DSL-layer rules run in full *)
+}
+
+val analyze :
+  ?fan_threshold:int ->
+  enabled:(string -> bool) ->
+  target ->
+  Diagnostic.t list
+(** Run every rule whose id satisfies [enabled] and return the diagnostics
+    sorted by {!Diagnostic.compare} (deterministic across runs).
+    [fan_threshold] (default 8) is the degree at which
+    [spec/fan-bottleneck] fires. Per-rule hit counters and timers are
+    recorded in the {!Wolves_obs.Metrics} registry under
+    [lint.hits.<rule>] / [lint.time.<rule>]. *)

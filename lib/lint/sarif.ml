@@ -1,0 +1,144 @@
+module D = Diagnostic
+module Json = Wolves_cli.Json
+
+let version = "2.1.0"
+
+let schema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let level_of_severity = function
+  | D.Error -> "error"
+  | D.Warning -> "warning"
+  | D.Hint -> "note"
+
+let text s = Json.Obj [ ("text", Json.String s) ]
+
+let rule_json (m : Rules.meta) =
+  Json.Obj
+    [ ("id", Json.String m.Rules.id);
+      ("shortDescription", text m.Rules.doc);
+      ( "defaultConfiguration",
+        Json.Obj
+          [ ("level", Json.String (level_of_severity m.Rules.severity)) ] );
+      ( "properties",
+        Json.Obj
+          [ ( "layer",
+              Json.String
+                (match m.Rules.layer with
+                 | Rules.Spec_level -> "spec"
+                 | Rules.View_level -> "view"
+                 | Rules.Dsl_level -> "dsl") );
+            ("fixable", Json.Bool m.Rules.fixable) ] ) ]
+
+let anchor_kind = function
+  | D.Task _ -> "function"
+  | D.Composite _ -> "module"
+  | D.Edge _ -> "member"
+  | D.Workflow _ -> "namespace"
+
+let location_json ?message (l : D.location) =
+  let physical =
+    match l.D.file with
+    | None -> []
+    | Some file ->
+      let region =
+        match l.D.position with
+        | None -> []
+        | Some p ->
+          [ ( "region",
+              Json.Obj
+                [ ("startLine", Json.Int p.D.line);
+                  ("startColumn", Json.Int p.D.column) ] ) ]
+      in
+      [ ( "physicalLocation",
+          Json.Obj
+            ( ("artifactLocation", Json.Obj [ ("uri", Json.String file) ])
+            :: region ) ) ]
+  in
+  let logical =
+    match l.D.anchor with
+    | D.Workflow _ -> []
+    | anchor ->
+      [ ( "logicalLocations",
+          Json.List
+            [ Json.Obj
+                [ ("fullyQualifiedName", Json.String (D.anchor_name anchor));
+                  ("kind", Json.String (anchor_kind anchor)) ] ] ) ]
+  in
+  let message =
+    match message with None -> [] | Some m -> [ ("message", text m) ]
+  in
+  Json.Obj (message @ physical @ logical)
+
+let result_json rule_index (d : D.t) =
+  let index =
+    match rule_index d.D.rule with Some i -> [ ("ruleIndex", Json.Int i) ] | None -> []
+  in
+  let related =
+    if d.D.related = [] then []
+    else
+      [ ( "relatedLocations",
+          Json.List
+            (List.map
+               (fun r -> location_json ~message:r.D.note r.D.r_location)
+               d.D.related) ) ]
+  in
+  let properties =
+    match d.D.fix with
+    | None -> []
+    | Some fix ->
+      [ ( "properties",
+          Json.Obj [ ("fix", Json.String (D.fix_description fix)) ] ) ]
+  in
+  Json.Obj
+    ( [ ("ruleId", Json.String d.D.rule) ]
+    @ index
+    @ [ ("level", Json.String (level_of_severity d.D.severity));
+        ("message", text d.D.message);
+        ("locations", Json.List [ location_json d.D.location ]) ]
+    @ related @ properties )
+
+let report diagnostics =
+  let rule_index id =
+    let rec go i = function
+      | [] -> None
+      | m :: _ when m.Rules.id = id -> Some i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 Rules.all
+  in
+  let artifacts =
+    List.sort_uniq compare
+      (List.filter_map (fun d -> d.D.location.D.file) diagnostics)
+  in
+  let doc =
+    Json.Obj
+      [ ("$schema", Json.String schema);
+        ("version", Json.String version);
+        ( "runs",
+          Json.List
+            [ Json.Obj
+                [ ( "tool",
+                    Json.Obj
+                      [ ( "driver",
+                          Json.Obj
+                            [ ("name", Json.String "wolves-lint");
+                              ("version", Json.String "1.0.0");
+                              ( "informationUri",
+                                Json.String
+                                  "https://github.com/wolves/wolves" );
+                              ( "rules",
+                                Json.List (List.map rule_json Rules.all) )
+                            ] ) ] );
+                  ( "artifacts",
+                    Json.List
+                      (List.map
+                         (fun uri ->
+                           Json.Obj
+                             [ ( "location",
+                                 Json.Obj [ ("uri", Json.String uri) ] ) ])
+                         artifacts) );
+                  ( "results",
+                    Json.List (List.map (result_json rule_index) diagnostics)
+                  ) ] ] ) ]
+  in
+  Json.to_string ~pretty:true doc ^ "\n"

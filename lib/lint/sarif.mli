@@ -1,0 +1,16 @@
+(** SARIF 2.1.0 emission — the interchange format GitHub code scanning
+    ingests to annotate pull requests.
+
+    One run, tool driver [wolves-lint], the full rule catalogue as
+    [tool.driver.rules] (with default severity levels), one [result] per
+    diagnostic. Physical locations carry the [.wf] region when the lint ran
+    over source text; every result also carries a logical location naming
+    the task/composite/edge. Machine-applicable fixes are described in the
+    result's property bag under ["fix"]. *)
+
+val version : string
+(** ["2.1.0"]. *)
+
+val report : Diagnostic.t list -> string
+(** The complete SARIF document as pretty-printed JSON (trailing
+    newline included). *)

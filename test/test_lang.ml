@@ -158,8 +158,105 @@ let test_file_io () =
   Sys.remove path;
   check_int "tasks" 14 (Spec.n_tasks spec');
   match Wfdsl.load "/nonexistent.wf" with
-  | Error e -> check_int "io errors at line 0" 0 e.Wfdsl.line
+  | Error e ->
+    check_int "io errors at line 0" 0 e.Wfdsl.line;
+    (* the bugfix: load errors name the file they came from *)
+    Alcotest.(check (option string)) "file recorded"
+      (Some "/nonexistent.wf") e.Wfdsl.file;
+    let rendered = Format.asprintf "%a" Wfdsl.pp_error e in
+    check_bool "rendering starts with the path" true
+      (String.length rendered > 17
+       && String.sub rendered 0 17 = "/nonexistent.wf: ")
   | Ok _ -> Alcotest.fail "expected io failure"
+
+let test_load_error_positions () =
+  (* Parse errors from [load] carry both the file and the position. *)
+  let path = Filename.temp_file "wolves" ".wf" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc "workflow \"w\" {\n  task task;\n}\n");
+  (match Wfdsl.load path with
+   | Error e ->
+     Alcotest.(check (option string)) "file" (Some path) e.Wfdsl.file;
+     check_int "line" 2 e.Wfdsl.line
+   | Ok _ -> Alcotest.fail "bad document accepted");
+  Sys.remove path;
+  (* [of_string] errors have no file to name. *)
+  match Wfdsl.of_string "workflow \"w\" {\n  task task;\n}\n" with
+  | Error e -> Alcotest.(check (option string)) "no file" None e.Wfdsl.file
+  | Ok _ -> Alcotest.fail "bad document accepted"
+
+let test_source_map () =
+  let _, _, sm = ok (Wfdsl.of_string_with_source sample) in
+  check_int "workflow line" 2 sm.Wfdsl.workflow_position.Wfdsl.pos_line;
+  check_int "workflow column" 10 sm.Wfdsl.workflow_position.Wfdsl.pos_column;
+  check_int "task decls" 5 (List.length sm.Wfdsl.task_decls);
+  (match List.assoc_opt "fetch" sm.Wfdsl.task_decls with
+   | Some p ->
+     check_int "fetch line" 3 p.Wfdsl.pos_line;
+     check_int "fetch column" 8 p.Wfdsl.pos_column
+   | None -> Alcotest.fail "fetch not in source map");
+  check_int "edges (chain sugar splits)" 4 (List.length sm.Wfdsl.edge_occurrences);
+  (match List.assoc_opt ("fetch", "clean") sm.Wfdsl.edge_occurrences with
+   | Some p ->
+     check_int "edge line" 9 p.Wfdsl.pos_line;
+     check_int "edge column (producer token)" 3 p.Wfdsl.pos_column
+   | None -> Alcotest.fail "edge not in source map");
+  (* chain sugar: the second hop is anchored at its own producer *)
+  (match List.assoc_opt ("clean", "join") sm.Wfdsl.edge_occurrences with
+   | Some p -> check_int "chain hop line" 9 p.Wfdsl.pos_line
+   | None -> Alcotest.fail "chain hop not in source map");
+  match List.assoc_opt "Prepare" sm.Wfdsl.composite_decls with
+  | Some p -> check_int "composite line" 13 p.Wfdsl.pos_line
+  | None -> Alcotest.fail "Prepare not in source map"
+
+(* The satellite property: rendering any generated view to .wf text and
+   parsing it back preserves the specification (tasks, edges, attributes'
+   carrier) and the exact partition, across every generator family and
+   view policy. *)
+let prop_dsl_roundtrip =
+  QCheck2.Test.make
+    ~name:"of_string (to_string view) preserves spec and partition"
+    ~count:120
+    QCheck2.Gen.(triple (int_range 0 100_000) (int_range 2 50) (int_range 1 8))
+    (fun (seed, size, k) ->
+      let family =
+        List.nth Gen.all_families (seed mod List.length Gen.all_families)
+      in
+      let spec = Gen.generate family ~seed ~size in
+      let policy =
+        match seed mod 4 with
+        | 0 -> Views.Topological_bands k
+        | 1 -> Views.Connected_groups k
+        | 2 -> Views.Random_partition k
+        | _ -> Views.Sound_groups k
+      in
+      let view = Views.build ~seed policy spec in
+      let edge_names s =
+        List.sort compare
+          (Wolves_graph.Digraph.fold_edges
+             (fun u v acc -> (Spec.task_name s u, Spec.task_name s v) :: acc)
+             (Spec.graph s) [])
+      in
+      let task_names s =
+        List.sort compare (List.map (Spec.task_name s) (Spec.tasks s))
+      in
+      let partition v =
+        List.sort compare
+          (List.map
+             (fun c ->
+               ( View.composite_name v c,
+                 List.sort compare
+                   (List.map (Spec.task_name (View.spec v)) (View.members v c))
+               ))
+             (View.composites v))
+      in
+      match Wfdsl.of_string (Wfdsl.to_string view) with
+      | Error _ -> false
+      | Ok (spec', view') ->
+        Spec.name spec = Spec.name spec'
+        && task_names spec = task_names spec'
+        && edge_names spec = edge_names spec'
+        && partition view = partition view')
 
 (* Cross-format: DSL and MoML agree on generated views. *)
 let prop_cross_format =
@@ -206,5 +303,9 @@ let () =
           Alcotest.test_case "task attributes end to end" `Quick test_attributes;
           Alcotest.test_case "figure 1 round trip" `Quick test_roundtrip_figure1;
           Alcotest.test_case "file io" `Quick test_file_io;
+          Alcotest.test_case "load errors carry the file" `Quick
+            test_load_error_positions;
+          Alcotest.test_case "source map" `Quick test_source_map;
+          qt prop_dsl_roundtrip;
           qt prop_cross_format;
           qt prop_dsl_fuzz ] ) ]

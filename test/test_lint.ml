@@ -1,0 +1,282 @@
+(* Tests for the lint subsystem: fixture files seeded with exactly one
+   defect per rule, determinism of the diagnostic order, the autofix
+   fixpoint (idempotence + soundness unchanged-or-improved), and the SARIF
+   backend's structure. *)
+
+open Wolves_workflow
+module D = Wolves_lint.Diagnostic
+module Rules = Wolves_lint.Rules
+module Lint = Wolves_lint.Lint
+module Fix = Wolves_lint.Fix
+module Sarif = Wolves_lint.Sarif
+module S = Wolves_core.Soundness
+module Gen = Wolves_workload.Generate
+module Views = Wolves_workload.Views
+module Metrics = Wolves_obs.Metrics
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let fixture name = Filename.concat "fixtures/lint" name
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+let run_fixture ?config name =
+  match Lint.run_file ?config (fixture name) with
+  | Ok ds -> ds
+  | Error msg -> Alcotest.failf "lint %s: %s" name msg
+
+let rules_of ds = List.sort_uniq compare (List.map (fun d -> d.D.rule) ds)
+
+let warnings_config = { Lint.default_config with threshold = D.Warning }
+
+let only_rule id =
+  { Lint.default_config with rules = Some [ id ] }
+
+(* --- the rule registry --- *)
+
+let test_registry () =
+  check_bool "at least 10 rules" true (List.length Rules.all >= 10);
+  let ids = List.map (fun m -> m.Rules.id) Rules.all in
+  check_int "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id -> check_bool id true (Rules.find id <> None))
+    ids;
+  check_bool "unknown id" true (Rules.find "spec/phlogiston" = None);
+  let layers = List.sort_uniq compare (List.map (fun m -> m.Rules.layer) Rules.all) in
+  check_int "three layers populated" 3 (List.length layers)
+
+let test_validate_config () =
+  check_bool "default ok" true (Lint.validate_config Lint.default_config = Ok ());
+  check_bool "whitelist ok" true
+    (Lint.validate_config (only_rule "spec/orphan-task") = Ok ());
+  (match Lint.validate_config (only_rule "spec/no-such-rule") with
+   | Error msg ->
+     check_bool "names the rule" true (contains ~affix:"spec/no-such-rule" msg)
+   | Ok () -> Alcotest.fail "unknown rule accepted");
+  match Lint.validate_config { Lint.default_config with disabled = [ "nope" ] } with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown disabled rule accepted"
+
+(* --- one fixture per rule: each triggers exactly its seeded defect --- *)
+
+let test_fixture_rules () =
+  let cases =
+    [ ("unsound.wf", [ "view/unsound-composite" ]);
+      ("redundant.wf", [ "spec/redundant-edge" ]);
+      ("disconnected.wf", [ "spec/disconnected" ]);
+      ("orphan.wf", [ "spec/orphan-task" ]);
+      ("unused.wf", [ "dsl/unused-task" ]);
+      ("duplicate.wf", [ "dsl/duplicate-edge" ]);
+      ("shadowed.wf", [ "dsl/shadowed-name" ]);
+      ("degenerate.wf", [ "view/degenerate-composite" ]);
+      ("monolithic.wf", [ "view/monolithic-view" ]);
+      ("clean.wf", []) ]
+  in
+  List.iter
+    (fun (name, expected) ->
+      let ds = run_fixture ~config:warnings_config name in
+      Alcotest.(check (list string)) name expected (rules_of ds))
+    cases
+
+let test_hint_fixtures () =
+  let combinable =
+    run_fixture ~config:(only_rule "view/combinable-composites") "combinable.wf"
+  in
+  Alcotest.(check (list string)) "combinable"
+    [ "view/combinable-composites" ] (rules_of combinable);
+  check_bool "merge fix attached" true
+    (List.exists
+       (fun d ->
+         match d.D.fix with Some (D.Merge_composites _) -> true | _ -> false)
+       combinable);
+  match run_fixture ~config:(only_rule "spec/fan-bottleneck") "fanout.wf" with
+  | [ d ] ->
+    check_bool "hint severity" true (d.D.severity = D.Hint);
+    check_bool "hub anchor" true (d.D.location.D.anchor = D.Task "hub");
+    check_bool "no fix" true (d.D.fix = None)
+  | ds -> Alcotest.failf "fan-bottleneck fired %d times" (List.length ds)
+
+let test_unsound_details () =
+  match run_fixture ~config:warnings_config "unsound.wf" with
+  | [ d ] ->
+    check_string "rule" "view/unsound-composite" d.D.rule;
+    check_bool "error severity" true (d.D.severity = D.Error);
+    check_bool "split fix" true (d.D.fix = Some (D.Split_composite "par"));
+    check_bool "anchored at the composite" true
+      (d.D.location.D.anchor = D.Composite "par");
+    (match d.D.location.D.position with
+     | Some p ->
+       (* the composite declaration in the fixture *)
+       check_int "line" 15 p.D.line;
+       check_int "column" 13 p.D.column
+     | None -> Alcotest.fail "no source position");
+    check_bool "witness related locations" true (List.length d.D.related >= 2)
+  | ds -> Alcotest.failf "expected 1 diagnostic, got %d" (List.length ds)
+
+let test_severity_threshold () =
+  let errors_only = { Lint.default_config with threshold = D.Error } in
+  check_int "redundant.wf has no errors" 0
+    (List.length (run_fixture ~config:errors_only "redundant.wf"));
+  check_int "unsound.wf keeps its error" 1
+    (List.length (run_fixture ~config:errors_only "unsound.wf"));
+  let all = run_fixture "fanout.wf" in
+  check_bool "hint threshold sees the bottleneck" true
+    (List.mem "spec/fan-bottleneck" (rules_of all))
+
+(* --- determinism --- *)
+
+let test_determinism () =
+  List.iter
+    (fun family ->
+      List.iter
+        (fun seed ->
+          let spec = Gen.generate family ~seed ~size:40 in
+          let view =
+            Views.inject_unsoundness ~seed ~attempts:20
+              (Views.build ~seed (Views.Connected_groups 4) spec)
+          in
+          let once = Lint.run view and twice = Lint.run view in
+          check_bool
+            (Printf.sprintf "deterministic (%s, seed %d)"
+               (Gen.family_name family) seed)
+            true (once = twice);
+          check_bool "sorted" true
+            (List.sort D.compare once = once))
+        [ 0; 1; 2 ])
+    Gen.all_families
+
+(* --- autofix --- *)
+
+let structural_fixable ds =
+  List.exists
+    (fun d ->
+      match d.D.fix with
+      | Some (D.Canonicalize _) | None -> false
+      | Some _ -> true)
+    ds
+
+let test_fix_idempotent () =
+  List.iter
+    (fun family ->
+      List.iter
+        (fun seed ->
+          let spec = Gen.generate family ~seed ~size:40 in
+          let view =
+            Views.inject_unsoundness ~seed ~attempts:20
+              (Views.build ~seed (Views.Connected_groups 4) spec)
+          in
+          let fixed, applied = Fix.apply view in
+          let name =
+            Printf.sprintf "(%s, seed %d)" (Gen.family_name family) seed
+          in
+          (* Unsound views must come back sound; sound ones stay sound. *)
+          check_bool ("fixed sound " ^ name) true (S.is_sound fixed);
+          if not (S.is_sound view) then
+            check_bool ("something applied " ^ name) true (applied <> []);
+          (* Re-linting the result yields no fixable diagnostic... *)
+          check_bool ("no fixable left " ^ name) false
+            (structural_fixable (Lint.run fixed));
+          (* ...so a second pass is a no-op. *)
+          let fixed2, applied2 = Fix.apply fixed in
+          check_bool ("second pass no-op " ^ name) true (applied2 = []);
+          check_bool ("second pass same size " ^ name) true
+            (View.n_composites fixed2 = View.n_composites fixed))
+        [ 0; 1 ])
+    Gen.all_families
+
+let copy_to_temp name =
+  let contents = In_channel.with_open_text (fixture name) In_channel.input_all in
+  let path = Filename.temp_file "lint" ".wf" in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc contents);
+  path
+
+let test_fix_file () =
+  List.iter
+    (fun name ->
+      let path = copy_to_temp name in
+      (match Fix.fix_file path with
+       | Ok applied -> check_bool (name ^ " applied") true (applied <> [])
+       | Error msg -> Alcotest.failf "fix %s: %s" name msg);
+      (match Fix.fix_file path with
+       | Ok applied -> check_bool (name ^ " idempotent") true (applied = [])
+       | Error msg -> Alcotest.failf "re-fix %s: %s" name msg);
+      (match Lint.run_file path with
+       | Ok ds -> check_bool (name ^ " nothing fixable") false (structural_fixable ds)
+       | Error msg -> Alcotest.failf "re-lint %s: %s" name msg);
+      Sys.remove path)
+    [ "unsound.wf"; "redundant.wf"; "duplicate.wf"; "degenerate.wf" ]
+
+let test_fix_preserves_soundness () =
+  (* clean.wf is already sound: fixing must not disturb its verdict. *)
+  let path = copy_to_temp "clean.wf" in
+  let before = In_channel.with_open_text path In_channel.input_all in
+  (match Fix.fix_file path with
+   | Ok applied ->
+     check_bool "nothing structural on clean input" true
+       (List.for_all (fun a -> match a.Fix.fix with
+            | D.Canonicalize _ -> true | _ -> false) applied)
+   | Error msg -> Alcotest.failf "fix clean: %s" msg);
+  let after = In_channel.with_open_text path In_channel.input_all in
+  check_string "clean file untouched" before after;
+  Sys.remove path
+
+(* --- SARIF --- *)
+
+let test_sarif () =
+  let ds = run_fixture "unsound.wf" in
+  let doc = Sarif.report ds in
+  List.iter
+    (fun affix -> check_bool affix true (contains ~affix doc))
+    [ "\"version\": \"2.1.0\"";
+      "sarif-2.1.0.json";
+      "\"name\": \"wolves-lint\"";
+      "\"ruleId\": \"view/unsound-composite\"";
+      "\"level\": \"error\"";
+      "physicalLocation";
+      "\"startLine\": 15";
+      "relatedLocations";
+      "logicalLocations" ];
+  (* the rule catalogue is embedded even for rules that did not fire *)
+  check_bool "catalogue" true (contains ~affix:"\"id\": \"dsl/duplicate-edge\"" doc);
+  (* empty reports are still a complete SARIF document *)
+  let empty = Sarif.report [] in
+  check_bool "empty doc has runs" true (contains ~affix:"\"runs\"" empty);
+  check_bool "empty doc has no results" true
+    (contains ~affix:"\"results\": []" empty)
+
+(* --- observability --- *)
+
+let test_metrics () =
+  Metrics.reset ();
+  let hits = Metrics.counter "lint.hits.view.unsound-composite" in
+  let targets = Metrics.counter "lint.targets" in
+  Metrics.enabled (fun () -> ignore (run_fixture "unsound.wf"));
+  check_int "unsound hit recorded" 1 (Metrics.counter_value hits);
+  check_int "one target" 1 (Metrics.counter_value targets);
+  Metrics.reset ()
+
+let () =
+  Alcotest.run "lint"
+    [ ( "registry",
+        [ Alcotest.test_case "metadata" `Quick test_registry;
+          Alcotest.test_case "config validation" `Quick test_validate_config ] );
+      ( "rules",
+        [ Alcotest.test_case "fixtures trigger their rule" `Quick test_fixture_rules;
+          Alcotest.test_case "hint-level fixtures" `Quick test_hint_fixtures;
+          Alcotest.test_case "unsound witness detail" `Quick test_unsound_details;
+          Alcotest.test_case "severity threshold" `Quick test_severity_threshold;
+          Alcotest.test_case "determinism" `Quick test_determinism ] );
+      ( "fix",
+        [ Alcotest.test_case "idempotent fixpoint" `Quick test_fix_idempotent;
+          Alcotest.test_case "fix_file in place" `Quick test_fix_file;
+          Alcotest.test_case "clean input untouched" `Quick test_fix_preserves_soundness ] );
+      ( "output",
+        [ Alcotest.test_case "sarif structure" `Quick test_sarif;
+          Alcotest.test_case "metrics counters" `Quick test_metrics ] ) ]

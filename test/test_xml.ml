@@ -91,6 +91,44 @@ let test_error_position () =
   let err = parse_err "<a>\n  <b oops</b>\n</a>" in
   Alcotest.(check int) "line" 2 err.Parse.line
 
+(* Exact line/column for the classic malformed-document shapes: unclosed
+   elements, mismatched closing tags, and broken attribute syntax. The
+   column is where the scanner stopped, 1-based. *)
+let test_error_positions_exact () =
+  let cases =
+    [ (* input, line, column, message fragment *)
+      ("<root>\n  <child/>\n", 3, 1, "unterminated element <root>");
+      ("<a>\n  <b>\n</a>", 3, 4, "mismatched closing tag </a> for <b>");
+      ("<a>\n  <b>\n  </c>\n</a>", 3, 6, "mismatched closing tag </c>");
+      ("<a>\n  <b oops</b>\n</a>", 2, 11, "expected '='");
+      ("<a>\n<b x=1/>\n</a>", 2, 7, "quoted attribute value");
+      ("<a x=\"1\"\ny=\"2\" x=\"3\"/>", 2, 8, "duplicate attribute x");
+      ("<a>\n\n   &nope;</a>", 3, 10, "unknown entity &nope;") ]
+  in
+  List.iter
+    (fun (src, line, column, fragment) ->
+      let err = parse_err src in
+      Alcotest.(check int) (Printf.sprintf "%S line" src) line err.Parse.line;
+      Alcotest.(check int)
+        (Printf.sprintf "%S column" src)
+        column err.Parse.column;
+      let msg = Format.asprintf "%a" Parse.pp_error err in
+      let contains =
+        let ln = String.length fragment and lh = String.length msg in
+        let rec go i =
+          i + ln <= lh && (String.sub msg i ln = fragment || go (i + 1))
+        in
+        go 0
+      in
+      check_bool (Printf.sprintf "%S message" src) true contains)
+    cases;
+  (* pp_error renders the position itself *)
+  let rendered =
+    Format.asprintf "%a" Parse.pp_error (parse_err "<a>\n<b x=1/>\n</a>")
+  in
+  check_string "pp_error format" "line 2, column 7: expected a quoted attribute value"
+    rendered
+
 let test_print_escapes () =
   check_string "text" "a&amp;b&lt;c&gt;d" (Print.escape_text "a&b<c>d");
   check_string "attr" "&quot;x&amp;&quot;" (Print.escape_attr "\"x&\"")
@@ -238,7 +276,9 @@ let () =
           Alcotest.test_case "cdata" `Quick test_parse_cdata;
           Alcotest.test_case "deep nesting" `Quick test_parse_nested_depth;
           Alcotest.test_case "malformed documents rejected" `Quick test_parse_errors;
-          Alcotest.test_case "error carries position" `Quick test_error_position ] );
+          Alcotest.test_case "error carries position" `Quick test_error_position;
+          Alcotest.test_case "error positions exact" `Quick
+            test_error_positions_exact ] );
       ( "print",
         [ Alcotest.test_case "escaping" `Quick test_print_escapes;
           Alcotest.test_case "pretty printing" `Quick test_print_pretty;
