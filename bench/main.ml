@@ -6,12 +6,19 @@
    Run with: dune exec bench/main.exe            (all sections)
              dune exec bench/main.exe -- E-QUAL  (a subset)
    Flags (before section ids):
-     --json FILE   also write a machine-readable artifact: per-section wall
-                   time, section-specific key figures, and the Wolves_obs
-                   registry snapshot (soundness checks vs pruning probes,
-                   cache hit counts, timer histograms)
-     --smoke       shrink every workload so the whole run finishes in
-                   seconds (CI's @bench-smoke alias)                      *)
+     --json FILE        also write a machine-readable artifact: per-section
+                        wall time, section-specific key figures, and the
+                        Wolves_obs registry snapshot (soundness checks vs
+                        pruning probes, cache hit counts, timer histograms)
+     --smoke            shrink every workload so the whole run finishes in
+                        seconds (CI's @bench-smoke alias)
+     --compare FILE     regression gate: diff each section's wall time
+                        against a committed --json artifact (any schema
+                        version) and exit 1 when a section exceeds
+                        baseline x threshold (+ absolute slack, so
+                        microsecond sections are noise-immune)
+     --threshold F      slowdown factor tolerated by --compare (default
+                        1.5)                                              *)
 
 open Wolves_workflow
 module S = Wolves_core.Soundness
@@ -80,7 +87,8 @@ module Report = struct
   let write path =
     let doc =
       Json.Obj
-        [ ("harness", Json.String "bench/main.ml");
+        [ ("schema_version", Json.Int 2);
+          ("harness", Json.String "bench/main.ml");
           ("smoke", Json.Bool !smoke);
           ("sections", Json.Obj (List.rev !entries)) ]
     in
@@ -1436,6 +1444,145 @@ let e_lint () =
     (!fix_sound = min fix_n n_specs)
 
 (* ------------------------------------------------------------------ *)
+(* E-TRACE: observability overhead — off vs metrics vs event tracing    *)
+(* ------------------------------------------------------------------ *)
+
+let e_trace () =
+  section "E-TRACE"
+    "observability: the same workload with instrumentation off, with metric \
+     histograms recording, and with a ring-buffer tracer installed; the \
+     off-path must stay a single load-and-branch per probe";
+  let module Trace = Wolves_trace.Trace in
+  let spec = Gen.generate Gen.Layered ~seed:2 ~size:(sm 500 100) in
+  let view = Views.build ~seed:2 (Views.Topological_bands 5) spec in
+  let fspec, fview = Examples.figure3 () in
+  let fmembers = View.members fview (Examples.figure3_composite fview) in
+  (* One validator pass over a 500-task view plus one strong correction:
+     both hot paths cross every instrumented probe (timers, spans, args). *)
+  let workload () =
+    ignore (S.validate view);
+    ignore (C.split_subset C.Strong fspec fmembers)
+  in
+  let budget = sm 0.3 0.05 in
+  (* The driver enables metrics around every section; undo that here — the
+     three modes ARE the experiment — and restore on the way out. *)
+  let was_enabled = Metrics.is_enabled () in
+  let restore () = Metrics.set_enabled was_enabled in
+  Fun.protect ~finally:restore @@ fun () ->
+  Metrics.set_enabled false;
+  (* Warm caches and allocator before the first timed mode, so the cold
+     start does not land on the baseline and mask the real overheads. *)
+  for _ = 1 to 3 do workload () done;
+  (* Interleave the three modes round-robin and keep the per-mode minimum:
+     timing them back-to-back instead would charge whatever heap growth and
+     major-GC settling happens first entirely to one mode (measurably, the
+     baseline came out ~15% *slower* than the instrumented modes that ran
+     after it). The minimum over interleaved trials is robust to that. *)
+  let collector = Trace.create () in
+  let trials = 3 in
+  let tbudget = budget /. float_of_int trials in
+  let best = [| infinity; infinity; infinity |] in
+  for _ = 1 to trials do
+    Metrics.set_enabled false;
+    best.(0) <- Float.min best.(0) (time_per_run ~budget:tbudget workload);
+    Metrics.set_enabled true;
+    best.(1) <- Float.min best.(1) (time_per_run ~budget:tbudget workload);
+    Metrics.set_enabled false;
+    best.(2) <-
+      Float.min best.(2)
+        (Trace.with_tracing collector (fun () ->
+             time_per_run ~budget:tbudget workload))
+  done;
+  let off_t = best.(0) and metrics_t = best.(1) and trace_t = best.(2) in
+  let recorded = Trace.length collector + Trace.dropped collector in
+  let pct base t = 100.0 *. ((t /. base) -. 1.0) in
+  Report.kv "baseline_s" (Json.Float off_t);
+  Report.kv "metrics_s" (Json.Float metrics_t);
+  Report.kv "metrics_overhead_pct" (Json.Float (pct off_t metrics_t));
+  Report.kv "trace_s" (Json.Float trace_t);
+  Report.kv "trace_overhead_pct" (Json.Float (pct off_t trace_t));
+  Report.kv "trace_events_recorded" (Json.Int recorded);
+  print_endline
+    (Table.render
+       ~align:[ Table.Left; Table.Right; Table.Right ]
+       ~header:[ "mode"; "time/run"; "overhead" ]
+       [ [ "off (production default)"; fmt_s off_t; "-" ];
+         [ "metrics histograms"; fmt_s metrics_t;
+           Printf.sprintf "%+.1f%%" (pct off_t metrics_t) ];
+         [ "ring-buffer tracer"; fmt_s trace_t;
+           Printf.sprintf "%+.1f%%" (pct off_t trace_t) ] ]);
+  Printf.printf "tracer recorded %d events across the timed runs\n" recorded
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: --compare BASELINE.json                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A section regresses when its wall time exceeds baseline x threshold plus
+   an absolute slack. The slack keeps microsecond-scale sections (E-FIG1
+   runs in ~100us) from failing on scheduler noise: a pure ratio test at
+   that scale is a coin flip, while a genuine regression on a section that
+   matters clears 50ms easily. *)
+let compare_slack_s = 0.05
+
+let compare_against ~threshold baseline_path walls =
+  let text =
+    try In_channel.with_open_text baseline_path In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "cannot read baseline: %s\n" msg;
+      exit 2
+  in
+  match Json.of_string text with
+  | Error msg ->
+    Printf.eprintf "%s: %s\n" baseline_path msg;
+    exit 2
+  | Ok doc ->
+    (* Version-less artifacts are schema v1 (same sections shape). *)
+    (match Json.member "smoke" doc with
+     | Some (Json.Bool b) when b <> !smoke ->
+       Printf.printf
+         "warning: baseline %s is a %s run but this is a %s run; timings \
+          are not like-for-like\n"
+         baseline_path
+         (if b then "smoke" else "full")
+         (if !smoke then "smoke" else "full")
+     | _ -> ());
+    let sections = Json.member "sections" doc in
+    let baseline_wall id =
+      Option.bind sections (Json.member id)
+      |> Fun.flip Option.bind (Json.member "wall_time_s")
+      |> Fun.flip Option.bind Json.to_float_opt
+    in
+    let failures = ref [] in
+    let rows =
+      List.map
+        (fun (id, wall) ->
+          match baseline_wall id with
+          | None -> [ id; "-"; fmt_s wall; "-"; "no baseline" ]
+          | Some base ->
+            let limit = (base *. threshold) +. compare_slack_s in
+            let ok = wall <= limit in
+            if not ok then failures := id :: !failures;
+            [ id;
+              fmt_s base;
+              fmt_s wall;
+              Printf.sprintf "%.2fx" (wall /. Float.max base 1e-9);
+              (if ok then "ok" else "REGRESSION") ])
+        walls
+    in
+    Printf.printf "\nregression gate vs %s (threshold %.2fx + %.0fms slack):\n"
+      baseline_path threshold (compare_slack_s *. 1000.0);
+    print_endline
+      (Table.render
+         ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Left ]
+         ~header:[ "section"; "baseline"; "current"; "ratio"; "verdict" ]
+         rows);
+    match List.rev !failures with
+    | [] -> Printf.printf "regression gate passed\n"
+    | failed ->
+      Printf.printf "regression gate FAILED: %s\n" (String.concat ", " failed);
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1446,10 +1593,12 @@ let sections =
     ("E-INC", e_inc); ("E-INDEX", e_index); ("E-BB", e_bb);
     ("E-MIXED", e_mixed); ("E-SUGGEST", e_suggest); ("E-SCHED", e_sched);
     ("E-TEMPLATES", e_templates); ("E-FAULT", e_fault);
-    ("E-LINT", e_lint); ("E-MICRO", e_bechamel) ]
+    ("E-LINT", e_lint); ("E-TRACE", e_trace); ("E-MICRO", e_bechamel) ]
 
 let () =
   let json_out = ref None in
+  let compare_to = ref None in
+  let threshold = ref 1.5 in
   let rec parse_args acc = function
     | [] -> List.rev acc
     | "--smoke" :: rest ->
@@ -1460,6 +1609,23 @@ let () =
       parse_args acc rest
     | [ "--json" ] ->
       Printf.eprintf "--json needs a file argument\n";
+      exit 2
+    | "--compare" :: path :: rest ->
+      compare_to := Some path;
+      parse_args acc rest
+    | [ "--compare" ] ->
+      Printf.eprintf "--compare needs a file argument\n";
+      exit 2
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some f when f > 0.0 ->
+         threshold := f;
+         parse_args acc rest
+       | _ ->
+         Printf.eprintf "--threshold needs a positive number, got %S\n" v;
+         exit 2)
+    | [ "--threshold" ] ->
+      Printf.eprintf "--threshold needs a number argument\n";
       exit 2
     | id :: rest -> parse_args (id :: acc) rest
   in
@@ -1476,21 +1642,27 @@ let () =
         exit 2
       end)
     requested;
-  List.iter
-    (fun id ->
-      let f = List.assoc id sections in
-      (* Each section runs with a clean, enabled registry, so the artifact's
-         per-section counters (soundness checks vs pruning probes, cache
-         hits, ...) are attributable to that experiment alone. *)
-      Metrics.reset ();
-      Metrics.set_enabled true;
-      let (), wall = Render.time f in
-      Metrics.set_enabled false;
-      Report.finish_section id ~wall (Metrics.snapshot ()))
-    requested;
+  let walls =
+    List.map
+      (fun id ->
+        let f = List.assoc id sections in
+        (* Each section runs with a clean, enabled registry, so the artifact's
+           per-section counters (soundness checks vs pruning probes, cache
+           hits, ...) are attributable to that experiment alone. *)
+        Metrics.reset ();
+        Metrics.set_enabled true;
+        let (), wall = Render.time f in
+        Metrics.set_enabled false;
+        Report.finish_section id ~wall (Metrics.snapshot ());
+        (id, wall))
+      requested
+  in
   Option.iter
     (fun path ->
       Report.write path;
       Printf.printf "\nwrote %s\n" path)
     !json_out;
+  Option.iter
+    (fun path -> compare_against ~threshold:!threshold path walls)
+    !compare_to;
   print_newline ()

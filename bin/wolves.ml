@@ -97,6 +97,39 @@ let with_metrics metrics f =
           Printf.eprintf "wolves: cannot write metrics dump: %s\n" msg)
       f
 
+module Trace = Wolves_trace.Trace
+module Trace_export = Wolves_trace.Export
+module Trace_profile = Wolves_trace.Profile
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"OUT.json"
+         ~doc:"Record an event-level trace of this command and write it to \
+               this file; the extension picks the format: $(b,.json) is \
+               Chrome trace-event JSON (open in Perfetto or \
+               $(b,chrome://tracing)), $(b,.jsonl) one event per line, \
+               $(b,.folded) collapsed stacks for flamegraph tools.")
+
+(* The instrumented portion of a command under both observability layers:
+   metrics dump and/or event trace, each only when requested, both written on
+   the way out (also on exceptions). *)
+let with_observability metrics trace f =
+  let traced g =
+    match trace with
+    | None -> g ()
+    | Some path ->
+      let collector = Trace.create () in
+      Fun.protect
+        ~finally:(fun () ->
+          try
+            Trace_export.write
+              (Trace_export.format_of_path path)
+              (Trace.events collector) path
+          with Sys_error msg ->
+            Printf.eprintf "wolves: cannot write trace: %s\n" msg)
+        (fun () -> Trace.with_tracing collector g)
+  in
+  with_metrics metrics (fun () -> traced f)
+
 let validation_json view report =
   let spec = View.spec view in
   Json.Obj
@@ -144,11 +177,13 @@ let show_cmd =
 (* --- validate --- *)
 
 let validate_cmd =
-  let run file color dot json metrics =
+  let run file color dot json metrics trace =
     match load_view file with
     | Error msg -> fail "%s" msg
     | Ok view ->
-      let report = with_metrics metrics (fun () -> S.validate view) in
+      let report =
+        with_observability metrics trace (fun () -> S.validate view)
+      in
       if json then print_endline (Json.to_string (validation_json view report))
       else print_string (Render.view_summary ~color view);
       Option.iter (fun path -> write_file path (Render.view_dot view)) dot;
@@ -167,7 +202,7 @@ let validate_cmd =
           view is unsound; unsound composites and their missing paths are \
           listed.")
     Term.(ret (const run $ file_arg $ color_arg $ dot_arg $ json_arg
-               $ metrics_arg))
+               $ metrics_arg $ trace_arg))
 
 (* --- correct --- *)
 
@@ -179,14 +214,14 @@ let correct_cmd =
                  expires and reports which tier answered. Overrides \
                  $(b,--criterion).")
   in
-  let run file criterion deadline output dot metrics =
+  let run file criterion deadline output dot metrics trace =
     match load_view file with
     | Error msg -> fail "%s" msg
     | Ok view ->
       (match deadline with
        | Some ms ->
          let (corrected, outcomes), elapsed =
-           with_metrics metrics (fun () ->
+           with_observability metrics trace (fun () ->
                Render.time (fun () ->
                    C.correct_with_deadline ~deadline_s:(ms /. 1000.0) view))
          in
@@ -209,7 +244,7 @@ let correct_cmd =
          `Ok ()
        | None ->
          let (corrected, outcomes), elapsed =
-           with_metrics metrics (fun () ->
+           with_observability metrics trace (fun () ->
                Render.time (fun () -> C.correct criterion view))
          in
          print_string (Render.correction_summary view outcomes);
@@ -228,7 +263,7 @@ let correct_cmd =
           wall-clock deadline with $(b,--deadline), degrading optimal → \
           strong → weak as the budget expires.")
     Term.(ret (const run $ file_arg $ criterion_arg $ deadline_arg
-               $ output_arg $ dot_arg $ metrics_arg))
+               $ output_arg $ dot_arg $ metrics_arg $ trace_arg))
 
 (* --- split-task --- *)
 
@@ -557,7 +592,7 @@ let simulate_cmd =
            ~doc:"Write the last run's trace as a resumable checkpoint.")
   in
   let run file runs workers failure_rate retries backoff timeout resume
-      save_trace save metrics =
+      save_trace save metrics trace =
     match load_view file with
     | Error msg -> fail "%s" msg
     | Ok view ->
@@ -621,7 +656,7 @@ let simulate_cmd =
       match resume with
        | Some trace_file ->
          (match
-            with_metrics metrics (fun () ->
+            with_observability metrics trace (fun () ->
                 match Engine.load_trace spec trace_file with
                 | Error msg -> Error msg
                 | Ok prior ->
@@ -653,7 +688,7 @@ let simulate_cmd =
          let store = Store.create spec in
          let makespans = ref [] in
          let last_trace = ref None in
-         with_metrics metrics (fun () ->
+         with_observability metrics trace (fun () ->
              for seed = 1 to runs do
                let trace = Engine.run ~config:(config seed) spec in
                last_trace := Some trace;
@@ -712,7 +747,7 @@ let simulate_cmd =
           $(b,--save-trace)/$(b,--resume) for checkpoint/resume.")
     Term.(ret (const run $ file_arg $ runs_arg $ workers_arg $ fail_arg
                $ retries_arg $ backoff_arg $ timeout_arg $ resume_arg
-               $ save_trace_arg $ save_arg $ metrics_arg))
+               $ save_trace_arg $ save_arg $ metrics_arg $ trace_arg))
 
 (* --- diagnose --- *)
 
@@ -1053,7 +1088,7 @@ let lint_cmd =
            ~doc:"Also write a SARIF 2.1.0 report to this file.")
   in
   let run files rules disabled threshold fan_threshold fix sarif json color
-      metrics =
+      metrics trace =
     let config = { Lint.rules; disabled; threshold; fan_threshold } in
     match Lint.validate_config config with
     | Error msg -> fail "%s" msg
@@ -1072,7 +1107,7 @@ let lint_cmd =
         else Lint.run_file ~config file
       in
       let result =
-        with_metrics metrics (fun () ->
+        with_observability metrics trace (fun () ->
             List.fold_left
               (fun acc file ->
                 match acc with
@@ -1106,7 +1141,7 @@ let lint_cmd =
           machine-applicable fixes in place.")
     Term.(ret (const run $ files_arg $ rules_arg $ disable_arg
                $ threshold_arg $ fan_arg $ fix_flag $ sarif_arg $ json_arg
-               $ color_arg $ metrics_arg))
+               $ color_arg $ metrics_arg $ trace_arg))
 
 let stats_cmd =
   let run file criterion json metrics =
@@ -1194,6 +1229,72 @@ let stats_cmd =
           JSON.")
     Term.(ret (const run $ file_arg $ criterion_arg $ json_arg $ metrics_arg))
 
+(* --- profile --- *)
+
+let profile_cmd =
+  let trace_file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
+           ~doc:"Trace file written by $(b,--trace): Chrome trace-event JSON \
+                 ($(b,.json)) or JSONL ($(b,.jsonl)).")
+  in
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top"; "k" ] ~docv:"K"
+           ~doc:"Rows in the top-spans tables.")
+  in
+  let span_table rows =
+    Table.render
+      ~header:[ "span path"; "count"; "total"; "self"; "max" ]
+      (List.map
+         (fun r ->
+           [ r.Trace_profile.path;
+             string_of_int r.Trace_profile.count;
+             Printf.sprintf "%.6fs" r.Trace_profile.total_s;
+             Printf.sprintf "%.6fs" r.Trace_profile.self_s;
+             Printf.sprintf "%.6fs" r.Trace_profile.max_s ])
+         rows)
+  in
+  let run file k =
+    if k < 1 then fail "--top must be at least 1"
+    else
+      match Trace_profile.load file with
+      | Error msg -> fail "%s" msg
+      | Ok events ->
+        let p = Trace_profile.of_events events in
+        Printf.printf "%s: %d events, %.6fs wall time" file
+          p.Trace_profile.events p.Trace_profile.wall_s;
+        if p.Trace_profile.orphans > 0 then
+          Printf.printf
+            ", %d orphaned end events (begins evicted by the ring)"
+            p.Trace_profile.orphans;
+        print_newline ();
+        (match Trace_profile.phases p with
+         | [] -> print_endline "no completed spans in the trace"
+         | phase_rows ->
+           print_endline "phases (top-level spans):";
+           print_endline (span_table phase_rows);
+           Printf.printf "top %d spans by self time:\n" k;
+           print_endline (span_table (Trace_profile.top_self ~k p));
+           Printf.printf "top %d spans by total time:\n" k;
+           print_endline (span_table (Trace_profile.top_total ~k p)));
+        if p.Trace_profile.instants <> [] then begin
+          print_endline "instant events:";
+          print_endline
+            (Table.render ~header:[ "name"; "count" ]
+               (List.map
+                  (fun (name, n) -> [ name; string_of_int n ])
+                  p.Trace_profile.instants))
+        end;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Summarise a recorded trace: per-phase breakdown, the top spans by \
+          self and total time, and instant-event counts. Self time is a \
+          span's duration minus its directly nested spans, so the table \
+          points at the code actually burning the wall clock.")
+    Term.(ret (const run $ trace_file_arg $ top_arg))
+
 let main =
   let doc =
     "WOLVES: detect and resolve unsound workflow views for correct \
@@ -1203,7 +1304,7 @@ let main =
     (Cmd.info "wolves" ~version:"1.0.0" ~doc)
     [ show_cmd; validate_cmd; lint_cmd; correct_cmd; split_cmd; merge_cmd;
       resolve_cmd; diagnose_cmd; provenance_cmd; query_cmd; simulate_cmd;
-      stats_cmd; suggest_cmd; evolve_cmd; edit_cmd; report_cmd; estimate_cmd;
-      generate_cmd; audit_cmd ]
+      stats_cmd; profile_cmd; suggest_cmd; evolve_cmd; edit_cmd; report_cmd;
+      estimate_cmd; generate_cmd; audit_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -76,3 +76,225 @@ let to_string ?(pretty = true) value =
   in
   emit 0 value;
   Buffer.contents buf
+
+(* --- parsing ----------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let of_string text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let error fmt =
+    Printf.ksprintf
+      (fun msg ->
+        raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)))
+      fmt
+  in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && text.[!pos] = c then incr pos
+    else error "expected %C" c
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub text !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else error "invalid literal"
+  in
+  let hex4 () =
+    if !pos + 4 > n then error "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match text.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> error "bad hex digit in \\u escape"
+      in
+      v := (!v * 16) + d;
+      incr pos
+    done;
+    !v
+  in
+  let add_utf8 buf cp =
+    (* Encode one Unicode scalar value; parse_string pairs surrogates. *)
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let closed = ref false in
+    while not !closed do
+      if !pos >= n then error "unterminated string";
+      (match text.[!pos] with
+       | '"' ->
+         incr pos;
+         closed := true
+       | '\\' ->
+         incr pos;
+         if !pos >= n then error "truncated escape";
+         (match text.[!pos] with
+          | ('"' | '\\' | '/') as c ->
+            Buffer.add_char buf c;
+            incr pos
+          | 'b' -> Buffer.add_char buf '\b'; incr pos
+          | 'f' -> Buffer.add_char buf '\012'; incr pos
+          | 'n' -> Buffer.add_char buf '\n'; incr pos
+          | 'r' -> Buffer.add_char buf '\r'; incr pos
+          | 't' -> Buffer.add_char buf '\t'; incr pos
+          | 'u' ->
+            incr pos;
+            let cp = hex4 () in
+            let cp =
+              if cp >= 0xD800 && cp <= 0xDBFF
+                 && !pos + 1 < n
+                 && text.[!pos] = '\\'
+                 && text.[!pos + 1] = 'u'
+              then begin
+                pos := !pos + 2;
+                let lo = hex4 () in
+                if lo >= 0xDC00 && lo <= 0xDFFF then
+                  0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                else error "unpaired surrogate"
+              end
+              else cp
+            in
+            add_utf8 buf cp
+          | c -> error "unknown escape \\%c" c)
+       | c ->
+         Buffer.add_char buf c;
+         incr pos)
+    done;
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    let is_float = ref false in
+    let more = ref true in
+    while !more do
+      match peek () with
+      | Some ('0' .. '9') -> incr pos
+      | Some ('.' | 'e' | 'E' | '+' | '-') ->
+        is_float := true;
+        incr pos
+      | _ -> more := false
+    done;
+    if !pos = start then error "expected a number";
+    let s = String.sub text start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> error "malformed number %S" s
+    else
+      match int_of_string_opt s with
+      | Some i -> Int i
+      | None ->
+        (* Out of int range: fall back to float. *)
+        (match float_of_string_opt s with
+         | Some f -> Float f
+         | None -> error "malformed number %S" s)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let more = ref true in
+        while !more do
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (key, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos
+          | Some '}' ->
+            incr pos;
+            more := false
+          | _ -> error "expected ',' or '}'"
+        done;
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let more = ref true in
+        while !more do
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos
+          | Some ']' ->
+            incr pos;
+            more := false
+          | _ -> error "expected ',' or ']'"
+        done;
+        List (List.rev !items)
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match parse_value () with
+  | value ->
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing input at offset %d" !pos)
+    else Ok value
+  | exception Parse_error msg -> Error msg
+
+(* --- accessors --------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None

@@ -1,4 +1,6 @@
-(** Minimal JSON emission (no parsing) for machine-readable CLI output. *)
+(** Minimal JSON emission and parsing for machine-readable CLI output and
+    the tools that read it back (trace profiles, bench-artifact
+    comparison). *)
 
 type t =
   | Null
@@ -13,3 +15,18 @@ val to_string : ?pretty:bool -> t -> string
 (** Serialise; [pretty] (default true) indents by two spaces. Strings are
     escaped per RFC 8259 (control characters as [\u00XX]); non-finite floats
     are emitted as [null]. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (RFC 8259: values, nested containers, string
+    escapes including surrogate-paired [\uXXXX], numbers). Numbers without a
+    fraction or exponent parse as {!Int} when they fit, {!Float} otherwise.
+    Object key order is preserved; trailing non-whitespace input is an
+    error. *)
+
+val member : string -> t -> t option
+(** [member key json] is the value bound to [key] when [json] is an
+    {!Obj} holding it, [None] otherwise. *)
+
+val to_float_opt : t -> float option
+(** Numeric coercion: [Int] and [Float] succeed, everything else is
+    [None]. *)

@@ -407,8 +407,17 @@ let parts_to_lists parts =
 let outcome_of_ctx ctx ~parts ~certified_strong =
   { parts; checks = !(ctx.checks); probes = !(ctx.probes); certified_strong }
 
+let criterion_name = function
+  | Weak -> "weak"
+  | Strong -> "strong"
+  | Optimal -> "optimal"
+
 let split_subset ?(config = default_config) criterion spec members =
-  Obs.time t_split @@ fun () ->
+  Obs.time t_split
+    ~args:(fun () ->
+      [ ("criterion", criterion_name criterion);
+        ("members", string_of_int (List.length members)) ])
+  @@ fun () ->
   let members = check_members spec members in
   let ctx = make_ctx spec in
   let member_set = Bitset.of_list ctx.n members in
@@ -593,7 +602,11 @@ let default_check_cost_s = 1e-4
 
 let with_deadline ?(config = default_config) ?(node_budget = 2_000_000)
     ?(check_cost_s = default_check_cost_s) ~deadline_s spec members =
-  Obs.time t_deadline @@ fun () ->
+  Obs.time t_deadline
+    ~args:(fun () ->
+      [ ("deadline_s", Printf.sprintf "%g" deadline_s);
+        ("members", string_of_int (List.length members)) ])
+  @@ fun () ->
   let start = Clock.now () in
   let members = check_members spec members in
   let ctx = make_ctx spec in
@@ -616,6 +629,10 @@ let with_deadline ?(config = default_config) ?(node_budget = 2_000_000)
        | Weak -> m_deadline_weak
        | Strong -> m_deadline_strong
        | Optimal -> m_deadline_optimal);
+    Obs.instant "corrector.deadline.answered" (fun () ->
+        [ ("tier", criterion_name tier);
+          ("parts", string_of_int (List.length parts));
+          ("proven_optimal", string_of_bool proven) ]);
     { result = outcome_of_ctx ctx ~parts ~certified_strong:certified;
       tier;
       elapsed_s = Clock.elapsed_since start;
@@ -630,7 +647,9 @@ let with_deadline ?(config = default_config) ?(node_budget = 2_000_000)
     (* Tier 1 — weak floor. Runs to completion regardless of the deadline:
        there is no cheaper sound answer to degrade to, and it is the
        incumbent everything later improves on. *)
-    let weak_parts = weak_split ctx members in
+    let weak_parts =
+      Obs.with_span "corrector.tier.weak" (fun () -> weak_split ctx members)
+    in
     let weak_fallback () =
       finish Weak
         ~parts:(parts_to_lists weak_parts)
@@ -641,7 +660,10 @@ let with_deadline ?(config = default_config) ?(node_budget = 2_000_000)
       (* Tier 2 — strong refinement of the weak result, interruptible
          between soundness checks. The stop-threaded context shares the
          counter refs, so abandoned work still shows up in the outcome. *)
-      match strong_refine { ctx with stop = expired } ~config weak_parts with
+      match
+        Obs.with_span "corrector.tier.strong" (fun () ->
+            strong_refine { ctx with stop = expired } ~config weak_parts)
+      with
       | exception Expired -> weak_fallback ()
       | strong_parts, certified ->
         if expired () then
@@ -654,7 +676,8 @@ let with_deadline ?(config = default_config) ?(node_budget = 2_000_000)
              its incumbent (≥ the strong result), it just is not proven
              minimal. *)
           let bb_parts, complete =
-            bb_search ctx ~node_budget ~stop:expired members strong_parts
+            Obs.with_span "corrector.tier.optimal" (fun () ->
+                bb_search ctx ~node_budget ~stop:expired members strong_parts)
           in
           if complete then
             finish Optimal ~parts:bb_parts ~certified:true ~abandoned:None
@@ -716,11 +739,19 @@ let split_composite ?(config = default_config) criterion view c =
   (rebuild_view view [ (c, outcome.parts) ], outcome)
 
 let correct ?(config = default_config) criterion view =
+  Obs.with_span "corrector.correct"
+    ~args:(fun () ->
+      [ ("workflow", Spec.name (View.spec view));
+        ("criterion", criterion_name criterion) ])
+  @@ fun () ->
   let spec = View.spec view in
   let report = Soundness.validate view in
   let outcomes =
     List.map
       (fun (c, _) ->
+        Obs.with_span "corrector.composite"
+          ~args:(fun () -> [ ("composite", View.composite_name view c) ])
+        @@ fun () ->
         (c, split_subset ~config criterion spec (View.members view c)))
       report.Soundness.unsound
   in
@@ -729,6 +760,11 @@ let correct ?(config = default_config) criterion view =
 
 let correct_with_deadline ?(config = default_config) ?(node_budget = 2_000_000)
     ?(check_cost_s = default_check_cost_s) ~deadline_s view =
+  Obs.with_span "corrector.correct"
+    ~args:(fun () ->
+      [ ("workflow", Spec.name (View.spec view));
+        ("deadline_s", Printf.sprintf "%g" deadline_s) ])
+  @@ fun () ->
   let spec = View.spec view in
   let report = Soundness.validate view in
   (* One budget shared across all unsound composites: each gets whatever
@@ -741,6 +777,9 @@ let correct_with_deadline ?(config = default_config) ?(node_budget = 2_000_000)
     List.map
       (fun (c, _) ->
         let o =
+          Obs.with_span "corrector.composite"
+            ~args:(fun () -> [ ("composite", View.composite_name view c) ])
+          @@ fun () ->
           with_deadline ~config ~node_budget ~check_cost_s
             ~deadline_s:(Float.max 0.0 !remaining)
             spec (View.members view c)

@@ -123,7 +123,11 @@ type report = {
 }
 
 let validate view =
-  Obs.time t_validate @@ fun () ->
+  Obs.time t_validate
+    ~args:(fun () ->
+      [ ("workflow", Spec.name (View.spec view));
+        ("composites", string_of_int (View.n_composites view)) ])
+  @@ fun () ->
   let unsound =
     List.filter_map
       (fun c ->

@@ -181,7 +181,11 @@ type sched =
    [resume] (reuse returns the prior run's output hash for every task that
    does not need re-execution). *)
 let exec ~config ~reuse spec =
-  Obs.time t_run @@ fun () ->
+  Obs.time t_run
+    ~args:(fun () ->
+      [ ("workflow", Spec.name spec);
+        ("tasks", string_of_int (Spec.n_tasks spec)) ])
+  @@ fun () ->
   validate_config config;
   let n = Spec.n_tasks spec in
   let duration t =
@@ -345,6 +349,9 @@ let exec ~config ~reuse spec =
          (* Timeouts are deterministic in simulated time (the duration is
             fixed), so retrying would time out again: Timed_out is final. *)
          Obs.incr m_timeouts;
+         Obs.instant "engine.timeout" (fun () ->
+             [ ("task", Spec.task_name spec t);
+               ("attempt", string_of_int attempt) ]);
          finalize t attempt ~started Timed_out
        end
        else if draw t attempt 0 < config.failure_rate then begin
@@ -354,6 +361,9 @@ let exec ~config ~reuse spec =
               and try again. The outcome stays undecided, so consumers keep
               waiting instead of being skipped. *)
            Obs.incr m_retries;
+           Obs.instant "engine.retry" (fun () ->
+               [ ("task", Spec.task_name spec t);
+                 ("attempt", string_of_int attempt) ]);
            events :=
              { task = t; attempt; started; finished = time; outcome = Crashed }
              :: !events;
@@ -428,6 +438,9 @@ let resume ?(config = default_config) prior =
     (fun (t, _) -> Bitset.union_into ~into:dirty (Reach.descendants r t))
     config.salts;
   Obs.incr m_resumes;
+  Obs.instant "engine.resume" (fun () ->
+      [ ("workflow", Spec.name spec);
+        ("dirty", string_of_int (Bitset.cardinal dirty)) ]);
   let reuse t = if Bitset.mem dirty t then None else output_value prior t in
   exec ~config ~reuse spec
 

@@ -649,7 +649,11 @@ let t_analyze = Metrics.timer "lint.analyze"
 
 let analyze ?(fan_threshold = 8) ~enabled t =
   Metrics.incr c_targets;
-  Metrics.time t_analyze (fun () ->
+  Metrics.time t_analyze
+    ~args:(fun () ->
+      [ ("workflow", Spec.name (View.spec t.view));
+        ("composites", string_of_int (View.n_composites t.view)) ])
+    (fun () ->
       let spec = View.spec t.view in
       let ctx =
         { t;

@@ -42,16 +42,49 @@ type metric =
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
+(* Two independent switches share the fast path: [flag] gates metric
+   recording, [tracer] receives event-level begin/end/instant callbacks.
+   [hot] is their disjunction, maintained on every switch flip, so the
+   timed-region combinators ([time], [with_span]) still pay exactly one
+   load-and-branch when both are off. *)
+
+type span_args = (string * string) list
+
+type tracer = {
+  on_begin : string -> span_args -> unit;
+  on_end : string -> unit;
+  on_instant : string -> span_args -> unit;
+}
+
 let flag = ref false
 
-let set_enabled b = flag := b
+let tracer : tracer option ref = ref None
+
+let hot = ref false
+
+let refresh_hot () = hot := !flag || !tracer <> None
+
+let set_enabled b =
+  flag := b;
+  refresh_hot ()
 
 let is_enabled () = !flag
 
 let enabled f =
   let saved = !flag in
-  flag := true;
-  Fun.protect ~finally:(fun () -> flag := saved) f
+  set_enabled true;
+  Fun.protect ~finally:(fun () -> set_enabled saved) f
+
+let set_tracer t =
+  tracer := t;
+  refresh_hot ()
+
+let has_tracer () = !tracer <> None
+
+let with_tracer t f =
+  let saved = !tracer in
+  set_tracer (Some t);
+  Fun.protect ~finally:(fun () -> set_tracer saved) f
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -122,12 +155,32 @@ let observe t d =
     b.(i) <- b.(i) + 1
   end
 
-let time t f =
-  if not !flag then f ()
+let no_args () = []
+
+let trace_begin name args =
+  match !tracer with
+  | Some tr -> tr.on_begin name (args ())
+  | None -> ()
+
+let trace_end name =
+  match !tracer with Some tr -> tr.on_end name | None -> ()
+
+let time ?(args = no_args) t f =
+  if not !hot then f ()
   else begin
+    trace_begin t.t_name args;
     let start = Clock.now () in
-    Fun.protect ~finally:(fun () -> observe t (Clock.elapsed_since start)) f
+    Fun.protect
+      ~finally:(fun () ->
+        observe t (Clock.elapsed_since start);
+        trace_end t.t_name)
+      f
   end
+
+let instant name args =
+  match !tracer with
+  | Some tr -> tr.on_instant name (args ())
+  | None -> ()
 
 (* --- spans --- *)
 
@@ -135,16 +188,18 @@ let spans : string list ref = ref []
 
 let span_stack () = !spans
 
-let with_span name f =
-  if not !flag then f ()
+let with_span ?(args = no_args) name f =
+  if not !hot then f ()
   else begin
     spans := name :: !spans;
     let path = String.concat "/" (List.rev !spans) in
     let t = timer ("span:" ^ path) in
+    trace_begin name args;
     let start = Clock.now () in
     Fun.protect
       ~finally:(fun () ->
         observe t (Clock.elapsed_since start);
+        trace_end name;
         match !spans with
         | _ :: rest -> spans := rest
         | [] -> ())
@@ -192,6 +247,11 @@ let snapshot () =
     timers = List.sort by_name !timers }
 
 let reset () =
+  (* Also unwind the open-span stack: a [reset] inside a [with_span] must
+     not leave stale entries that would corrupt the [/]-joined paths of
+     every span opened afterwards. The enclosing spans' unwind handlers
+     tolerate the empty stack. *)
+  spans := [];
   Hashtbl.iter
     (fun _ metric ->
       match metric with

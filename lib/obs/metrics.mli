@@ -28,6 +28,39 @@ val enabled : (unit -> 'a) -> 'a
 (** Run a thunk with recording enabled, restoring the previous flag
     afterwards (also on exceptions). *)
 
+(* --- tracing hook --- *)
+
+type span_args = (string * string) list
+(** Structured key/value annotations attached to trace events (task counts,
+    composite names, tier names, retry attempts, ...). *)
+
+type tracer = {
+  on_begin : string -> span_args -> unit;
+      (** a timed region ([time] or [with_span]) opened *)
+  on_end : string -> unit;  (** the matching region closed *)
+  on_instant : string -> span_args -> unit;
+      (** a point event ([instant]) *)
+}
+(** Event-level observer. Installing one makes every already-instrumented
+    region ({!time} / {!with_span} call site) emit begin/end events in
+    addition to — and independently of — histogram recording: tracing works
+    with metrics disabled and vice versa. [Wolves_trace.Trace] provides the
+    standard ring-buffer implementation. *)
+
+val set_tracer : tracer option -> unit
+(** Install (or remove, with [None]) the process-wide tracer. *)
+
+val has_tracer : unit -> bool
+
+val with_tracer : tracer -> (unit -> 'a) -> 'a
+(** Run a thunk with the given tracer installed, restoring the previous one
+    afterwards (also on exceptions). *)
+
+val instant : string -> (unit -> span_args) -> unit
+(** Emit a point event to the installed tracer, if any. The argument thunk
+    is only forced when a tracer is installed, so call sites cost a single
+    load-and-branch while tracing is off. No metric is recorded. *)
+
 (* --- registration (idempotent by name) --- *)
 
 val counter : string -> counter
@@ -49,18 +82,23 @@ val set : gauge -> float -> unit
 val observe : timer -> float -> unit
 (** Record one duration in seconds (clamped at [0.]). *)
 
-val time : timer -> (unit -> 'a) -> 'a
+val time : ?args:(unit -> span_args) -> timer -> (unit -> 'a) -> 'a
 (** Time a thunk on the monotonic clock and {!observe} the duration (also
-    on exceptions). While disabled this is exactly [f ()]. *)
+    on exceptions). When a tracer is installed the region additionally
+    emits begin/end events named after the timer, annotated with [args]
+    (forced per event; defaults to none). While metrics and tracing are
+    both off this is exactly [f ()]. *)
 
 (* --- spans --- *)
 
-val with_span : string -> (unit -> 'a) -> 'a
+val with_span : ?args:(unit -> span_args) -> string -> (unit -> 'a) -> 'a
 (** Time a named, nestable region. Nested spans record under their
     [/]-joined path: [with_span "correct" (fun () -> with_span "weak" f)]
     records into the timers [span:correct] and [span:correct/weak]. The
-    span stack unwinds correctly on exceptions. While disabled this is
-    exactly [f ()]. *)
+    span stack unwinds correctly on exceptions. When a tracer is installed
+    the region also emits begin/end events (named by the leaf name, with
+    [args]). While metrics and tracing are both off this is exactly
+    [f ()]. *)
 
 val span_stack : unit -> string list
 (** The names of the currently open spans, innermost first (for tests). *)
@@ -94,7 +132,9 @@ type snapshot = {
 val snapshot : unit -> snapshot
 
 val reset : unit -> unit
-(** Zero every registered metric (registrations survive). *)
+(** Zero every registered metric (registrations survive) and unwind the
+    open-span stack, so spans opened after a mid-span [reset] record under
+    clean paths. *)
 
 (* --- output --- *)
 

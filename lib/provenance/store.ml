@@ -8,6 +8,8 @@ let m_runs_recorded = Obs.counter "store.runs_recorded"
 let m_closure_builds = Obs.counter "store.closure_builds"
 let m_closure_hits = Obs.counter "store.closure_cache_hits"
 let m_provenance_queries = Obs.counter "store.provenance_queries"
+let t_closure = Obs.timer "store.closure_build"
+let t_influence = Obs.timer "store.influence_query"
 
 type run_id = int
 
@@ -147,6 +149,8 @@ let run_closure t id =
     r
   | None ->
     Obs.incr m_closure_builds;
+    Obs.time t_closure ~args:(fun () -> [ ("run", string_of_int id) ])
+    @@ fun () ->
     let spec = t.store_spec in
     let g = Digraph.create ~initial_capacity:(Spec.n_tasks spec) () in
     Digraph.add_nodes g (Spec.n_tasks spec);
@@ -176,6 +180,12 @@ let run_provenance t id task =
   end
 
 let runs_where_influences t source target =
+  Obs.time t_influence
+    ~args:(fun () ->
+      [ ("source", string_of_int source);
+        ("target", string_of_int target);
+        ("runs", string_of_int t.count) ])
+  @@ fun () ->
   List.filter
     (fun id ->
       let run = get_run t id in

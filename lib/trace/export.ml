@@ -1,0 +1,123 @@
+module Json = Wolves_cli.Json
+
+type format = Chrome | Jsonl | Folded
+
+let format_of_path path =
+  if Filename.check_suffix path ".jsonl" then Jsonl
+  else if Filename.check_suffix path ".folded" then Folded
+  else Chrome
+
+let category name =
+  match String.index_opt name '.' with
+  | Some i when i > 0 -> String.sub name 0 i
+  | _ -> "wolves"
+
+let args_json args =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args)
+
+(* Microseconds relative to the first event, so Perfetto's timeline starts
+   at zero instead of at an arbitrary monotonic-clock offset. *)
+let us_of ~t0 ts = (ts -. t0) *. 1e6
+
+let to_chrome_json evs =
+  let t0 = match evs with [] -> 0. | ev :: _ -> ev.Trace.ts in
+  let base name ph ts extra =
+    Json.Obj
+      ([ ("name", Json.String name);
+         ("cat", Json.String (category name));
+         ("ph", Json.String ph);
+         ("ts", Json.Float (us_of ~t0 ts));
+         ("pid", Json.Int 1);
+         ("tid", Json.Int 1) ]
+      @ extra)
+  in
+  let out = ref [] in
+  let emit j = out := j :: !out in
+  let stack = ref [] in
+  let last_ts = ref t0 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      last_ts := ev.ts;
+      match ev.phase with
+      | Trace.Begin ->
+        stack := (ev.name, ev.ts) :: !stack;
+        emit (base ev.name "B" ev.ts [ ("args", args_json ev.args) ])
+      | Trace.End -> (
+        match !stack with
+        | (name, begin_ts) :: rest when name = ev.name ->
+          stack := rest;
+          let dur = Float.max 0. (us_of ~t0 ev.ts -. us_of ~t0 begin_ts) in
+          emit (base ev.name "E" ev.ts [ ("dur", Json.Float dur) ])
+        | _ ->
+          (* Begin fell off the ring; emitting this End would unbalance the
+             document, so drop it. *)
+          ())
+      | Trace.Instant ->
+        emit
+          (base ev.name "i" ev.ts
+             [ ("s", Json.String "t"); ("args", args_json ev.args) ]))
+    evs;
+  (* Close spans still open when the trace stopped, innermost first. *)
+  List.iter
+    (fun (name, begin_ts) ->
+      let dur = Float.max 0. (us_of ~t0 !last_ts -. us_of ~t0 begin_ts) in
+      emit (base name "E" !last_ts [ ("dur", Json.Float dur) ]))
+    !stack;
+  Json.Obj [ ("traceEvents", Json.List (List.rev !out)) ]
+
+let to_jsonl evs =
+  let buf = Buffer.create 4096 in
+  let t0 = match evs with [] -> 0. | ev :: _ -> ev.Trace.ts in
+  List.iter
+    (fun (ev : Trace.event) ->
+      let ph =
+        match ev.phase with
+        | Trace.Begin -> "B"
+        | Trace.End -> "E"
+        | Trace.Instant -> "i"
+      in
+      let j =
+        Json.Obj
+          [ ("ph", Json.String ph);
+            ("name", Json.String ev.name);
+            ("ts_us", Json.Float (us_of ~t0 ev.ts));
+            ("args", args_json ev.args) ]
+      in
+      Buffer.add_string buf (Json.to_string ~pretty:false j);
+      Buffer.add_char buf '\n')
+    evs;
+  Buffer.contents buf
+
+let to_folded evs =
+  let spans, _orphans = Trace.spans evs in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Trace.span) ->
+      let key = String.concat ";" s.stack in
+      let prev = Option.value (Hashtbl.find_opt tbl key) ~default:0. in
+      Hashtbl.replace tbl key (prev +. s.self_s))
+    spans;
+  let lines =
+    Hashtbl.fold (fun key self acc -> (key, self) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (key, self) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d\n" key
+           (int_of_float (Float.round (self *. 1e6)))))
+    lines;
+  Buffer.contents buf
+
+let write fmt evs path =
+  let contents =
+    match fmt with
+    | Chrome -> Json.to_string ~pretty:false (to_chrome_json evs) ^ "\n"
+    | Jsonl -> to_jsonl evs
+    | Folded -> to_folded evs
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

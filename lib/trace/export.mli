@@ -1,0 +1,34 @@
+(** Exporters for collected traces.
+
+    Three formats, picked by {!format_of_path} from the output filename:
+    - [.json] — Chrome trace-event JSON ([{"traceEvents": [...]}]), loadable
+      in Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev}) and
+      [chrome://tracing];
+    - [.jsonl] — one JSON object per line, for [jq]-style processing;
+    - [.folded] — collapsed stacks ([a;b;c <self-µs>]) for
+      [flamegraph.pl] / [inferno]. *)
+
+type format = Chrome | Jsonl | Folded
+
+val format_of_path : string -> format
+(** [.jsonl] → [Jsonl], [.folded] → [Folded], anything else → [Chrome]. *)
+
+val to_chrome_json : Trace.event list -> Wolves_cli.Json.t
+(** The trace-event document: begin/end spans as ["B"]/["E"] pairs and
+    instants as ["i"] (thread-scoped), with microsecond timestamps relative
+    to the first event, [pid]/[tid] of 1, args carried through, and — as an
+    extension Perfetto ignores — the span duration in µs as ["dur"] on each
+    ["E"] event. End events whose Begin fell off the ring are skipped;
+    spans still open at the end of the stream are closed at the last
+    timestamp, so the document always balances. *)
+
+val to_jsonl : Trace.event list -> string
+(** One compact JSON object per event:
+    [{"ph": "B"|"E"|"i", "name": .., "ts_us": .., "args": {..}}]. *)
+
+val to_folded : Trace.event list -> string
+(** Collapsed stacks, one line per distinct span path:
+    [root;child;leaf <total-self-µs>], merging repeated paths. *)
+
+val write : format -> Trace.event list -> string -> unit
+(** Render to the given file. *)

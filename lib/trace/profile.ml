@@ -1,0 +1,128 @@
+module Json = Wolves_cli.Json
+
+type row = {
+  path : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  max_s : float;
+}
+
+type t = {
+  rows : row list;
+  wall_s : float;
+  events : int;
+  orphans : int;
+  instants : (string * int) list;
+}
+
+let of_events evs =
+  let spans, orphans = Trace.spans evs in
+  let tbl : (string, row) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Trace.span) ->
+      let path = String.concat "/" s.stack in
+      let dur = s.end_ts -. s.begin_ts in
+      let row =
+        match Hashtbl.find_opt tbl path with
+        | None ->
+          { path; count = 1; total_s = dur; self_s = s.self_s; max_s = dur }
+        | Some r ->
+          {
+            r with
+            count = r.count + 1;
+            total_s = r.total_s +. dur;
+            self_s = r.self_s +. s.self_s;
+            max_s = Float.max r.max_s dur;
+          }
+      in
+      Hashtbl.replace tbl path row)
+    spans;
+  let rows =
+    Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+    |> List.sort (fun a b -> String.compare a.path b.path)
+  in
+  let wall_s =
+    match evs with
+    | [] -> 0.
+    | first :: _ ->
+      let last = List.fold_left (fun _ (ev : Trace.event) -> ev.ts) first.Trace.ts evs in
+      Float.max 0. (last -. first.Trace.ts)
+  in
+  let instants =
+    let counts = Hashtbl.create 16 in
+    List.iter
+      (fun (ev : Trace.event) ->
+        if ev.phase = Trace.Instant then
+          Hashtbl.replace counts ev.name
+            (1 + Option.value (Hashtbl.find_opt counts ev.name) ~default:0))
+      evs;
+    Hashtbl.fold (fun name n acc -> (name, n) :: acc) counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { rows; wall_s; events = List.length evs; orphans; instants }
+
+let ranked ~key ?(k = 10) t =
+  List.stable_sort (fun a b -> Float.compare (key b) (key a)) t.rows
+  |> List.filteri (fun i _ -> i < k)
+
+let top_self ?k t = ranked ~key:(fun r -> r.self_s) ?k t
+let top_total ?k t = ranked ~key:(fun r -> r.total_s) ?k t
+
+let phases t =
+  List.filter (fun r -> not (String.contains r.path '/')) t.rows
+
+(* --- loading exported traces ------------------------------------------- *)
+
+let phase_of_string = function
+  | "B" -> Some Trace.Begin
+  | "E" -> Some Trace.End
+  | "i" | "I" -> Some Trace.Instant
+  | _ -> None
+
+let args_of_json = function
+  | Some (Json.Obj fields) ->
+    List.filter_map
+      (fun (k, v) ->
+        match v with Json.String s -> Some (k, s) | _ -> None)
+      fields
+  | _ -> []
+
+let event_of_json ~ts_key j =
+  match (Json.member "ph" j, Json.member "name" j, Json.member ts_key j) with
+  | Some (Json.String ph), Some (Json.String name), Some ts -> (
+    match (phase_of_string ph, Json.to_float_opt ts) with
+    | Some phase, Some us ->
+      Some { Trace.phase; name; ts = us /. 1e6; args = args_of_json (Json.member "args" j) }
+    | _ -> None)
+  | _ -> None
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | text ->
+    if Filename.check_suffix path ".jsonl" then begin
+      let evs =
+        String.split_on_char '\n' text
+        |> List.filter (fun l -> String.trim l <> "")
+        |> List.filter_map (fun line ->
+               match Json.of_string line with
+               | Ok j -> event_of_json ~ts_key:"ts_us" j
+               | Error _ -> None)
+      in
+      Ok evs
+    end
+    else
+      match Json.of_string text with
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | Ok j -> (
+        match Json.member "traceEvents" j with
+        | Some (Json.List items) ->
+          Ok (List.filter_map (event_of_json ~ts_key:"ts") items)
+        | _ -> Error (Printf.sprintf "%s: no traceEvents array" path))

@@ -1,0 +1,33 @@
+(** In-process profile reports over a collected (or re-loaded) trace. *)
+
+type row = {
+  path : string;  (** [/]-joined span path, e.g. [corrector.correct/soundness.validate] *)
+  count : int;
+  total_s : float;  (** summed wall time of spans at this path *)
+  self_s : float;  (** total minus time in directly nested spans *)
+  max_s : float;  (** longest single span *)
+}
+
+type t = {
+  rows : row list;  (** every distinct path, sorted by path *)
+  wall_s : float;  (** last event timestamp minus first *)
+  events : int;
+  orphans : int;  (** End events whose Begin was evicted by the ring *)
+  instants : (string * int) list;  (** instant-event counts by name *)
+}
+
+val of_events : Trace.event list -> t
+
+val top_self : ?k:int -> t -> row list
+(** Rows ranked by self time, largest first (default 10). *)
+
+val top_total : ?k:int -> t -> row list
+
+val phases : t -> row list
+(** Depth-0 rows only (paths with no [/]) in path order — the per-phase
+    breakdown. *)
+
+val load : string -> (Trace.event list, string) result
+(** Re-read an exported trace: Chrome trace-event JSON ([.json]) or JSONL
+    ([.jsonl]). Timestamps come back in seconds relative to the start of
+    the trace; collapsed-stack files are not loadable (they aggregate). *)

@@ -221,6 +221,52 @@ let test_span_unwinds_on_exception () =
     (M.timer_stats (M.timer "span:fails")).M.count
 
 (* ------------------------------------------------------------------ *)
+(* tracer hook                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_tracer_hooks () =
+  M.reset ();
+  M.set_enabled false;
+  let log = ref [] in
+  let tracer =
+    { M.on_begin = (fun name args -> log := `B (name, args) :: !log);
+      on_end = (fun name -> log := `E name :: !log);
+      on_instant = (fun name args -> log := `I (name, args) :: !log) }
+  in
+  let t = M.timer "test.tracer.t" in
+  M.with_tracer tracer (fun () ->
+      M.time t ~args:(fun () -> [ ("k", "v") ]) (fun () -> ());
+      M.with_span "outer" (fun () -> M.with_span "inner" (fun () -> ()));
+      M.instant "tick" (fun () -> [ ("n", "1") ]));
+  check_bool "tracer removed afterwards" false (M.has_tracer ());
+  let expected =
+    [ `B ("test.tracer.t", [ ("k", "v") ]); `E "test.tracer.t";
+      `B ("outer", []); `B ("inner", []); `E "inner"; `E "outer";
+      `I ("tick", [ ("n", "1") ]) ]
+  in
+  check_bool "events in order with args" true (List.rev !log = expected);
+  (* Tracing is independent of metric recording: the flag stayed off, so
+     the timer saw nothing even though the tracer saw everything. *)
+  check_int "no histogram recorded while disabled" 0 (M.timer_stats t).M.count;
+  M.time t (fun () -> ());
+  M.instant "tick" (fun () -> []);
+  check_bool "no events after uninstall" true (List.length !log = 7)
+
+let test_tracer_args_lazy () =
+  M.reset ();
+  M.set_enabled false;
+  let forced = ref 0 in
+  let args () =
+    incr forced;
+    []
+  in
+  let t = M.timer "test.tracer.lazy" in
+  M.time t ~args (fun () -> ());
+  M.with_span "s" ~args (fun () -> ());
+  M.instant "i" args;
+  check_int "args never forced without a tracer" 0 !forced
+
+(* ------------------------------------------------------------------ *)
 (* reset, snapshot, JSON                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -239,6 +285,24 @@ let test_reset () =
   check_int "timer emptied" 0 (M.timer_stats t).M.count;
   M.enabled (fun () -> M.incr c);
   check_int "registration survives reset" 1 (M.counter_value c)
+
+(* Regression test: a reset issued while spans are open (as the bench
+   driver does between sections) used to leave the stale stack entries in
+   place, so later spans recorded under corrupted [outer/...] paths. *)
+let test_reset_unwinds_span_stack () =
+  M.reset ();
+  M.enabled (fun () ->
+      M.with_span "outer" (fun () ->
+          M.reset ();
+          check_bool "reset empties the open-span stack" true
+            (M.span_stack () = []);
+          M.with_span "fresh" (fun () ->
+              check_bool "new spans open at the top level" true
+                (M.span_stack () = [ "fresh" ]))));
+  check_int "post-reset span recorded under its own path" 1
+    (M.timer_stats (M.timer "span:fresh")).M.count;
+  check_int "not under the pre-reset parent" 0
+    (M.timer_stats (M.timer "span:outer/fresh")).M.count
 
 let test_json_round_trip () =
   M.reset ();
@@ -286,5 +350,10 @@ let () =
           Alcotest.test_case "span nesting" `Quick test_span_nesting;
           Alcotest.test_case "span unwinds on exception" `Quick
             test_span_unwinds_on_exception;
+          Alcotest.test_case "tracer hooks" `Quick test_tracer_hooks;
+          Alcotest.test_case "tracer args stay lazy" `Quick
+            test_tracer_args_lazy;
           Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "reset unwinds the span stack" `Quick
+            test_reset_unwinds_span_stack;
           Alcotest.test_case "JSON round-trip" `Quick test_json_round_trip ] ) ]
