@@ -73,6 +73,24 @@ let json_arg =
 
 module Json = Wolves_cli.Json
 module Metrics = Wolves_obs.Metrics
+module Par = Wolves_par.Par
+
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Run the validator/corrector across N domains (cores). \
+               Defaults to $(b,WOLVES_DOMAINS) or 1; results are identical \
+               at every domain count.")
+
+let with_domains domains f =
+  match domains with
+  | None -> f ()
+  | Some n ->
+    if n < 1 then fail "--domains must be at least 1"
+    else begin
+      let saved = Par.default_domains () in
+      Par.set_default_domains n;
+      Fun.protect ~finally:(fun () -> Par.set_default_domains saved) f
+    end
 
 let metrics_arg =
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"OUT.json"
@@ -177,10 +195,11 @@ let show_cmd =
 (* --- validate --- *)
 
 let validate_cmd =
-  let run file color dot json metrics trace =
+  let run file color dot json metrics trace domains =
     match load_view file with
     | Error msg -> fail "%s" msg
     | Ok view ->
+      with_domains domains @@ fun () ->
       let report =
         with_observability metrics trace (fun () -> S.validate view)
       in
@@ -202,7 +221,7 @@ let validate_cmd =
           view is unsound; unsound composites and their missing paths are \
           listed.")
     Term.(ret (const run $ file_arg $ color_arg $ dot_arg $ json_arg
-               $ metrics_arg $ trace_arg))
+               $ metrics_arg $ trace_arg $ domains_arg))
 
 (* --- correct --- *)
 
@@ -214,10 +233,11 @@ let correct_cmd =
                  expires and reports which tier answered. Overrides \
                  $(b,--criterion).")
   in
-  let run file criterion deadline output dot metrics trace =
+  let run file criterion deadline output dot metrics trace domains =
     match load_view file with
     | Error msg -> fail "%s" msg
     | Ok view ->
+      with_domains domains @@ fun () ->
       (match deadline with
        | Some ms ->
          let (corrected, outcomes), elapsed =
@@ -263,7 +283,8 @@ let correct_cmd =
           wall-clock deadline with $(b,--deadline), degrading optimal → \
           strong → weak as the budget expires.")
     Term.(ret (const run $ file_arg $ criterion_arg $ deadline_arg
-               $ output_arg $ dot_arg $ metrics_arg $ trace_arg))
+               $ output_arg $ dot_arg $ metrics_arg $ trace_arg
+               $ domains_arg))
 
 (* --- split-task --- *)
 

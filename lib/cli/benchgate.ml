@@ -1,0 +1,92 @@
+type verdict =
+  | Pass
+  | Regression
+  | No_baseline
+  | Missing
+
+type row = {
+  id : string;
+  baseline_s : float option;
+  current_s : float option;
+  verdict : verdict;
+}
+
+type result = {
+  rows : row list;
+  failed : string list;
+  smoke_mismatch : bool;
+}
+
+let default_threshold = 1.5
+let default_slack_s = 0.05
+
+let verdict_name = function
+  | Pass -> "ok"
+  | Regression -> "REGRESSION"
+  | No_baseline -> "no baseline"
+  | Missing -> "MISSING"
+
+let baseline_sections baseline =
+  match Json.member "sections" baseline with
+  | Some (Json.Obj fields) -> fields
+  | _ -> []
+
+let section_wall fields id =
+  Option.bind (List.assoc_opt id fields) (Json.member "wall_time_s")
+  |> Fun.flip Option.bind Json.to_float_opt
+
+let compare ?(threshold = default_threshold) ?(slack_s = default_slack_s)
+    ~require_all ~smoke ~baseline walls =
+  let smoke_mismatch =
+    match Json.member "smoke" baseline with
+    | Some (Json.Bool b) -> b <> smoke
+    | _ -> false
+  in
+  let fields = baseline_sections baseline in
+  let current_rows =
+    List.map
+      (fun (id, wall) ->
+        match section_wall fields id with
+        | None -> { id; baseline_s = None; current_s = Some wall;
+                    verdict = No_baseline }
+        | Some base ->
+          let limit = (base *. threshold) +. slack_s in
+          { id;
+            baseline_s = Some base;
+            current_s = Some wall;
+            verdict = (if wall <= limit then Pass else Regression) })
+      walls
+  in
+  (* The other direction of the gate: a section the baseline measured but
+     this run never produced. Without [require_all] a crashed or
+     accidentally-skipped section would sail through the gate — there is no
+     wall time to exceed any limit — which is exactly the silent pass the
+     gate exists to prevent. Only suppressed when the caller explicitly ran
+     a subset of sections. *)
+  let missing_rows =
+    if not require_all then []
+    else
+      List.filter_map
+        (fun (id, section) ->
+          if List.mem_assoc id walls then None
+          else
+            match
+              Option.bind (Json.member "wall_time_s" section)
+                Json.to_float_opt
+            with
+            | None -> None (* not a timed section entry *)
+            | Some base ->
+              Some { id; baseline_s = Some base; current_s = None;
+                     verdict = Missing })
+        fields
+  in
+  let rows = current_rows @ missing_rows in
+  let failed =
+    List.filter_map
+      (fun r ->
+        match r.verdict with
+        | Regression | Missing -> Some r.id
+        | Pass | No_baseline -> None)
+      rows
+  in
+  { rows; failed; smoke_mismatch }

@@ -1,0 +1,65 @@
+(** The bench regression gate's comparator, as a pure function over a parsed
+    baseline artifact — extracted from [bench/main.ml] so the direction a
+    gate can silently fail in (a section present in the baseline but absent
+    from the current run) is unit-testable.
+
+    A section regresses when its wall time exceeds
+    [baseline x threshold + slack]: the absolute slack keeps
+    microsecond-scale sections from failing on scheduler noise, while a
+    genuine regression on a section that matters clears it easily. *)
+
+(** Per-section outcome. *)
+type verdict =
+  | Pass  (** within [baseline x threshold + slack] *)
+  | Regression  (** over the limit — fails the gate *)
+  | No_baseline
+      (** measured now but absent from the baseline (a new section):
+          informational, never fails the gate *)
+  | Missing
+      (** timed in the baseline but not produced by this run — fails the
+          gate when [require_all] is set. A section that crashed or was
+          silently skipped must not pass just because there is no wall time
+          to exceed a limit. *)
+
+type row = {
+  id : string;
+  baseline_s : float option;  (** [None] for {!No_baseline} rows *)
+  current_s : float option;  (** [None] for {!Missing} rows *)
+  verdict : verdict;
+}
+
+type result = {
+  rows : row list;
+      (** current-run sections in run order, then {!Missing} sections in
+          baseline order *)
+  failed : string list;
+      (** ids with {!Regression} or {!Missing} verdicts, in row order;
+          the gate passes iff empty *)
+  smoke_mismatch : bool;
+      (** the baseline's [smoke] flag differs from this run's — timings are
+          not like-for-like (warn, don't fail) *)
+}
+
+val default_threshold : float
+(** [1.5]. *)
+
+val default_slack_s : float
+(** [0.05] seconds. *)
+
+val verdict_name : verdict -> string
+
+val compare :
+  ?threshold:float ->
+  ?slack_s:float ->
+  require_all:bool ->
+  smoke:bool ->
+  baseline:Json.t ->
+  (string * float) list ->
+  result
+(** [compare ~require_all ~smoke ~baseline walls] gates the current run's
+    [(section id, wall seconds)] list against the baseline artifact (the
+    parsed JSON written by [bench --json]). [require_all] enables the
+    {!Missing} direction — set it when the run was supposed to cover every
+    section (no explicit subset requested); [smoke] is the current run's
+    smoke flag, compared against the baseline's for {!field-smoke_mismatch}.
+    Baseline sections without a numeric [wall_time_s] are ignored. *)

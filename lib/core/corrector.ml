@@ -4,6 +4,7 @@ module Digraph = Wolves_graph.Digraph
 module Reach = Wolves_graph.Reach
 module Obs = Wolves_obs.Metrics
 module Clock = Wolves_obs.Clock
+module Par = Wolves_par.Par
 
 (* Registry counters (recorded only while metrics are enabled). The local
    [ctx] counters below always run: they feed the per-outcome numbers. *)
@@ -738,22 +739,44 @@ let split_composite ?(config = default_config) criterion view c =
   let outcome = split_subset ~config criterion spec (View.members view c) in
   (rebuild_view view [ (c, outcome.parts) ], outcome)
 
-let correct ?(config = default_config) criterion view =
+let correct ?(config = default_config) ?domains criterion view =
+  let domains =
+    match domains with Some d -> d | None -> Par.default_domains ()
+  in
   Obs.with_span "corrector.correct"
     ~args:(fun () ->
       [ ("workflow", Spec.name (View.spec view));
         ("criterion", criterion_name criterion) ])
   @@ fun () ->
   let spec = View.spec view in
-  let report = Soundness.validate view in
+  let report = Soundness.validate ~domains view in
+  let split c =
+    Obs.with_span "corrector.composite"
+      ~args:(fun () -> [ ("composite", View.composite_name view c) ])
+    @@ fun () ->
+    split_subset ~config criterion spec (View.members view c)
+  in
+  let unsound = Array.of_list report.Soundness.unsound in
   let outcomes =
-    List.map
-      (fun (c, _) ->
-        Obs.with_span "corrector.composite"
-          ~args:(fun () -> [ ("composite", View.composite_name view c) ])
-        @@ fun () ->
-        (c, split_subset ~config criterion spec (View.members view c)))
-      report.Soundness.unsound
+    if domains <= 1 || Array.length unsound < 2 then
+      List.map (fun (c, _) -> (c, split c)) report.Soundness.unsound
+    else begin
+      (* Each unsound composite is corrected independently from the spec
+         and its (already forced, read-only) closure, so the splits farm
+         across the pool. The view is only rebuilt afterwards, on this
+         domain; worker metrics land in per-job shards merged back in
+         composite order, so the registry — like the outcome list — is
+         identical to the sequential run. *)
+      ignore (Spec.reach spec);
+      let results =
+        Par.map_ordered ~domains
+          (fun (c, _) -> Obs.with_new_shard (fun () -> split c))
+          unsound
+      in
+      Array.iter (fun (_, sh) -> Obs.merge_shard sh) results;
+      List.mapi (fun i (c, _) -> (c, fst results.(i)))
+        (Array.to_list unsound)
+    end
   in
   let replacements = List.map (fun (c, o) -> (c, o.parts)) outcomes in
   (rebuild_view view replacements, outcomes)

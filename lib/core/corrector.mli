@@ -164,10 +164,20 @@ val split_composite :
     new composites inherit the composite's name with [/0], [/1]... suffixes. *)
 
 val correct :
-  ?config:config -> criterion -> View.t -> View.t * (View.composite * outcome) list
+  ?config:config ->
+  ?domains:int ->
+  criterion ->
+  View.t ->
+  View.t * (View.composite * outcome) list
 (** The demo's "Correct View" action: split every unsound composite of the
     view. The returned view is sound; the association list maps each corrected
-    composite (id in the {e input} view) to its outcome. *)
+    composite (id in the {e input} view) to its outcome.
+
+    With [domains] above 1 (default [Wolves_par.Par.default_domains]) the
+    independent composite splits are farmed across a domain pool — metrics
+    recorded in per-domain shards, merged back in composite order — and the
+    corrected view and outcome list are identical to the sequential run at
+    every domain count. *)
 
 val combinable : Spec.t -> Spec.task list -> Spec.task list -> bool
 (** Def 2.4: can the two disjoint task sets be merged into a sound composite

@@ -3,6 +3,7 @@ module Bitset = Wolves_graph.Bitset
 module Digraph = Wolves_graph.Digraph
 module Reach = Wolves_graph.Reach
 module Obs = Wolves_obs.Metrics
+module Par = Wolves_par.Par
 
 (* One branch each while metrics are disabled; [subset_sound] and
    [subset_witnesses] are the hot primitives every layer above funnels
@@ -122,19 +123,45 @@ type report = {
   unsound : (View.composite * (Spec.task * Spec.task) list) list;
 }
 
-let validate view =
+let validate ?domains view =
+  let domains =
+    match domains with Some d -> d | None -> Par.default_domains ()
+  in
   Obs.time t_validate
     ~args:(fun () ->
       [ ("workflow", Spec.name (View.spec view));
         ("composites", string_of_int (View.n_composites view)) ])
   @@ fun () ->
+  let composites = Array.of_list (View.composites view) in
   let unsound =
-    List.filter_map
-      (fun c ->
-        match composite_witnesses view c with
-        | [] -> None
-        | witnesses -> Some (c, witnesses))
-      (View.composites view)
+    if domains <= 1 || Array.length composites < 2 then
+      List.filter_map
+        (fun c ->
+          match composite_witnesses view c with
+          | [] -> None
+          | witnesses -> Some (c, witnesses))
+        (View.composites view)
+    else begin
+      (* Composites are independent: each check only reads the spec and its
+         closure. Force the lazy closure before farming so workers never
+         race on its initialisation, and give each job a metrics shard so
+         its counters don't race on the shared records. [map_ordered] keeps
+         the report in composite order; merging shards in that same order
+         keeps the registry deterministic. *)
+      ignore (Spec.reach (View.spec view));
+      let results =
+        Par.map_ordered ~domains
+          (fun c -> Obs.with_new_shard (fun () -> composite_witnesses view c))
+          composites
+      in
+      Array.iter (fun (_, sh) -> Obs.merge_shard sh) results;
+      List.filter_map
+        (fun i ->
+          match fst results.(i) with
+          | [] -> None
+          | witnesses -> Some (composites.(i), witnesses))
+        (List.init (Array.length composites) Fun.id)
+    end
   in
   { view; unsound }
 

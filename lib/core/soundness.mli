@@ -69,9 +69,15 @@ type report = {
       (** Unsound composites with their violating pairs, by composite id. *)
 }
 
-val validate : View.t -> report
+val validate : ?domains:int -> View.t -> report
 (** Check every composite (Proposition 2.1). Polynomial: one transitive
-    closure plus O(Σ |T.in|·|T.out|) probes. *)
+    closure plus O(Σ |T.in|·|T.out|) probes.
+
+    Composite checks are independent, so with [domains] above 1 (default
+    [Wolves_par.Par.default_domains]) they are farmed across a domain pool:
+    the spec's closure is forced up front, each worker records its metrics
+    into a per-domain shard merged back in composite order, and the report
+    is identical to the sequential one at every domain count. *)
 
 val is_sound : View.t -> bool
 

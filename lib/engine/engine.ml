@@ -435,7 +435,7 @@ let resume ?(config = default_config) prior =
       | Crashed | Timed_out | Not_run -> Bitset.add dirty t)
     (Spec.tasks spec);
   List.iter
-    (fun (t, _) -> Bitset.union_into ~into:dirty (Reach.descendants r t))
+    (fun (t, _) -> Reach.union_descendants_into r ~into:dirty t)
     config.salts;
   Obs.incr m_resumes;
   Obs.instant "engine.resume" (fun () ->

@@ -36,6 +36,14 @@ val fill : t -> unit
 val union_into : into:t -> t -> unit
 (** [union_into ~into s] adds every element of [s] to [into]. *)
 
+val union_many_into : into:t -> t array -> unit
+(** [union_many_into ~into sources] adds every element of every source to
+    [into], equivalent to folding {!union_into} over [sources] but
+    cache-blocked: the word range is processed in L1-sized blocks, each
+    block ORed with all sources before moving on, so wide rows are not
+    streamed through the cache once per source. The workhorse of the
+    transitive-closure kernels. *)
+
 val inter_into : into:t -> t -> unit
 (** [inter_into ~into s] removes from [into] the elements not in [s]. *)
 
@@ -51,9 +59,16 @@ val diff : t -> t -> t
 val equal : t -> t -> bool
 
 val subset : t -> t -> bool
-(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+(** [subset a b] is [true] iff every element of [a] is in [b].
+    Short-circuits on the first word of [a] with a bit outside [b]. *)
 
 val disjoint : t -> t -> bool
+(** Short-circuits on the first word where the two sets intersect. *)
+
+val words_scanned : unit -> int
+(** Cumulative number of words examined by {!subset} and {!disjoint} since
+    program start — a test/debug observable for the short-circuiting
+    behaviour (plain counter, unsynchronised across domains). *)
 
 val iter : (int -> unit) -> t -> unit
 (** Iterate over members in increasing order. *)
@@ -62,8 +77,10 @@ val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 (** Fold over members in increasing order. *)
 
 val for_all : (int -> bool) -> t -> bool
+(** Stops iterating at the first member for which the predicate fails. *)
 
 val exists : (int -> bool) -> t -> bool
+(** Stops iterating at the first member for which the predicate holds. *)
 
 val elements : t -> int list
 (** Members in increasing order. *)

@@ -1,19 +1,67 @@
+module Par = Wolves_par.Par
+
 type t = {
   n : int;
   rows : Bitset.t array; (* rows.(v) = descendants of v, v included *)
+  mutable trans : Bitset.t array option;
+      (* trans.(v) = ancestors of v, v included; built on first ancestor
+         query (the transposed closure), then shared by every query *)
 }
+
+(* Longest-path level of every node counted from the sinks: level v =
+   1 + max over successors, 0 for sinks. All nodes of one level have their
+   successors strictly below it, so a level is a dependency-free batch the
+   domain pool can fill concurrently (reverse topological order is exactly
+   "levels in increasing order"). *)
+let level_buckets g order =
+  let n = Digraph.n_nodes g in
+  let level = Array.make n 0 in
+  let max_level = ref 0 in
+  List.iter
+    (fun v ->
+      let l =
+        List.fold_left
+          (fun acc w -> max acc (level.(w) + 1))
+          0 (Digraph.succ g v)
+      in
+      level.(v) <- l;
+      if l > !max_level then max_level := l)
+    (List.rev order);
+  let buckets = Array.make (!max_level + 1) [] in
+  for v = n - 1 downto 0 do
+    buckets.(level.(v)) <- v :: buckets.(level.(v))
+  done;
+  Array.map Array.of_list buckets
+
+(* Fill one row: the node itself plus the union of its successors' rows,
+   cache-blocked across the successor group. Safe to run concurrently for
+   all nodes of one level — each call writes only its own row and reads
+   rows of strictly lower levels, which the pool's join barrier has already
+   made visible. *)
+let fill_row g rows v =
+  let row = rows.(v) in
+  Bitset.add row v;
+  match Digraph.succ g v with
+  | [] -> ()
+  | succs ->
+    Bitset.union_many_into ~into:row
+      (Array.of_list (List.map (fun w -> rows.(w)) succs))
 
 let compute_dag g order =
   let n = Digraph.n_nodes g in
   let rows = Array.init n (fun _ -> Bitset.create n) in
-  (* In reverse topological order every successor row is already final. *)
-  List.iter
-    (fun v ->
-      let row = rows.(v) in
-      Bitset.add row v;
-      List.iter (fun w -> Bitset.union_into ~into:row rows.(w)) (Digraph.succ g v))
-    (List.rev order);
-  { n; rows }
+  if Par.default_domains () <= 1 then
+    (* In reverse topological order every successor row is already final. *)
+    List.iter (fun v -> fill_row g rows v) (List.rev order)
+  else begin
+    let buckets = level_buckets g order in
+    Array.iter
+      (fun nodes ->
+        Par.parallel_for (Array.length nodes) (fun i ->
+            fill_row g rows nodes.(i)))
+      buckets
+  end;
+  { n; rows; trans = None }
 
 let compute_general g =
   let n = Digraph.n_nodes g in
@@ -26,23 +74,30 @@ let compute_general g =
   (* Closure over components, then expanded to member nodes. *)
   let count = Digraph.n_nodes dag in
   let comp_rows = Array.init count (fun _ -> Bitset.create count) in
-  List.iter
-    (fun c ->
-      let row = comp_rows.(c) in
-      Bitset.add row c;
-      List.iter (fun d -> Bitset.union_into ~into:row comp_rows.(d)) (Digraph.succ dag c))
-    (List.rev comp_order);
+  if Par.default_domains () <= 1 then
+    List.iter (fun c -> fill_row dag comp_rows c) (List.rev comp_order)
+  else begin
+    let buckets = level_buckets dag comp_order in
+    Array.iter
+      (fun nodes ->
+        Par.parallel_for (Array.length nodes) (fun i ->
+            fill_row dag comp_rows nodes.(i)))
+      buckets
+  end;
   let members = Array.make count [] in
   for v = n - 1 downto 0 do
     members.(comp.(v)) <- v :: members.(comp.(v))
   done;
   let expanded = Array.init count (fun _ -> Bitset.create n) in
-  for c = 0 to count - 1 do
-    Bitset.iter
-      (fun d -> List.iter (fun v -> Bitset.add expanded.(c) v) members.(d))
-      comp_rows.(c)
-  done;
-  { n; rows = Array.init n (fun v -> expanded.(comp.(v))) }
+  Par.parallel_for count (fun c ->
+      Bitset.iter
+        (fun d -> List.iter (fun v -> Bitset.add expanded.(c) v) members.(d))
+        comp_rows.(c));
+  (* All member nodes of one SCC share the component's expanded row. The
+     sharing is an internal memory optimisation only: every accessor either
+     reads the rows or hands out copies, so the aliasing cannot be observed
+     (see the [descendants] ownership contract in the interface). *)
+  { n; rows = Array.init n (fun v -> expanded.(comp.(v))); trans = None }
 
 let compute g =
   match Algo.topological_sort g with
@@ -50,6 +105,9 @@ let compute g =
   | None -> compute_general g
 
 let graph_size r = r.n
+
+let equal a b =
+  a.n = b.n && Array.for_all2 Bitset.equal a.rows b.rows
 
 let check r v =
   if v < 0 || v >= r.n then
@@ -62,26 +120,48 @@ let reaches r u v =
 
 let descendants r v =
   check r v;
-  r.rows.(v)
+  (* A fresh copy: the internal row may be shared between the nodes of an
+     SCC, so handing it out live would let one caller's mutation corrupt
+     the closure for every sibling (and every later query). *)
+  Bitset.copy r.rows.(v)
+
+let union_descendants_into r ~into v =
+  check r v;
+  Bitset.union_into ~into r.rows.(v)
+
+(* The transposed closure, built lazily on the first ancestor query:
+   trans.(v) collects every u whose row contains v, so each subsequent
+   query is one row read instead of an O(n) scan over all rows. Built from
+   the forward rows in one pass over the set bits (O(closure edges)). Not
+   safe to trigger concurrently from several domains — the parallel
+   drivers query reachability only forward, and single-domain callers
+   (queries, provenance stores) are the ancestor users. *)
+let transposed r =
+  match r.trans with
+  | Some t -> t
+  | None ->
+    let t = Array.init r.n (fun _ -> Bitset.create r.n) in
+    for u = 0 to r.n - 1 do
+      Bitset.iter (fun v -> Bitset.add t.(v) u) r.rows.(u)
+    done;
+    r.trans <- Some t;
+    t
 
 let ancestors r v =
   check r v;
-  let result = Bitset.create r.n in
-  for u = 0 to r.n - 1 do
-    if Bitset.mem r.rows.(u) v then Bitset.add result u
-  done;
-  result
+  Bitset.copy (transposed r).(v)
 
 let ancestors_of_set r set =
+  let t = transposed r in
   let result = Bitset.create r.n in
-  for u = 0 to r.n - 1 do
-    if not (Bitset.disjoint r.rows.(u) set) then Bitset.add result u
-  done;
+  Bitset.union_many_into ~into:result
+    (Array.of_list (List.map (fun v -> t.(v)) (Bitset.elements set)));
   result
 
 let descendants_of_set r set =
   let result = Bitset.create r.n in
-  Bitset.iter (fun v -> Bitset.union_into ~into:result r.rows.(v)) set;
+  Bitset.union_many_into ~into:result
+    (Array.of_list (List.map (fun v -> r.rows.(v)) (Bitset.elements set)));
   result
 
 let n_closure_edges r =

@@ -4,7 +4,20 @@
     computed in reverse topological order for DAGs and via the SCC
     condensation for general graphs, so construction costs O(V·E/w) word
     operations. This is the workhorse behind the soundness validator and the
-    correctors, which probe [reaches] heavily. *)
+    correctors, which probe [reaches] heavily.
+
+    Construction is domain-parallel when [Wolves_par.Par.default_domains]
+    is above 1: the rows of each longest-path level set are filled
+    concurrently with cache-blocked union kernels, and the result is
+    byte-identical to the sequential build at every domain count (each row
+    is a union over the node's successors, which is order-independent).
+
+    Ancestor queries are answered from a transposed copy of the closure,
+    built lazily on the first such query and cached inside the index: the
+    first call costs one pass over the closure's set bits, each subsequent
+    call a single row read. The transpose build mutates the index and is
+    {e not} safe to trigger concurrently from several domains; the parallel
+    soundness/corrector drivers only query forward reachability. *)
 
 type t
 
@@ -14,22 +27,40 @@ val compute : Digraph.t -> t
 val graph_size : t -> int
 (** Number of nodes of the indexed graph. *)
 
+val equal : t -> t -> bool
+(** Row-for-row equality of two closures over same-sized graphs — the
+    check behind "parallel construction is byte-identical to sequential". *)
+
 val reaches : t -> int -> int -> bool
 (** [reaches r u v] is [true] iff there is a (possibly empty) directed path
     from [u] to [v]. Reflexive: [reaches r v v = true]. *)
 
 val descendants : t -> int -> Bitset.t
-(** The row of nodes reachable from a node. Reflexive, like {!reaches}:
+(** The set of nodes reachable from a node, as a {e fresh} set the caller
+    owns and may mutate freely. Reflexive, like {!reaches}:
     [descendants r v] always contains [v] itself, even for isolated nodes —
-    callers wanting strict (proper) descendants must remove it. The returned
-    set is shared with the index: treat it as read-only. *)
+    callers wanting strict (proper) descendants must remove it.
+
+    (The index's internal rows are shared between the nodes of a strongly
+    connected component, which is why this hands out a copy: mutating a
+    live row would corrupt [reaches] for every sibling node. Hot paths
+    that only need to accumulate a row should use
+    {!union_descendants_into} and skip the copy.) *)
+
+val union_descendants_into : t -> into:Bitset.t -> int -> unit
+(** [union_descendants_into r ~into v] adds every descendant of [v]
+    (including [v]) to [into] without materialising an intermediate copy —
+    the allocation-free accessor for hot accumulation loops. *)
 
 val ancestors : t -> int -> Bitset.t
-(** The column of nodes reaching a node (fresh set). Reflexive like
-    {!descendants}: [ancestors r v] always contains [v] itself. *)
+(** The set of nodes reaching a node (fresh set, caller-owned). Reflexive
+    like {!descendants}: [ancestors r v] always contains [v] itself.
+    Answered from the cached transposed closure: O(closure bits) once,
+    then O(n/w) per query instead of the former O(n) row scan. *)
 
 val ancestors_of_set : t -> Bitset.t -> Bitset.t
-(** Union of [ancestors] over a set of nodes. *)
+(** Union of [ancestors] over a set of nodes (cache-blocked union over the
+    transposed rows). *)
 
 val descendants_of_set : t -> Bitset.t -> Bitset.t
 (** Union of [descendants] over a set of nodes. *)

@@ -42,6 +42,42 @@ type metric =
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
+(* The registry hashtable is shared by every domain (worker domains
+   register span timers on first use), so all structural access — find,
+   replace, iterate — happens under this lock. Recording into an already
+   obtained handle does not touch the table. *)
+let registry_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+(* --- domain shards --- *)
+
+(* A shard is a detached recording buffer: while one is installed in a
+   domain's local storage, every [incr]/[add]/[set]/[observe] of that
+   domain lands in the shard instead of the shared metric records, so
+   parallel workers never race on a counter. The driver that farmed the
+   work merges the shards back into the registry afterwards, in a
+   deterministic order. *)
+
+type sh_timer = {
+  mutable sh_count : int;
+  mutable sh_sum : float;
+  mutable sh_max : float;
+  sh_buckets : int array;
+}
+
+type shard = {
+  sh_counters : (string, int ref) Hashtbl.t;
+  sh_gauges : (string, float ref) Hashtbl.t;
+  sh_timers : (string, sh_timer) Hashtbl.t;
+}
+
+let shard_key : shard option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current_shard () = Domain.DLS.get shard_key
+
 (* Two independent switches share the fast path: [flag] gates metric
    recording, [tracer] receives event-level begin/end/instant callbacks.
    [hot] is their disjunction, maintained on every switch flip, so the
@@ -92,6 +128,7 @@ let kind_name = function
   | Timer _ -> "timer"
 
 let register name make extract =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some m ->
     (match extract m with
@@ -134,36 +171,80 @@ let timer name =
 
 (* --- recording --- *)
 
-let incr c = if !flag then c.c_value <- c.c_value + 1
+(* The disabled path stays one load-and-branch; the enabled path pays one
+   domain-local read to find out whether a shard is installed. *)
 
-let add c n = if !flag then c.c_value <- c.c_value + n
+let shard_bump sh name n =
+  match Hashtbl.find_opt sh.sh_counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace sh.sh_counters name (ref n)
+
+let add c n =
+  if !flag then
+    match current_shard () with
+    | None -> c.c_value <- c.c_value + n
+    | Some sh -> shard_bump sh c.c_name n
+
+let incr c = add c 1
 
 let set g v =
-  if !flag then begin
-    g.g_value <- v;
-    g.g_set <- true
-  end
+  if !flag then
+    match current_shard () with
+    | None ->
+      g.g_value <- v;
+      g.g_set <- true
+    | Some sh ->
+      (match Hashtbl.find_opt sh.sh_gauges g.g_name with
+       | Some r -> r := v
+       | None -> Hashtbl.replace sh.sh_gauges g.g_name (ref v))
 
 let observe t d =
   if !flag then begin
     let d = Float.max 0.0 d in
-    t.t_count <- t.t_count + 1;
-    t.t_sum <- t.t_sum +. d;
-    if d > t.t_max then t.t_max <- d;
-    let b = t.t_buckets in
-    let i = bucket_of d in
-    b.(i) <- b.(i) + 1
+    match current_shard () with
+    | None ->
+      t.t_count <- t.t_count + 1;
+      t.t_sum <- t.t_sum +. d;
+      if d > t.t_max then t.t_max <- d;
+      let b = t.t_buckets in
+      let i = bucket_of d in
+      b.(i) <- b.(i) + 1
+    | Some sh ->
+      let st =
+        match Hashtbl.find_opt sh.sh_timers t.t_name with
+        | Some st -> st
+        | None ->
+          let st =
+            { sh_count = 0;
+              sh_sum = 0.0;
+              sh_max = 0.0;
+              sh_buckets = Array.make n_buckets 0 }
+          in
+          Hashtbl.replace sh.sh_timers t.t_name st;
+          st
+      in
+      st.sh_count <- st.sh_count + 1;
+      st.sh_sum <- st.sh_sum +. d;
+      if d > st.sh_max then st.sh_max <- d;
+      let i = bucket_of d in
+      st.sh_buckets.(i) <- st.sh_buckets.(i) + 1
   end
 
 let no_args () = []
 
+(* The ring-buffer tracer is a single shared collector and is not
+   domain-safe; while a shard is installed (i.e. inside a parallel worker
+   job) event emission is suppressed rather than interleaved. *)
+
 let trace_begin name args =
   match !tracer with
-  | Some tr -> tr.on_begin name (args ())
-  | None -> ()
+  | Some tr when current_shard () = None -> tr.on_begin name (args ())
+  | _ -> ()
 
 let trace_end name =
-  match !tracer with Some tr -> tr.on_end name | None -> ()
+  match !tracer with
+  | Some tr when current_shard () = None -> tr.on_end name
+  | _ -> ()
 
 let time ?(args = no_args) t f =
   if not !hot then f ()
@@ -179,18 +260,24 @@ let time ?(args = no_args) t f =
 
 let instant name args =
   match !tracer with
-  | Some tr -> tr.on_instant name (args ())
-  | None -> ()
+  | Some tr when current_shard () = None -> tr.on_instant name (args ())
+  | _ -> ()
 
 (* --- spans --- *)
 
-let spans : string list ref = ref []
+(* One span stack per domain: a worker's spans nest under its own paths
+   without racing the main domain's stack. *)
+let spans_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let span_stack () = !spans
+let spans () = Domain.DLS.get spans_key
+
+let span_stack () = !(spans ())
 
 let with_span ?(args = no_args) name f =
   if not !hot then f ()
   else begin
+    let spans = spans () in
     spans := name :: !spans;
     let path = String.concat "/" (List.rev !spans) in
     let t = timer ("span:" ^ path) in
@@ -234,13 +321,15 @@ type snapshot = {
 
 let snapshot () =
   let counters = ref [] and gauges = ref [] and timers = ref [] in
-  Hashtbl.iter
-    (fun _ metric ->
-      match metric with
-      | Counter c -> counters := (c.c_name, c.c_value) :: !counters
-      | Gauge g -> if g.g_set then gauges := (g.g_name, g.g_value) :: !gauges
-      | Timer t -> timers := (t.t_name, timer_stats t) :: !timers)
-    registry;
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ metric ->
+          match metric with
+          | Counter c -> counters := (c.c_name, c.c_value) :: !counters
+          | Gauge g ->
+            if g.g_set then gauges := (g.g_name, g.g_value) :: !gauges
+          | Timer t -> timers := (t.t_name, timer_stats t) :: !timers)
+        registry);
   let by_name (a, _) (b, _) = compare a b in
   { counters = List.sort by_name !counters;
     gauges = List.sort by_name !gauges;
@@ -250,21 +339,77 @@ let reset () =
   (* Also unwind the open-span stack: a [reset] inside a [with_span] must
      not leave stale entries that would corrupt the [/]-joined paths of
      every span opened afterwards. The enclosing spans' unwind handlers
-     tolerate the empty stack. *)
-  spans := [];
-  Hashtbl.iter
-    (fun _ metric ->
-      match metric with
-      | Counter c -> c.c_value <- 0
-      | Gauge g ->
-        g.g_value <- 0.0;
-        g.g_set <- false
-      | Timer t ->
-        t.t_count <- 0;
-        t.t_sum <- 0.0;
-        t.t_max <- 0.0;
-        Array.fill t.t_buckets 0 n_buckets 0)
-    registry
+     tolerate the empty stack. (Only the calling domain's stack — worker
+     domains each own theirs, and resets happen between parallel phases.) *)
+  spans () := [];
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ metric ->
+          match metric with
+          | Counter c -> c.c_value <- 0
+          | Gauge g ->
+            g.g_value <- 0.0;
+            g.g_set <- false
+          | Timer t ->
+            t.t_count <- 0;
+            t.t_sum <- 0.0;
+            t.t_max <- 0.0;
+            Array.fill t.t_buckets 0 n_buckets 0)
+        registry)
+
+(* --- shard lifecycle --- *)
+
+let create_shard () =
+  { sh_counters = Hashtbl.create 16;
+    sh_gauges = Hashtbl.create 4;
+    sh_timers = Hashtbl.create 16 }
+
+let with_new_shard f =
+  let sh = create_shard () in
+  let saved = Domain.DLS.get shard_key in
+  Domain.DLS.set shard_key (Some sh);
+  let v =
+    Fun.protect ~finally:(fun () -> Domain.DLS.set shard_key saved) f
+  in
+  (v, sh)
+
+let sorted_names tbl =
+  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) tbl [])
+
+let shard_counters sh =
+  List.map
+    (fun name -> (name, !(Hashtbl.find sh.sh_counters name)))
+    (sorted_names sh.sh_counters)
+
+let merge_shard sh =
+  (* Fold the shard into the shared records. The recording was already
+     gated by the enable flag when it entered the shard, so merging is
+     unconditional; names are merged in sorted order so registration
+     order — and therefore any registry iteration — is deterministic. *)
+  List.iter
+    (fun name ->
+      let v = !(Hashtbl.find sh.sh_counters name) in
+      let c = counter name in
+      c.c_value <- c.c_value + v)
+    (sorted_names sh.sh_counters);
+  List.iter
+    (fun name ->
+      let v = !(Hashtbl.find sh.sh_gauges name) in
+      let g = gauge name in
+      g.g_value <- v;
+      g.g_set <- true)
+    (sorted_names sh.sh_gauges);
+  List.iter
+    (fun name ->
+      let st = Hashtbl.find sh.sh_timers name in
+      let t = timer name in
+      t.t_count <- t.t_count + st.sh_count;
+      t.t_sum <- t.t_sum +. st.sh_sum;
+      if st.sh_max > t.t_max then t.t_max <- st.sh_max;
+      for i = 0 to n_buckets - 1 do
+        t.t_buckets.(i) <- t.t_buckets.(i) + st.sh_buckets.(i)
+      done)
+    (sorted_names sh.sh_timers)
 
 (* --- JSON --- *)
 

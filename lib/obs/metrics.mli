@@ -12,8 +12,16 @@
 
     The registry is global mutable state (like the clock it wraps); callers
     that need isolation, such as per-experiment benchmark sections, use
-    {!reset} between measurements. Not thread-safe — the repository is
-    single-threaded today; sharding the registry is a scaling-PR concern. *)
+    {!reset} between measurements.
+
+    {b Domain safety.} Registration and snapshot/reset take an internal
+    lock, so handles may be created from any domain. Recording into the
+    shared records is {e not} synchronised — concurrent recorders must
+    instead run under {!with_new_shard}, which redirects every recording
+    operation on the calling domain into a private shard the coordinator
+    later folds back with {!merge_shard}. While a shard is installed the
+    tracer hooks are suppressed (the ring-buffer tracer is not
+    domain-safe); the span stack is domain-local throughout. *)
 
 type counter
 type gauge
@@ -102,6 +110,32 @@ val with_span : ?args:(unit -> span_args) -> string -> (unit -> 'a) -> 'a
 
 val span_stack : unit -> string list
 (** The names of the currently open spans, innermost first (for tests). *)
+
+(* --- per-domain shards --- *)
+
+type shard
+(** A private buffer of recordings, keyed by metric name. Worker domains
+    record into one; the coordinating domain merges them back. *)
+
+val with_new_shard : (unit -> 'a) -> 'a * shard
+(** Run a thunk with a fresh shard installed on the calling domain: every
+    {!incr}/{!add}/{!set}/{!observe} (and {!time}/{!with_span} recording)
+    inside it lands in the shard instead of the shared records, and the
+    tracer hooks stay silent. Returns the thunk's value and the shard; the
+    previous shard (if any — shards nest) is restored afterwards, also on
+    exceptions. The shard escapes deliberately: merge it with
+    {!merge_shard} from whichever domain coordinates the workers, in a
+    deterministic order if reproducible registries matter. *)
+
+val merge_shard : shard -> unit
+(** Fold a shard into the shared records: counter values and timer
+    count/sum/histograms add, timer maxima combine, gauges overwrite (last
+    merge wins). Call from one domain at a time — typically the coordinator
+    after joining its workers. Metric names inside the shard are merged in
+    sorted order, so first-registration order is deterministic. *)
+
+val shard_counters : shard -> (string * int) list
+(** The counters recorded in a shard, sorted by name (for tests). *)
 
 (* --- reading --- *)
 

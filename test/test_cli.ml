@@ -177,6 +177,109 @@ let editor_fuzz =
       | `Ok _ | `Error _ | `Quit -> true
       | exception _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Benchgate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Benchgate = Wolves_cli.Benchgate
+
+(* A baseline artifact as bench --json writes it (sections with wall
+   times, smoke flag). *)
+let baseline sections =
+  Json.Obj
+    [ ("smoke", Json.Bool false);
+      ( "sections",
+        Json.Obj
+          (List.map
+             (fun (id, wall) ->
+               (id, Json.Obj [ ("wall_time_s", Json.Float wall) ]))
+             sections) ) ]
+
+let verdict_of result id =
+  let row =
+    List.find (fun r -> r.Benchgate.id = id) result.Benchgate.rows
+  in
+  row.Benchgate.verdict
+
+let test_benchgate_pass_and_regression () =
+  let base = baseline [ ("A", 1.0); ("B", 0.001) ] in
+  (* A within 1.5x + slack; B microsecond-scale, protected by the slack. *)
+  let ok =
+    Benchgate.compare ~require_all:true ~smoke:false ~baseline:base
+      [ ("A", 1.2); ("B", 0.04) ]
+  in
+  check_bool "within threshold passes" true (ok.Benchgate.failed = []);
+  let slow =
+    Benchgate.compare ~require_all:true ~smoke:false ~baseline:base
+      [ ("A", 2.0); ("B", 0.001) ]
+  in
+  Alcotest.(check (list string)) "regression flagged" [ "A" ]
+    slow.Benchgate.failed;
+  check_bool "verdict is Regression" true
+    (verdict_of slow "A" = Benchgate.Regression)
+
+let test_benchgate_missing_section_fails () =
+  (* The silent-pass direction: B ran in the baseline but not now. Before
+     the gate checked it, a crashed section passed by omission. *)
+  let base = baseline [ ("A", 1.0); ("B", 1.0) ] in
+  let result =
+    Benchgate.compare ~require_all:true ~smoke:false ~baseline:base
+      [ ("A", 1.0) ]
+  in
+  Alcotest.(check (list string)) "missing section fails the gate" [ "B" ]
+    result.Benchgate.failed;
+  check_bool "verdict is Missing" true
+    (verdict_of result "B" = Benchgate.Missing);
+  check_bool "missing row has no current time" true
+    ((List.find (fun r -> r.Benchgate.id = "B") result.Benchgate.rows)
+       .Benchgate.current_s
+    = None)
+
+let test_benchgate_subset_run_passes () =
+  (* An explicit subset run (require_all = false) legitimately skips
+     baseline sections. *)
+  let base = baseline [ ("A", 1.0); ("B", 1.0) ] in
+  let result =
+    Benchgate.compare ~require_all:false ~smoke:false ~baseline:base
+      [ ("A", 1.0) ]
+  in
+  check_bool "subset run passes" true (result.Benchgate.failed = []);
+  check_bool "no row for the skipped section" true
+    (not (List.exists (fun r -> r.Benchgate.id = "B") result.Benchgate.rows))
+
+let test_benchgate_new_section_passes () =
+  (* A section with no baseline entry is informational, not a failure. *)
+  let base = baseline [ ("A", 1.0) ] in
+  let result =
+    Benchgate.compare ~require_all:true ~smoke:false ~baseline:base
+      [ ("A", 1.0); ("NEW", 99.0) ]
+  in
+  check_bool "new section passes" true (result.Benchgate.failed = []);
+  check_bool "verdict is No_baseline" true
+    (verdict_of result "NEW" = Benchgate.No_baseline)
+
+let test_benchgate_smoke_mismatch () =
+  let base = baseline [ ("A", 1.0) ] in
+  let result =
+    Benchgate.compare ~require_all:true ~smoke:true ~baseline:base
+      [ ("A", 1.0) ]
+  in
+  check_bool "smoke mismatch detected" true result.Benchgate.smoke_mismatch;
+  check_bool "mismatch alone does not fail" true (result.Benchgate.failed = [])
+
+let test_benchgate_threshold_and_slack () =
+  let base = baseline [ ("A", 1.0) ] in
+  let gate ?threshold ?slack_s wall =
+    (Benchgate.compare ?threshold ?slack_s ~require_all:true ~smoke:false
+       ~baseline:base [ ("A", wall) ])
+      .Benchgate.failed
+    = []
+  in
+  check_bool "exactly at the limit passes" true
+    (gate ~threshold:1.5 ~slack_s:0.0 1.5);
+  check_bool "over the limit fails" false (gate ~threshold:1.5 ~slack_s:0.0 1.51);
+  check_bool "slack absorbs the excess" true (gate ~threshold:1.5 ~slack_s:0.05 1.51)
+
 let () =
   Alcotest.run "wolves_cli"
     [ ( "table",
@@ -192,6 +295,19 @@ let () =
           Alcotest.test_case "errors" `Quick test_editor_errors;
           Alcotest.test_case "quoting" `Quick test_editor_quoting;
           QCheck_alcotest.to_alcotest editor_fuzz ] );
+      ( "benchgate",
+        [ Alcotest.test_case "pass and regression" `Quick
+            test_benchgate_pass_and_regression;
+          Alcotest.test_case "missing section fails" `Quick
+            test_benchgate_missing_section_fails;
+          Alcotest.test_case "subset run passes" `Quick
+            test_benchgate_subset_run_passes;
+          Alcotest.test_case "new section passes" `Quick
+            test_benchgate_new_section_passes;
+          Alcotest.test_case "smoke mismatch warns" `Quick
+            test_benchgate_smoke_mismatch;
+          Alcotest.test_case "threshold and slack" `Quick
+            test_benchgate_threshold_and_slack ] );
       ( "render",
         [ Alcotest.test_case "view summary" `Quick test_render_view_summary;
           Alcotest.test_case "dot with colours" `Quick test_render_dot;

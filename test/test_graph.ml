@@ -80,6 +80,65 @@ let test_bitset_choose_fold () =
   check_bool "exists" true (Bitset.exists (fun i -> i = 42) s);
   Alcotest.(check (option int)) "choose empty" None (Bitset.choose (Bitset.create 3))
 
+(* The counter-backed early-exit tests: subset/disjoint must stop scanning
+   at the first violating word, not wander on to the end of kiloword sets.
+   Both sets span 100 words; the violation sits in word 0. *)
+let test_bitset_subset_early_exit () =
+  let n = 6400 in
+  let a = Bitset.of_list n [ 0; 6399 ] in
+  let b = Bitset.of_list n [ 6399 ] in
+  let scans f =
+    let before = Bitset.words_scanned () in
+    let v = f () in
+    (v, Bitset.words_scanned () - before)
+  in
+  (* A positive subset check must visit every word: that's the reference
+     count the early exits are measured against (the word size is an
+     implementation detail, so derive it rather than hardcode it). *)
+  let v, full = scans (fun () -> Bitset.subset b a) in
+  check_bool "is a subset" true v;
+  check_bool "full scan covers many words" true (full > 50);
+  let v, scanned = scans (fun () -> Bitset.subset a b) in
+  check_bool "not a subset" false v;
+  check_int "subset stopped at word 0" 1 scanned;
+  let v, scanned = scans (fun () -> Bitset.disjoint a b) in
+  check_bool "not disjoint" false v;
+  check_int "disjoint stopped at the shared last word" full scanned;
+  let c = Bitset.of_list n [ 0 ] in
+  let v, scanned = scans (fun () -> Bitset.disjoint a c) in
+  check_bool "overlap in word 0" false v;
+  check_int "disjoint stopped at word 0" 1 scanned
+
+(* for_all/exists must stop visiting members once the answer is settled. *)
+let test_bitset_quantifier_early_exit () =
+  let s = Bitset.of_list 6400 (List.init 100 (fun i -> i * 64)) in
+  let visited = ref 0 in
+  check_bool "exists finds the first member" true
+    (Bitset.exists (fun i -> incr visited; i = 0) s);
+  check_int "exists visited one member" 1 !visited;
+  visited := 0;
+  check_bool "for_all fails on the first member" false
+    (Bitset.for_all (fun i -> incr visited; i > 0) s);
+  check_int "for_all visited one member" 1 !visited;
+  visited := 0;
+  check_bool "for_all sweeps when it holds" true
+    (Bitset.for_all (fun i -> incr visited; i mod 64 = 0) s);
+  check_int "for_all visited every member" 100 !visited
+
+(* The cache-blocked multi-source union agrees with folding union_into. *)
+let union_many_agrees =
+  QCheck2.Test.make ~name:"union_many_into = folded union_into" ~count:100
+    QCheck2.Gen.(
+      pair (int_range 1 600) (list_size (int_range 0 6) (list (int_bound 599))))
+    (fun (n, sources) ->
+      let sources = List.map (List.filter (fun x -> x < n)) sources in
+      let sets = List.map (Bitset.of_list n) sources in
+      let blocked = Bitset.create n in
+      Bitset.union_many_into ~into:blocked (Array.of_list sets);
+      let folded = Bitset.create n in
+      List.iter (fun s -> Bitset.union_into ~into:folded s) sets;
+      Bitset.equal blocked folded)
+
 (* A simple model-based property: bitset ops agree with list-set ops. *)
 let bitset_model_prop =
   QCheck2.Test.make ~name:"bitset agrees with list-set model" ~count:200
@@ -302,6 +361,55 @@ let test_reach_set_queries () =
     (Bitset.elements (Reach.ancestors_of_set r set));
   check_int_list "descendants of {3}" [ 3; 4 ]
     (Bitset.elements (Reach.descendants_of_set r set))
+
+(* Regression: [descendants] hands out a fresh set. The cyclic closure
+   shares one internal row across an SCC's members, so a live handle would
+   let a caller's mutation corrupt [reaches] for every sibling node. *)
+let test_reach_descendants_owned () =
+  (* 0 <-> 1 form an SCC reaching 2; 3 reaches the SCC. *)
+  let g = Digraph.of_edges ~n:4 [ (0, 1); (1, 0); (1, 2); (3, 0) ] in
+  let r = Reach.compute g in
+  let d0 = Reach.descendants r 0 in
+  check_int_list "descendants of 0" [ 0; 1; 2 ] (Bitset.elements d0);
+  Bitset.clear d0;
+  Bitset.add d0 3;
+  check_bool "reaches unaffected by clearing the result" true
+    (Reach.reaches r 0 2);
+  check_bool "sibling SCC member unaffected" true (Reach.reaches r 1 2);
+  check_bool "no phantom edge from the mutation" false (Reach.reaches r 0 3);
+  check_int_list "second query sees the original row" [ 0; 1; 2 ]
+    (Bitset.elements (Reach.descendants r 0));
+  (* Same contract on the DAG path. *)
+  let dag = Digraph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let rd = Reach.compute dag in
+  let d = Reach.descendants rd 0 in
+  Bitset.clear d;
+  check_bool "dag reaches unaffected" true (Reach.reaches rd 0 2);
+  (* And the allocation-free accessor accumulates without exposing rows. *)
+  let acc = Bitset.create 4 in
+  Reach.union_descendants_into r ~into:acc 3;
+  check_int_list "union_descendants_into" [ 0; 1; 2; 3 ] (Bitset.elements acc)
+
+(* [ancestors] (served from the cached transposed closure) must agree with
+   the definition {u | reaches u v}, on DAGs and cyclic graphs alike. *)
+let ancestors_agree =
+  QCheck2.Test.make ~name:"ancestors = inverted reaches" ~count:100
+    QCheck2.Gen.(
+      pair (int_range 1 12)
+        (list_size (int_range 0 30) (pair (int_bound 11) (int_bound 11))))
+    (fun (n, edges) ->
+      let edges =
+        List.filter (fun (u, v) -> u < n && v < n && u <> v) edges
+      in
+      let g = Digraph.of_edges ~n edges in
+      let r = Reach.compute g in
+      List.for_all
+        (fun v ->
+          let expected =
+            List.filter (fun u -> Reach.reaches r u v) (List.init n Fun.id)
+          in
+          Bitset.elements (Reach.ancestors r v) = expected)
+        (List.init n Fun.id))
 
 (* Property: closure agrees with per-pair BFS on random DAGs. *)
 let random_dag_gen =
@@ -586,6 +694,11 @@ let () =
           Alcotest.test_case "set operations" `Quick test_bitset_set_ops;
           Alcotest.test_case "capacity mismatch" `Quick test_bitset_capacity_mismatch;
           Alcotest.test_case "choose/fold/quantifiers" `Quick test_bitset_choose_fold;
+          Alcotest.test_case "subset/disjoint early exit" `Quick
+            test_bitset_subset_early_exit;
+          Alcotest.test_case "for_all/exists early exit" `Quick
+            test_bitset_quantifier_early_exit;
+          qt union_many_agrees;
           qt bitset_model_prop;
           qt bitset_iter_prop ] );
       ( "digraph",
@@ -616,6 +729,9 @@ let () =
         [ Alcotest.test_case "diamond closure" `Quick test_reach_diamond;
           Alcotest.test_case "cyclic closure" `Quick test_reach_cyclic;
           Alcotest.test_case "set queries" `Quick test_reach_set_queries;
+          Alcotest.test_case "descendants are caller-owned" `Quick
+            test_reach_descendants_owned;
+          qt ancestors_agree;
           qt reach_agrees_with_bfs ] );
       ( "paths",
         [ Alcotest.test_case "diamond counts" `Quick test_count_paths;

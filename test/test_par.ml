@@ -1,0 +1,228 @@
+(* The domain pool and the parallel = sequential contracts: closure rows,
+   soundness verdicts and corrector outputs must be byte-identical at every
+   domain count, and per-domain metric shards must merge to the totals the
+   sequential run records. *)
+
+module Par = Wolves_par.Par
+module Bitset = Wolves_graph.Bitset
+module Digraph = Wolves_graph.Digraph
+module Reach = Wolves_graph.Reach
+open Wolves_workflow
+module S = Wolves_core.Soundness
+module C = Wolves_core.Corrector
+module Gen = Wolves_workload.Generate
+module Views = Wolves_workload.Views
+module Metrics = Wolves_obs.Metrics
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let domain_counts = [ 1; 2; 4; 8 ]
+
+let with_domains d f =
+  let saved = Par.default_domains () in
+  Par.set_default_domains d;
+  Fun.protect ~finally:(fun () -> Par.set_default_domains saved) f
+
+(* ------------------------------------------------------------------ *)
+(* The pool itself                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_for_covers () =
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  (* Disjoint writes: each worker only touches its own indices. *)
+  Par.parallel_for ~domains:4 n (fun i -> hits.(i) <- hits.(i) + 1);
+  check_bool "every index ran exactly once" true
+    (Array.for_all (fun c -> c = 1) hits);
+  Par.parallel_for ~domains:4 0 (fun _ -> assert false)
+
+let test_map_ordered () =
+  let input = Array.init 257 Fun.id in
+  let out = Par.map_ordered ~domains:4 (fun i -> i * i) input in
+  check_bool "results placed by index" true
+    (out = Array.map (fun i -> i * i) input);
+  check_bool "empty input" true (Par.map_ordered ~domains:4 Fun.id [||] = [||])
+
+let test_map_ordered_exn () =
+  (* Every item fails; the exception surfaced must be the lowest-indexed
+     one, whatever domain got there first. *)
+  let f i = if i >= 0 then failwith (string_of_int i) else i in
+  Alcotest.check_raises "lowest-index failure wins" (Failure "0") (fun () ->
+      ignore (Par.map_ordered ~domains:4 f (Array.init 100 Fun.id)))
+
+let test_nested_runs_inline () =
+  (* A parallel_for from inside a pool job must not deadlock on the pool:
+     nested calls run inline on the calling domain. *)
+  let total = Atomic.make 0 in
+  Par.parallel_for ~domains:2 8 (fun _ ->
+      Par.parallel_for ~domains:2 8 (fun _ -> ignore (Atomic.fetch_and_add total 1)));
+  check_int "all inner iterations ran" 64 (Atomic.get total)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel = sequential                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Closure rows over random general graphs — cycles allowed, so this walks
+   the condensation path as well as the DAG path. *)
+let closure_par_eq_seq =
+  QCheck2.Test.make ~name:"parallel closure = sequential closure" ~count:60
+    QCheck2.Gen.(
+      pair (int_range 2 40)
+        (list_size (int_range 0 120) (pair (int_bound 39) (int_bound 39))))
+    (fun (n, edges) ->
+      let edges =
+        List.filter (fun (u, v) -> u < n && v < n && u <> v) edges
+      in
+      let g = Digraph.of_edges ~n edges in
+      let reference = with_domains 1 (fun () -> Reach.compute g) in
+      List.for_all
+        (fun d ->
+          with_domains d (fun () -> Reach.equal reference (Reach.compute g)))
+        domain_counts)
+
+(* Same over every generator family (all DAGs, larger). *)
+let test_closure_families () =
+  List.iter
+    (fun family ->
+      let spec = Gen.generate family ~seed:7 ~size:150 in
+      let g = Spec.graph spec in
+      let reference = with_domains 1 (fun () -> Reach.compute g) in
+      List.iter
+        (fun d ->
+          check_bool
+            (Printf.sprintf "%s closure identical at %d domains"
+               (Gen.family_name family) d)
+            true
+            (with_domains d (fun () -> Reach.equal reference (Reach.compute g))))
+        domain_counts)
+    Gen.all_families
+
+let test_validate_families () =
+  List.iter
+    (fun family ->
+      let spec = Gen.generate family ~seed:3 ~size:60 in
+      let view =
+        Views.inject_unsoundness ~seed:3 ~attempts:40
+          (Views.build ~seed:3 (Views.Topological_bands 6) spec)
+      in
+      let reference = S.validate ~domains:1 view in
+      List.iter
+        (fun d ->
+          check_bool
+            (Printf.sprintf "%s report identical at %d domains"
+               (Gen.family_name family) d)
+            true
+            ((S.validate ~domains:d view).S.unsound = reference.S.unsound))
+        domain_counts)
+    Gen.all_families
+
+let test_correct_families () =
+  let corpus =
+    Views.unsound_corpus ~seed:5 ~families:Gen.all_families ~sizes:[ 20 ]
+      ~per_cell:1
+  in
+  let shape v =
+    List.map
+      (fun c -> (View.composite_name v c, View.members v c))
+      (View.composites v)
+  in
+  let parts outcomes = List.map (fun (c, o) -> (c, o.C.parts)) outcomes in
+  List.iteri
+    (fun i (_, view) ->
+      let ref_view, ref_outcomes =
+        with_domains 1 (fun () -> C.correct C.Strong view)
+      in
+      List.iter
+        (fun d ->
+          let v, outcomes = C.correct ~domains:d C.Strong view in
+          check_bool
+            (Printf.sprintf "corpus #%d corrected view identical at %d domains"
+               i d)
+            true
+            (shape v = shape ref_view);
+          check_bool
+            (Printf.sprintf "corpus #%d outcome parts identical at %d domains"
+               i d)
+            true
+            (parts outcomes = parts ref_outcomes))
+        domain_counts)
+    corpus
+
+(* ------------------------------------------------------------------ *)
+(* Metric shards                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The registry totals a parallel validate merges back must equal the
+   sequential run's, counter for counter. *)
+let test_validate_metric_totals () =
+  let spec = Gen.generate Gen.Layered ~seed:9 ~size:80 in
+  let view =
+    Views.inject_unsoundness ~seed:9 ~attempts:40
+      (Views.build ~seed:9 (Views.Topological_bands 8) spec)
+  in
+  let soundness_counters d =
+    Metrics.reset ();
+    Metrics.enabled (fun () -> ignore (S.validate ~domains:d view));
+    List.filter
+      (fun (name, _) -> String.starts_with ~prefix:"soundness." name)
+      (Metrics.snapshot ()).Metrics.counters
+  in
+  let reference = soundness_counters 1 in
+  check_bool "sequential run recorded something" true
+    (List.exists (fun (_, v) -> v > 0) reference);
+  List.iter
+    (fun d ->
+      check_bool
+        (Printf.sprintf "shard totals match sequential at %d domains" d)
+        true
+        (soundness_counters d = reference))
+    [ 2; 4; 8 ]
+
+(* Shards from explicitly spawned domains: recordings stay private until
+   the coordinator merges them, and the merge adds up. *)
+let test_shard_merge_across_domains () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.par.shard_merge" in
+  Metrics.enabled @@ fun () ->
+  let workers =
+    Array.init 2 (fun k ->
+        Domain.spawn (fun () ->
+            snd
+              (Metrics.with_new_shard (fun () ->
+                   for _ = 1 to 50 + k do
+                     Metrics.incr c
+                   done))))
+  in
+  let shards = Array.map Domain.join workers in
+  check_int "shared record untouched before merge" 0 (Metrics.counter_value c);
+  Alcotest.(check (list (pair string int)))
+    "shard contents readable"
+    [ ("test.par.shard_merge", 50) ]
+    (Metrics.shard_counters shards.(0));
+  Array.iter Metrics.merge_shard shards;
+  check_int "merged total" 101 (Metrics.counter_value c)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "wolves_par"
+    [ ( "pool",
+        [ Alcotest.test_case "parallel_for covers" `Quick
+            test_parallel_for_covers;
+          Alcotest.test_case "map_ordered order" `Quick test_map_ordered;
+          Alcotest.test_case "map_ordered exceptions" `Quick
+            test_map_ordered_exn;
+          Alcotest.test_case "nested calls run inline" `Quick
+            test_nested_runs_inline ] );
+      ( "determinism",
+        [ qt closure_par_eq_seq;
+          Alcotest.test_case "closure over families" `Slow
+            test_closure_families;
+          Alcotest.test_case "validate over families" `Slow
+            test_validate_families;
+          Alcotest.test_case "correct over corpus" `Slow test_correct_families ] );
+      ( "shards",
+        [ Alcotest.test_case "validate metric totals" `Quick
+            test_validate_metric_totals;
+          Alcotest.test_case "merge across domains" `Quick
+            test_shard_merge_across_domains ] ) ]
