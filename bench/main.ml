@@ -1603,6 +1603,173 @@ let e_par () =
   then failwith "E-PAR: parallel results diverge from the sequential run"
 
 (* ------------------------------------------------------------------ *)
+(* E-STORE                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let e_store () =
+  section "E-STORE"
+    "durability: WAL append throughput, crash-recovery time as the log \
+     grows, and a fault-injection sweep where every crash point must \
+     recover all acknowledged records";
+  let module Wstore = Wolves_storage.Store in
+  let module Sio = Wolves_storage.Storage_io in
+  let rec rm_rf path =
+    match Sys.is_directory path with
+    | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    | false -> Sys.remove path
+    | exception Sys_error _ -> ()
+  in
+  let fresh_dir name =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "wolves_bench_store_%s" name)
+    in
+    rm_rf dir;
+    dir
+  in
+  let ok = function
+    | Ok v -> v
+    | Error e -> failwith (Format.asprintf "E-STORE: %a" Wstore.pp_error e)
+  in
+  let value_bytes = 256 in
+  let value i =
+    let b = Bytes.create value_bytes in
+    let rng = Prng.create (i lxor 0x570E) in
+    for j = 0 to value_bytes - 1 do
+      Bytes.set b j (Char.chr (32 + Prng.int rng 95))
+    done;
+    Bytes.to_string b
+  in
+  let config = { Wstore.default_config with Wstore.segment_bytes = 1 lsl 20 } in
+  let ingest ?(sync = false) dir n =
+    let store = ok (Wstore.init ~config dir) in
+    for i = 0 to n - 1 do
+      ok
+        (Wstore.append store ~sync Wstore.Workflow
+           ~id:(Printf.sprintf "wf-%05d" i) (value i))
+    done;
+    ok (Wstore.close store)
+  in
+  (* Append throughput: batched (fsync on close) vs synced every record. *)
+  let n_batch = sm 20_000 2_000 in
+  let dir = fresh_dir "ingest" in
+  let (), batch_t = Render.time (fun () -> ingest dir n_batch) in
+  rm_rf dir;
+  let n_sync = sm 2_000 200 in
+  let dir = fresh_dir "ingest_sync" in
+  let (), sync_t = Render.time (fun () -> ingest ~sync:true dir n_sync) in
+  rm_rf dir;
+  let rate n t = float_of_int n /. Float.max t 1e-9 in
+  let mb n t =
+    float_of_int (n * (value_bytes + 27)) /. 1e6 /. Float.max t 1e-9
+  in
+  Report.kv "ingest_records" (Json.Int n_batch);
+  Report.kv "ingest_records_per_s" (Json.Float (rate n_batch batch_t));
+  Report.kv "ingest_synced_records_per_s" (Json.Float (rate n_sync sync_t));
+  print_endline
+    (Table.render
+       ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+       ~header:[ "mode"; "records"; "records/s"; "MB/s" ]
+       [ [ "batched (sync on close)"; string_of_int n_batch;
+           Printf.sprintf "%.0f" (rate n_batch batch_t);
+           Printf.sprintf "%.1f" (mb n_batch batch_t) ];
+         [ "synced every append"; string_of_int n_sync;
+           Printf.sprintf "%.0f" (rate n_sync sync_t);
+           Printf.sprintf "%.1f" (mb n_sync sync_t) ] ]);
+  (* Recovery time vs log size: tear the tail of the biggest segment so
+     every reopen scans, truncates, and rewrites the catalog. *)
+  let recovery_rows =
+    List.map
+      (fun n ->
+        let dir = fresh_dir (Printf.sprintf "recover_%d" n) in
+        ingest dir n;
+        let seg =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".seg")
+          |> List.map (fun f -> Filename.concat dir f)
+          |> List.sort (fun a b ->
+                 compare (Unix.stat b).Unix.st_size (Unix.stat a).Unix.st_size)
+          |> List.hd
+        in
+        Unix.truncate seg ((Unix.stat seg).Unix.st_size - 13);
+        let (store, recovery), t = Render.time (fun () -> ok (Wstore.open_ dir)) in
+        let stats = Wstore.stats store in
+        ok (Wstore.close store);
+        rm_rf dir;
+        Report.kv
+          (Printf.sprintf "recovery_s_%d" n)
+          (Json.Float t);
+        [ string_of_int n;
+          Printf.sprintf "%.1f" (float_of_int stats.Wstore.n_bytes /. 1e6);
+          string_of_int (List.length recovery.Wstore.truncations);
+          fmt_s t ])
+      (sm [ 2_000; 8_000; 32_000 ] [ 500; 2_000 ])
+  in
+  print_endline
+    (Table.render
+       ~align:[ Table.Right; Table.Right; Table.Right; Table.Right ]
+       ~header:[ "records"; "MB"; "truncations"; "recovery" ]
+       recovery_rows);
+  (* Fault-injection sweep: crash at (a sample of) every mutating operation
+     of an ingest; each reopen must recover every acknowledged record. *)
+  let n_crash = sm 60 20 in
+  let faulty_ingest dir plan =
+    let io, injector = Sio.faulty plan Sio.system in
+    let acked = ref 0 in
+    (try
+       let store = ok (Wstore.init ~io ~config dir) in
+       for i = 0 to n_crash - 1 do
+         ok
+           (Wstore.append store ~sync:true Wstore.Workflow
+              ~id:(Printf.sprintf "wf-%05d" i) (value i));
+         incr acked
+       done;
+       ok (Wstore.close store)
+     with Sio.Crashed _ -> ());
+    (!acked, injector)
+  in
+  let dir = fresh_dir "crash_probe" in
+  let _, probe = faulty_ingest dir (Sio.Crash_after_ops max_int) in
+  rm_rf dir;
+  let total_ops = probe.Sio.ops_seen in
+  let step = sm 1 (max 1 (total_ops / 25)) in
+  let points = ref 0 in
+  let op = ref 0 in
+  let (), sweep_t =
+    Render.time (fun () ->
+        while !op < total_ops do
+          let dir = fresh_dir "crash" in
+          let acked, _ = faulty_ingest dir (Sio.Crash_after_ops !op) in
+          (match Wstore.open_ dir with
+           | Error e ->
+             if acked > 0 then
+               failwith
+                 (Format.asprintf "E-STORE: crash at op %d unrecoverable: %a"
+                    !op Wstore.pp_error e)
+           | Ok (store, _) ->
+             let recovered = List.length (ok (Wstore.records store)) in
+             ok (Wstore.close store);
+             if recovered < acked then
+               failwith
+                 (Printf.sprintf
+                    "E-STORE: crash at op %d lost records (%d acked, %d \
+                     recovered)"
+                    !op acked recovered));
+          rm_rf dir;
+          incr points;
+          op := !op + step
+        done)
+  in
+  Report.kv "crash_points" (Json.Int !points);
+  Report.kv "crash_total_ops" (Json.Int total_ops);
+  Printf.printf
+    "crash matrix: %d crash points (of %d mutating ops, step %d) — every \
+     acknowledged record recovered, in %s\n"
+    !points total_ops step (fmt_s sweep_t)
+
+(* ------------------------------------------------------------------ *)
 (* Regression gate: --compare BASELINE.json                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1675,7 +1842,7 @@ let sections =
     ("E-MIXED", e_mixed); ("E-SUGGEST", e_suggest); ("E-SCHED", e_sched);
     ("E-TEMPLATES", e_templates); ("E-FAULT", e_fault);
     ("E-LINT", e_lint); ("E-TRACE", e_trace); ("E-PAR", e_par);
-    ("E-MICRO", e_bechamel) ]
+    ("E-STORE", e_store); ("E-MICRO", e_bechamel) ]
 
 let () =
   let json_out = ref None in

@@ -522,10 +522,26 @@ let audit_cmd =
     Arg.(value & flag & info [ "correct" ]
            ~doc:"Also correct every unsound view (strong criterion) in place.")
   in
-  let run dir correct_ =
-    match R.load_dir dir with
+  let keep_going_flag =
+    Arg.(value & flag & info [ "keep-going"; "k" ]
+           ~doc:"Best-effort load: audit the entries that parse and report \
+                 the ones that fail, instead of aborting on the first bad \
+                 file.")
+  in
+  let run dir correct_ keep_going =
+    let loaded =
+      if keep_going then R.load_dir_lenient dir
+      else Result.map (fun repo -> (repo, [])) (R.load_dir dir)
+    in
+    match loaded with
     | Error e -> fail "%a" R.pp_io_error e
-    | Ok repo ->
+    | Ok (repo, failed) ->
+      List.iter
+        (fun (file, err) ->
+          Format.printf "skipped %s: %a@." file R.pp_io_error err)
+        failed;
+      if failed <> [] then
+        Printf.printf "skipped %d unreadable file(s)\n" (List.length failed);
       let audit = R.audit repo in
       Format.printf "%a@." R.pp_audit audit;
       if correct_ && audit.R.unsound_views > 0 then begin
@@ -541,7 +557,7 @@ let audit_cmd =
   Cmd.v
     (Cmd.info "audit"
        ~doc:"Audit a directory of MoML workflows for unsound views.")
-    Term.(ret (const run $ dir_arg $ correct_flag))
+    Term.(ret (const run $ dir_arg $ correct_flag $ keep_going_flag))
 
 (* --- query --- *)
 
@@ -602,18 +618,30 @@ let simulate_cmd =
                  $(b,timed out).")
   in
   let resume_arg =
-    Arg.(value & opt (some file) None & info [ "resume" ] ~docv:"TRACE.csv"
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"TRACE.csv"
            ~doc:"Resume from a checkpoint written by $(b,--save-trace): \
                  reuse every completed output and re-execute only the failed \
                  frontier and its descendants (a single run; $(b,--runs) is \
-                 ignored).")
+                 ignored). With $(b,--checkpoint-store) this is a record \
+                 key, not a file path.")
   in
   let save_trace_arg =
     Arg.(value & opt (some string) None & info [ "save-trace" ] ~docv:"OUT.csv"
-           ~doc:"Write the last run's trace as a resumable checkpoint.")
+           ~doc:"Write the last run's trace as a resumable checkpoint. With \
+                 $(b,--checkpoint-store) this is a record key, not a file \
+                 path.")
+  in
+  let checkpoint_store_arg =
+    Arg.(value & opt (some string) None & info [ "checkpoint-store" ]
+           ~docv:"DIR"
+           ~doc:"Keep checkpoints in the crash-safe record store at this \
+                 directory instead of bare CSV files: \
+                 $(b,--save-trace)/$(b,--resume) then name records in the \
+                 store (appended with checksums, recovered after crashes), \
+                 not files.")
   in
   let run file runs workers failure_rate retries backoff timeout resume
-      save_trace save metrics trace =
+      save_trace checkpoint_store save metrics trace =
     match load_view file with
     | Error msg -> fail "%s" msg
     | Ok view ->
@@ -660,11 +688,23 @@ let simulate_cmd =
         match save_trace with
         | None -> Ok ()
         | Some path ->
-          (match Engine.save_trace path trace with
+          let saved, where =
+            match checkpoint_store with
+            | Some dir ->
+              ( Engine.save_trace_store dir ~id:path trace,
+                Printf.sprintf "record %S in store %s" path dir )
+            | None -> (Engine.save_trace path trace, path)
+          in
+          (match saved with
            | Ok () ->
-             Printf.printf "checkpointed trace to %s\n" path;
+             Printf.printf "checkpointed trace to %s\n" where;
              Ok ()
            | Error msg -> Error msg)
+      in
+      let load_checkpoint path =
+        match checkpoint_store with
+        | Some dir -> Engine.load_trace_store spec dir ~id:path
+        | None -> Engine.load_trace spec path
       in
       (match
          try
@@ -678,14 +718,21 @@ let simulate_cmd =
        | Some trace_file ->
          (match
             with_observability metrics trace (fun () ->
-                match Engine.load_trace spec trace_file with
+                match load_checkpoint trace_file with
                 | Error msg -> Error msg
-                | Ok prior ->
+                | Ok { Engine.trace = prior; dropped_row } ->
                   let resumed = Engine.resume ~config:(config 1) prior in
-                  Ok (prior, resumed))
+                  Ok (prior, dropped_row, resumed))
           with
           | Error msg -> fail "%s: %s" trace_file msg
-          | Ok (prior, resumed) ->
+          | Ok (prior, dropped_row, resumed) ->
+            (match dropped_row with
+             | Some row ->
+               Printf.printf
+                 "warning: dropped torn checkpoint tail %S (crash during \
+                  checkpoint write)\n"
+                 row
+             | None -> ());
             let n = Spec.n_tasks spec in
             let reused = List.length (Engine.reused_tasks resumed) in
             let executed = List.length (Engine.executed_tasks resumed) in
@@ -768,7 +815,8 @@ let simulate_cmd =
           $(b,--save-trace)/$(b,--resume) for checkpoint/resume.")
     Term.(ret (const run $ file_arg $ runs_arg $ workers_arg $ fail_arg
                $ retries_arg $ backoff_arg $ timeout_arg $ resume_arg
-               $ save_trace_arg $ save_arg $ metrics_arg $ trace_arg))
+               $ save_trace_arg $ checkpoint_store_arg $ save_arg
+               $ metrics_arg $ trace_arg))
 
 (* --- diagnose --- *)
 
@@ -1316,6 +1364,231 @@ let profile_cmd =
           points at the code actually burning the wall clock.")
     Term.(ret (const run $ trace_file_arg $ top_arg))
 
+(* --- store --- *)
+
+let store_cmd =
+  let module St = Wolves_storage.Store in
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Store directory.")
+  in
+  let fail_store e = fail "%a" St.pp_error e in
+  let init_cmd =
+    let shards_arg =
+      Arg.(value & opt int St.default_config.St.shards
+           & info [ "shards" ] ~docv:"N"
+               ~doc:"Spread segment files over N shards (1-256).")
+    in
+    let segment_bytes_arg =
+      Arg.(value & opt int St.default_config.St.segment_bytes
+           & info [ "segment-bytes" ] ~docv:"B"
+               ~doc:"Roll to a fresh segment file past B bytes.")
+    in
+    let run dir shards segment_bytes =
+      match
+        St.init ~config:{ St.shards; segment_bytes } dir
+      with
+      | exception Invalid_argument msg -> fail "%s" msg
+      | Error e -> fail_store e
+      | Ok store ->
+        (match St.close store with
+         | Ok () ->
+           Printf.printf "initialised empty store at %s (%d shards)\n" dir
+             shards;
+           `Ok ()
+         | Error e -> fail_store e)
+    in
+    Cmd.v
+      (Cmd.info "init" ~doc:"Create an empty store.")
+      Term.(ret (const run $ dir_arg $ shards_arg $ segment_bytes_arg))
+  in
+  let ingest_cmd =
+    let from_arg =
+      Arg.(value & opt (some dir) None & info [ "from" ] ~docv:"MOMLDIR"
+             ~doc:"Ingest every .moml workflow of this directory.")
+    in
+    let synthesize_arg =
+      Arg.(value & flag & info [ "synthesize" ]
+             ~doc:"Ingest a synthesized corpus (all workflow families x \
+                   sizes x view policies) instead of reading files.")
+    in
+    let seed_arg =
+      Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED"
+             ~doc:"PRNG seed for $(b,--synthesize).")
+    in
+    let per_cell_arg =
+      Arg.(value & opt int 2 & info [ "per-cell" ] ~docv:"N"
+             ~doc:"Synthesized workflows per family x size x policy cell.")
+    in
+    let sizes_arg =
+      Arg.(value & opt (list int) [ 12; 24 ] & info [ "sizes" ] ~docv:"N,..."
+             ~doc:"Workflow sizes (task counts) for $(b,--synthesize).")
+    in
+    let run dir from synthesize seed per_cell sizes =
+      let repo =
+        match (from, synthesize) with
+        | Some _, true -> Error "--from and --synthesize are exclusive"
+        | None, false -> Error "need --from DIR or --synthesize"
+        | Some moml_dir, false ->
+          Result.map_error
+            (Format.asprintf "%a" R.pp_io_error)
+            (R.load_dir moml_dir)
+        | None, true -> Ok (R.synthesize ~seed ~per_cell ~sizes ())
+      in
+      match repo with
+      | Error msg -> fail "%s" msg
+      | Ok repo ->
+        (match R.save_store dir repo with
+         | Error e -> fail "%a" R.pp_io_error e
+         | Ok () ->
+           Printf.printf "ingested %d workflow(s) into %s\n" (R.size repo) dir;
+           `Ok ())
+    in
+    Cmd.v
+      (Cmd.info "ingest"
+         ~doc:
+           "Append workflows to the store (created if absent), either from \
+            a directory of MoML files or synthesized. Re-ingesting an id \
+            supersedes its earlier record.")
+      Term.(ret (const run $ dir_arg $ from_arg $ synthesize_arg $ seed_arg
+                 $ per_cell_arg $ sizes_arg))
+  in
+  let verify_cmd =
+    let run dir json =
+      match St.verify dir with
+      | Error e -> fail_store e
+      | Ok report ->
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [ ("segments", Json.Int report.St.v_segments);
+                    ("records", Json.Int report.St.v_records);
+                    ("bytes", Json.Int report.St.v_bytes);
+                    ( "issues",
+                      Json.List
+                        (List.map
+                           (fun (i : St.issue) ->
+                             Json.Obj
+                               [ ("file", Json.String i.St.file);
+                                 ("offset", Json.Int i.St.offset);
+                                 ("torn", Json.Bool i.St.torn);
+                                 ("reason", Json.String i.St.reason) ])
+                           report.St.issues) ) ]))
+        else begin
+          Printf.printf "%d segment(s), %d record(s), %d bytes\n"
+            report.St.v_segments report.St.v_records report.St.v_bytes;
+          List.iter
+            (fun (i : St.issue) ->
+              Printf.printf "%s: %s at offset %d: %s\n"
+                (if i.St.torn then "TORN" else "CORRUPT")
+                i.St.file i.St.offset i.St.reason)
+            report.St.issues
+        end;
+        if report.St.issues = [] then begin
+          if not json then print_endline "store verifies clean";
+          `Ok ()
+        end
+        else exit 1
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Read-only integrity scan: recompute every record checksum and \
+            the catalog checksum. Exits 1 when any issue is found; nothing \
+            is repaired (use $(b,recover)).")
+      Term.(ret (const run $ dir_arg $ json_arg))
+  in
+  let recover_cmd =
+    let run dir =
+      match St.open_ dir with
+      | Error e -> fail_store e
+      | Ok (store, r) ->
+        Printf.printf
+          "scanned %d segment(s), recovered %d record(s)\n"
+          r.St.segments_scanned r.St.records_recovered;
+        List.iter
+          (fun (file, kept, dropped) ->
+            Printf.printf "truncated %s: kept %d byte(s), dropped %d\n" file
+              kept dropped)
+          r.St.truncations;
+        List.iter
+          (fun file -> Printf.printf "dropped segment %s\n" file)
+          r.St.dropped_segments;
+        List.iter
+          (fun file -> Printf.printf "swept stale %s\n" file)
+          r.St.swept_tmp;
+        if r.St.manifest_rebuilt then
+          print_endline "catalog was missing or corrupt: rebuilt from segments";
+        if
+          r.St.truncations = [] && r.St.dropped_segments = []
+          && r.St.swept_tmp = []
+          && not r.St.manifest_rebuilt
+        then print_endline "store was already consistent";
+        (match St.close store with
+         | Ok () -> `Ok ()
+         | Error e -> fail_store e)
+    in
+    Cmd.v
+      (Cmd.info "recover"
+         ~doc:
+           "Open the store, running crash recovery: torn or corrupt tails \
+            are truncated away, orphaned segments dropped, the catalog \
+            rebuilt — the committed record prefix survives.")
+      Term.(ret (const run $ dir_arg))
+  in
+  let stats_cmd =
+    let run dir json =
+      match St.open_ dir with
+      | Error e -> fail_store e
+      | Ok (store, _) ->
+        let s = St.stats store in
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [ ("shards", Json.Int s.St.n_shards);
+                    ("segments", Json.Int s.St.n_segments);
+                    ("records", Json.Int s.St.n_records);
+                    ("bytes", Json.Int s.St.n_bytes);
+                    ("next_lsn", Json.Int s.St.next_lsn);
+                    ( "per_shard",
+                      Json.List
+                        (List.map
+                           (fun (shard, segs, recs, bytes) ->
+                             Json.Obj
+                               [ ("shard", Json.Int shard);
+                                 ("segments", Json.Int segs);
+                                 ("records", Json.Int recs);
+                                 ("bytes", Json.Int bytes) ])
+                           s.St.per_shard) ) ]))
+        else begin
+          Printf.printf
+            "%d shard(s), %d segment(s), %d record(s), %d bytes, next lsn %d\n"
+            s.St.n_shards s.St.n_segments s.St.n_records s.St.n_bytes
+            s.St.next_lsn;
+          List.iter
+            (fun (shard, segs, recs, bytes) ->
+              Printf.printf "  shard %3d: %d segment(s), %4d record(s), %8d bytes\n"
+                shard segs recs bytes)
+            s.St.per_shard
+        end;
+        (match St.close store with
+         | Ok () -> `Ok ()
+         | Error e -> fail_store e)
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Per-shard segment, record and byte counts.")
+      Term.(ret (const run $ dir_arg $ json_arg))
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "The crash-safe sharded provenance store: checksummed append-only \
+          segments plus an atomically swapped catalog. Subcommands: \
+          $(b,init), $(b,ingest), $(b,verify), $(b,recover), $(b,stats).")
+    [ init_cmd; ingest_cmd; verify_cmd; recover_cmd; stats_cmd ]
+
 let main =
   let doc =
     "WOLVES: detect and resolve unsound workflow views for correct \
@@ -1326,6 +1599,6 @@ let main =
     [ show_cmd; validate_cmd; lint_cmd; correct_cmd; split_cmd; merge_cmd;
       resolve_cmd; diagnose_cmd; provenance_cmd; query_cmd; simulate_cmd;
       stats_cmd; profile_cmd; suggest_cmd; evolve_cmd; edit_cmd; report_cmd;
-      estimate_cmd; generate_cmd; audit_cmd ]
+      estimate_cmd; generate_cmd; audit_cmd; store_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -538,18 +538,28 @@ let quote_field s =
 
 let trace_header = "task,attempt,started,finished,outcome,value"
 
+let trace_to_string trace =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (trace_header ^ "\n");
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%.17g,%.17g,%s,%s\n"
+           (quote_field (Spec.task_name trace.spec e.task))
+           e.attempt e.started e.finished (outcome_tag e.outcome)
+           (match e.outcome with Completed v -> v | _ -> "")))
+    trace.events;
+  (* The footer is the commit marker: a checkpoint whose write was cut short
+     is missing it (or holds a torn prefix of it), which the loader uses to
+     distinguish a recoverable torn tail from silent truncation. *)
+  Buffer.add_string buf
+    (Printf.sprintf "#end,%d\n" (List.length trace.events));
+  Buffer.contents buf
+
 let save_trace path trace =
   try
     Out_channel.with_open_text path (fun oc ->
-        Out_channel.output_string oc (trace_header ^ "\n");
-        List.iter
-          (fun e ->
-            Out_channel.output_string oc
-              (Printf.sprintf "%s,%d,%.17g,%.17g,%s,%s\n"
-                 (quote_field (Spec.task_name trace.spec e.task))
-                 e.attempt e.started e.finished (outcome_tag e.outcome)
-                 (match e.outcome with Completed v -> v | _ -> "")))
-          trace.events);
+        Out_channel.output_string oc (trace_to_string trace));
     Ok ()
   with Sys_error msg -> Error msg
 
@@ -597,61 +607,160 @@ let parse_row line =
     Some (List.rev !fields)
   end
 
+type loaded = {
+  trace : trace;
+  dropped_row : string option;
+}
+
+let parse_event spec line =
+  match parse_row line with
+  | Some [ name; attempt_s; started_s; finished_s; tag; value ] ->
+    (match
+       ( Spec.task_of_name spec name,
+         int_of_string_opt attempt_s,
+         float_of_string_opt started_s,
+         float_of_string_opt finished_s )
+     with
+     | Some task, Some attempt, Some started, Some finished ->
+       let outcome =
+         match tag with
+         | "completed" -> Some (Completed value)
+         | "crashed" -> Some Crashed
+         | "timed-out" -> Some Timed_out
+         | "not-run" -> Some Not_run
+         | _ -> None
+       in
+       Option.map
+         (fun outcome -> { task; attempt; started; finished; outcome })
+         outcome
+     | _ -> None)
+  | Some _ | None -> None
+
+let trace_of_string spec s =
+  (* Every committed line ends with a newline; a write cut short mid-line
+     leaves the file without one. That matters below: a torn final row can
+     still *parse* (the cut may land inside the free-form value field), so
+     the missing terminator is the only signal that the row is not whole. *)
+  let terminated = String.length s > 0 && s.[String.length s - 1] = '\n' in
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty trace file"
+  | header :: rows when header = trace_header ->
+    (* Peel the [#end,<count>] footer off the tail. A trailing line that
+       starts the footer marker but does not parse whole is the torn tail of
+       the footer write itself: the rows before it are all committed. *)
+    let footer, torn_footer, rows =
+      match List.rev rows with
+      | last :: before when String.length last >= 1 && last.[0] = '#' ->
+        (match String.split_on_char ',' last with
+         | [ "#end"; count ] ->
+           (match int_of_string_opt count with
+            | Some n -> (Some n, None, List.rev before)
+            | None -> (None, Some last, List.rev before))
+         | _ -> (None, Some last, List.rev before))
+      | _ -> (None, None, rows)
+    in
+    let n_rows = List.length rows in
+    let parsed = List.map (fun line -> (line, parse_event spec line)) rows in
+    let rec split_committed acc = function
+      | [] -> Ok (List.rev acc, None)
+      | [ (line, None) ] -> Ok (List.rev acc, Some line)
+      | (_, Some e) :: rest -> split_committed (e :: acc) rest
+      | (_, None) :: _ ->
+        Error
+          (Printf.sprintf "line %d: bad row with committed rows after it"
+             (List.length acc + 2))
+    in
+    (match footer with
+     | Some n when n <> n_rows ->
+       Error
+         (Printf.sprintf
+            "footer says %d rows but %d are present: checkpoint corrupt" n
+            n_rows)
+     | Some _ ->
+       (* Complete footer: every row is committed, none may be dropped. *)
+       (match split_committed [] parsed with
+        | Ok (events, None) -> Ok (events, None)
+        | Ok (_, Some line) | Error line ->
+          Error
+            (Printf.sprintf "bad row in a complete checkpoint: %s" line))
+     | None ->
+       (* No (whole) footer: a torn or legacy checkpoint. A single bad row
+          at the very end is the torn tail — drop and report it; a bad row
+          with committed rows after it is corruption. A last line missing
+          its newline is torn even when it parses (see [terminated]). *)
+       let parsed =
+         if terminated || torn_footer <> None then parsed
+         else
+           match List.rev parsed with
+           | (line, _) :: before -> List.rev ((line, None) :: before)
+           | [] -> parsed
+       in
+       Result.map
+         (fun (events, dropped) ->
+           match (dropped, torn_footer) with
+           | Some _, _ -> (events, dropped)
+           | None, Some _ -> (events, torn_footer)
+           | None, None -> (events, None))
+         (split_committed [] parsed))
+    |> Result.map (fun (events, dropped_row) ->
+           let makespan =
+             List.fold_left (fun acc e -> Float.max acc e.finished) 0.0 events
+           in
+           let busy =
+             List.fold_left
+               (fun acc e ->
+                 if e.attempt >= 1 then acc +. (e.finished -. e.started)
+                 else acc)
+               0.0 events
+           in
+           { trace = { spec; events; makespan; busy_time = busy };
+             dropped_row })
+  | _ -> Error "unexpected trace header"
+
 let load_trace spec path =
   try
-    let lines = In_channel.with_open_text path In_channel.input_lines in
-    match lines with
-    | [] -> Error "empty trace file"
-    | header :: rows ->
-      if header <> trace_header then Error "unexpected trace header"
-      else begin
-        let events = ref [] in
-        let error = ref None in
-        List.iteri
-          (fun lineno line ->
-            if !error = None && String.trim line <> "" then begin
-              let fail () =
-                error := Some (Printf.sprintf "line %d: bad row" (lineno + 2))
-              in
-              match parse_row line with
-              | Some [ name; attempt_s; started_s; finished_s; tag; value ] ->
-                (match
-                   ( Spec.task_of_name spec name,
-                     int_of_string_opt attempt_s,
-                     float_of_string_opt started_s,
-                     float_of_string_opt finished_s )
-                 with
-                 | Some task, Some attempt, Some started, Some finished ->
-                   let outcome =
-                     match tag with
-                     | "completed" -> Some (Completed value)
-                     | "crashed" -> Some Crashed
-                     | "timed-out" -> Some Timed_out
-                     | "not-run" -> Some Not_run
-                     | _ -> None
-                   in
-                   (match outcome with
-                    | Some outcome ->
-                      events :=
-                        { task; attempt; started; finished; outcome } :: !events
-                    | None -> fail ())
-                 | _ -> fail ())
-              | Some _ | None -> fail ()
-            end)
-          rows;
-        match !error with
-        | Some msg -> Error msg
-        | None ->
-          let events = List.rev !events in
-          let makespan =
-            List.fold_left (fun acc e -> Float.max acc e.finished) 0.0 events
-          in
-          let busy =
-            List.fold_left
-              (fun acc e ->
-                if e.attempt >= 1 then acc +. (e.finished -. e.started) else acc)
-              0.0 events
-          in
-          Ok { spec; events; makespan; busy_time = busy }
-      end
+    trace_of_string spec
+      (In_channel.with_open_text path In_channel.input_all)
   with Sys_error msg -> Error msg
+
+(* --- store-backed checkpoints ------------------------------------------- *)
+
+module Wstore = Wolves_storage.Store
+
+let store_error e = Format.asprintf "%a" Wstore.pp_error e
+
+let save_trace_store dir ~id trace =
+  let open_for_append () =
+    if Wstore.is_store dir then Result.map fst (Wstore.open_ dir)
+    else Wstore.init dir
+  in
+  match open_for_append () with
+  | Error e -> Error (store_error e)
+  | Ok store ->
+    let appended =
+      Wstore.append store Wstore.Checkpoint ~id (trace_to_string trace)
+    in
+    let closed = Wstore.close store in
+    (match (appended, closed) with
+     | Ok (), Ok () -> Ok ()
+     | Error e, _ | _, Error e -> Error (store_error e))
+
+let load_trace_store spec dir ~id =
+  match Wstore.open_ dir with
+  | Error e -> Error (store_error e)
+  | Ok (store, _recovery) ->
+    let result =
+      match Wstore.latest store Wstore.Checkpoint with
+      | Error e -> Error (store_error e)
+      | Ok records ->
+        (match
+           List.find_opt (fun (r : Wstore.record) -> r.Wstore.id = id) records
+         with
+         | None -> Error (Printf.sprintf "no checkpoint %S in store %s" id dir)
+         | Some r -> trace_of_string spec r.Wstore.value)
+    in
+    ignore (Wstore.close store);
+    result

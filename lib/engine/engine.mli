@@ -150,10 +150,43 @@ val gantt : ?width:int -> trace -> string
     bars scaled to [width] columns (default 60); crashed attempts render as
     [x], timed-out ones as [t]; skipped and reused tasks are omitted. *)
 
-val save_trace : string -> trace -> (unit, string) result
-(** Persist the trace as CSV (one row per event) for later {!resume} — the
-    checkpoint file format. *)
+val trace_to_string : trace -> string
+(** The checkpoint format: a CSV header, one row per event, and a final
+    [#end,<row count>] footer marking the file complete — a checkpoint cut
+    short by a crash is missing (or has torn) its footer, which
+    {!trace_of_string} uses to tell a torn tail from silent truncation. *)
 
-val load_trace : Spec.t -> string -> (trace, string) result
-(** Read a trace previously written by {!save_trace}, resolving task names
-    against [spec]. Fails on unknown tasks or malformed rows. *)
+val save_trace : string -> trace -> (unit, string) result
+(** Persist {!trace_to_string} to a file for later {!resume}. *)
+
+(** A parsed checkpoint. [dropped_row] is the torn trailing line dropped
+    from a checkpoint that was being written when the process died — the
+    committed prefix is still a valid trace to {!resume} from. *)
+type loaded = {
+  trace : trace;
+  dropped_row : string option;
+}
+
+val trace_of_string : Spec.t -> string -> (loaded, string) result
+(** Parse {!trace_to_string} output, resolving task names against the
+    specification. In a footer-less file the {e final} line is a torn
+    checkpoint tail — dropped and reported, not an error — when it is
+    malformed {e or} missing its terminating newline (a cut inside the
+    free-form value field can leave a row that still parses; the absent
+    newline is the only evidence it is not whole). A malformed row with
+    committed rows after it, or a footer whose count disagrees with the
+    rows present, is real corruption and fails. Footer-less,
+    newline-terminated files whose rows all parse load as legacy
+    checkpoints. *)
+
+val load_trace : Spec.t -> string -> (loaded, string) result
+(** Read a checkpoint file via {!trace_of_string}. *)
+
+val save_trace_store : string -> id:string -> trace -> (unit, string) result
+(** Append the trace as a [Checkpoint] record keyed [id] in the crash-safe
+    store at that directory (initialised when absent, recovered when dirty)
+    — the durable alternative to {!save_trace}'s bare file. *)
+
+val load_trace_store : Spec.t -> string -> id:string -> (loaded, string) result
+(** Load the newest [Checkpoint] record keyed [id] from the store,
+    recovering first if the store was left dirty by a crash. *)

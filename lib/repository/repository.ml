@@ -20,6 +20,13 @@ type t = {
 
 let create () = { items = []; ids = Hashtbl.create 64; next = 0 }
 
+(* Entry ids become file basenames ([<id>.moml]) and store record keys, so
+   anything that could navigate outside the target directory is rejected at
+   insertion — not at save time, when the bad id is already in the corpus. *)
+let valid_id id =
+  id <> "" && id <> "." && id <> ".."
+  && not (String.exists (fun c -> c = '/' || c = '\\' || c = '\000') id)
+
 let add repo ?id ~origin spec view =
   if View.spec view != spec then
     invalid_arg "Repository.add: view does not belong to the specification";
@@ -31,6 +38,12 @@ let add repo ?id ~origin spec view =
       repo.next <- repo.next + 1;
       fresh
   in
+  if not (valid_id id) then
+    invalid_arg
+      (Printf.sprintf
+         "Repository.add: invalid id %S (must be non-empty, without path \
+          separators, and not a dot-name)"
+         id);
   if Hashtbl.mem repo.ids id then
     invalid_arg (Printf.sprintf "Repository.add: duplicate id %S" id);
   Hashtbl.replace repo.ids id ();
@@ -191,6 +204,16 @@ let pp_io_error ppf = function
 
 exception Io of io_error
 
+let tmp_counter = ref 0
+
+let fsync_path path flags =
+  match Unix.openfile path flags 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 let save_dir dir repo =
   try
     (match (try Some (Sys.is_directory dir) with Sys_error _ -> None) with
@@ -198,34 +221,51 @@ let save_dir dir repo =
      | Some false ->
        raise (Io (Io_error (dir ^ ": exists and is not a directory")))
      | None -> Sys.mkdir dir 0o755);
+    (* Sweep temporaries left by an earlier crashed or interrupted save:
+       they are dead by construction (every live temporary is renamed away
+       before save_dir returns). *)
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".tmp" then
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
     List.iter
       (fun e ->
         let file = e.id ^ ".moml" in
         let final = Filename.concat dir file in
-        (* Atomic per file: build the entry under a temporary name and only
-           rename it into place once fully written, so an interrupted or
-           failed save never leaves a truncated [.moml] behind. *)
-        let tmp = final ^ ".tmp" in
+        (* Atomic per file: build the entry under a unique temporary name —
+           pid + counter, so concurrent savers into the same directory never
+           collide — fsync it, and only rename it into place once durable,
+           so an interrupted or failed save never leaves a truncated [.moml]
+           behind. *)
+        incr tmp_counter;
+        let tmp =
+          Printf.sprintf "%s.%d-%d.tmp" final (Unix.getpid ()) !tmp_counter
+        in
         match Moml.save tmp e.view with
-        | Ok () -> Sys.rename tmp final
+        | Ok () ->
+          fsync_path tmp [ Unix.O_WRONLY ];
+          Sys.rename tmp final
         | Error err ->
           (try Sys.remove tmp with Sys_error _ -> ());
           raise (Io (Entry_error (file, err))))
       (entries repo);
+    (* One directory fsync covers every rename above. *)
+    fsync_path dir [ Unix.O_RDONLY ];
     Ok ()
   with
   | Io err -> Error err
   | Sys_error msg -> Error (Io_error msg)
 
+let moml_files dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.filter (fun f -> Filename.check_suffix f ".moml")
+  |> List.sort compare
+
 let load_dir dir =
-  match Sys.readdir dir with
+  match moml_files dir with
   | exception Sys_error msg -> Error (Io_error msg)
   | files ->
-    let files =
-      Array.to_list files
-      |> List.filter (fun f -> Filename.check_suffix f ".moml")
-      |> List.sort compare
-    in
     let repo = create () in
     (try
        List.iter
@@ -242,3 +282,80 @@ let load_dir dir =
      with
      | Io err -> Error err
      | Sys_error msg -> Error (Io_error msg))
+
+let load_dir_lenient dir =
+  match moml_files dir with
+  | exception Sys_error msg -> Error (Io_error msg)
+  | files ->
+    let repo = create () in
+    let failed = ref [] in
+    List.iter
+      (fun file ->
+        match Moml.load (Filename.concat dir file) with
+        | Ok (spec, view) ->
+          ignore
+            (add repo
+               ~id:(Filename.chop_suffix file ".moml")
+               ~origin:"imported" spec view)
+        | Error err -> failed := (file, Entry_error (file, err)) :: !failed
+        | exception Sys_error msg ->
+          failed := (file, Io_error msg) :: !failed)
+      files;
+    Ok (repo, List.rev !failed)
+
+(* --- store-backed persistence --- *)
+
+module Store = Wolves_storage.Store
+
+let store_error e = Io_error (Format.asprintf "%a" Store.pp_error e)
+
+let save_store ?config dir repo =
+  let open_for_append () =
+    if Store.is_store dir then
+      Result.map fst (Store.open_ dir)
+    else Store.init ?config dir
+  in
+  match open_for_append () with
+  | Error e -> Error (store_error e)
+  | Ok store ->
+    let result =
+      try
+        List.iter
+          (fun e ->
+            match
+              Store.append store Store.Workflow ~id:e.id (Moml.to_string e.view)
+            with
+            | Ok () -> ()
+            | Error err -> raise (Io (store_error err)))
+          (entries repo);
+        (match Store.close store with
+         | Ok () -> Ok ()
+         | Error err -> Error (store_error err))
+      with Io err ->
+        ignore (Store.close store);
+        Error err
+    in
+    result
+
+let load_store dir =
+  match Store.open_ dir with
+  | Error e -> Error (store_error e)
+  | Ok (store, _recovery) ->
+    let result =
+      match Store.latest store Store.Workflow with
+      | Error e -> Error (store_error e)
+      | Ok records ->
+        let repo = create () in
+        (try
+           List.iter
+             (fun (r : Store.record) ->
+               match Moml.of_string r.Store.value with
+               | Ok (spec, view) ->
+                 ignore (add repo ~id:r.Store.id ~origin:"store" spec view)
+               | Error err -> raise (Io (Entry_error (r.Store.id, err))))
+             records;
+           Ok repo
+         with Io err -> Error err)
+    in
+    ignore (Store.close store);
+    result

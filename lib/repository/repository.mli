@@ -20,8 +20,10 @@ val create : unit -> t
 
 val add : t -> ?id:string -> origin:string -> Spec.t -> View.t -> string
 (** Insert an entry; the generated (or given) id is returned.
-    @raise Invalid_argument on a duplicate id or a view over a different
-    specification. *)
+    @raise Invalid_argument on a duplicate id, a view over a different
+    specification, or an id unusable as a file basename: empty, containing
+    a path separator ([/] or [\ ]) or NUL, or a dot-name ([.] / [..]) —
+    such ids would let {!save_dir} write outside its target directory. *)
 
 val size : t -> int
 
@@ -93,11 +95,36 @@ val pp_io_error : Format.formatter -> io_error -> unit
 
 val save_dir : string -> t -> (unit, io_error) result
 (** Write one MoML file per entry ([<id>.moml]) into the directory (created
-    if missing). Each file is written atomically — built under a temporary
-    name, renamed into place when complete — so a failed save never leaves a
-    truncated entry behind (earlier entries of the corpus may already have
-    been written). *)
+    if missing). Each file is written atomically and durably — built under a
+    unique temporary name (pid-tagged, so concurrent savers never collide),
+    fsynced, renamed into place, with one directory fsync at the end — so a
+    failed or interrupted save never leaves a truncated entry behind
+    (earlier entries of the corpus may already have been written). Stale
+    [.tmp] files from earlier interrupted saves are swept first. *)
 
 val load_dir : string -> (t, io_error) result
 (** Load every [*.moml] file of a directory; entry ids are file basenames.
     Stops at the first entry that fails to parse. *)
+
+val load_dir_lenient : string -> (t * (string * io_error) list, io_error) result
+(** Like {!load_dir}, but best-effort: entries that fail to read or parse
+    are collected as [(file, error)] pairs instead of aborting the load.
+    Only a failure to list the directory itself is a top-level [Error]. *)
+
+(** {2 Store-backed persistence}
+
+    The MoML directory format above is one file per entry; the store format
+    ({!Wolves_storage.Store}) is a crash-safe sharded append-only log
+    holding the same MoML documents as records, with checksummed recovery —
+    see TUTORIAL.md, "Durable storage". *)
+
+val save_store :
+  ?config:Wolves_storage.Store.config -> string -> t -> (unit, io_error) result
+(** Append every entry to the store at [dir] (initialised when absent) as a
+    [Workflow] record keyed by entry id — re-saving a repository supersedes
+    earlier versions of its entries — then sync and close. *)
+
+val load_store : string -> (t, io_error) result
+(** Load the newest [Workflow] record per id from the store at [dir]
+    (running crash recovery if needed) and parse each as MoML. Entries get
+    origin ["store"]. *)

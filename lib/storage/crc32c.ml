@@ -1,0 +1,29 @@
+(* Reflected CRC-32C: the table entry for byte [n] is the CRC of that single
+   byte, and the running state folds one byte per step. All arithmetic stays
+   within 32 bits, well inside OCaml's 63-bit native int. *)
+
+let poly = 0x82F63B78 (* 0x1EDC6F41 bit-reversed *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then poly lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32c.update: range out of bounds";
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let substring s ~pos ~len = update 0 s ~pos ~len
+
+let string s = substring s ~pos:0 ~len:(String.length s)

@@ -1,0 +1,198 @@
+exception Io_failure of string
+exception Crashed of string
+
+type handle = {
+  path : string;
+  write : string -> unit;
+  fsync : unit -> unit;
+  close : unit -> unit;
+}
+
+type t = {
+  mkdir : string -> unit;
+  readdir : string -> string list;
+  exists : string -> bool;
+  file_size : string -> int;
+  read_file : string -> string;
+  open_append : string -> handle;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  truncate : string -> int -> unit;
+  fsync_dir : string -> unit;
+}
+
+(* --- the real filesystem --- *)
+
+let wrap f =
+  try f () with
+  | Unix.Unix_error (e, fn, arg) ->
+    raise (Io_failure (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)))
+  | Sys_error msg -> raise (Io_failure msg)
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s pos len in
+    write_all fd s (pos + n) (len - n)
+  end
+
+let system =
+  { mkdir =
+      (fun dir ->
+        wrap (fun () ->
+            try Unix.mkdir dir 0o755
+            with Unix.Unix_error (Unix.EEXIST, _, _) -> ()));
+    readdir =
+      (fun dir ->
+        wrap (fun () ->
+            let entries = Sys.readdir dir in
+            Array.sort compare entries;
+            Array.to_list entries));
+    exists = (fun path -> Sys.file_exists path);
+    file_size = (fun path -> wrap (fun () -> (Unix.stat path).Unix.st_size));
+    read_file =
+      (fun path ->
+        wrap (fun () -> In_channel.with_open_bin path In_channel.input_all));
+    open_append =
+      (fun path ->
+        wrap (fun () ->
+            let fd =
+              Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+                0o644
+            in
+            { path;
+              write =
+                (fun s -> wrap (fun () -> write_all fd s 0 (String.length s)));
+              fsync = (fun () -> wrap (fun () -> Unix.fsync fd));
+              close = (fun () -> wrap (fun () -> Unix.close fd)) }));
+    rename = (fun src dst -> wrap (fun () -> Unix.rename src dst));
+    remove = (fun path -> wrap (fun () -> Unix.unlink path));
+    truncate = (fun path len -> wrap (fun () -> Unix.truncate path len));
+    fsync_dir =
+      (fun dir ->
+        (* Directory fsync is what makes a rename durable on Linux; some
+           filesystems reject fsync on a directory fd, which is the one
+           failure worth swallowing. *)
+        try
+          let fd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+        with Unix.Unix_error _ | Sys_error _ -> ()) }
+
+(* --- fault injection --- *)
+
+type op =
+  | Write
+  | Fsync
+  | Rename
+  | Remove
+  | Truncate
+
+let op_name = function
+  | Write -> "write"
+  | Fsync -> "fsync"
+  | Rename -> "rename"
+  | Remove -> "remove"
+  | Truncate -> "truncate"
+
+type plan =
+  | Crash_after_ops of int
+  | Crash_at_byte of int
+  | Error_on_op of op * int
+
+type injector = {
+  mutable ops_seen : int;
+  mutable bytes_written : int;
+  mutable fired : bool;
+  mutable dead : bool;
+}
+
+let faulty plan io =
+  let inj = { ops_seen = 0; bytes_written = 0; fired = false; dead = false } in
+  let per_kind = Hashtbl.create 8 in
+  (* Gate one mutating operation: raises instead of returning when the
+     failpoint decides this operation never executes. *)
+  let gate op =
+    if inj.dead then raise (Crashed "process already dead");
+    let k = inj.ops_seen in
+    inj.ops_seen <- k + 1;
+    let kind_k =
+      let c = Option.value ~default:0 (Hashtbl.find_opt per_kind op) in
+      Hashtbl.replace per_kind op (c + 1);
+      c
+    in
+    match plan with
+    | Crash_after_ops n when k >= n ->
+      inj.fired <- true;
+      inj.dead <- true;
+      raise (Crashed (Printf.sprintf "crash before %s (op %d)" (op_name op) k))
+    | Error_on_op (target, n) when target = op && kind_k = n ->
+      inj.fired <- true;
+      raise (Io_failure (Printf.sprintf "injected error on %s %d" (op_name op) n))
+    | Crash_after_ops _ | Crash_at_byte _ | Error_on_op _ -> ()
+  in
+  let guarded_write (underlying : string -> unit) s =
+    gate Write;
+    let len = String.length s in
+    (match plan with
+     | Crash_at_byte k when inj.bytes_written + len > k ->
+       let keep = k - inj.bytes_written in
+       if keep > 0 then underlying (String.sub s 0 keep);
+       inj.bytes_written <- inj.bytes_written + keep;
+       inj.fired <- true;
+       inj.dead <- true;
+       raise
+         (Crashed
+            (Printf.sprintf "crash mid-write at byte %d (wrote %d of %d)" k keep
+               len))
+     | Crash_after_ops _ | Crash_at_byte _ | Error_on_op _ ->
+       underlying s;
+       inj.bytes_written <- inj.bytes_written + len)
+  in
+  let wrap_handle h =
+    { h with
+      write = (fun s -> guarded_write h.write s);
+      fsync =
+        (fun () ->
+          gate Fsync;
+          h.fsync ());
+      (* Closing is not a durability point and cannot fail interestingly;
+         but a dead process closes nothing. *)
+      close =
+        (fun () -> if not inj.dead then h.close ()) }
+  in
+  let check_alive () = if inj.dead then raise (Crashed "process already dead") in
+  ( { io with
+      open_append =
+        (fun path ->
+          check_alive ();
+          wrap_handle (io.open_append path));
+      mkdir =
+        (fun dir ->
+          check_alive ();
+          io.mkdir dir);
+      readdir =
+        (fun dir ->
+          check_alive ();
+          io.readdir dir);
+      read_file =
+        (fun path ->
+          check_alive ();
+          io.read_file path);
+      rename =
+        (fun src dst ->
+          gate Rename;
+          io.rename src dst);
+      remove =
+        (fun path ->
+          gate Remove;
+          io.remove path);
+      truncate =
+        (fun path len ->
+          gate Truncate;
+          io.truncate path len);
+      fsync_dir =
+        (fun dir ->
+          gate Fsync;
+          io.fsync_dir dir) },
+    inj )

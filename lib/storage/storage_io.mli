@@ -1,0 +1,95 @@
+(** The pluggable I/O layer underneath {!Store}.
+
+    Every byte the store reads or writes goes through one of these records,
+    so a test harness can interpose failpoints — short writes, transient
+    errors, simulated process death at an arbitrary operation or byte — and
+    drive the crash-matrix property: {e reopening after a crash at any point
+    recovers exactly the committed records}.
+
+    Two failure channels are distinguished:
+
+    - {!Io_failure} models an I/O error the process survives (disk full,
+      permission); the store catches it and returns [Error].
+    - {!Crashed} models the process dying mid-operation; it deliberately
+      escapes the store — the "process" is gone — and the harness reopens
+      the directory with a fresh I/O layer to exercise recovery. *)
+
+exception Io_failure of string
+(** A survivable I/O error. Implementations raise it for every failure;
+    {!system} translates [Unix_error]/[Sys_error] into it. *)
+
+exception Crashed of string
+(** Simulated process death, raised by {!faulty} when its failpoint fires.
+    Once raised, every further operation through that layer raises it too
+    (a dead process issues no more I/O). *)
+
+(** An open append-only file. *)
+type handle = {
+  path : string;
+  write : string -> unit;  (** append the whole string (or raise) *)
+  fsync : unit -> unit;    (** flush the file's data to stable storage *)
+  close : unit -> unit;
+}
+
+type t = {
+  mkdir : string -> unit;  (** create (idempotent — an existing directory is fine) *)
+  readdir : string -> string list;  (** base names, sorted *)
+  exists : string -> bool;
+  file_size : string -> int;
+  read_file : string -> string;
+  open_append : string -> handle;  (** create the file when missing *)
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  truncate : string -> int -> unit;
+  fsync_dir : string -> unit;
+      (** flush directory metadata (created/renamed entries); best-effort on
+          filesystems that do not support it *)
+}
+
+val system : t
+(** The real filesystem, via [Unix]. *)
+
+(* --- fault injection --- *)
+
+(** Mutating operation kinds, for {!Error_on_op} targeting. Reads never
+    fail under injection — the crash matrix is about durability, not read
+    availability. *)
+type op =
+  | Write
+  | Fsync
+  | Rename
+  | Remove
+  | Truncate
+
+val op_name : op -> string
+
+(** One failpoint. Operations are counted across the whole layer, 0-based,
+    in the order they are issued; only mutating operations ({!op}) count. *)
+type plan =
+  | Crash_after_ops of int
+      (** the first [n] mutating operations succeed; operation [n] does not
+          execute and raises {!Crashed} *)
+  | Crash_at_byte of int
+      (** writes succeed until [k] cumulative bytes have been appended; the
+          write crossing byte [k] is {e short} — its prefix up to byte [k]
+          reaches the file, then {!Crashed} is raised (the torn-record
+          generator) *)
+  | Error_on_op of op * int
+      (** the [n]-th operation of that kind raises {!Io_failure} without
+          executing; every other operation proceeds normally (a transient
+          error, not a crash) *)
+
+(** Counters observed by the wrapped layer, exposed so a harness can first
+    measure a fault-free run ([ops_seen], [bytes_written]) and then sweep
+    every injection point up to those totals. *)
+type injector = {
+  mutable ops_seen : int;      (** mutating operations issued so far *)
+  mutable bytes_written : int; (** cumulative bytes reaching files *)
+  mutable fired : bool;        (** the failpoint has triggered *)
+  mutable dead : bool;         (** a crash plan fired; all further ops raise *)
+}
+
+val faulty : plan -> t -> t * injector
+(** Wrap an I/O layer with one failpoint. The returned {!injector} is live:
+    the harness reads it after the run (and [Crash_after_ops max_int] turns
+    the wrapper into a pure operation counter). *)

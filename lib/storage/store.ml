@@ -1,0 +1,738 @@
+module Io = Storage_io
+module Obs = Wolves_obs.Metrics
+
+let m_appends = Obs.counter "store.wal.appends"
+let m_append_bytes = Obs.counter "store.wal.append_bytes"
+let m_fsyncs = Obs.counter "store.wal.fsyncs"
+let m_seals = Obs.counter "store.wal.seals"
+let m_manifest_swaps = Obs.counter "store.wal.manifest_swaps"
+let m_truncated = Obs.counter "store.recovery.truncated_tail"
+let m_recovered = Obs.counter "store.recovery.records"
+let t_append = Obs.timer "store.wal.append"
+let t_recovery = Obs.timer "store.recovery.time"
+let t_open = Obs.timer "store.open"
+
+type error =
+  | Io of string
+  | Corrupt of string
+  | Not_a_store of string
+
+let pp_error ppf = function
+  | Io msg -> Format.fprintf ppf "i/o error: %s" msg
+  | Corrupt msg -> Format.fprintf ppf "corrupt store: %s" msg
+  | Not_a_store dir -> Format.fprintf ppf "%s: not a wolves store" dir
+
+exception Fail of error
+
+let io_guard f =
+  try Ok (f ()) with
+  | Io.Io_failure msg -> Error (Io msg)
+  | Fail e -> Error e
+
+type kind =
+  | Workflow
+  | Checkpoint
+
+let kind_name = function Workflow -> "workflow" | Checkpoint -> "checkpoint"
+
+let kind_byte = function Workflow -> 1 | Checkpoint -> 2
+
+let kind_of_byte = function 1 -> Some Workflow | 2 -> Some Checkpoint | _ -> None
+
+type record = {
+  kind : kind;
+  id : string;
+  lsn : int;
+  value : string;
+}
+
+type config = {
+  shards : int;
+  segment_bytes : int;
+}
+
+let default_config = { shards = 4; segment_bytes = 4 * 1024 * 1024 }
+
+(* --- binary format ------------------------------------------------------ *)
+
+let magic = "WOLVESEG"
+let format_version = 1
+let header_len = 16
+let record_header_len = 8
+let max_record_len = 1 lsl 30
+let catalog = "CATALOG"
+
+let u16le buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+
+let u32le buf v =
+  u16le buf (v land 0xFFFF);
+  u16le buf ((v lsr 16) land 0xFFFF)
+
+let u64le buf v =
+  u32le buf (v land 0xFFFFFFFF);
+  u32le buf ((v lsr 32) land 0x7FFFFFFF)
+
+let get_u16 s pos = Char.code s.[pos] lor (Char.code s.[pos + 1] lsl 8)
+
+let get_u32 s pos = get_u16 s pos lor (get_u16 s (pos + 2) lsl 16)
+
+let get_u64 s pos = get_u32 s pos lor (get_u32 s (pos + 4) lsl 32)
+
+let segment_header shard =
+  let buf = Buffer.create header_len in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr format_version);
+  Buffer.add_char buf (Char.chr shard);
+  u16le buf 0;
+  let body = Buffer.contents buf in
+  u32le buf (Crc32c.string body);
+  Buffer.contents buf
+
+let encode_record ~kind ~lsn ~id ~value =
+  let payload_len = 1 + 8 + 2 + String.length id + String.length value in
+  let buf = Buffer.create (record_header_len + payload_len) in
+  u32le buf payload_len;
+  u32le buf 0 (* checksum backpatched below *);
+  Buffer.add_char buf (Char.chr (kind_byte kind));
+  u64le buf lsn;
+  u16le buf (String.length id);
+  Buffer.add_string buf id;
+  Buffer.add_string buf value;
+  let bytes = Buffer.to_bytes buf in
+  let crc =
+    Crc32c.substring
+      (Bytes.unsafe_to_string bytes)
+      ~pos:record_header_len ~len:payload_len
+  in
+  Bytes.set bytes 4 (Char.chr (crc land 0xFF));
+  Bytes.set bytes 5 (Char.chr ((crc lsr 8) land 0xFF));
+  Bytes.set bytes 6 (Char.chr ((crc lsr 16) land 0xFF));
+  Bytes.set bytes 7 (Char.chr ((crc lsr 24) land 0xFF));
+  Bytes.unsafe_to_string bytes
+
+let decode_payload s pos len =
+  if len < 11 then Error "record payload too short"
+  else
+    match kind_of_byte (Char.code s.[pos]) with
+    | None -> Error "unknown record kind"
+    | Some kind ->
+      let lsn = get_u64 s (pos + 1) in
+      let id_len = get_u16 s (pos + 9) in
+      if 11 + id_len > len then Error "id overruns record"
+      else
+        Ok
+          { kind;
+            id = String.sub s (pos + 11) id_len;
+            lsn;
+            value = String.sub s (pos + 11 + id_len) (len - 11 - id_len) }
+
+(* Scan one segment's full content. Returns the decoded records of the valid
+   prefix, the prefix length in bytes, and how the scan ended. [`Torn] means
+   the data ran off end-of-file — the signature of a crash mid-append;
+   [`Corrupt] means a record failed validation with its bytes all present —
+   the signature of in-place corruption (bit flips). Recovery truncates at
+   the boundary either way; {!verify} reports them separately. *)
+let scan_segment ~shard content =
+  let n = String.length content in
+  if n < header_len then ([], 0, `Torn (0, "truncated segment header"))
+  else if String.sub content 0 (String.length magic) <> magic then
+    ([], 0, `Corrupt (0, "bad segment magic"))
+  else if get_u32 content 12 <> Crc32c.substring content ~pos:0 ~len:12 then
+    ([], 0, `Corrupt (0, "segment header checksum mismatch"))
+  else if Char.code content.[String.length magic] <> format_version then
+    ([], 0, `Corrupt (0, "unsupported segment version"))
+  else if Char.code content.[String.length magic + 1] <> shard then
+    ([], 0, `Corrupt (0, "segment header names another shard"))
+  else begin
+    let records = ref [] in
+    let pos = ref header_len in
+    let status = ref `Clean in
+    let continue_ = ref true in
+    while !continue_ && !pos < n do
+      if n - !pos < record_header_len then begin
+        status := `Torn (!pos, "truncated record header");
+        continue_ := false
+      end
+      else begin
+        let len = get_u32 content !pos in
+        let crc = get_u32 content (!pos + 4) in
+        if len > max_record_len then begin
+          status := `Corrupt (!pos, "implausible record length");
+          continue_ := false
+        end
+        else if !pos + record_header_len + len > n then begin
+          status := `Torn (!pos, "truncated record body");
+          continue_ := false
+        end
+        else if
+          Crc32c.substring content ~pos:(!pos + record_header_len) ~len <> crc
+        then begin
+          status := `Corrupt (!pos, "record checksum mismatch");
+          continue_ := false
+        end
+        else
+          match decode_payload content (!pos + record_header_len) len with
+          | Error reason ->
+            status := `Corrupt (!pos, reason);
+            continue_ := false
+          | Ok r ->
+            records := r :: !records;
+            pos := !pos + record_header_len + len
+      end
+    done;
+    (List.rev !records, !pos, !status)
+  end
+
+(* --- sharding ----------------------------------------------------------- *)
+
+let shard_of_id ~shards id =
+  (* FNV-1a, folded to 32 bits: stable across runs and platforms. *)
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xFFFFFFFF)
+    id;
+  !h mod shards
+
+let segment_file shard seq = Printf.sprintf "shard%03d-%06d.seg" shard seq
+
+let parse_segment_file name =
+  if
+    String.length name = 19
+    && String.sub name 0 5 = "shard"
+    && Filename.check_suffix name ".seg"
+    && name.[8] = '-'
+  then
+    match
+      (int_of_string_opt (String.sub name 5 3), int_of_string_opt (String.sub name 9 6))
+    with
+    | Some shard, Some seq -> Some (shard, seq)
+    | _ -> None
+  else None
+
+(* --- store state -------------------------------------------------------- *)
+
+type seg = {
+  file : string;
+  mutable seg_bytes : int;
+  mutable seg_records : int;
+}
+
+type shard_state = {
+  shard : int;
+  mutable segs : seg list; (* oldest first; the last one is active *)
+  mutable next_seq : int;
+  mutable handle : Io.handle option;
+  mutable dirty : bool;
+}
+
+type t = {
+  dir : string;
+  io : Io.t;
+  config : config;
+  shard_states : shard_state array;
+  mutable next_lsn : int;
+  mutable generation : int;
+  mutable closed : bool;
+}
+
+type recovery = {
+  segments_scanned : int;
+  records_recovered : int;
+  truncations : (string * int * int) list;
+  dropped_segments : string list;
+  swept_tmp : string list;
+  manifest_rebuilt : bool;
+}
+
+let in_dir t file = Filename.concat t.dir file
+
+(* --- catalog manifest --------------------------------------------------- *)
+
+let manifest_text t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "wolves-store 1\n";
+  Buffer.add_string buf (Printf.sprintf "shards %d\n" t.config.shards);
+  Buffer.add_string buf
+    (Printf.sprintf "segment_bytes %d\n" t.config.segment_bytes);
+  Buffer.add_string buf (Printf.sprintf "generation %d\n" t.generation);
+  Buffer.add_string buf (Printf.sprintf "next_lsn %d\n" t.next_lsn);
+  Array.iter
+    (fun st ->
+      List.iter
+        (fun seg ->
+          Buffer.add_string buf
+            (Printf.sprintf "segment %d %s %d %d\n" st.shard seg.file
+               seg.seg_bytes seg.seg_records))
+        st.segs)
+    t.shard_states;
+  let body = Buffer.contents buf in
+  body ^ Printf.sprintf "crc %08x\n" (Crc32c.string body)
+
+(* The atomic swap: new content under a temporary name, fsync, rename over
+   CATALOG, fsync the directory. A crash at any step leaves either the old
+   catalog or the new one — never a torn mix — and stray temporaries are
+   swept on the next open. *)
+let write_manifest t =
+  t.generation <- t.generation + 1;
+  let tmp_name = Printf.sprintf "%s.tmp-%d" catalog t.generation in
+  let tmp = in_dir t tmp_name in
+  if t.io.Io.exists tmp then t.io.Io.remove tmp;
+  let h = t.io.Io.open_append tmp in
+  (try
+     h.Io.write (manifest_text t);
+     h.Io.fsync ()
+   with e ->
+     (try h.Io.close () with Io.Io_failure _ -> ());
+     raise e);
+  h.Io.close ();
+  t.io.Io.rename tmp (in_dir t catalog);
+  t.io.Io.fsync_dir t.dir;
+  Obs.incr m_manifest_swaps
+
+type manifest = {
+  m_shards : int;
+  m_segment_bytes : int;
+  m_generation : int;
+  m_segments : (int * string) list; (* shard, file *)
+}
+
+let parse_manifest text =
+  match String.index_opt text '\n' with
+  | None -> Error "empty catalog"
+  | Some _ ->
+    let lines = String.split_on_char '\n' text in
+    let rec split_crc acc = function
+      | [ crc_line; "" ] | [ crc_line ] -> Some (List.rev acc, crc_line)
+      | line :: rest -> split_crc (line :: acc) rest
+      | [] -> None
+    in
+    (match split_crc [] lines with
+     | None -> Error "catalog too short"
+     | Some (body_lines, crc_line) ->
+       let body = String.concat "\n" body_lines ^ "\n" in
+       (match String.split_on_char ' ' crc_line with
+        | [ "crc"; hex ] when
+            (match int_of_string_opt ("0x" ^ hex) with
+             | Some crc -> crc = Crc32c.string body
+             | None -> false) ->
+          let shards = ref 0
+          and segment_bytes = ref 0
+          and generation = ref 0
+          and segments = ref []
+          and bad = ref None in
+          List.iteri
+            (fun i line ->
+              if !bad = None then
+                match (i, String.split_on_char ' ' line) with
+                | 0, [ "wolves-store"; "1" ] -> ()
+                | 0, _ -> bad := Some "unknown catalog version"
+                | _, [ "shards"; v ] ->
+                  shards := Option.value ~default:0 (int_of_string_opt v)
+                | _, [ "segment_bytes"; v ] ->
+                  segment_bytes := Option.value ~default:0 (int_of_string_opt v)
+                | _, [ "generation"; v ] ->
+                  generation := Option.value ~default:0 (int_of_string_opt v)
+                | _, [ "next_lsn"; _ ] -> ()
+                | _, [ "segment"; shard; file; _bytes; _records ] ->
+                  (match int_of_string_opt shard with
+                   | Some s -> segments := (s, file) :: !segments
+                   | None -> bad := Some "bad segment line")
+                | _, _ -> bad := Some "unrecognised catalog line")
+            body_lines;
+          (match !bad with
+           | Some msg -> Error msg
+           | None ->
+             if !shards < 1 || !shards > 256 then Error "bad shard count"
+             else
+               Ok
+                 { m_shards = !shards;
+                   m_segment_bytes = max 1024 !segment_bytes;
+                   m_generation = !generation;
+                   m_segments = List.rev !segments })
+        | _ -> Error "catalog checksum mismatch"))
+
+(* --- open / recovery ---------------------------------------------------- *)
+
+let validate_config config =
+  if config.shards < 1 || config.shards > 256 then
+    invalid_arg "Store: shards must be within [1, 256]";
+  if config.segment_bytes < 1024 then
+    invalid_arg "Store: segment_bytes must be at least 1024"
+
+let is_store ?(io = Io.system) dir =
+  io.Io.exists (Filename.concat dir catalog)
+  || (io.Io.exists dir
+      && List.exists
+           (fun f -> parse_segment_file f <> None)
+           (try io.Io.readdir dir with Io.Io_failure _ -> []))
+
+let init ?(io = Io.system) ?(config = default_config) dir =
+  validate_config config;
+  io_guard @@ fun () ->
+  io.Io.mkdir dir;
+  if is_store ~io dir then
+    raise (Fail (Io (dir ^ ": already holds a wolves store")));
+  let t =
+    { dir;
+      io;
+      config;
+      shard_states =
+        Array.init config.shards (fun shard ->
+            { shard; segs = []; next_seq = 0; handle = None; dirty = false });
+      next_lsn = 0;
+      generation = 0;
+      closed = false }
+  in
+  write_manifest t;
+  t
+
+let open_ ?(io = Io.system) dir =
+  Obs.with_span "store.open" ~args:(fun () -> [ ("dir", dir) ])
+  @@ fun () ->
+  Obs.time t_open @@ fun () ->
+  io_guard @@ fun () ->
+  if not (io.Io.exists dir) then
+    raise (Fail (Io (dir ^ ": no such directory")));
+  let files = io.Io.readdir dir in
+  (* Sweep catalog temporaries left by a crash mid-swap. *)
+  let swept =
+    List.filter
+      (fun f ->
+        String.length f > String.length catalog
+        && String.sub f 0 (String.length catalog + 1) = catalog ^ ".")
+      files
+  in
+  List.iter (fun f -> io.Io.remove (Filename.concat dir f)) swept;
+  let seg_files = List.filter_map parse_segment_file files in
+  let manifest =
+    if io.Io.exists (Filename.concat dir catalog) then
+      match parse_manifest (io.Io.read_file (Filename.concat dir catalog)) with
+      | Ok m -> Some m
+      | Error _ -> None
+    else None
+  in
+  if manifest = None && seg_files = [] then raise (Fail (Not_a_store dir));
+  let manifest_rebuilt = manifest = None in
+  let config, generation =
+    match manifest with
+    | Some m ->
+      ({ shards = m.m_shards; segment_bytes = m.m_segment_bytes },
+       m.m_generation)
+    | None ->
+      (* Infer the shard count from the files. Routing new ids by an
+         inferred count is harmless for reads (queries scan every shard);
+         the rebuilt catalog makes the inference sticky. *)
+      let max_shard =
+        List.fold_left (fun acc (s, _) -> max acc s) 0 seg_files
+      in
+      ({ default_config with shards = max_shard + 1 }, 0)
+  in
+  (* The authoritative segment list is the union of catalog and directory:
+     a crash can die after creating a segment but before the catalog swap
+     records it. Both sides reduce to the parseable file names present on
+     disk. *)
+  let t =
+    { dir;
+      io;
+      config;
+      shard_states =
+        Array.init config.shards (fun shard ->
+            { shard; segs = []; next_seq = 0; handle = None; dirty = false });
+      next_lsn = 0;
+      generation;
+      closed = false }
+  in
+  let recovery =
+    Obs.time t_recovery @@ fun () ->
+    let truncations = ref [] in
+    let dropped = ref [] in
+    let scanned = ref 0 in
+    let recovered = ref 0 in
+    Array.iter
+      (fun st ->
+        let mine =
+          List.filter (fun (s, _) -> s = st.shard) seg_files
+          |> List.sort compare
+        in
+        (* Each segment recovers independently. A crash can only tear the
+           LAST segment of a shard — a fresh segment is created strictly
+           after its predecessor is sealed and synced — so damage in an
+           earlier segment means in-place corruption or an orphan file from
+           a survived write error; the later segments hold acknowledged
+           records and must be kept either way. *)
+        List.iter
+          (fun (_, seq) ->
+            let file = segment_file st.shard seq in
+            incr scanned;
+            let content = io.Io.read_file (Filename.concat dir file) in
+            let records, valid, status = scan_segment ~shard:st.shard content in
+            let keep = ref true in
+            (match status with
+             | `Clean -> ()
+             | `Torn (pos, _) | `Corrupt (pos, _) ->
+               Obs.incr m_truncated;
+               if valid = 0 || pos = 0 then begin
+                 io.Io.remove (Filename.concat dir file);
+                 dropped := file :: !dropped;
+                 keep := false
+               end
+               else begin
+                 io.Io.truncate (Filename.concat dir file) pos;
+                 truncations :=
+                   (file, pos, String.length content - pos) :: !truncations
+               end);
+            st.next_seq <- seq + 1;
+            if !keep then begin
+              st.segs <-
+                st.segs
+                @ [ { file;
+                      seg_bytes = valid;
+                      seg_records = List.length records } ];
+              recovered := !recovered + List.length records;
+              List.iter
+                (fun r -> if r.lsn >= t.next_lsn then t.next_lsn <- r.lsn + 1)
+                records
+            end)
+          mine)
+      t.shard_states;
+    Obs.add m_recovered !recovered;
+    { segments_scanned = !scanned;
+      records_recovered = !recovered;
+      truncations = List.rev !truncations;
+      dropped_segments = List.rev !dropped;
+      swept_tmp = swept;
+      manifest_rebuilt }
+  in
+  (* Re-establish the catalog only when recovery changed something: a clean
+     reopen stays read-only. *)
+  if
+    recovery.manifest_rebuilt
+    || recovery.truncations <> []
+    || recovery.dropped_segments <> []
+  then write_manifest t;
+  (t, recovery)
+
+(* --- appends ------------------------------------------------------------ *)
+
+let check_open t = if t.closed then raise (Fail (Io "store is closed"))
+
+let active_segment t st =
+  match st.segs with
+  | [] | _ :: _ when st.handle = None -> begin
+    (* (Re)open the shard's tail for appending, rolling to a fresh segment
+       when the tail is sealed (or absent). *)
+    match List.rev st.segs with
+    | last :: _ when last.seg_bytes < t.config.segment_bytes ->
+      let h = t.io.Io.open_append (in_dir t last.file) in
+      st.handle <- Some h;
+      (last, h)
+    | _ ->
+      let file = segment_file st.shard st.next_seq in
+      st.next_seq <- st.next_seq + 1;
+      let h = t.io.Io.open_append (in_dir t file) in
+      (try h.Io.write (segment_header st.shard)
+       with e ->
+         (try h.Io.close () with Io.Io_failure _ -> ());
+         raise e);
+      let seg = { file; seg_bytes = header_len; seg_records = 0 } in
+      st.segs <- st.segs @ [ seg ];
+      st.handle <- Some h;
+      if List.length st.segs > 1 then Obs.incr m_seals;
+      (* Make the new segment discoverable: the catalog swap is the point
+         where the roll becomes part of the committed directory shape. *)
+      write_manifest t;
+      (seg, h)
+  end
+  | _ ->
+    let last = List.hd (List.rev st.segs) in
+    (last, Option.get st.handle)
+
+let sync_shard st =
+  match st.handle with
+  | Some h when st.dirty ->
+    h.Io.fsync ();
+    Obs.incr m_fsyncs;
+    st.dirty <- false
+  | Some _ | None -> st.dirty <- false
+
+let append t ?(sync = false) kind ~id value =
+  Obs.time t_append @@ fun () ->
+  io_guard @@ fun () ->
+  check_open t;
+  if String.length id > 0xFFFF then
+    raise (Fail (Io "record id longer than 65535 bytes"));
+  if String.length value > max_record_len - 11 - String.length id then
+    raise (Fail (Io "record value too large"));
+  let st = t.shard_states.(shard_of_id ~shards:t.config.shards id) in
+  let seg, h =
+    (* Rolling to a fresh segment happens *before* the append that would
+       overflow, so segment sizes stay near the configured bound. *)
+    let seg, h = active_segment t st in
+    if
+      seg.seg_bytes > header_len
+      && seg.seg_bytes >= t.config.segment_bytes
+    then begin
+      sync_shard st;
+      h.Io.close ();
+      st.handle <- None;
+      active_segment t st
+    end
+    else (seg, h)
+  in
+  let lsn = t.next_lsn in
+  let bytes = encode_record ~kind ~lsn ~id ~value in
+  (try h.Io.write bytes
+   with Io.Io_failure _ as e ->
+     (* Roll the torn append back so the segment stays a clean prefix; if
+        even that fails the handle is poisoned and the store is closed. *)
+     (try
+        t.io.Io.truncate (in_dir t seg.file) seg.seg_bytes
+      with Io.Io_failure _ -> t.closed <- true);
+     raise e);
+  t.next_lsn <- lsn + 1;
+  seg.seg_bytes <- seg.seg_bytes + String.length bytes;
+  seg.seg_records <- seg.seg_records + 1;
+  st.dirty <- true;
+  Obs.incr m_appends;
+  Obs.add m_append_bytes (String.length bytes);
+  if sync then sync_shard st
+
+let sync t =
+  io_guard @@ fun () ->
+  check_open t;
+  Array.iter (fun st -> sync_shard st) t.shard_states
+
+let close t =
+  io_guard @@ fun () ->
+  if not t.closed then begin
+    Array.iter
+      (fun st ->
+        sync_shard st;
+        match st.handle with
+        | Some h ->
+          h.Io.close ();
+          st.handle <- None
+        | None -> ())
+      t.shard_states;
+    write_manifest t;
+    t.closed <- true
+  end
+
+(* --- reads -------------------------------------------------------------- *)
+
+let records t =
+  io_guard @@ fun () ->
+  let all = ref [] in
+  Array.iter
+    (fun st ->
+      List.iter
+        (fun seg ->
+          let content = t.io.Io.read_file (in_dir t seg.file) in
+          let records, _, status = scan_segment ~shard:st.shard content in
+          (match status with
+           | `Clean -> ()
+           | `Torn (pos, reason) | `Corrupt (pos, reason) ->
+             raise
+               (Fail
+                  (Corrupt
+                     (Printf.sprintf "%s at offset %d: %s" seg.file pos reason))));
+          all := List.rev_append records !all)
+        st.segs)
+    t.shard_states;
+  List.sort (fun a b -> compare a.lsn b.lsn) !all
+
+let latest t kind =
+  match records t with
+  | Error _ as e -> e
+  | Ok rs ->
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun r -> if r.kind = kind then Hashtbl.replace tbl r.id r) rs;
+    Ok
+      (List.sort
+         (fun a b -> compare a.lsn b.lsn)
+         (Hashtbl.fold (fun _ r acc -> r :: acc) tbl []))
+
+type stats = {
+  n_shards : int;
+  n_segments : int;
+  n_records : int;
+  n_bytes : int;
+  next_lsn : int;
+  per_shard : (int * int * int * int) list;
+}
+
+let stats t =
+  let per_shard =
+    Array.to_list
+      (Array.map
+         (fun st ->
+           ( st.shard,
+             List.length st.segs,
+             List.fold_left (fun acc s -> acc + s.seg_records) 0 st.segs,
+             List.fold_left (fun acc s -> acc + s.seg_bytes) 0 st.segs ))
+         t.shard_states)
+  in
+  { n_shards = t.config.shards;
+    n_segments = List.fold_left (fun acc (_, s, _, _) -> acc + s) 0 per_shard;
+    n_records = List.fold_left (fun acc (_, _, r, _) -> acc + r) 0 per_shard;
+    n_bytes = List.fold_left (fun acc (_, _, _, b) -> acc + b) 0 per_shard;
+    next_lsn = t.next_lsn;
+    per_shard }
+
+(* --- offline verification ----------------------------------------------- *)
+
+type issue = {
+  file : string;
+  offset : int;
+  torn : bool;
+  reason : string;
+}
+
+type verify_report = {
+  v_segments : int;
+  v_records : int;
+  v_bytes : int;
+  issues : issue list;
+}
+
+let verify ?(io = Io.system) dir =
+  io_guard @@ fun () ->
+  if not (io.Io.exists dir) then
+    raise (Fail (Io (dir ^ ": no such directory")));
+  let files = io.Io.readdir dir in
+  let seg_files = List.filter_map parse_segment_file files in
+  let issues = ref [] in
+  if io.Io.exists (Filename.concat dir catalog) then begin
+    match parse_manifest (io.Io.read_file (Filename.concat dir catalog)) with
+    | Ok _ -> ()
+    | Error reason ->
+      issues := [ { file = catalog; offset = 0; torn = false; reason } ]
+  end
+  else if seg_files = [] then raise (Fail (Not_a_store dir))
+  else
+    issues :=
+      [ { file = catalog; offset = 0; torn = false; reason = "catalog missing" } ];
+  let segments = ref 0 and total_records = ref 0 and bytes = ref 0 in
+  List.iter
+    (fun (shard, seq) ->
+      let file = segment_file shard seq in
+      incr segments;
+      let content = io.Io.read_file (Filename.concat dir file) in
+      bytes := !bytes + String.length content;
+      let records, _, status = scan_segment ~shard content in
+      total_records := !total_records + List.length records;
+      match status with
+      | `Clean -> ()
+      | `Torn (offset, reason) ->
+        issues := { file; offset; torn = true; reason } :: !issues
+      | `Corrupt (offset, reason) ->
+        issues := { file; offset; torn = false; reason } :: !issues)
+    (List.sort compare seg_files);
+  { v_segments = !segments;
+    v_records = !total_records;
+    v_bytes = !bytes;
+    issues = List.rev !issues }

@@ -1,0 +1,142 @@
+(** A crash-safe, sharded, append-only provenance store.
+
+    On disk a store directory holds:
+
+    - per-shard {e segment} files ([shardNNN-SSSSSS.seg]): a 16-byte
+      checksummed header followed by length-prefixed, CRC32C-checksummed
+      records, appended only;
+    - a {e catalog manifest} ([CATALOG]) listing the segments, swapped
+      atomically (written under a temporary name, fsynced, renamed into
+      place, directory fsynced).
+
+    Records are acknowledged once written (and, with [~sync:true] or
+    {!sync}, fsynced). Recovery on {!open_} re-scans every segment,
+    truncates at the first torn or corrupt record, and replays the committed
+    prefix — so a crash at {e any} byte offset reopens to a consistent
+    store: everything acknowledged-durable survives, nothing corrupt is ever
+    returned. The I/O layer is pluggable ({!Storage_io}); the fault-injecting
+    implementation drives the crash-matrix property tests.
+
+    Writes from one store handle are not thread-safe; concurrent readers of
+    a closed store (via {!verify} / a second {!open_}) are fine. *)
+
+type error =
+  | Io of string          (** the I/O layer failed (survivable) *)
+  | Corrupt of string     (** on-disk state failed validation *)
+  | Not_a_store of string (** directory exists but holds no catalog/segments *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** What a record holds. The store is a generic durable log keyed by
+    [(kind, id)]; later records with the same key supersede earlier ones. *)
+type kind =
+  | Workflow    (** a serialised (specification, view) document *)
+  | Checkpoint  (** an engine execution trace (resume checkpoint) *)
+
+val kind_name : kind -> string
+
+type record = {
+  kind : kind;
+  id : string;
+  lsn : int;     (** log sequence number: global append order *)
+  value : string;
+}
+
+type config = {
+  shards : int;         (** segment files are spread over this many shards
+                            (1–256); ids are routed by hash *)
+  segment_bytes : int;  (** roll to a fresh segment past this size *)
+}
+
+val default_config : config
+(** 4 shards, 4 MiB segments. *)
+
+type t
+
+(** What {!open_} found and repaired. *)
+type recovery = {
+  segments_scanned : int;
+  records_recovered : int;
+  truncations : (string * int * int) list;
+      (** segment file, surviving prefix bytes, bytes dropped — one entry
+          per torn or corrupt tail cut off *)
+  dropped_segments : string list;
+      (** segments discarded whole: an unreadable or torn header with no
+          committed records behind it (e.g. the orphan file of a failed
+          segment-header write) *)
+  swept_tmp : string list;
+      (** stale catalog temporaries removed *)
+  manifest_rebuilt : bool;
+      (** the catalog was missing or corrupt; state was rebuilt by
+          directory scan *)
+}
+
+val init :
+  ?io:Storage_io.t -> ?config:config -> string -> (t, error) result
+(** Create an empty store (the directory is created if missing). Fails if
+    the directory already holds a store. *)
+
+val open_ : ?io:Storage_io.t -> string -> (t * recovery, error) result
+(** Open an existing store, running recovery (see {!recovery}). *)
+
+val append :
+  t -> ?sync:bool -> kind -> id:string -> string -> (unit, error) result
+(** Append one record. With [~sync:true] (default [false]) the shard's
+    segment is fsynced before returning — the record is then {e committed}:
+    recovery after any later crash replays it. Unsynced appends are
+    committed by the next {!sync} or {!close}. A failed write is rolled
+    back (the segment is truncated to its pre-append length), so a
+    survivable I/O error leaves the store consistent and usable. *)
+
+val sync : t -> (unit, error) result
+(** Fsync every shard with unsynced appends. *)
+
+val close : t -> (unit, error) result
+(** Sync, write the catalog, and close all handles. Idempotent. *)
+
+val records : t -> (record list, error) result
+(** Every record, re-read and re-verified from disk, in log order
+    (ascending [lsn]). *)
+
+val latest : t -> kind -> (record list, error) result
+(** The newest record per id of that kind, in log order. *)
+
+type stats = {
+  n_shards : int;
+  n_segments : int;
+  n_records : int;
+  n_bytes : int;       (** total segment bytes, headers included *)
+  next_lsn : int;
+  per_shard : (int * int * int * int) list;
+      (** shard, segments, records, bytes *)
+}
+
+val stats : t -> stats
+
+(* --- offline verification --- *)
+
+type issue = {
+  file : string;
+  offset : int;
+  torn : bool;  (** ran off end-of-file (crash tail) rather than failing a
+                    checksum in place (corruption / bit flip) *)
+  reason : string;
+}
+
+type verify_report = {
+  v_segments : int;
+  v_records : int;
+  v_bytes : int;
+  issues : issue list;
+}
+
+val verify : ?io:Storage_io.t -> string -> (verify_report, error) result
+(** Read-only scan of every segment and the catalog: every record's
+    checksum is recomputed; nothing is repaired. A store that verifies
+    clean has zero [issues]. *)
+
+val shard_of_id : shards:int -> string -> int
+(** The shard an id routes to (exposed for tests and stats). *)
+
+val is_store : ?io:Storage_io.t -> string -> bool
+(** The directory holds a catalog (or at least one segment). *)

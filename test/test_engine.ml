@@ -346,7 +346,8 @@ let test_trace_roundtrip () =
    | Error msg -> Alcotest.failf "save_trace: %s" msg);
   (match Engine.load_trace spec path with
    | Error msg -> Alcotest.failf "load_trace: %s" msg
-   | Ok loaded ->
+   | Ok { Engine.trace = loaded; dropped_row } ->
+     check_bool "clean checkpoint drops nothing" true (dropped_row = None);
      check_int "same event count"
        (List.length trace.Engine.events)
        (List.length loaded.Engine.events);
@@ -371,6 +372,177 @@ let test_trace_roundtrip () =
   match Engine.load_trace spec "/nonexistent/trace.csv" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected an error for a missing trace file"
+
+(* A checkpoint torn by a crash mid-write must reload to its committed
+   prefix (reporting the torn tail), while corruption that is not a crash
+   tail — a missing or mangled committed row — must be refused. *)
+let trace_header_line () = "task,attempt,started,finished,outcome,value"
+
+let test_torn_checkpoint () =
+  let spec = fig1 () in
+  let trace = Engine.run ~config:(cfg ()) spec in
+  let full = Engine.trace_to_string trace in
+  let n_events = List.length trace.Engine.events in
+  let load s = Engine.trace_of_string spec s in
+  let events_prefix loaded =
+    (* The loaded events must be a prefix of the genuine event list. *)
+    let rec is_prefix got want =
+      match (got, want) with
+      | [], _ -> true
+      | g :: gs, w :: ws ->
+        g.Engine.task = w.Engine.task
+        && g.Engine.attempt = w.Engine.attempt
+        && g.Engine.outcome = w.Engine.outcome
+        && is_prefix gs ws
+      | _ :: _, [] -> false
+    in
+    is_prefix loaded.Engine.events trace.Engine.events
+  in
+  let lines = String.split_on_char '\n' full |> List.filter (( <> ) "") in
+  let data_rows = List.filteri (fun i _ -> i > 0) lines in
+  let data_rows = List.filteri (fun i _ -> i < n_events) data_rows in
+  let without_footer =
+    String.concat "\n" (trace_header_line () :: data_rows) ^ "\n"
+  in
+  (* Legacy footer-less checkpoint, all rows intact: accepted, none dropped. *)
+  (match load without_footer with
+   | Error msg -> Alcotest.failf "legacy parse: %s" msg
+   | Ok { Engine.trace = t; dropped_row } ->
+     check_bool "legacy drops nothing" true (dropped_row = None);
+     check_int "legacy event count" n_events (List.length t.Engine.events));
+  (* Crash mid-last-row: committed prefix survives, torn tail reported. *)
+  (match load (String.sub without_footer 0 (String.length without_footer - 9))
+   with
+   | Error msg -> Alcotest.failf "torn-row parse: %s" msg
+   | Ok ({ Engine.trace = t; dropped_row } as l) ->
+     check_bool "torn tail reported" true (dropped_row <> None);
+     check_int "one row dropped" (n_events - 1) (List.length t.Engine.events);
+     check_bool "prefix preserved" true (events_prefix l.Engine.trace));
+  (* Crash mid-footer: every row is committed; the torn marker is reported. *)
+  (match load (without_footer ^ "#en") with
+   | Error msg -> Alcotest.failf "torn-footer parse: %s" msg
+   | Ok { Engine.trace = t; dropped_row } ->
+     check_bool "torn footer reported" true (dropped_row = Some "#en");
+     check_int "no rows lost" n_events (List.length t.Engine.events));
+  (* A complete footer whose count disagrees is corruption, not a crash. *)
+  let splice rows = String.concat "\n" (trace_header_line () :: rows) ^ "\n" in
+  let missing_middle =
+    splice (List.filteri (fun i _ -> i <> n_events / 2) data_rows)
+    ^ Printf.sprintf "#end,%d\n" n_events
+  in
+  (match load missing_middle with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "missing committed row accepted");
+  (* A mangled row under an intact footer is corruption too. *)
+  let mangled =
+    splice
+      (List.mapi
+         (fun i row -> if i = n_events / 2 then "garbage,row" else row)
+         data_rows)
+    ^ Printf.sprintf "#end,%d\n" n_events
+  in
+  (match load mangled with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "mangled committed row accepted");
+  (* Footer-less with a bad row *followed by committed rows* is not a torn
+     tail either — crashes only tear the end. *)
+  (match
+     load
+       (splice
+          (List.mapi
+             (fun i row -> if i = 1 then "garbage,row" else row)
+             data_rows))
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "mid-file damage accepted as torn tail");
+  (* Crash at *every* byte offset: the loader either refuses or returns a
+     genuine committed prefix — never an event that was not written. *)
+  let len = String.length full in
+  for cut = 0 to len - 1 do
+    match load (String.sub full 0 cut) with
+    | Error _ -> ()
+    | Ok l ->
+      if not (events_prefix l.Engine.trace) then
+        Alcotest.failf "cut at byte %d surfaced non-genuine events" cut
+  done;
+  (* The same torn tail through the file-based loader, and resume from the
+     recovered prefix completes the workflow. *)
+  let path = Filename.temp_file "wolves_torn" ".csv" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full 0 (String.length full - 20)));
+  (match Engine.load_trace spec path with
+   | Error msg -> Alcotest.failf "torn file load: %s" msg
+   | Ok { Engine.trace = recovered; dropped_row } ->
+     check_bool "file torn tail reported" true (dropped_row <> None);
+     let resumed = Engine.resume ~config:(cfg ()) recovered in
+     let fresh = Engine.run ~config:(cfg ()) spec in
+     List.iter
+       (fun t ->
+         check_bool "resume after torn checkpoint = fresh run" true
+           (Engine.output_value resumed t = Engine.output_value fresh t))
+       (Spec.tasks spec));
+  Sys.remove path
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+(* Store-backed checkpoints: tearing the newest record's tail on disk must
+   recover to the previous checkpoint, and resume from it. *)
+let test_torn_checkpoint_store () =
+  let spec = fig1 () in
+  let slow = Engine.run ~config:(cfg ~workers:1 ()) spec in
+  let fast = Engine.run ~config:(cfg ~workers:64 ()) spec in
+  check_bool "checkpoints distinguishable" true
+    (slow.Engine.makespan > fast.Engine.makespan);
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "wolves_ckpt_store"
+  in
+  rm_rf dir;
+  (match Engine.save_trace_store dir ~id:"run" slow with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "first save: %s" msg);
+  (match Engine.save_trace_store dir ~id:"run" fast with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "second save: %s" msg);
+  (match Engine.load_trace_store spec dir ~id:"run" with
+   | Error msg -> Alcotest.failf "load newest: %s" msg
+   | Ok { Engine.trace = t; _ } ->
+     check_float "newest checkpoint wins" fast.Engine.makespan
+       t.Engine.makespan);
+  (* Tear the tail of the (single) populated segment: the second record
+     loses its end, as if the process died mid-append. *)
+  let seg =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".seg")
+    |> List.map (fun f -> Filename.concat dir f)
+    |> function
+    | [ f ] -> f
+    | l -> Alcotest.failf "expected one segment, found %d" (List.length l)
+  in
+  let content = In_channel.with_open_bin seg In_channel.input_all in
+  Out_channel.with_open_bin seg (fun oc ->
+      Out_channel.output_string oc
+        (String.sub content 0 (String.length content - 13)));
+  (match Engine.load_trace_store spec dir ~id:"run" with
+   | Error msg -> Alcotest.failf "load after tear: %s" msg
+   | Ok { Engine.trace = recovered; dropped_row } ->
+     check_float "recovered the previous checkpoint" slow.Engine.makespan
+       recovered.Engine.makespan;
+     check_bool "record itself is whole" true (dropped_row = None);
+     let resumed = Engine.resume ~config:(cfg ()) recovered in
+     let fresh = Engine.run ~config:(cfg ()) spec in
+     List.iter
+       (fun t ->
+         check_bool "resume from recovered store = fresh run" true
+           (Engine.output_value resumed t = Engine.output_value fresh t))
+       (Spec.tasks spec));
+  rm_rf dir
 
 (* Chaos test: after crash+retry runs, the store's influence answers match
    salted-replay ground truth exactly — no spurious, no missing. *)
@@ -521,6 +693,10 @@ let () =
             test_resume_salted_cone;
           Alcotest.test_case "trace save/load round-trip" `Quick
             test_trace_roundtrip;
+          Alcotest.test_case "torn checkpoint recovery" `Quick
+            test_torn_checkpoint;
+          Alcotest.test_case "torn store checkpoint" `Quick
+            test_torn_checkpoint_store;
           Alcotest.test_case "chaos influence exactness" `Slow
             test_chaos_influence_exact;
           qt prop_resume_equals_fresh ] ) ]

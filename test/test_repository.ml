@@ -174,6 +174,112 @@ let test_repo_persistence () =
   | Ok _ -> Alcotest.fail "expected an error for a missing directory"
 
 
+let test_repo_id_validation () =
+  let repo = R.create () in
+  let spec, view = Examples.figure1 () in
+  (* Ids become file basenames: anything that could navigate outside the
+     save_dir target directory must be rejected at insertion. *)
+  List.iter
+    (fun bad ->
+      match R.add repo ~id:bad ~origin:"manual" spec view with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "id %S accepted" bad)
+    [ ""; "."; ".."; "a/b"; "../escape"; "a\\b"; "evil/../../etc"; "nul\000id" ];
+  check_int "nothing was inserted" 0 (R.size repo);
+  (* Benign ids still work, including dots inside the name. *)
+  List.iter
+    (fun good -> ignore (R.add repo ~id:good ~origin:"manual" spec view))
+    [ "plain"; "with-dash_и_unicode"; "v1.2.3"; ".hidden-ish" ]
+
+let test_repo_save_dir_sweeps_stale_tmp () =
+  let repo = R.synthesize ~seed:8 ~per_cell:1 ~sizes:[ 8 ] ~policies:[ Views.Random_partition 3 ] () in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "wolves_repo_tmp_sweep" in
+  Sys.mkdir dir 0o755;
+  let stale = Filename.concat dir "wf0000.moml.999-1.tmp" in
+  Out_channel.with_open_text stale (fun oc ->
+      Out_channel.output_string oc "half a workflow");
+  (match R.save_dir dir repo with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "save_dir: %a" R.pp_io_error e);
+  check_bool "stale temporary swept" false (Sys.file_exists stale);
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".tmp" then
+        Alcotest.failf "temporary left behind: %s" f)
+    (Sys.readdir dir);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_repo_lenient_load () =
+  let repo = R.synthesize ~seed:9 ~per_cell:1 ~sizes:[ 8 ] ~policies:[ Views.Random_partition 3 ] () in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "wolves_repo_lenient" in
+  (match R.save_dir dir repo with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "save_dir: %a" R.pp_io_error e);
+  (* Corrupt one entry and add one unparsable stray. *)
+  let victim =
+    Filename.concat dir
+      (Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".moml")
+      |> List.sort compare |> List.hd)
+  in
+  Out_channel.with_open_text victim (fun oc ->
+      Out_channel.output_string oc "<moml but torn");
+  Out_channel.with_open_text (Filename.concat dir "stray.moml") (fun oc ->
+      Out_channel.output_string oc "not xml at all");
+  (match R.load_dir dir with
+   | Ok _ -> Alcotest.fail "strict load must fail on a corrupt entry"
+   | Error _ -> ());
+  (match R.load_dir_lenient dir with
+   | Error e -> Alcotest.failf "lenient load: %a" R.pp_io_error e
+   | Ok (repo', failed) ->
+     check_int "good entries loaded" (R.size repo - 1) (R.size repo');
+     check_int "two failures collected" 2 (List.length failed);
+     List.iter
+       (fun (file, _) ->
+         check_bool "failure names a real file" true
+           (Sys.file_exists (Filename.concat dir file)))
+       failed);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let test_repo_store_roundtrip () =
+  let repo = R.synthesize ~seed:12 ~per_cell:1 ~sizes:[ 10 ] () in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "wolves_repo_store" in
+  rm_rf dir;
+  (match R.save_store dir repo with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "save_store: %a" R.pp_io_error e);
+  (match R.load_store dir with
+   | Error e -> Alcotest.failf "load_store: %a" R.pp_io_error e
+   | Ok repo' ->
+     check_int "same entry count" (R.size repo) (R.size repo');
+     List.iter
+       (fun e ->
+         match R.find repo' e.R.id with
+         | None -> Alcotest.failf "entry %s lost" e.R.id
+         | Some e' ->
+           check_int "same tasks" (Spec.n_tasks e.R.spec) (Spec.n_tasks e'.R.spec);
+           check_int "same composites" (View.n_composites e.R.view)
+             (View.n_composites e'.R.view))
+       (R.entries repo));
+  (* Re-saving supersedes: same ids, one logical copy. *)
+  (match R.save_store dir repo with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "re-save: %a" R.pp_io_error e);
+  (match R.load_store dir with
+   | Error e -> Alcotest.failf "re-load: %a" R.pp_io_error e
+   | Ok repo' -> check_int "still one copy per id" (R.size repo) (R.size repo'));
+  rm_rf dir
+
 let test_repo_update () =
   let repo = R.create () in
   let spec, view = Examples.figure1 () in
@@ -227,4 +333,10 @@ let () =
             test_repo_audit_and_correct;
           Alcotest.test_case "MoML directory persistence" `Quick
             test_repo_persistence;
+          Alcotest.test_case "id validation" `Quick test_repo_id_validation;
+          Alcotest.test_case "save_dir sweeps stale temporaries" `Quick
+            test_repo_save_dir_sweeps_stale_tmp;
+          Alcotest.test_case "lenient directory load" `Quick
+            test_repo_lenient_load;
+          Alcotest.test_case "store round-trip" `Quick test_repo_store_roundtrip;
           Alcotest.test_case "versioned update" `Quick test_repo_update ] ) ]
