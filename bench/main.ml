@@ -42,6 +42,8 @@ module Json = Wolves_cli.Json
 module Benchgate = Wolves_cli.Benchgate
 module Metrics = Wolves_obs.Metrics
 module Par = Wolves_par.Par
+module Labels = Wolves_graph.Labels
+module Annot = Wolves_analysis.Annot
 
 (* Smoke mode: every section picks between its full workload and a
    seconds-scale stand-in, so CI can run the whole harness end to end. *)
@@ -1770,6 +1772,175 @@ let e_store () =
     !points total_ops step (fmt_s sweep_t)
 
 (* ------------------------------------------------------------------ *)
+(* E-ANALYZE                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuild [spec] with deterministic, consistent, deliberately partial
+   dependency annotations: roughly half the interior tasks get entries for
+   all but one output (so inference has completions to do), each entry
+   drawn from the task's real producers with one input sometimes dropped
+   (so dead data shows up too). *)
+let sprinkle_annotations ~seed spec =
+  let rng = Prng.create (seed lxor 0xA11075) in
+  let b = Spec.Builder.create ~name:(Spec.name spec) () in
+  List.iter (fun t -> ignore (Spec.Builder.add_task_exn b (Spec.task_name spec t)))
+    (Spec.tasks spec);
+  List.iter
+    (fun t ->
+      List.iter
+        (fun c ->
+          Spec.Builder.add_dependency_exn b (Spec.task_name spec t)
+            (Spec.task_name spec c))
+        (Spec.consumers spec t))
+    (Spec.tasks spec);
+  List.iter
+    (fun t ->
+      let inputs = Spec.producers spec t and outputs = Spec.consumers spec t in
+      if inputs <> [] && List.length outputs >= 2 && Prng.bool rng then
+        List.iteri
+          (fun i c ->
+            if i < List.length outputs - 1 then begin
+              let dropped = Prng.int rng (List.length inputs) in
+              let kept =
+                List.filteri
+                  (fun j _ -> j <> dropped || List.length inputs = 1)
+                  inputs
+              in
+              Spec.Builder.annotate_exn b (Spec.task_name spec t)
+                ~output:(Spec.task_name spec c)
+                (List.map (Spec.task_name spec) kept)
+            end)
+          outputs)
+    (Spec.tasks spec);
+  Spec.Builder.finish_exn b
+
+let e_analyze () =
+  section "E-ANALYZE"
+    "analysis claim: reachability-label pair probes run >= 10x faster \
+     than closure-row scans; build time and index size degrade with graph \
+     width (honest ablation: the closure wins both on this wide layered \
+     spec); annotation inference completes whole corpora at interactive \
+     rates";
+  let size = sm 30_000 3_000 in
+  let spec = Gen.generate Gen.Layered ~seed:11 ~size in
+  let g = Spec.graph spec in
+  Report.kv "size" (Json.Int size);
+  (* --- construction: label index vs dense closure --- *)
+  let budget = sm 0.5 0.1 in
+  let labels = ref None in
+  let label_build_t =
+    time_per_run ~budget (fun () -> labels := Some (Labels.compute g))
+  in
+  let reach = ref None in
+  let closure_build_t =
+    time_per_run ~budget (fun () -> reach := Some (Reach.compute g))
+  in
+  let labels = Option.get !labels and reach = Option.get !reach in
+  Report.kv "label_build_s" (Json.Float label_build_t);
+  Report.kv "closure_build_s" (Json.Float closure_build_t);
+  Report.kv "label_chains" (Json.Int (Labels.n_chains labels));
+  Report.kv "label_index_words" (Json.Int (Labels.index_words labels));
+  Report.kv "closure_words"
+    (Json.Int (size * ((size + 62) / 63)));
+  (* --- probe throughput --- *)
+  let n_pairs = sm 200_000 20_000 in
+  let rng = Prng.create 0xBEEF in
+  let pairs =
+    Array.init n_pairs (fun _ -> (Prng.int rng size, Prng.int rng size))
+  in
+  (* a reusable singleton bitset makes the row probe as cheap as it can be:
+     the O(n/w) subset scan is the cost being measured, not allocation *)
+  let singleton = Bitset.create size in
+  let rate t = float_of_int n_pairs /. t in
+  let label_hits = ref 0 in
+  let label_t =
+    time_per_run ~budget (fun () ->
+        label_hits := 0;
+        Array.iter
+          (fun (u, v) -> if Labels.reaches labels u v then incr label_hits)
+          pairs)
+  in
+  let row_hits = ref 0 in
+  let row_t =
+    time_per_run ~budget (fun () ->
+        row_hits := 0;
+        Array.iter
+          (fun (u, v) ->
+            Bitset.add singleton v;
+            if Reach.row_subset reach singleton u then incr row_hits;
+            Bitset.remove singleton v)
+          pairs)
+  in
+  (* honesty row: the closure's own O(1) pair probe, where the dense
+     representation wins — the labels' edge is space and build time *)
+  let pair_hits = ref 0 in
+  let pair_t =
+    time_per_run ~budget (fun () ->
+        pair_hits := 0;
+        Array.iter
+          (fun (u, v) -> if Reach.reaches reach u v then incr pair_hits)
+          pairs)
+  in
+  if !label_hits <> !row_hits || !label_hits <> !pair_hits then
+    failwith "E-ANALYZE: label probes disagree with the closure";
+  let speedup = rate label_t /. rate row_t in
+  Report.kv "label_probes_per_s" (Json.Float (rate label_t));
+  Report.kv "closure_row_probes_per_s" (Json.Float (rate row_t));
+  Report.kv "closure_pair_probes_per_s" (Json.Float (rate pair_t));
+  Report.kv "probe_speedup_vs_row" (Json.Float speedup);
+  (* --- inference throughput over an annotated corpus --- *)
+  let corpus_n = sm 500 50 in
+  let corpus =
+    List.init corpus_n (fun i ->
+        let family =
+          List.nth Gen.all_families (i mod List.length Gen.all_families)
+        in
+        sprinkle_annotations ~seed:i
+          (Gen.generate family ~seed:(i * 7 + 1) ~size:40))
+  in
+  let entries = ref 0 and iters = ref 0 in
+  let _, infer_t =
+    Render.time (fun () ->
+        List.iter
+          (fun s ->
+            let r = Annot.infer s in
+            iters := !iters + r.Annot.iterations;
+            List.iter
+              (fun inf ->
+                entries := !entries + List.length inf.Annot.inf_entries)
+              r.Annot.inferred)
+          corpus)
+  in
+  Report.kv "corpus_specs" (Json.Int corpus_n);
+  Report.kv "inference_specs_per_s"
+    (Json.Float (float_of_int corpus_n /. infer_t));
+  Report.kv "inferred_entries" (Json.Int !entries);
+  print_endline
+    (Table.render
+       ~align:[ Table.Left; Table.Right; Table.Right ]
+       ~header:[ "figure"; "labels"; "closure" ]
+       [ [ "build"; fmt_s label_build_t; fmt_s closure_build_t ];
+         [ "index words";
+           string_of_int (Labels.index_words labels);
+           string_of_int (size * ((size + 62) / 63)) ];
+         [ "pair probes/s";
+           Printf.sprintf "%.1fM" (rate label_t /. 1e6);
+           Printf.sprintf "%.1fM (row: %.2fM)" (rate pair_t /. 1e6)
+             (rate row_t /. 1e6) ] ]);
+  Printf.printf
+    "label pair probe is %.1fx the closure-row probe (target >= 10x)\n\
+     inference: %d specs with partial annotations -> %d inferred entries \
+     in %s (%.0f specs/s, %.1f flow fixpoints/spec)\n"
+    speedup corpus_n !entries (fmt_s infer_t)
+    (float_of_int corpus_n /. infer_t)
+    (float_of_int !iters /. float_of_int corpus_n);
+  if (not !smoke) && speedup < 10.0 then
+    failwith
+      (Printf.sprintf
+         "E-ANALYZE: label probes only %.1fx closure-row probes (need 10x)"
+         speedup)
+
+(* ------------------------------------------------------------------ *)
 (* Regression gate: --compare BASELINE.json                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1842,7 +2013,8 @@ let sections =
     ("E-MIXED", e_mixed); ("E-SUGGEST", e_suggest); ("E-SCHED", e_sched);
     ("E-TEMPLATES", e_templates); ("E-FAULT", e_fault);
     ("E-LINT", e_lint); ("E-TRACE", e_trace); ("E-PAR", e_par);
-    ("E-STORE", e_store); ("E-MICRO", e_bechamel) ]
+    ("E-STORE", e_store); ("E-ANALYZE", e_analyze);
+    ("E-MICRO", e_bechamel) ]
 
 let () =
   let json_out = ref None in

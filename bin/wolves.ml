@@ -1212,6 +1212,232 @@ let lint_cmd =
                $ threshold_arg $ fan_arg $ fix_flag $ sarif_arg $ json_arg
                $ color_arg $ metrics_arg $ trace_arg))
 
+(* --- analyze --- *)
+
+module Flow = Wolves_analysis.Flow
+module Annot = Wolves_analysis.Annot
+module Labels = Wolves_graph.Labels
+
+(* The static dependency analyses (fine-grained flow over [deps]
+   annotations) surfaced as a focused command: the annotation rules of the
+   lint engine, plus label-index diagnostics and annotation inference. *)
+let analyze_cmd =
+  let files_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Workflow documents to analyse ($(b,.wf) DSL or MoML).")
+  in
+  let labels_flag =
+    Arg.(value & flag & info [ "labels" ]
+           ~doc:"Build the reachability label index (rank + dominator \
+                 intervals + chains), cross-validate it against the dense \
+                 closure and report its size.")
+  in
+  let infer_flag =
+    Arg.(value & flag & info [ "infer" ]
+           ~doc:"Infer the minimal dependency annotations for every output \
+                 lacking an entry and print them as paste-ready $(b,deps) \
+                 blocks.")
+  in
+  let sarif_arg =
+    Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"OUT.sarif"
+           ~doc:"Also write a SARIF 2.1.0 report of the diagnostics to this \
+                 file.")
+  in
+  (* The DSL only admits quoted names; escape the two characters its
+     lexer understands. *)
+  let quote name =
+    let buf = Buffer.create (String.length name + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+        Buffer.add_char buf c)
+      name;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  in
+  let deps_block spec { Annot.inf_task; inf_entries } =
+    Printf.sprintf "  deps %s {%s }"
+      (quote (Spec.task_name spec inf_task))
+      (String.concat ""
+         (List.map
+            (fun (out, ins) ->
+              Printf.sprintf " %s <-%s;"
+                (quote (Spec.task_name spec out))
+                (String.concat ""
+                   (List.map
+                      (fun i -> " " ^ quote (Spec.task_name spec i))
+                      ins)))
+            inf_entries))
+  in
+  let load file =
+    if Filename.check_suffix file ".wf" then
+      match Wolves_lang.Wfdsl.load_with_source file with
+      | Ok (_, view, source) -> Ok (view, Some source)
+      | Error e -> Error (Format.asprintf "%a" Wolves_lang.Wfdsl.pp_error e)
+    else
+      match Moml.load file with
+      | Ok (_, view) -> Ok (view, None)
+      | Error e -> Error (Format.asprintf "%s: %a" file Moml.pp_error e)
+  in
+  let analysis_rules =
+    [ "spec/annotation-inconsistent"; "spec/annotation-incomplete";
+      "spec/dead-data"; "view/hidden-dependency" ]
+  in
+  let run files labels infer sarif json color metrics trace domains =
+    with_domains domains @@ fun () ->
+    let config =
+      { Lint.default_config with Lint.rules = Some analysis_rules }
+    in
+    let analyze_one file =
+      Result.map
+        (fun (view, source) ->
+          let spec = View.spec view in
+          let diagnostics = Lint.run ~config ~file ?source view in
+          let label_report =
+            if not labels then None
+            else begin
+              let index = Spec.labels spec in
+              let disagreement =
+                Labels.cross_validate index (Spec.reach spec)
+              in
+              Some (index, disagreement)
+            end
+          in
+          let inferred =
+            if infer then Some (Annot.infer spec) else None
+          in
+          (file, spec, diagnostics, label_report, inferred))
+        (load file)
+    in
+    let result =
+      with_observability metrics trace (fun () ->
+          List.fold_left
+            (fun acc file ->
+              match acc with
+              | Error _ as e -> e
+              | Ok rows -> Result.map (fun r -> r :: rows) (analyze_one file))
+            (Ok []) files)
+    in
+    match Result.map List.rev result with
+    | Error msg -> fail "%s" msg
+    | Ok rows ->
+      let diagnostics = List.concat_map (fun (_, _, ds, _, _) -> ds) rows in
+      Option.iter
+        (fun path -> write_file path (Sarif.report diagnostics))
+        sarif;
+      let labels_ok =
+        List.for_all
+          (fun (_, _, _, lr, _) ->
+            match lr with Some (_, Some _) -> false | _ -> true)
+          rows
+      in
+      if json then begin
+        let row_json (file, spec, ds, label_report, inferred) =
+          Json.Obj
+            (List.concat
+               [ [ ("file", Json.String file);
+                   ("diagnostics", Lint.to_json ds) ];
+                 (match label_report with
+                  | None -> []
+                  | Some (index, disagreement) ->
+                    [ ( "labels",
+                        Json.Obj
+                          [ ("tasks", Json.Int (Labels.graph_size index));
+                            ("chains", Json.Int (Labels.n_chains index));
+                            ( "index_words",
+                              Json.Int (Labels.index_words index) );
+                            ( "agrees_with_closure",
+                              Json.Bool (disagreement = None) ) ] ) ]);
+                 (match inferred with
+                  | None -> []
+                  | Some result ->
+                    [ ( "inferred",
+                        Json.List
+                          (List.map
+                             (fun i ->
+                               Json.Obj
+                                 [ ( "task",
+                                     Json.String
+                                       (Spec.task_name spec i.Annot.inf_task)
+                                   );
+                                   ( "entries",
+                                     Json.List
+                                       (List.map
+                                          (fun (o, ins) ->
+                                            Json.Obj
+                                              [ ( "output",
+                                                  Json.String
+                                                    (Spec.task_name spec o) );
+                                                ( "inputs",
+                                                  Json.List
+                                                    (List.map
+                                                       (fun p ->
+                                                         Json.String
+                                                           (Spec.task_name
+                                                              spec p))
+                                                       ins) ) ])
+                                          i.Annot.inf_entries) ) ])
+                             result.Annot.inferred) );
+                      ( "inference_iterations",
+                        Json.Int result.Annot.iterations ) ]) ])
+        in
+        print_endline
+          (Json.to_string ~pretty:true (Json.List (List.map row_json rows)))
+      end
+      else begin
+        List.iter
+          (fun (file, spec, ds, label_report, inferred) ->
+            if ds <> [] then print_string (Lint.to_terminal ~color ds);
+            (match label_report with
+             | None -> ()
+             | Some (index, disagreement) ->
+               (match disagreement with
+                | None ->
+                  Printf.printf
+                    "%s: label index over %d tasks: %d chains, %d words, \
+                     agrees with the dense closure\n"
+                    file (Labels.graph_size index) (Labels.n_chains index)
+                    (Labels.index_words index)
+                | Some (u, v) ->
+                  Printf.printf
+                    "%s: LABEL INDEX DISAGREES with the closure on tasks \
+                     (%s, %s)\n"
+                    file
+                    (Spec.task_name spec u)
+                    (Spec.task_name spec v)));
+            match inferred with
+            | None -> ()
+            | Some result ->
+              if result.Annot.inferred = [] then
+                Printf.printf
+                  "%s: every output already has a dependency entry\n" file
+              else begin
+                Printf.printf "%s: inferred annotations (paste into the \
+                               workflow block):\n"
+                  file;
+                List.iter
+                  (fun i -> print_endline (deps_block spec i))
+                  result.Annot.inferred
+              end)
+          rows
+      end;
+      if Lint.errors diagnostics > 0 || not labels_ok then exit 1 else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static dependency analysis over $(b,deps) annotations: validate \
+          them (inconsistent or incomplete entries), detect dead-data \
+          edges and hidden dependencies concealed by composites, \
+          cross-validate the reachability label index ($(b,--labels)) and \
+          infer minimal missing annotations ($(b,--infer)). Exits 1 when \
+          any error-severity diagnostic remains or a label index \
+          disagrees with the closure.")
+    Term.(ret (const run $ files_arg $ labels_flag $ infer_flag $ sarif_arg
+               $ json_arg $ color_arg $ metrics_arg $ trace_arg
+               $ domains_arg))
+
 let stats_cmd =
   let run file criterion json metrics =
     match load_view file with
@@ -1596,7 +1822,8 @@ let main =
   in
   Cmd.group
     (Cmd.info "wolves" ~version:"1.0.0" ~doc)
-    [ show_cmd; validate_cmd; lint_cmd; correct_cmd; split_cmd; merge_cmd;
+    [ show_cmd; validate_cmd; lint_cmd; analyze_cmd; correct_cmd; split_cmd;
+      merge_cmd;
       resolve_cmd; diagnose_cmd; provenance_cmd; query_cmd; simulate_cmd;
       stats_cmd; profile_cmd; suggest_cmd; evolve_cmd; edit_cmd; report_cmd;
       estimate_cmd; generate_cmd; audit_cmd; store_cmd ]

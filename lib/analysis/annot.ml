@@ -1,0 +1,116 @@
+module Metrics = Wolves_obs.Metrics
+open Wolves_workflow
+
+type issue =
+  | Not_an_output of { task : Spec.task; output : Spec.task }
+  | Not_an_input of { task : Spec.task; output : Spec.task; input : Spec.task }
+  | Duplicate_output of { task : Spec.task; output : Spec.task }
+  | Missing_output of { task : Spec.task; output : Spec.task }
+
+let pp_issue spec ppf issue =
+  let name t = Spec.task_name spec t in
+  match issue with
+  | Not_an_output { task; output } ->
+    Format.fprintf ppf
+      "task %S annotates an output %S, but %S is not one of its consumers"
+      (name task) (name output) (name output)
+  | Not_an_input { task; output; input } ->
+    Format.fprintf ppf
+      "task %S says its output to %S depends on %S, which is not one of its \
+       producers"
+      (name task) (name output) (name input)
+  | Duplicate_output { task; output } ->
+    Format.fprintf ppf "task %S annotates its output to %S more than once"
+      (name task) (name output)
+  | Missing_output { task; output } ->
+    Format.fprintf ppf
+      "task %S is annotated but its output to %S has no entry (treated as \
+       depending on all inputs)"
+      (name task) (name output)
+
+let is_inconsistency = function
+  | Not_an_output _ | Not_an_input _ | Duplicate_output _ -> true
+  | Missing_output _ -> false
+
+let validate spec =
+  let issues = ref [] in
+  let emit i = issues := i :: !issues in
+  List.iter
+    (fun task ->
+      let entries = Option.value ~default:[] (Spec.annotation spec task) in
+      let consumers = Spec.consumers spec task in
+      let producers = Spec.producers spec task in
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (output, inputs) ->
+          if not (List.mem output consumers) then
+            emit (Not_an_output { task; output })
+          else if Hashtbl.mem seen output then
+            emit (Duplicate_output { task; output })
+          else Hashtbl.replace seen output ();
+          List.iter
+            (fun input ->
+              if not (List.mem input producers) then
+                emit (Not_an_input { task; output; input }))
+            inputs)
+        entries;
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem seen c) then
+            emit (Missing_output { task; output = c }))
+        consumers)
+    (Spec.annotated_tasks spec);
+  List.rev !issues
+
+type inferred = {
+  inf_task : Spec.task;
+  inf_entries : (Spec.task * Spec.task list) list;
+}
+
+type result = {
+  inferred : inferred list;
+  iterations : int;
+}
+
+let t_infer = Metrics.timer "analysis.time.infer"
+
+let infer ?domains spec =
+  Metrics.time t_infer @@ fun () ->
+  (* Which (task, output) pairs need an entry: out-edges not covered by a
+     declared entry naming a real consumer. *)
+  let declared_covers task output =
+    match Spec.annotation spec task with
+    | None -> false
+    | Some entries -> List.exists (fun (o, _) -> o = output) entries
+  in
+  let candidates_from flow =
+    List.filter_map
+      (fun task ->
+        let missing =
+          List.filter (fun c -> not (declared_covers task c))
+            (Spec.consumers spec task)
+        in
+        if missing = [] then None
+        else
+          Some
+            ( task,
+              List.map
+                (fun c ->
+                  ( c,
+                    List.filter
+                      (fun p -> Flow.live flow ~producer:p ~consumer:task)
+                      (Spec.producers spec task) ))
+                missing ))
+      (Spec.tasks spec)
+  in
+  let iterations = ref 0 in
+  let rec fix assumed =
+    incr iterations;
+    let flow = Flow.compute ?domains ~assume:assumed spec in
+    let next = candidates_from flow in
+    if next = assumed then next else fix next
+  in
+  let stable = fix [] in
+  { inferred =
+      List.map (fun (t, es) -> { inf_task = t; inf_entries = es }) stable;
+    iterations = !iterations }

@@ -1,0 +1,52 @@
+(** Static validation and inference of dependency annotations.
+
+    Validation checks every declared entry against the graph; inference
+    completes partially (or entirely) unannotated tasks with the {e minimal
+    completion consistent with the declared annotations}: a missing entry
+    defaults to "all inputs", pruned of inputs whose incoming data is
+    provably dead — i.e. {!Flow} shows it can never influence a terminal
+    output no matter how the unannotated outputs behave. Inference is an
+    idempotent fixpoint: re-running it over a specification that already
+    carries the inferred entries (declared or assumed) reproduces them
+    exactly, because inserting them does not change the flow semantics. *)
+
+open Wolves_workflow
+
+type issue =
+  | Not_an_output of { task : Spec.task; output : Spec.task }
+      (** an entry names an output channel that is not an out-edge *)
+  | Not_an_input of { task : Spec.task; output : Spec.task; input : Spec.task }
+      (** an entry lists an input that is not an in-edge *)
+  | Duplicate_output of { task : Spec.task; output : Spec.task }
+      (** a later entry re-declares an output (entries are unioned, but the
+          duplication is almost certainly an editing mistake) *)
+  | Missing_output of { task : Spec.task; output : Spec.task }
+      (** the task is annotated, yet this out-edge has no entry — the
+          analyses fall back to "all inputs" for it *)
+
+val pp_issue : Spec.t -> Format.formatter -> issue -> unit
+
+val is_inconsistency : issue -> bool
+(** [true] for every constructor except [Missing_output] (incompleteness is
+    a warning, inconsistency an error). *)
+
+val validate : Spec.t -> issue list
+(** All issues, deterministically ordered: tasks by id, then declaration
+    order within a task, missing outputs last (consumer order). Tasks with
+    no annotation raise nothing — absence is a valid (coarse) state. *)
+
+type inferred = {
+  inf_task : Spec.task;
+  inf_entries : (Spec.task * Spec.task list) list;
+      (** one entry per output lacking a declared one, consumer order *)
+}
+
+type result = {
+  inferred : inferred list;  (** tasks with ≥ 1 missing entry, id order *)
+  iterations : int;          (** flow recomputations until the fixpoint *)
+}
+
+val infer : ?domains:int -> Spec.t -> result
+(** Iterates {!Flow.compute} with the candidate entries assumed until they
+    stop changing (converges on the second pass — the loop verifies rather
+    than trusts this). Timed under [analysis.time.infer]. *)

@@ -1,0 +1,132 @@
+module Digraph = Wolves_graph.Digraph
+module Algo = Wolves_graph.Algo
+module Par = Wolves_par.Par
+module Metrics = Wolves_obs.Metrics
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type stats = {
+  applications : int;
+  rounds : int;
+}
+
+let c_iters = Metrics.counter "analysis.fixpoint_iters"
+let t_fixpoint = Metrics.timer "analysis.time.fixpoint"
+
+(* Reverse postorder of an iterative DFS over [next], covering every node —
+   the processing order for the cyclic fallback (for DAGs the topological
+   sort is already the forward RPO). *)
+let rpo_of next n =
+  let visited = Array.make n false in
+  let out = ref [] in
+  for root = 0 to n - 1 do
+    if not visited.(root) then begin
+      visited.(root) <- true;
+      let stack = ref [ (root, next root) ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (v, []) :: rest ->
+          out := v :: !out;
+          stack := rest
+        | (v, w :: ws) :: rest ->
+          stack := (v, ws) :: rest;
+          if not visited.(w) then begin
+            visited.(w) <- true;
+            stack := (w, next w) :: !stack
+          end
+      done
+    end
+  done;
+  !out
+
+module Make (L : LATTICE) = struct
+  let solve ?domains ~direction ~graph ~init ~transfer () =
+    Metrics.time t_fixpoint @@ fun () ->
+    let n = Digraph.n_nodes graph in
+    let domains =
+      match domains with Some d -> d | None -> Par.default_domains ()
+    in
+    let inputs v =
+      match direction with
+      | Forward -> Digraph.pred graph v
+      | Backward -> Digraph.succ graph v
+    in
+    let value = Array.make n None in
+    let get v = match value.(v) with Some x -> x | None -> assert false in
+    let eval v =
+      let acc =
+        List.fold_left (fun acc w -> L.join acc (get w)) (init v) (inputs v)
+      in
+      transfer v acc
+    in
+    match Algo.topological_sort graph with
+    | Some topo ->
+      (* DAG: one pass in direction order is the least fixpoint. *)
+      let order = match direction with Forward -> topo | Backward -> List.rev topo in
+      if domains <= 1 || n < 2 then
+        List.iter (fun v -> value.(v) <- Some (eval v)) order
+      else begin
+        (* Longest-path levels over the in-neighbour relation: every
+           in-neighbour of a level-l node sits strictly below l, so each
+           level is a dependency-free batch. *)
+        let level = Array.make n 0 in
+        let max_level = ref 0 in
+        List.iter
+          (fun v ->
+            let l =
+              List.fold_left (fun acc w -> max acc (level.(w) + 1)) 0 (inputs v)
+            in
+            level.(v) <- l;
+            if l > !max_level then max_level := l)
+          order;
+        let buckets = Array.make (!max_level + 1) [] in
+        for v = n - 1 downto 0 do
+          buckets.(level.(v)) <- v :: buckets.(level.(v))
+        done;
+        Array.iter
+          (fun nodes ->
+            let nodes = Array.of_list nodes in
+            Par.parallel_for ~domains (Array.length nodes) (fun i ->
+                let v = nodes.(i) in
+                value.(v) <- Some (eval v)))
+          buckets
+      end;
+      Metrics.add c_iters n;
+      (Array.map (fun v -> Option.get v) value, { applications = n; rounds = 1 })
+    | None ->
+      (* Cyclic: sequential round-robin over the direction's RPO until a
+         full pass stabilises. *)
+      let next v =
+        match direction with
+        | Forward -> Digraph.succ graph v
+        | Backward -> Digraph.pred graph v
+      in
+      let order = rpo_of next n in
+      List.iter (fun v -> value.(v) <- Some (init v)) order;
+      let applications = ref 0 and rounds = ref 0 in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        incr rounds;
+        List.iter
+          (fun v ->
+            incr applications;
+            let fresh = eval v in
+            if not (L.equal fresh (get v)) then begin
+              value.(v) <- Some fresh;
+              changed := true
+            end)
+          order
+      done;
+      Metrics.add c_iters !applications;
+      ( Array.map (fun v -> Option.get v) value,
+        { applications = !applications; rounds = !rounds } )
+end

@@ -1,0 +1,57 @@
+(** A generic monotone dataflow framework over {!Wolves_graph.Digraph}.
+
+    Instantiate {!Make} with a join-semilattice, then {!Make.solve} computes
+    the least fixpoint of
+
+    {v value(v) = transfer v (join over value(w) for w in-neighbours of v) v}
+
+    where "in-neighbour" means predecessor for a {!Forward} analysis and
+    successor for a {!Backward} one, and the node's own [init] seed enters
+    the join alongside the neighbours.
+
+    Scheduling: nodes are processed in reverse postorder of the analysis
+    direction. On a DAG one pass is a fixpoint, and with [domains > 1] the
+    pass is parallelised by longest-path level sets via {!Wolves_par.Par}
+    (all in-neighbours of a level live in earlier levels, so the level is a
+    dependency-free batch; per-node join order is the insertion order either
+    way, so results are identical to sequential at every domain count). On a
+    cyclic graph the framework falls back to sequential round-robin passes
+    over the reverse postorder until a full pass changes nothing — the
+    classic iterative algorithm, terminating for monotone transfers on
+    finite-height lattices.
+
+    Transfer applications are counted into the [analysis.fixpoint_iters]
+    counter and the whole solve is timed under [analysis.time.fixpoint]. *)
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  (** Used only on the cyclic fallback path, to detect stabilisation. *)
+
+  val join : t -> t -> t
+  (** [join acc v]: least upper bound. May destructively reuse [acc] —
+      which is always the node's in-flight accumulator, never a stored
+      value — but must not mutate [v]. *)
+end
+
+type stats = {
+  applications : int;  (** transfer applications performed *)
+  rounds : int;        (** full passes over the node order *)
+}
+
+module Make (L : LATTICE) : sig
+  val solve :
+    ?domains:int ->
+    direction:direction ->
+    graph:Wolves_graph.Digraph.t ->
+    init:(int -> L.t) ->
+    transfer:(int -> L.t -> L.t) ->
+    unit ->
+    L.t array * stats
+  (** [init v] must return a fresh value each call (it seeds the node's
+      accumulator, which [join] may mutate). [transfer] must be safe to run
+      concurrently for independent nodes when [domains > 1]. *)
+end

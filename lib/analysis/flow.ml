@@ -1,0 +1,174 @@
+module Digraph = Wolves_graph.Digraph
+module Bitset = Wolves_graph.Bitset
+module Metrics = Wolves_obs.Metrics
+open Wolves_workflow
+
+type t = {
+  spec : Spec.t;
+  edges : (int * int) array;
+  edge_of : (int * int, int) Hashtbl.t;
+  alpha : int list array;     (* per edge (x,c): effective producers of x
+                                 feeding that output, in producer order *)
+  sources : Bitset.t array;   (* per edge: influencing tasks *)
+  node_sources : Bitset.t array; (* per task: {self} ∪ in-edge sources *)
+  live_edges : bool array;
+  stats : Dataflow.stats;
+}
+
+module Bits = Dataflow.Make (struct
+  type t = Bitset.t
+
+  let equal = Bitset.equal
+
+  let join acc v =
+    Bitset.union_into ~into:acc v;
+    acc
+end)
+
+module Bool_lattice = Dataflow.Make (struct
+  type t = bool
+
+  let equal = Bool.equal
+  let join = ( || )
+end)
+
+let t_flow = Metrics.timer "analysis.time.flow"
+
+let compute ?domains ?(assume = []) spec =
+  Metrics.time t_flow @@ fun () ->
+  let g = Spec.graph spec in
+  let n = Spec.n_tasks spec in
+  let m = Digraph.n_edges g in
+  let edges = Array.make (max m 1) (0, 0) in
+  let edge_of = Hashtbl.create (2 * m) in
+  let idx = ref 0 in
+  Digraph.iter_edges
+    (fun u v ->
+      edges.(!idx) <- (u, v);
+      Hashtbl.replace edge_of (u, v) !idx;
+      incr idx)
+    g;
+  let edges = if m = 0 then [||] else Array.sub edges 0 m in
+  (* Effective entries: declared+assumed entries per (task, consumer),
+     unioned and filtered to real producers; outputs with no entry default
+     to every producer. Non-edge references are dropped here — Annot
+     reports them, the flow semantics ignores them. *)
+  let entries_of x =
+    let declared = Option.value ~default:[] (Spec.annotation spec x) in
+    let assumed =
+      List.concat_map (fun (t, es) -> if t = x then es else []) assume
+    in
+    declared @ assumed
+  in
+  let alpha = Array.make (max m 1) [] in
+  for x = 0 to n - 1 do
+    let producers = Spec.producers spec x in
+    let entries = entries_of x in
+    List.iter
+      (fun c ->
+        match Hashtbl.find_opt edge_of (x, c) with
+        | None -> ()
+        | Some e ->
+          let named =
+            List.filter_map
+              (fun (out, ins) -> if out = c then Some ins else None)
+              entries
+          in
+          if named = [] then alpha.(e) <- producers
+          else
+            let ins = List.concat named in
+            alpha.(e) <-
+              List.filter
+                (fun p -> List.mem p ins && Hashtbl.mem edge_of (p, x))
+                producers)
+      (Spec.consumers spec x)
+  done;
+  let alpha = if m = 0 then [||] else alpha in
+  (* The annotation-respecting line graph: (p,x) -> (x,c) iff p ∈ α(x,c). *)
+  let line = Digraph.create ~initial_capacity:(max m 1) () in
+  Digraph.add_nodes line m;
+  Array.iteri
+    (fun e (x, _c) ->
+      List.iter
+        (fun p ->
+          match Hashtbl.find_opt edge_of (p, x) with
+          | Some f -> Digraph.add_edge line f e
+          | None -> assert false (* alpha is filtered to real in-edges *))
+        alpha.(e))
+    edges;
+  let sources, fstats =
+    Bits.solve ?domains ~direction:Dataflow.Forward ~graph:line
+      ~init:(fun e ->
+        let s = Bitset.create n in
+        Bitset.add s (fst edges.(e));
+        s)
+      ~transfer:(fun _ acc -> acc)
+      ()
+  in
+  let live_edges, bstats =
+    Bool_lattice.solve ?domains ~direction:Dataflow.Backward ~graph:line
+      ~init:(fun e -> Digraph.out_degree g (snd edges.(e)) = 0)
+      ~transfer:(fun _ acc -> acc)
+      ()
+  in
+  let node_sources =
+    Array.init n (fun v ->
+        let s = Bitset.create n in
+        Bitset.add s v;
+        List.iter
+          (fun p ->
+            match Hashtbl.find_opt edge_of (p, v) with
+            | Some e -> Bitset.union_into ~into:s sources.(e)
+            | None -> assert false)
+          (Spec.producers spec v);
+        s)
+  in
+  { spec;
+    edges;
+    edge_of;
+    alpha;
+    sources;
+    node_sources;
+    live_edges;
+    stats =
+      { applications = fstats.applications + bstats.applications;
+        rounds = max fstats.rounds bstats.rounds } }
+
+let spec t = t.spec
+
+let n_edges t = Array.length t.edges
+
+let edge_index t p c what =
+  match Hashtbl.find_opt t.edge_of (p, c) with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Flow.%s: %d -> %d is not a dependency edge" what p c)
+
+let effective_entry t x ~output =
+  t.alpha.(edge_index t x output "effective_entry")
+
+let edge_sources t ~producer ~consumer =
+  Bitset.elements t.sources.(edge_index t producer consumer "edge_sources")
+
+let fine_depends t u v =
+  if v < 0 || v >= Array.length t.node_sources then
+    invalid_arg (Printf.sprintf "Flow.fine_depends: unknown task %d" v);
+  u = v || Bitset.mem t.node_sources.(v) u
+
+let depends_on t v =
+  if v < 0 || v >= Array.length t.node_sources then
+    invalid_arg (Printf.sprintf "Flow.depends_on: unknown task %d" v);
+  List.filter (fun u -> u <> v) (Bitset.elements t.node_sources.(v))
+
+let live t ~producer ~consumer =
+  t.live_edges.(edge_index t producer consumer "live")
+
+let dead_edges t =
+  let out = ref [] in
+  Array.iteri
+    (fun e pc -> if not t.live_edges.(e) then out := pc :: !out)
+    t.edges;
+  List.rev !out
+
+let stats t = t.stats

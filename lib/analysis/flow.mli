@@ -1,0 +1,69 @@
+(** Fine-grained dependency flow: the dataflow analysis behind dependency
+    annotations (Bowers et al., "Validation and Inference of Schema-Level
+    Workflow Data-Dependency Annotations").
+
+    The unit of data is the {e edge} of the workflow graph: the item a
+    producer sends one consumer. A task's annotation ({!Wolves_workflow.Spec.Builder.annotate})
+    restricts which inputs each of its outputs draws on; outputs without an
+    entry (and tasks with no annotation) default to {e all} inputs.
+    Two analyses run over the {e annotation-respecting line graph} — node
+    per workflow edge, line edge [(p,x) → (x,c)] exactly when x's effective
+    entry for output [c] contains input [p]:
+
+    - {e forward sources}: for every edge, the set of tasks whose data
+      influences the item it carries — the fine-grained provenance relation
+      ([sources (x,c) = {x} ∪ ⋃ sources (p,x)] over [p] in the entry);
+    - {e backward liveness}: whether an edge's item can still influence any
+      terminal output ([live (x,c)] iff [c] is a sink or some live out-edge
+      of [c] draws on input [x]). Dead edges feed [spec/dead-data].
+
+    Both are instances of {!Dataflow.Make}; with no annotations present the
+    fine-grained relation degenerates to plain reachability and every edge
+    is live. Inconsistent annotation references (non-neighbour names, see
+    {!Annot.validate}) are ignored here — they denote no edge. *)
+
+open Wolves_workflow
+
+type t
+
+val compute :
+  ?domains:int ->
+  ?assume:(Spec.task * (Spec.task * Spec.task list) list) list ->
+  Spec.t ->
+  t
+(** Run both analyses. [assume] supplies additional annotation entries,
+    treated as if declared (appended after the task's real entries) — the
+    inference loop uses it to test candidate annotations without rebuilding
+    the specification. Timed under [analysis.time.flow]. *)
+
+val spec : t -> Spec.t
+
+val n_edges : t -> int
+
+val effective_entry : t -> Spec.task -> output:Spec.task -> Spec.task list
+(** The producer set actually used for output [(task, output)]: the
+    declared (plus assumed) entries unioned and filtered to real
+    producers, or every producer when no entry covers the output.
+    @raise Invalid_argument when [(task, output)] is not an edge. *)
+
+val edge_sources : t -> producer:Spec.task -> consumer:Spec.task -> Spec.task list
+(** Tasks whose data influences the item carried by the given edge,
+    increasing id order. @raise Invalid_argument when not an edge. *)
+
+val fine_depends : t -> Spec.task -> Spec.task -> bool
+(** [fine_depends f u v]: does [u]'s data influence [v] under the
+    fine-grained semantics? Reflexive; implies [Spec.depends u v], and
+    coincides with it on annotation-free specifications. *)
+
+val depends_on : t -> Spec.task -> Spec.task list
+(** All tasks a task fine-depends on, itself excluded, increasing order. *)
+
+val live : t -> producer:Spec.task -> consumer:Spec.task -> bool
+(** @raise Invalid_argument when not an edge. *)
+
+val dead_edges : t -> (Spec.task * Spec.task) list
+(** Edges whose item provably never influences a terminal output, in the
+    graph's edge-iteration order. Empty on annotation-free specs. *)
+
+val stats : t -> Dataflow.stats
+(** Combined transfer counts of the two underlying fixpoints. *)

@@ -65,6 +65,38 @@ let dominates t d v =
   let rec climb v = if v = d then true else if v = t.n then false else climb t.idom.(v) in
   climb v
 
+let tree_intervals t =
+  (* Pre/post DFS numbering of the dominator tree: [d] dominates [v] iff
+     [pre d <= pre v && post v <= post d]. Children are visited in
+     decreasing node order (they were consed in increasing order below), so
+     the numbering is deterministic. The virtual root gets no numbers; its
+     children are the forest roots. *)
+  let children = Array.make (t.n + 1) [] in
+  for v = t.n - 1 downto 0 do
+    children.(t.idom.(v)) <- v :: children.(t.idom.(v))
+  done;
+  let pre = Array.make t.n 0 and post = Array.make t.n 0 in
+  let counter = ref 0 in
+  let visit root =
+    let stack = ref [ (root, children.(root)) ] in
+    pre.(root) <- !counter;
+    incr counter;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (v, []) :: rest ->
+        post.(v) <- !counter;
+        incr counter;
+        stack := rest
+      | (v, c :: cs) :: rest ->
+        pre.(c) <- !counter;
+        incr counter;
+        stack := (c, children.(c)) :: (v, cs) :: rest
+    done
+  in
+  List.iter visit children.(t.n);
+  (pre, post)
+
 let common t nodes =
   match nodes with
   | [] -> invalid_arg "Dominators.common: empty list"

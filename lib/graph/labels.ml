@@ -1,0 +1,104 @@
+type t = {
+  n : int;
+  rank : int array;       (* topological position; u ⇝ v (u ≠ v) forces
+                             rank u < rank v, so >= refutes in O(1) *)
+  dom_pre : int array;    (* dominator-tree DFS intervals: ancestor in the
+                             dominator tree proves reachability in O(1) *)
+  dom_post : int array;
+  chains : Chains.t;      (* authoritative O(1) oracle *)
+  interval : Interval.t;  (* independent witness for cross-validation *)
+}
+
+let compute g =
+  let order =
+    match Algo.topological_sort g with
+    | Some order -> order
+    | None -> invalid_arg "Labels.compute: graph has a cycle"
+  in
+  let n = Digraph.n_nodes g in
+  let rank = Array.make n 0 in
+  List.iteri (fun i v -> rank.(v) <- i) order;
+  let dom = Dominators.compute g in
+  let dom_pre, dom_post = Dominators.tree_intervals dom in
+  { n;
+    rank;
+    dom_pre;
+    dom_post;
+    chains = Chains.compute g;
+    interval = Interval.compute g }
+
+let graph_size t = t.n
+
+let check t v =
+  if v < 0 || v >= t.n then
+    invalid_arg (Printf.sprintf "Labels: unknown node %d" v)
+
+let reaches t u v =
+  check t u;
+  check t v;
+  if u = v then true
+  else if t.rank.(u) >= t.rank.(v) then false
+  else if t.dom_pre.(u) <= t.dom_pre.(v) && t.dom_post.(v) <= t.dom_post.(u)
+  then true (* u dominates v: every root-to-v path passes u, and one exists *)
+  else Chains.reaches t.chains u v
+
+let n_chains t = Chains.n_chains t.chains
+
+let index_words t =
+  Chains.index_words t.chains
+  + (3 * t.n) (* rank + dominator pre/post *)
+  + (2 * Interval.n_intervals t.interval)
+  + t.n (* the interval index's postorder numbers *)
+
+let disagrees t reach u v =
+  let expected = Reach.reaches reach u v in
+  reaches t u v <> expected
+  || Chains.reaches t.chains u v <> expected
+  || Interval.reaches t.interval u v <> expected
+
+let cross_validate t reach =
+  if Reach.graph_size reach <> t.n then
+    invalid_arg "Labels.cross_validate: closure indexes a different graph";
+  let bad = ref None in
+  (try
+     for u = 0 to t.n - 1 do
+       for v = 0 to t.n - 1 do
+         if disagrees t reach u v then begin
+           bad := Some (u, v);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !bad
+
+let cross_validate_sampled t reach ~seed ~samples =
+  if Reach.graph_size reach <> t.n then
+    invalid_arg "Labels.cross_validate_sampled: closure indexes a different graph";
+  if t.n = 0 then None
+  else begin
+    (* SplitMix64-style mixing keeps the pair choice deterministic without
+       touching any global PRNG state. *)
+    let state = ref (Int64.of_int (seed lxor 0x9e3779b9)) in
+    let next () =
+      state := Int64.add !state 0x9e3779b97f4a7c15L;
+      let z = !state in
+      let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+                0xbf58476d1ce4e5b9L in
+      let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+                0x94d049bb133111ebL in
+      let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+      Int64.to_int (Int64.logand z 0x3fffffffffffffffL)
+    in
+    let bad = ref None in
+    (try
+       for _ = 1 to samples do
+         let u = next () mod t.n and v = next () mod t.n in
+         if disagrees t reach u v then begin
+           bad := Some (u, v);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !bad
+  end

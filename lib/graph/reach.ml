@@ -118,6 +118,10 @@ let reaches r u v =
   check r v;
   Bitset.mem r.rows.(u) v
 
+let row_subset r set v =
+  check r v;
+  Bitset.subset set r.rows.(v)
+
 let descendants r v =
   check r v;
   (* A fresh copy: the internal row may be shared between the nodes of an

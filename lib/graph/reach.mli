@@ -35,6 +35,13 @@ val reaches : t -> int -> int -> bool
 (** [reaches r u v] is [true] iff there is a (possibly empty) directed path
     from [u] to [v]. Reflexive: [reaches r v v = true]. *)
 
+val row_subset : t -> Bitset.t -> int -> bool
+(** [row_subset r set v]: is every member of [set] reachable from [v]? One
+    subset test against the internal descendant row — no copy, but the scan
+    runs over all of [set]'s words (O(n/w)) even when [set] is sparse. This
+    is the "closure row" probe E-ANALYZE compares against O(1) label
+    probes. *)
+
 val descendants : t -> int -> Bitset.t
 (** The set of nodes reachable from a node, as a {e fresh} set the caller
     owns and may mutate freely. Reflexive, like {!reaches}:

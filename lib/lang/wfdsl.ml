@@ -27,6 +27,7 @@ type token =
   | Kw_workflow
   | Kw_task
   | Kw_composite
+  | Kw_deps
   | Name of string
   | Lbrace
   | Rbrace
@@ -36,6 +37,7 @@ type token =
   | Comma
   | Semi
   | Arrow
+  | Larrow
   | End
 
 type lexeme = {
@@ -96,6 +98,13 @@ let tokenize input =
         push Arrow l0 c0
       end
       else fail l0 c0 "expected '->'"
+    | '<' ->
+      advance ();
+      if !pos < n && input.[!pos] = '-' then begin
+        advance ();
+        push Larrow l0 c0
+      end
+      else fail l0 c0 "expected '<-'"
     | '"' ->
       advance ();
       let buf = Buffer.create 16 in
@@ -137,6 +146,7 @@ let tokenize input =
        | "workflow" -> push Kw_workflow l0 c0
        | "task" -> push Kw_task l0 c0
        | "composite" -> push Kw_composite l0 c0
+       | "deps" -> push Kw_deps l0 c0
        | other -> fail l0 c0 "unknown keyword %S (names are quoted)" other)
     | other -> fail l0 c0 "unexpected character %C" other
   done;
@@ -148,6 +158,10 @@ type statement =
   | St_task of string * int * int * (string * string) list
   | St_chain of (string * int * int) list  (* >= 2 names *)
   | St_composite of string * int * int * (string * int * int) list
+  | St_deps of
+      string * int * int
+      * ((string * int * int) * (string * int * int) list) list
+      (* task, position, entries: (output name, input names) *)
 
 type stream = {
   mutable rest : lexeme list;
@@ -221,6 +235,40 @@ let parse_statements st =
           fail lx.l_line lx.l_column "expected a member name or '}'"
       done;
       statements := St_composite (name, l, c, List.rev !members) :: !statements
+    | Kw_deps ->
+      advance st;
+      let name, l, c = expect_name st "a task name" in
+      expect st Lbrace "'{'";
+      let entries = ref [] in
+      let inner = ref true in
+      while !inner do
+        match (peek st).token with
+        | Rbrace ->
+          advance st;
+          inner := false
+        | Name _ ->
+          let output = expect_name st "an output (consumer task) name" in
+          expect st Larrow "'<-'";
+          let inputs = ref [] in
+          let entry_open = ref true in
+          while !entry_open do
+            match (peek st).token with
+            | Name _ ->
+              inputs :=
+                expect_name st "an input (producer task) name" :: !inputs
+            | Semi ->
+              advance st;
+              entry_open := false
+            | _ ->
+              let lx = peek st in
+              fail lx.l_line lx.l_column "expected an input name or ';'"
+          done;
+          entries := (output, List.rev !inputs) :: !entries
+        | _ ->
+          let lx = peek st in
+          fail lx.l_line lx.l_column "expected an output entry or '}'"
+      done;
+      statements := St_deps (name, l, c, List.rev !entries) :: !statements
     | Name _ ->
       let first = expect_name st "a task name" in
       let chain = ref [ first ] in
@@ -273,6 +321,8 @@ type source_map = {
   task_decls : (string * position) list;
   edge_occurrences : ((string * string) * position) list;
   composite_decls : (string * position) list;
+  deps_decls : (string * position) list;
+  deps_entries : ((string * string) * position) list;
 }
 
 let pos (l, c) = { pos_line = l; pos_column = c }
@@ -287,7 +337,7 @@ let of_string_with_source input =
         | St_task (name, l, c, _) ->
           if Hashtbl.mem declared name then fail l c "task %S declared twice" name
           else Hashtbl.replace declared name (l, c)
-        | St_chain _ | St_composite _ -> ())
+        | St_chain _ | St_composite _ | St_deps _ -> ())
       statements;
     let check_declared (name, l, c) =
       if not (Hashtbl.mem declared name) then
@@ -305,13 +355,27 @@ let of_string_with_source input =
             | [ _ ] | [] -> ()
           in
           pairs chain
-        | St_task _ | St_composite _ -> ())
+        | St_task _ | St_composite _ | St_deps _ -> ())
+      statements;
+    (* Deps blocks: every referenced name must be declared (with a precise
+       position), but outputs/inputs need not be graph neighbours — the
+       analysis layer diagnoses that, not the parser. *)
+    List.iter
+      (function
+        | St_deps (name, l, c, entries) ->
+          check_declared (name, l, c);
+          List.iter
+            (fun (output, inputs) ->
+              check_declared output;
+              List.iter check_declared inputs)
+            entries
+        | St_task _ | St_chain _ | St_composite _ -> ())
       statements;
     let tasks =
       List.filter_map
         (function
           | St_task (n, _, _, _) -> Some n
-          | St_chain _ | St_composite _ -> None)
+          | St_chain _ | St_composite _ | St_deps _ -> None)
         statements
     in
     let build () =
@@ -338,6 +402,12 @@ let of_string_with_source input =
                     step
                       (fun (key, value) -> Spec.Builder.set_attr b n ~key value)
                       attrs
+                  | St_deps (task, _, _, entries) ->
+                    step
+                      (fun ((output, _, _), inputs) ->
+                        Spec.Builder.annotate b task ~output
+                          (List.map (fun (i, _, _) -> i) inputs))
+                      entries
                   | St_chain _ | St_composite _ -> Ok ())
                 statements
             with
@@ -361,7 +431,7 @@ let of_string_with_source input =
                   else Hashtbl.replace covered m ())
                 members;
               Some (name, List.map (fun (m, _, _) -> m) members)
-            | St_task _ | St_chain _ -> None)
+            | St_task _ | St_chain _ | St_deps _ -> None)
           statements
       in
       let singletons =
@@ -380,7 +450,7 @@ let of_string_with_source input =
                List.filter_map
                  (function
                    | St_task (n, l, c, _) -> Some (n, pos (l, c))
-                   | St_chain _ | St_composite _ -> None)
+                   | St_chain _ | St_composite _ | St_deps _ -> None)
                  statements;
              edge_occurrences =
                List.rev_map (fun (e, p) -> (e, pos p)) !edges;
@@ -388,7 +458,22 @@ let of_string_with_source input =
                List.filter_map
                  (function
                    | St_composite (n, l, c, _) -> Some (n, pos (l, c))
-                   | St_task _ | St_chain _ -> None)
+                   | St_task _ | St_chain _ | St_deps _ -> None)
+                 statements;
+             deps_decls =
+               List.filter_map
+                 (function
+                   | St_deps (n, l, c, _) -> Some (n, pos (l, c))
+                   | St_task _ | St_chain _ | St_composite _ -> None)
+                 statements;
+             deps_entries =
+               List.concat_map
+                 (function
+                   | St_deps (n, _, _, entries) ->
+                     List.map
+                       (fun ((o, l, c), _) -> ((n, o), pos (l, c)))
+                       entries
+                   | St_task _ | St_chain _ | St_composite _ -> [])
                  statements }
          in
          Ok (spec, view, source))
@@ -440,6 +525,25 @@ let to_string view =
            (quote (Spec.task_name spec u))
            (quote (Spec.task_name spec v))))
     (Spec.graph spec);
+  let annotated = Spec.annotated_tasks spec in
+  if annotated <> [] then Buffer.add_char buf '\n';
+  List.iter
+    (fun t ->
+      let entries = Option.value ~default:[] (Spec.annotation spec t) in
+      Buffer.add_string buf
+        (Printf.sprintf "  deps %s {%s }\n"
+           (quote (Spec.task_name spec t))
+           (String.concat ""
+              (List.map
+                 (fun (out, ins) ->
+                   Printf.sprintf " %s <-%s;"
+                     (quote (Spec.task_name spec out))
+                     (String.concat ""
+                        (List.map
+                           (fun i -> " " ^ quote (Spec.task_name spec i))
+                           ins)))
+                 entries))))
+    annotated;
   let explicit =
     List.filter
       (fun c ->

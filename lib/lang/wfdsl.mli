@@ -23,10 +23,26 @@
     statement := 'task' NAME attrs? ';'
                | NAME ('->' NAME)+ ';'
                | 'composite' NAME '{' NAME* '}'
+               | 'deps' NAME '{' entry* '}'
     attrs     := '[' NAME '=' NAME (',' NAME '=' NAME)* ']'
+    entry     := NAME '<-' NAME* ';'
     v}
 
-    Edges may reference tasks declared anywhere in the document. *)
+    Edges may reference tasks declared anywhere in the document.
+
+    A [deps] block carries optional {e dependency annotations} for one
+    task: each entry says that the data the task sends to one consumer
+    (the entry's left-hand name) depends on exactly the data it receives
+    from the listed producers — an empty right-hand side marks an output
+    generated from no input. Unannotated outputs are treated as depending
+    on all inputs. Referenced names must be declared tasks, but are {e not}
+    required to be graph neighbours: the [wolves analyze] / lint layer
+    reports non-neighbour references ([spec/annotation-inconsistent])
+    rather than the parser rejecting the document:
+
+    {v
+    deps "align" { "display" <- "split"; "audit" <-; }
+    v} *)
 
 open Wolves_workflow
 
@@ -67,6 +83,11 @@ type source_map = {
           name's occurrence in that statement *)
   composite_decls : (string * position) list;
       (** every explicit [composite] block, document order *)
+  deps_decls : (string * position) list;
+      (** every [deps] block's task name, document order *)
+  deps_entries : ((string * string) * position) list;
+      (** every annotation entry as written, document order, {e duplicates
+          kept}: ((task, output), position of the output name) *)
 }
 
 val of_string_with_source : string -> (Spec.t * View.t * source_map, error) result

@@ -53,6 +53,7 @@ type fix =
   | Merge_composites of string * string
   | Rename_composite of string * string
   | Canonicalize of string
+  | Add_annotation of string * (string * string list) list
 
 let fix_description = function
   | Drop_edge (a, b) -> Printf.sprintf "drop the redundant edge %S -> %S" a b
@@ -61,6 +62,15 @@ let fix_description = function
   | Rename_composite (old_, new_) ->
     Printf.sprintf "rename composite %S to %S" old_ new_
   | Canonicalize what -> Printf.sprintf "re-render canonically (%s)" what
+  | Add_annotation (task, entries) ->
+    Printf.sprintf "annotate task %S with inferred entries: %s" task
+      (String.concat "; "
+         (List.map
+            (fun (output, inputs) ->
+              Printf.sprintf "%S <- %s" output
+                (if inputs = [] then "(nothing)"
+                 else String.concat " " (List.map (Printf.sprintf "%S") inputs)))
+            entries))
 
 type t = {
   rule : string;

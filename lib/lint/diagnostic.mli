@@ -61,6 +61,9 @@ type fix =
   | Canonicalize of string
       (** resolved by re-rendering the canonical form (e.g. duplicate edge
           statements collapse); the string describes what goes away *)
+  | Add_annotation of string * (string * string list) list
+      (** insert inferred dependency-annotation entries (output, inputs)
+          into the task's [deps] block, completing a partial annotation *)
 
 val fix_description : fix -> string
 

@@ -18,12 +18,17 @@ let pp_applied ppf a =
 let c_fixes = Metrics.counter "lint.fixes"
 let c_rounds = Metrics.counter "lint.fix_rounds"
 
-(* Rebuild the view on a specification with some edges dropped and some
-   composites renamed. Task attributes and the partition are preserved;
-   dropped edges are redundant, so reachability — and with it every
-   soundness verdict — is unchanged. *)
-let rebuild view ~drop_edges ~renames =
-  if drop_edges = [] && renames = [] then view
+(* Rebuild the view on a specification with some edges dropped, some
+   composites renamed and some annotation entries added. Task attributes,
+   annotations and the partition are preserved; dropped edges are
+   redundant, so reachability — and with it every soundness verdict — is
+   unchanged. Annotation entries referencing an edge dropped in this round
+   are pruned with it (including added ones: an inferred entry may name a
+   producer whose redundant edge goes away in the same batch); references
+   that were already inconsistent are kept verbatim so the error stays
+   visible. *)
+let rebuild view ~drop_edges ~renames ~add_annots =
+  if drop_edges = [] && renames = [] && add_annots = [] then view
   else begin
     let spec = View.spec view in
     let b = Spec.Builder.create ~name:(Spec.name spec) () in
@@ -41,6 +46,25 @@ let rebuild view ~drop_edges ~renames =
         if not (List.mem edge drop_edges) then
           Spec.Builder.add_dependency_exn b (fst edge) (snd edge))
       (Spec.graph spec);
+    let keep_out t o = not (List.mem (t, o) drop_edges) in
+    let keep_in p t = not (List.mem (p, t) drop_edges) in
+    let annotate tname (oname, inputs) =
+      if keep_out tname oname then
+        Spec.Builder.annotate_exn b tname ~output:oname
+          (List.filter (fun p -> keep_in p tname) inputs)
+    in
+    List.iter
+      (fun t ->
+        let tname = Spec.task_name spec t in
+        List.iter
+          (fun (o, ins) ->
+            annotate tname
+              (Spec.task_name spec o, List.map (Spec.task_name spec) ins))
+          (Option.value ~default:[] (Spec.annotation spec t)))
+      (Spec.annotated_tasks spec);
+    List.iter
+      (fun (tname, entries) -> List.iter (annotate tname) entries)
+      add_annots;
     let spec' = Spec.Builder.finish_exn b in
     let groups =
       List.map
@@ -72,7 +96,12 @@ let apply_round view fixes =
       (function D.Rename_composite (o, n) -> Some (o, n) | _ -> None)
       fixes
   in
-  let view = rebuild view ~drop_edges ~renames in
+  let add_annots =
+    List.filter_map
+      (function D.Add_annotation (t, es) -> Some (t, es) | _ -> None)
+      fixes
+  in
+  let view = rebuild view ~drop_edges ~renames ~add_annots in
   let view =
     List.fold_left
       (fun view fix ->

@@ -3,8 +3,11 @@
     Applies every machine-applicable fix the analyzer attached — dropping
     redundant edges, splitting unsound composites with the strong
     {!Wolves_core.Corrector}, merging sound-combinable composites, folding
-    degenerate singleton aliases — and iterates until a fixpoint: {b
-    re-linting the result yields no fixable diagnostics}.
+    degenerate singleton aliases, inserting inferred dependency-annotation
+    entries — and iterates until a fixpoint: {b re-linting the result
+    yields no fixable diagnostics}. Annotations survive every rebuild;
+    entries referencing an edge dropped in the same round are pruned with
+    it.
 
     Guarantees:
     - the returned view's {!Wolves_core.Soundness} verdict is

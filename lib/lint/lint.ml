@@ -19,15 +19,32 @@ let rule_enabled config id =
   && not (List.mem id config.disabled)
 
 let validate_config config =
-  let unknown ids =
-    List.find_opt (fun id -> Rules.find id = None) ids
+  let mentioned = Option.value ~default:[] config.rules @ config.disabled in
+  let unknown ids = List.find_opt (fun id -> Rules.find id = None) ids in
+  let rec first_duplicate seen = function
+    | [] -> None
+    | id :: rest ->
+      if List.mem id seen then Some id else first_duplicate (id :: seen) rest
   in
-  match unknown (Option.value ~default:[] config.rules @ config.disabled) with
-  | Some id ->
+  if config.fan_threshold <= 0 then
     Error
-      (Printf.sprintf "unknown lint rule %S (known: %s)" id
-         (String.concat ", " (List.map (fun m -> m.Rules.id) Rules.all)))
-  | None -> Ok ()
+      (Printf.sprintf "fan threshold must be positive (got %d)"
+         config.fan_threshold)
+  else
+    match unknown mentioned with
+    | Some id ->
+      Error
+        (Printf.sprintf "unknown lint rule %S (known: %s)" id
+           (String.concat ", " (List.map (fun m -> m.Rules.id) Rules.all)))
+    | None ->
+      (match first_duplicate [] mentioned with
+       | Some id ->
+         Error
+           (Printf.sprintf
+              "lint rule %S is mentioned more than once across --rules and \
+               --disable; each rule may appear at most once"
+              id)
+       | None -> Ok ())
 
 let run ?(config = default_config) ?file ?source view =
   let diagnostics =

@@ -25,8 +25,10 @@ val default_config : config
 val rule_enabled : config -> string -> bool
 
 val validate_config : config -> (unit, string) result
-(** [Error] names the first unknown rule id mentioned by [rules] or
-    [disabled]. *)
+(** [Error] when [fan_threshold] is not positive, when [rules] or
+    [disabled] mentions an unknown rule id, or when any rule id appears
+    more than once across the two lists. The message names the offending
+    value. *)
 
 val run :
   ?config:config ->

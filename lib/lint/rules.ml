@@ -5,6 +5,8 @@ module C = Wolves_core.Corrector
 module Wfdsl = Wolves_lang.Wfdsl
 module Bitset = Wolves_graph.Bitset
 module Metrics = Wolves_obs.Metrics
+module Flow = Wolves_analysis.Flow
+module Annot = Wolves_analysis.Annot
 
 type layer =
   | Spec_level
@@ -37,6 +39,9 @@ type ctx = {
   spec : Spec.t;
   reach : Wolves_graph.Reach.t;
   report : S.report Lazy.t;  (* Prop 2.1 validation, shared by view rules *)
+  flow : Flow.t Lazy.t;  (* fine-grained dependency flow (annotation rules) *)
+  annot_issues : Annot.issue list Lazy.t;
+  inference : Annot.result Lazy.t;
   fan_threshold : int;
 }
 
@@ -62,6 +67,14 @@ let composite_pos ctx c =
 let edge_pos ctx pair =
   Option.bind ctx.t.source (fun src ->
       List.assoc_opt pair src.Wfdsl.edge_occurrences)
+
+let deps_decl_pos ctx task =
+  Option.bind ctx.t.source (fun src ->
+      List.assoc_opt task src.Wfdsl.deps_decls)
+
+let deps_entry_pos ctx pair =
+  Option.bind ctx.t.source (fun src ->
+      List.assoc_opt pair src.Wfdsl.deps_entries)
 
 let workflow_pos ctx =
   Option.map (fun src -> src.Wfdsl.workflow_position) ctx.t.source
@@ -262,6 +275,139 @@ let check_fan_bottleneck ctx =
             fix = None })
     (Spec.tasks ctx.spec)
 
+(* Annotation diagnostics anchor at the deps entry (or block) when the
+   source map knows it, falling back to the generic anchor resolution. *)
+let loc_at ctx anchor pos =
+  match pos with
+  | Some p ->
+    { D.file = ctx.t.file; position = to_position (Some p); anchor }
+  | None -> loc ctx anchor
+
+(* Inconsistent dependency annotations: entries naming non-neighbours or
+   re-declaring an output (Bowers et al. validation). The analyses ignore
+   the bad references, so an inconsistent annotation silently means
+   something other than what its author wrote — hence an error. *)
+let check_annotation_inconsistent ctx =
+  List.filter_map
+    (fun issue ->
+      if not (Annot.is_inconsistency issue) then None
+      else
+        let task, output =
+          match issue with
+          | Annot.Not_an_output { task; output }
+          | Annot.Not_an_input { task; output; _ }
+          | Annot.Duplicate_output { task; output }
+          | Annot.Missing_output { task; output } -> (task, output)
+        in
+        let tname = task_name ctx task in
+        let pos =
+          match deps_entry_pos ctx (tname, task_name ctx output) with
+          | Some p -> Some p
+          | None -> deps_decl_pos ctx tname
+        in
+        Some
+          { D.rule = "spec/annotation-inconsistent";
+            severity = D.Error;
+            location = loc_at ctx (D.Task tname) pos;
+            message =
+              Format.asprintf "%a (the analyses ignore the bad reference)"
+                (Annot.pp_issue ctx.spec) issue;
+            related = [];
+            fix = None })
+    (Lazy.force ctx.annot_issues)
+
+(* Incomplete dependency annotations: an annotated task leaves some output
+   without an entry, silently falling back to "all inputs". One diagnostic
+   per task, fixed by inserting the inferred minimal entries. *)
+let check_annotation_incomplete ctx =
+  let missing_by_task = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Annot.Missing_output { task; output } ->
+        let prev =
+          try Hashtbl.find missing_by_task task with Not_found -> []
+        in
+        Hashtbl.replace missing_by_task task (output :: prev)
+      | _ -> ())
+    (Lazy.force ctx.annot_issues);
+  if Hashtbl.length missing_by_task = 0 then []
+  else begin
+    let inference = Lazy.force ctx.inference in
+    List.filter_map
+      (fun task ->
+        match Hashtbl.find_opt missing_by_task task with
+        | None -> None
+        | Some outputs ->
+          let outputs = List.rev outputs in
+          let tname = task_name ctx task in
+          let inferred =
+            List.find_opt
+              (fun i -> i.Annot.inf_task = task)
+              inference.Annot.inferred
+          in
+          let fix =
+            Option.map
+              (fun i ->
+                D.Add_annotation
+                  ( tname,
+                    List.map
+                      (fun (o, ins) ->
+                        ( task_name ctx o,
+                          List.map (task_name ctx) ins ))
+                      i.Annot.inf_entries ))
+              inferred
+          in
+          Some
+            { D.rule = "spec/annotation-incomplete";
+              severity = D.Warning;
+              location =
+                loc_at ctx (D.Task tname) (deps_decl_pos ctx tname);
+              message =
+                Printf.sprintf
+                  "task %S is annotated but %d of its outputs (%s) have no \
+                   entry and silently fall back to \"all inputs\""
+                  tname (List.length outputs)
+                  (String.concat ", "
+                     (List.map
+                        (fun o -> Printf.sprintf "%S" (task_name ctx o))
+                        outputs));
+              related =
+                List.map
+                  (fun o ->
+                    related ctx
+                      (D.Edge (tname, task_name ctx o))
+                      "output without an entry")
+                  outputs;
+              fix })
+      (Spec.tasks ctx.spec)
+  end
+
+(* Dead data: edges whose item provably never influences any terminal
+   output under the declared annotations — the producer's work on that
+   channel is wasted. Only meaningful once annotations exist (without
+   them every edge is trivially live). *)
+let check_dead_data ctx =
+  if not (Spec.has_annotations ctx.spec) then []
+  else
+    let flow = Lazy.force ctx.flow in
+    List.map
+      (fun (p, c) ->
+        let pn = task_name ctx p and cn = task_name ctx c in
+        { D.rule = "spec/dead-data";
+          severity = D.Warning;
+          location = loc ctx (D.Edge (pn, cn));
+          message =
+            Printf.sprintf
+              "the data %S sends %S can never influence a terminal output \
+               under the declared annotations: the dependency carries dead \
+               data"
+              pn cn;
+          related =
+            [ related ctx (D.Task cn)
+                "consumer whose annotated outputs never draw on this input" ];
+          fix = None })
+      (Flow.dead_edges flow)
+
 (* --- view-level rules --- *)
 
 (* Unsound composites (Prop 2.1): reported with the minimal unsound core
@@ -434,6 +580,53 @@ let check_combinable ctx =
     (View.view_graph view) []
   |> List.rev
 
+(* Hidden (spurious) dependencies a composite manufactures: the soundness
+   criterion and view-level provenance both work on coarse task
+   reachability, but fine-grained annotations may refute a coarse path —
+   the input's data reaches the output task without ever flowing into the
+   data it emits. The view then reports a dependency that does not exist;
+   annotations are what expose it. *)
+let check_hidden_dependency ctx =
+  if not (Spec.has_annotations ctx.spec) then []
+  else
+    let flow = Lazy.force ctx.flow in
+    List.concat_map
+      (fun c ->
+        if List.length (View.members ctx.t.view c) < 2 then []
+        else
+          let { S.inputs; outputs } = S.composite_io ctx.t.view c in
+          let cname = View.composite_name ctx.t.view c in
+          List.concat_map
+            (fun ti ->
+              List.filter_map
+                (fun to_ ->
+                  if
+                    Wolves_graph.Reach.reaches ctx.reach ti to_
+                    && not (Flow.fine_depends flow ti to_)
+                  then
+                    let ni = task_name ctx ti and no = task_name ctx to_ in
+                    Some
+                      { D.rule = "view/hidden-dependency";
+                        severity = D.Warning;
+                        location = loc ctx (D.Composite cname);
+                        message =
+                          Printf.sprintf
+                            "composite %S hides that %S's data never flows \
+                             into %S's output: the path exists only at task \
+                             granularity, so provenance over the view \
+                             reports a spurious dependency"
+                            cname ni no;
+                        related =
+                          [ related ctx (D.Task ni)
+                              "input whose data is refuted by the annotations";
+                            related ctx (D.Task no)
+                              "output that never draws on it" ];
+                        fix = None }
+                  else None)
+                outputs)
+            inputs)
+      (View.composites ctx.t.view)
+
 (* --- DSL-level rules --- *)
 
 (* Tasks declared but never referenced by any dependency statement or
@@ -573,6 +766,33 @@ let rules =
           fixable = false };
       check = check_fan_bottleneck };
     { meta =
+        { id = "spec/annotation-inconsistent";
+          layer = Spec_level;
+          severity = D.Error;
+          doc =
+            "dependency annotation referencing a non-neighbour or \
+             re-declaring an output";
+          fixable = false };
+      check = check_annotation_inconsistent };
+    { meta =
+        { id = "spec/annotation-incomplete";
+          layer = Spec_level;
+          severity = D.Warning;
+          doc =
+            "annotated task leaving outputs without an entry (fix: insert \
+             the inferred minimal entries)";
+          fixable = true };
+      check = check_annotation_incomplete };
+    { meta =
+        { id = "spec/dead-data";
+          layer = Spec_level;
+          severity = D.Warning;
+          doc =
+            "edge whose data can never influence a terminal output under \
+             the annotations";
+          fixable = false };
+      check = check_dead_data };
+    { meta =
         { id = "view/unsound-composite";
           layer = View_level;
           severity = D.Error;
@@ -604,6 +824,15 @@ let rules =
              optimality violation)";
           fixable = true };
       check = check_combinable };
+    { meta =
+        { id = "view/hidden-dependency";
+          layer = View_level;
+          severity = D.Warning;
+          doc =
+            "composite whose coarse input-output path is refuted by the \
+             fine-grained annotations (spurious view-level dependency)";
+          fixable = false };
+      check = check_hidden_dependency };
     { meta =
         { id = "dsl/unused-task";
           layer = Dsl_level;
@@ -660,6 +889,9 @@ let analyze ?(fan_threshold = 8) ~enabled t =
           spec;
           reach = Spec.reach spec;
           report = lazy (S.validate t.view);
+          flow = lazy (Flow.compute spec);
+          annot_issues = lazy (Annot.validate spec);
+          inference = lazy (Annot.infer spec);
           fan_threshold }
       in
       let diagnostics =

@@ -4,12 +4,18 @@
 
     - {b spec-level}: structural mistakes in the dependency graph itself —
       orphan tasks, redundant transitive edges, disconnected pipelines,
-      suspicious fan-in/fan-out hubs. Run on every input.
+      suspicious fan-in/fan-out hubs — plus the dependency-annotation
+      analyses ({!Wolves_analysis}): inconsistent and incomplete [deps]
+      annotations (the latter fixed by inserting inferred entries) and
+      dead-data edges. Run on every input; the annotation rules stay quiet
+      on unannotated specifications.
     - {b view-level}: the paper's subject — unsound composites (Prop 2.1,
       reported with a minimal witness pair via
       {!Wolves_core.Soundness.minimal_unsound_core}), degenerate composites,
-      monolithic views, and adjacent composites that are sound-combinable
-      (weak-local-optimality violations, Def 2.4/2.5). Run on every input.
+      monolithic views, adjacent composites that are sound-combinable
+      (weak-local-optimality violations, Def 2.4/2.5), and hidden
+      dependencies (coarse input→output paths through a composite that the
+      fine-grained annotations refute). Run on every input.
     - {b DSL-level}: [.wf]-document mistakes that the elaborated
       specification can no longer show — duplicate edge statements, tasks
       declared but never referenced, composite names shadowing task names.

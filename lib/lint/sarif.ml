@@ -12,10 +12,26 @@ let level_of_severity = function
 
 let text s = Json.Obj [ ("text", Json.String s) ]
 
+(* Each rule's documentation anchor in docs/RULES.md, using GitHub's
+   heading-slug convention (lowercase, non-alphanumerics dropped): the
+   heading "## spec/orphan-task" becomes "#specorphan-task". *)
+let help_uri id =
+  let slug =
+    String.concat ""
+      (List.filter_map
+         (fun c ->
+           if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-' then
+             Some (String.make 1 c)
+           else None)
+         (List.init (String.length id) (String.get id)))
+  in
+  "https://github.com/wolves/wolves/blob/main/docs/RULES.md#" ^ slug
+
 let rule_json (m : Rules.meta) =
   Json.Obj
     [ ("id", Json.String m.Rules.id);
       ("shortDescription", text m.Rules.doc);
+      ("helpUri", Json.String (help_uri m.Rules.id));
       ( "defaultConfiguration",
         Json.Obj
           [ ("level", Json.String (level_of_severity m.Rules.severity)) ] );

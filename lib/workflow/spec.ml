@@ -1,6 +1,7 @@
 module Digraph = Wolves_graph.Digraph
 module Algo = Wolves_graph.Algo
 module Reach = Wolves_graph.Reach
+module Labels = Wolves_graph.Labels
 
 type task = int
 
@@ -11,7 +12,15 @@ type t = {
   by_name : (string, task) Hashtbl.t;
   topo : task list;
   attributes : (task * string, string) Hashtbl.t;
+  annots : (task, (task * task list) list) Hashtbl.t;
+      (* task -> dependency annotation entries, declaration order: each
+         entry names an output (by consumer task) and the inputs (by
+         producer task) that output depends on. Entries are stored loosely —
+         names resolve to declared tasks but need not be graph neighbours,
+         so the static analyses can diagnose inconsistencies instead of
+         construction rejecting them. *)
   mutable closure : Reach.t option; (* computed on first use *)
+  mutable label_index : Labels.t option; (* computed on first use *)
 }
 
 type error =
@@ -39,6 +48,7 @@ module Builder = struct
     mutable b_task_names : string list; (* reversed *)
     b_by_name : (string, task) Hashtbl.t;
     b_attrs : (task * string, string) Hashtbl.t;
+    b_annots : (task, (task * task list) list) Hashtbl.t;
   }
 
   let create ?(name = "workflow") () =
@@ -46,7 +56,8 @@ module Builder = struct
       b_graph = Digraph.create ();
       b_task_names = [];
       b_by_name = Hashtbl.create 64;
-      b_attrs = Hashtbl.create 16 }
+      b_attrs = Hashtbl.create 16;
+      b_annots = Hashtbl.create 16 }
 
   let add_task b name =
     if Hashtbl.mem b.b_by_name name then Error (Duplicate_task name)
@@ -86,6 +97,28 @@ module Builder = struct
   let add_dependency_exn b producer consumer =
     ok_exn (add_dependency b producer consumer)
 
+  let annotate b task_name ~output inputs =
+    (* Names must be declared; being actual graph neighbours is a lint
+       concern, not a construction one (see the [annots] field comment). *)
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest ->
+        (match lookup b name with
+         | Error _ as e -> e
+         | Ok id -> resolve (id :: acc) rest)
+    in
+    match (lookup b task_name, lookup b output, resolve [] inputs) with
+    | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+    | Ok task, Ok out, Ok ins ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt b.b_annots task)
+      in
+      Hashtbl.replace b.b_annots task (existing @ [ (out, ins) ]);
+      Ok ()
+
+  let annotate_exn b task_name ~output inputs =
+    ok_exn (annotate b task_name ~output inputs)
+
   let finish b =
     let graph = Digraph.copy b.b_graph in
     let task_names = Array.of_list (List.rev b.b_task_names) in
@@ -97,7 +130,9 @@ module Builder = struct
            by_name = Hashtbl.copy b.b_by_name;
            topo;
            attributes = Hashtbl.copy b.b_attrs;
-           closure = None }
+           annots = Hashtbl.copy b.b_annots;
+           closure = None;
+           label_index = None }
     | None ->
       let cycle =
         match Algo.find_cycle graph with
@@ -170,6 +205,24 @@ let reach spec =
     r
 
 let depends spec u v = Reach.reaches (reach spec) u v
+
+let labels spec =
+  match spec.label_index with
+  | Some l -> l
+  | None ->
+    let l = Labels.compute spec.graph in
+    spec.label_index <- Some l;
+    l
+
+let annotation spec t =
+  if t < 0 || t >= n_tasks spec then
+    invalid_arg (Printf.sprintf "Spec.annotation: unknown task %d" t);
+  Hashtbl.find_opt spec.annots t
+
+let annotated_tasks spec =
+  List.filter (fun t -> Hashtbl.mem spec.annots t) (tasks spec)
+
+let has_annotations spec = Hashtbl.length spec.annots > 0
 
 let topological_order spec = spec.topo
 

@@ -50,6 +50,24 @@ module Builder : sig
 
   val add_dependency_exn : t -> string -> string -> unit
 
+  val annotate :
+    t -> string -> output:string -> string list -> (unit, error) result
+  (** [annotate b task ~output inputs] records one dependency-annotation
+      entry on [task]: the data it sends to [output] (an output channel,
+      named by its consumer task) depends on exactly the data received from
+      [inputs] (input channels, named by producer tasks). An empty [inputs]
+      list means the output is generated from none of the task's inputs.
+      Entries accumulate in declaration order, duplicates included.
+
+      All names must be declared tasks ([Unknown_task] otherwise), but
+      {e neighbourliness is deliberately not enforced}: an entry may name a
+      non-consumer output or non-producer input, which the analysis layer
+      reports as [spec/annotation-inconsistent] instead of construction
+      failing. Tasks carrying no entry for some output are treated by the
+      analyses as depending on {e all} inputs (the safe default). *)
+
+  val annotate_exn : t -> string -> output:string -> string list -> unit
+
   val finish : t -> (spec, error) result
   (** Freeze the builder. Fails with [Cyclic] when the dependencies contain a
       cycle. The builder may keep being extended afterwards; the frozen
@@ -108,6 +126,22 @@ val reach : t -> Wolves_graph.Reach.t
 val depends : t -> task -> task -> bool
 (** [depends spec upstream downstream]: is there a (possibly empty)
     dependency path? *)
+
+val labels : t -> Wolves_graph.Labels.t
+(** The compact reachability-label index ({!Wolves_graph.Labels}) of the
+    dependency graph, computed once and cached — the backend behind
+    [Soundness.validate ~engine:`Labels]. *)
+
+val annotation : t -> task -> (task * task list) list option
+(** A task's dependency-annotation entries (output consumer, input
+    producers), in declaration order — [None] when the task carries no
+    annotation at all (distinct from [Some []]). See {!Builder.annotate}
+    for the semantics. *)
+
+val annotated_tasks : t -> task list
+(** Tasks carrying at least one annotation entry, increasing id order. *)
+
+val has_annotations : t -> bool
 
 val topological_order : t -> task list
 

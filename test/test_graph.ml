@@ -9,6 +9,7 @@ module Dot = Wolves_graph.Dot
 module Paths = Wolves_graph.Paths
 module Dominators = Wolves_graph.Dominators
 module Interval = Wolves_graph.Interval
+module Spec = Wolves_workflow.Spec
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -638,6 +639,80 @@ let prop_dominators_definition =
         (List.init n Fun.id))
 
 
+let test_dominators_single_entry_chain () =
+  (* Regression: on a single-entry chain every prefix dominates every
+     suffix, the idom is the immediate predecessor, and the dominator-tree
+     intervals are strictly nested along the chain. *)
+  let n = 100 in
+  let g = Digraph.of_edges ~n (List.init (n - 1) (fun v -> (v, v + 1))) in
+  let dom = Dominators.compute g in
+  for v = 1 to n - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "idom of %d is its predecessor" v)
+      (Some (v - 1)) (Dominators.idom dom v)
+  done;
+  Alcotest.(check (option int)) "the entry has no idom" None
+    (Dominators.idom dom 0);
+  let pre, post = Dominators.tree_intervals dom in
+  for v = 0 to n - 2 do
+    check_bool "intervals nest along the chain" true
+      (pre.(v) < pre.(v + 1) && post.(v + 1) < post.(v))
+  done
+
+(* The generator families give realistic workflow DAGs (multi-source, so
+   the virtual-root handling is exercised too). *)
+let family_graphs () =
+  List.concat_map
+    (fun family ->
+      List.map
+        (fun (seed, size) ->
+          Spec.graph (Wolves_workload.Generate.generate family ~seed ~size))
+        [ (3, 25); (11, 60); (29, 110) ])
+    Wolves_workload.Generate.all_families
+
+let test_idom_deepest_dominator () =
+  (* The defining property of the immediate dominator: it is itself a
+     proper dominator, and every other proper dominator dominates it — the
+     idom is the deepest, so the proper dominators form a chain ending at
+     it. *)
+  List.iter
+    (fun g ->
+      let n = Digraph.n_nodes g in
+      let dom = Dominators.compute g in
+      for v = 0 to n - 1 do
+        let proper =
+          List.filter
+            (fun d -> d <> v && Dominators.dominates dom d v)
+            (List.init n Fun.id)
+        in
+        match Dominators.idom dom v with
+        | None -> check_bool "no idom means no proper dominator" true (proper = [])
+        | Some d ->
+          check_bool "idom is a proper dominator" true (List.mem d proper);
+          List.iter
+            (fun d' ->
+              check_bool "every other dominator dominates the idom" true
+                (d' = d || Dominators.dominates dom d' d))
+            proper
+      done)
+    (family_graphs ())
+
+let test_tree_intervals_agree () =
+  (* The O(1) interval test must coincide with [dominates] on every pair. *)
+  List.iter
+    (fun g ->
+      let n = Digraph.n_nodes g in
+      let dom = Dominators.compute g in
+      let pre, post = Dominators.tree_intervals dom in
+      for d = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          check_bool "interval containment = dominates" true
+            ((pre.(d) <= pre.(v) && post.(v) <= post.(d))
+            = Dominators.dominates dom d v)
+        done
+      done)
+    (family_graphs ())
+
 (* ------------------------------------------------------------------ *)
 (* Interval index                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -752,6 +827,12 @@ let () =
           Alcotest.test_case "multiple sources" `Quick test_dominators_multi_source;
           Alcotest.test_case "chain" `Quick test_dominators_chain;
           Alcotest.test_case "cycles rejected" `Quick test_dominators_cycle_rejected;
+          Alcotest.test_case "single-entry chain regression" `Quick
+            test_dominators_single_entry_chain;
+          Alcotest.test_case "idom is the deepest dominator (families)" `Quick
+            test_idom_deepest_dominator;
+          Alcotest.test_case "tree intervals = dominates (families)" `Quick
+            test_tree_intervals_agree;
           qt prop_dominators_definition ] );
       ( "dot",
         [ Alcotest.test_case "render with clusters" `Quick test_dot_output;

@@ -209,6 +209,104 @@ let test_source_map () =
   | Some p -> check_int "composite line" 13 p.Wfdsl.pos_line
   | None -> Alcotest.fail "Prepare not in source map"
 
+(* --- deps annotation blocks --- *)
+
+let annotated_sample =
+  {|workflow "annotated" {
+  task "a";
+  task "b";
+  task "x";
+  task "c";
+  task "d";
+
+  "a" -> "x";
+  "b" -> "x";
+  "x" -> "c";
+  "x" -> "d";
+
+  deps "x" {
+    "c" <- "a" "b";
+    "d" <-;
+  }
+}
+|}
+
+let test_deps_parse_and_roundtrip () =
+  let spec, view = ok (Wfdsl.of_string annotated_sample) in
+  check_bool "has annotations" true (Spec.has_annotations spec);
+  let x = Spec.task_of_name_exn spec "x" in
+  (match Spec.annotation spec x with
+   | Some entries ->
+     let named =
+       List.sort compare
+         (List.map
+            (fun (o, ins) ->
+              (Spec.task_name spec o, List.map (Spec.task_name spec) ins))
+            entries)
+     in
+     Alcotest.(check (list (pair string (list string))))
+       "entries" [ ("c", [ "a"; "b" ]); ("d", []) ] named
+   | None -> Alcotest.fail "x carries no annotation");
+  check_bool "unannotated task" true
+    (Spec.annotation spec (Spec.task_of_name_exn spec "a") = None);
+  (* printer renders the deps block and it parses back identically *)
+  let printed = Wfdsl.to_string view in
+  check_bool "printed deps block" true
+    (let affix = "deps \"x\"" in
+     let n = String.length printed and m = String.length affix in
+     let rec go i = i + m <= n && (String.sub printed i m = affix || go (i + 1)) in
+     go 0);
+  let spec', _ = ok (Wfdsl.of_string printed) in
+  check_bool "round trip keeps annotations" true (Spec.has_annotations spec');
+  let x' = Spec.task_of_name_exn spec' "x" in
+  Alcotest.(check (list (pair string (list string))))
+    "round-tripped entries"
+    [ ("c", [ "a"; "b" ]); ("d", []) ]
+    (List.sort compare
+       (List.map
+          (fun (o, ins) ->
+            (Spec.task_name spec' o, List.map (Spec.task_name spec') ins))
+          (Option.get (Spec.annotation spec' x'))))
+
+let test_deps_source_map () =
+  let _, _, sm = ok (Wfdsl.of_string_with_source annotated_sample) in
+  (match List.assoc_opt "x" sm.Wfdsl.deps_decls with
+   | Some p ->
+     check_int "deps decl line" 13 p.Wfdsl.pos_line;
+     check_int "deps decl column" 8 p.Wfdsl.pos_column
+   | None -> Alcotest.fail "deps decl not in source map");
+  match List.assoc_opt ("x", "c") sm.Wfdsl.deps_entries with
+  | Some p -> check_int "entry line" 14 p.Wfdsl.pos_line
+  | None -> Alcotest.fail "deps entry not in source map"
+
+let test_deps_errors () =
+  let cases =
+    [ (* deps on an undeclared task *)
+      ( {|workflow "w" { task "a"; task "b"; "a" -> "b"; deps "z" { "b" <- "a"; } }|},
+        "unknown task \"z\"" );
+      (* entry referencing an undeclared task *)
+      ( {|workflow "w" { task "a"; task "b"; "a" -> "b"; deps "a" { "b" <- "q"; } }|},
+        "unknown task \"q\"" );
+      (* malformed: missing the arrow *)
+      ( {|workflow "w" { task "a"; task "b"; "a" -> "b"; deps "a" { "b" "a"; } }|},
+        "expected '<-'" ) ]
+  in
+  List.iter
+    (fun (src, fragment) ->
+      match Wfdsl.of_string src with
+      | Ok _ -> Alcotest.failf "expected %S to fail (%s)" src fragment
+      | Error e ->
+        let msg = Format.asprintf "%a" Wfdsl.pp_error e in
+        let contains =
+          let ln = String.length fragment and lh = String.length msg in
+          let rec go i =
+            i + ln <= lh && (String.sub msg i ln = fragment || go (i + 1))
+          in
+          go 0
+        in
+        check_bool (Printf.sprintf "%s in %s" fragment msg) true contains)
+    cases
+
 (* The satellite property: rendering any generated view to .wf text and
    parsing it back preserves the specification (tasks, edges, attributes'
    carrier) and the exact partition, across every generator family and
@@ -306,6 +404,10 @@ let () =
           Alcotest.test_case "load errors carry the file" `Quick
             test_load_error_positions;
           Alcotest.test_case "source map" `Quick test_source_map;
+          Alcotest.test_case "deps blocks parse and round trip" `Quick
+            test_deps_parse_and_roundtrip;
+          Alcotest.test_case "deps source map" `Quick test_deps_source_map;
+          Alcotest.test_case "deps errors" `Quick test_deps_errors;
           qt prop_dsl_roundtrip;
           qt prop_cross_format;
           qt prop_dsl_fuzz ] ) ]

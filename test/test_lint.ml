@@ -59,9 +59,44 @@ let test_validate_config () =
    | Error msg ->
      check_bool "names the rule" true (contains ~affix:"spec/no-such-rule" msg)
    | Ok () -> Alcotest.fail "unknown rule accepted");
-  match Lint.validate_config { Lint.default_config with disabled = [ "nope" ] } with
-  | Error _ -> ()
-  | Ok () -> Alcotest.fail "unknown disabled rule accepted"
+  (match Lint.validate_config { Lint.default_config with disabled = [ "nope" ] } with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "unknown disabled rule accepted");
+  (* A non-positive fan threshold is a configuration error, not a silent
+     no-op. *)
+  (match Lint.validate_config { Lint.default_config with fan_threshold = 0 } with
+   | Error msg -> check_bool "names the threshold" true (contains ~affix:"0" msg)
+   | Ok () -> Alcotest.fail "fan threshold 0 accepted");
+  (match Lint.validate_config { Lint.default_config with fan_threshold = -3 } with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "negative fan threshold accepted");
+  (* Duplicate rule ids — within a list or across --rules/--disable — are
+     rejected with a message naming the rule. *)
+  (match
+     Lint.validate_config
+       { Lint.default_config with
+         rules = Some [ "spec/orphan-task"; "spec/orphan-task" ] }
+   with
+   | Error msg ->
+     check_bool "duplicate in whitelist named" true
+       (contains ~affix:"spec/orphan-task" msg)
+   | Ok () -> Alcotest.fail "duplicate whitelist entry accepted");
+  (match
+     Lint.validate_config
+       { Lint.default_config with
+         rules = Some [ "spec/dead-data" ];
+         disabled = [ "spec/dead-data" ] }
+   with
+   | Error msg ->
+     check_bool "cross-list duplicate named" true
+       (contains ~affix:"spec/dead-data" msg)
+   | Ok () -> Alcotest.fail "cross-list duplicate accepted");
+  check_bool "distinct ids across lists ok" true
+    (Lint.validate_config
+       { Lint.default_config with
+         rules = Some [ "spec/orphan-task"; "spec/dead-data" ];
+         disabled = [ "dsl/unused-task" ] }
+    = Ok ())
 
 (* --- one fixture per rule: each triggers exactly its seeded defect --- *)
 
@@ -76,6 +111,10 @@ let test_fixture_rules () =
       ("shadowed.wf", [ "dsl/shadowed-name" ]);
       ("degenerate.wf", [ "view/degenerate-composite" ]);
       ("monolithic.wf", [ "view/monolithic-view" ]);
+      ("inconsistent.wf", [ "spec/annotation-inconsistent" ]);
+      ("incomplete.wf", [ "spec/annotation-incomplete" ]);
+      ("deaddata.wf", [ "spec/dead-data" ]);
+      ("hidden.wf", [ "view/hidden-dependency" ]);
       ("clean.wf", []) ]
   in
   List.iter
@@ -213,6 +252,29 @@ let test_fix_file () =
       Sys.remove path)
     [ "unsound.wf"; "redundant.wf"; "duplicate.wf"; "degenerate.wf" ]
 
+let test_fix_inserts_annotation () =
+  (* incomplete.wf's only defect is a missing deps entry; the fix engine
+     must insert the inferred entry into the document itself. *)
+  let path = copy_to_temp "incomplete.wf" in
+  (match Fix.fix_file path with
+   | Ok applied ->
+     check_bool "annotation fix applied" true
+       (List.exists
+          (fun a ->
+            match a.Fix.fix with
+            | D.Add_annotation ("x", _) -> true
+            | _ -> false)
+          applied)
+   | Error msg -> Alcotest.failf "fix incomplete: %s" msg);
+  let after = In_channel.with_open_text path In_channel.input_all in
+  check_bool "inferred entry written" true (contains ~affix:"\"d\" <-" after);
+  (match Lint.run_file ~config:warnings_config path with
+   | Ok ds ->
+     check_bool "incomplete resolved" false
+       (List.mem "spec/annotation-incomplete" (rules_of ds))
+   | Error msg -> Alcotest.failf "re-lint incomplete: %s" msg);
+  Sys.remove path
+
 let test_fix_preserves_soundness () =
   (* clean.wf is already sound: fixing must not disturb its verdict. *)
   let path = copy_to_temp "clean.wf" in
@@ -242,7 +304,14 @@ let test_sarif () =
       "physicalLocation";
       "\"startLine\": 15";
       "relatedLocations";
-      "logicalLocations" ];
+      "logicalLocations";
+      (* every rule carries a helpUri into the shared RULES.md catalogue,
+         slugged the way GitHub slugs headings *)
+      "\"helpUri\"";
+      "docs/RULES.md#viewunsound-composite";
+      "docs/RULES.md#specannotation-incomplete";
+      "\"fixable\": true";
+      "\"fixable\": false" ];
   (* the rule catalogue is embedded even for rules that did not fire *)
   check_bool "catalogue" true (contains ~affix:"\"id\": \"dsl/duplicate-edge\"" doc);
   (* empty reports are still a complete SARIF document *)
@@ -276,6 +345,8 @@ let () =
       ( "fix",
         [ Alcotest.test_case "idempotent fixpoint" `Quick test_fix_idempotent;
           Alcotest.test_case "fix_file in place" `Quick test_fix_file;
+          Alcotest.test_case "inferred annotation inserted" `Quick
+            test_fix_inserts_annotation;
           Alcotest.test_case "clean input untouched" `Quick test_fix_preserves_soundness ] );
       ( "output",
         [ Alcotest.test_case "sarif structure" `Quick test_sarif;
