@@ -1941,6 +1941,263 @@ let e_analyze () =
          speedup)
 
 (* ------------------------------------------------------------------ *)
+(* E-SERVE                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Srv = Wolves_server.Server
+module Scl = Wolves_server.Client
+module Ssvc = Wolves_server.Service
+module Spr = Wolves_server.Protocol
+
+let e_serve () =
+  section "E-SERVE"
+    "service claim: a pinned corpus serves concurrent validate/query \
+     traffic at corpus scale with bounded tail latency, sheds overload \
+     with immediate OVERLOADED replies, and degrades correction tiers \
+     rather than deadlines under queueing";
+  let module T = Wolves_workload.Templates in
+  (* Corpus: the layered random family plus the Montage suite — the same
+     two shapes EXPERIMENTS.md uses for the service scenario. *)
+  let layered =
+    List.map
+      (fun size ->
+        let spec = Gen.generate Gen.Layered ~seed:(100 + size) ~size in
+        let view = Views.build ~seed:size (Views.Topological_bands 8) spec in
+        (Printf.sprintf "layered-%d" size, view))
+      (sm [ 60; 120; 240 ] [ 30 ])
+  in
+  let montage =
+    List.map
+      (fun scale ->
+        let spec = T.generate T.Montage ~scale in
+        (Printf.sprintf "montage-%d" scale, T.natural_view T.Montage spec))
+      (sm [ 8; 16 ] [ 4 ])
+  in
+  let corpus = layered @ montage in
+  let service, load_s = Render.time (fun () -> Ssvc.load corpus) in
+  let n_tasks =
+    List.fold_left (fun a (_, v) -> a + Spec.n_tasks (View.spec v)) 0 corpus
+  in
+  Printf.printf "corpus: %d workflows, %d tasks, pinned in %s\n"
+    (Ssvc.size service) n_tasks (fmt_s load_s);
+  Report.kv "corpus_workflows" (Json.Int (Ssvc.size service));
+  Report.kv "corpus_tasks" (Json.Int n_tasks);
+  Report.kv "load_s" (Json.Float load_s);
+  let sock_path =
+    let p = Filename.temp_file "wolves-bench" ".sock" in
+    Sys.remove p;
+    p
+  in
+  let config =
+    { Srv.default_config with workers = 4; queue_depth = 64 }
+  in
+  let srv =
+    match Srv.start ~config (Srv.Unix_socket sock_path) service with
+    | Ok s -> s
+    | Error e -> failwith ("E-SERVE: start: " ^ e)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Srv.stop srv;
+      if Sys.file_exists sock_path then Sys.remove sock_path)
+  @@ fun () ->
+  (* Byte-identity spot check: the reply over the socket is the reply of
+     the direct library call, rendered. *)
+  (match Scl.connect (`Unix sock_path) with
+   | Error e -> failwith ("E-SERVE: connect: " ^ e)
+   | Ok c ->
+     List.iter
+       (fun (id, _) ->
+         let line = "VALIDATE " ^ id in
+         let direct =
+           match Spr.parse line with
+           | Ok req -> Srv.handle_request srv req
+           | Error _ -> assert false
+         in
+         match Scl.request c line with
+         | Ok got when Spr.render got = Spr.render direct -> ()
+         | Ok got ->
+           failwith
+             (Printf.sprintf
+                "E-SERVE: socket reply diverges from direct call for %s:\n%s"
+                id (Spr.render got))
+         | Error e -> failwith (Printf.sprintf "E-SERVE: %s: %s" line e))
+       corpus;
+     ignore (Scl.request c "QUIT");
+     Scl.close c);
+  print_endline "byte-identity: socket replies = direct library calls";
+  (* Sustained closed-loop traffic per family. *)
+  let duration_s = sm 1.5 0.25 in
+  let clients = sm 4 2 in
+  let pctl sorted q =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  in
+  let families =
+    [ ("layered", layered); ("montage", montage) ]
+  in
+  let rows =
+    List.map
+      (fun (fam, entries) ->
+        let requests =
+          Array.of_list
+            (List.concat_map
+               (fun (id, _) ->
+                 [ "VALIDATE " ^ id;
+                   Printf.sprintf "QUERY %s composites(ancestors(sinks))" id;
+                   "LINT " ^ id ])
+               entries)
+        in
+        let lats, wall =
+          Render.time (fun () ->
+              let doms =
+                List.init clients (fun _ ->
+                    Domain.spawn (fun () ->
+                        match Scl.connect ~timeout_s:10. (`Unix sock_path) with
+                        | Error e -> failwith ("E-SERVE: connect: " ^ e)
+                        | Ok c ->
+                          let lats = ref [] in
+                          let k = ref 0 in
+                          let stop_at = Unix.gettimeofday () +. duration_s in
+                          while Unix.gettimeofday () < stop_at do
+                            let req = requests.(!k mod Array.length requests) in
+                            incr k;
+                            let t0 = Unix.gettimeofday () in
+                            (match Scl.request c req with
+                             | Ok (Spr.Ok_lines _) -> ()
+                             | Ok r ->
+                               failwith
+                                 (Printf.sprintf "E-SERVE: %s -> %s" req
+                                    (String.trim (Spr.render r)))
+                             | Error e ->
+                               failwith
+                                 (Printf.sprintf "E-SERVE: %s -> %s" req e));
+                            lats := (Unix.gettimeofday () -. t0) :: !lats
+                          done;
+                          ignore (Scl.request c "QUIT");
+                          Scl.close c;
+                          !lats))
+              in
+              List.concat_map Domain.join doms)
+        in
+        let sorted = Array.of_list lats in
+        Array.sort compare sorted;
+        let n = Array.length sorted in
+        let qps = float_of_int n /. wall in
+        let p50 = pctl sorted 0.5 and p99 = pctl sorted 0.99 in
+        Report.kv (fam ^ "_requests") (Json.Int n);
+        Report.kv (fam ^ "_qps") (Json.Float qps);
+        Report.kv (fam ^ "_p50_ms") (Json.Float (p50 *. 1e3));
+        Report.kv (fam ^ "_p99_ms") (Json.Float (p99 *. 1e3));
+        [ fam; string_of_int (List.length entries); string_of_int clients;
+          string_of_int n; Printf.sprintf "%.0f" qps; fmt_s p50; fmt_s p99 ])
+      families
+  in
+  print_endline
+    (Table.render
+       ~align:
+         [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+           Table.Right; Table.Right ]
+       ~header:
+         [ "family"; "workflows"; "clients"; "requests"; "qps"; "p50"; "p99" ]
+       rows);
+  let s = Srv.stats srv in
+  Printf.printf "server: %d connections, %d requests, %d errors, %d shed\n"
+    s.Srv.connections s.Srv.requests s.Srv.errors s.Srv.shed;
+  if s.Srv.errors > 0 then failwith "E-SERVE: load run produced ERR replies";
+  (* Overload: one worker wedged by a stalled client, a tiny queue, and
+     bursts of arrivals — everything past the queue must get an immediate
+     OVERLOADED, and the server must keep serving afterwards. *)
+  let shed_path =
+    let p = Filename.temp_file "wolves-bench-shed" ".sock" in
+    Sys.remove p;
+    p
+  in
+  let shed_config =
+    { Srv.default_config with
+      workers = 1;
+      queue_depth = 2;
+      read_timeout_s = 30.;
+      retry_after_ms = 50 }
+  in
+  let shed_srv =
+    match Srv.start ~config:shed_config (Srv.Unix_socket shed_path) service with
+    | Ok s -> s
+    | Error e -> failwith ("E-SERVE: shed start: " ^ e)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Srv.stop shed_srv;
+      if Sys.file_exists shed_path then Sys.remove shed_path)
+  @@ fun () ->
+  let raw_connect () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX shed_path);
+    fd
+  in
+  let hog = raw_connect () in
+  ignore (Unix.write_substring hog "VALID" 0 5);
+  Unix.sleepf 0.2;
+  let classify fd =
+    (* A shed connection carries OVERLOADED within microseconds; a queued
+       one stays silent until the worker frees up. *)
+    let module N = Wolves_server.Net_io in
+    let conn = N.of_fd ~read_timeout_s:0.25 fd in
+    let buf = Bytes.create 64 in
+    let verdict =
+      match conn.N.recv buf 0 64 with
+      | exception N.Timeout -> `Queued
+      | exception N.Net_error _ -> `Queued
+      | 0 -> `Queued
+      | n when String.length (Bytes.sub_string buf 0 n) >= 10
+               && Bytes.sub_string buf 0 10 = "OVERLOADED" -> `Shed
+      | _ -> `Other
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    verdict
+  in
+  let shed_rows =
+    List.map
+      (fun burst ->
+        let conns = List.init burst (fun _ -> raw_connect ()) in
+        Unix.sleepf 0.2;
+        let verdicts = List.map classify conns in
+        let shed = List.length (List.filter (( = ) `Shed) verdicts) in
+        let queued = List.length (List.filter (( = ) `Queued) verdicts) in
+        let rate = float_of_int shed /. float_of_int burst in
+        Report.kv
+          (Printf.sprintf "shed_burst_%d" burst)
+          (Json.Obj
+             [ ("shed", Json.Int shed); ("queued", Json.Int queued);
+               ("rate", Json.Float rate) ]);
+        [ string_of_int burst; string_of_int shed; string_of_int queued;
+          Printf.sprintf "%.0f%%" (100. *. rate) ])
+      (sm [ 4; 8; 16 ] [ 4; 8 ])
+  in
+  print_endline
+    (Table.render
+       ~align:[ Table.Right; Table.Right; Table.Right; Table.Right ]
+       ~header:[ "burst"; "shed"; "queued"; "shed rate" ]
+       shed_rows);
+  (* the wedged worker comes back and honest clients are served again *)
+  (try Unix.close hog with Unix.Unix_error _ -> ());
+  Unix.sleepf 0.1;
+  (match Scl.connect (`Unix shed_path) with
+   | Error e -> failwith ("E-SERVE: reconnect after overload: " ^ e)
+   | Ok c ->
+     (match Scl.request c "PING" with
+      | Ok (Spr.Ok_lines [ "pong" ]) -> ()
+      | _ -> failwith "E-SERVE: server unresponsive after overload");
+     ignore (Scl.request c "QUIT");
+     Scl.close c);
+  let shed_total = (Srv.stats shed_srv).Srv.shed in
+  Report.kv "shed_total" (Json.Int shed_total);
+  if shed_total = 0 then failwith "E-SERVE: overload never shed";
+  Printf.printf "overload recovered: %d total shed, server still serving\n"
+    shed_total
+
+(* ------------------------------------------------------------------ *)
 (* Regression gate: --compare BASELINE.json                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -2013,7 +2270,7 @@ let sections =
     ("E-MIXED", e_mixed); ("E-SUGGEST", e_suggest); ("E-SCHED", e_sched);
     ("E-TEMPLATES", e_templates); ("E-FAULT", e_fault);
     ("E-LINT", e_lint); ("E-TRACE", e_trace); ("E-PAR", e_par);
-    ("E-STORE", e_store); ("E-ANALYZE", e_analyze);
+    ("E-STORE", e_store); ("E-ANALYZE", e_analyze); ("E-SERVE", e_serve);
     ("E-MICRO", e_bechamel) ]
 
 let () =

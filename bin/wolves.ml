@@ -19,6 +19,17 @@ module P = Wolves_provenance.Provenance
 
 let fail fmt = Format.kasprintf (fun msg -> `Error (false, msg)) fmt
 
+(* Set when a requested artifact (metrics dump, trace, ...) could not be
+   written. Those failures are reported on stderr mid-command and must not
+   abort the primary output, but the process still has to exit non-zero —
+   a --json consumer that also asked for --metrics would otherwise read a
+   clean exit while the dump silently never appeared. Checked in [main]. *)
+let io_failure = ref false
+
+let report_io_failure what msg =
+  io_failure := true;
+  Printf.eprintf "wolves: cannot write %s: %s\n" what msg
+
 (* Format by extension: .wf is the human DSL, anything else is MoML. *)
 let load_view file =
   if Filename.check_suffix file ".wf" then
@@ -111,8 +122,7 @@ let with_metrics metrics f =
       ~finally:(fun () ->
         Metrics.set_enabled false;
         try write_file path (Metrics.dump_json ())
-        with Sys_error msg ->
-          Printf.eprintf "wolves: cannot write metrics dump: %s\n" msg)
+        with Sys_error msg -> report_io_failure "metrics dump" msg)
       f
 
 module Trace = Wolves_trace.Trace
@@ -142,8 +152,7 @@ let with_observability metrics trace f =
             Trace_export.write
               (Trace_export.format_of_path path)
               (Trace.events collector) path
-          with Sys_error msg ->
-            Printf.eprintf "wolves: cannot write trace: %s\n" msg)
+          with Sys_error msg -> report_io_failure "trace" msg)
         (fun () -> Trace.with_tracing collector g)
   in
   with_metrics metrics (fun () -> traced f)
@@ -726,9 +735,11 @@ let simulate_cmd =
           with
           | Error msg -> fail "%s: %s" trace_file msg
           | Ok (prior, dropped_row, resumed) ->
+            (* stderr: stdout belongs to the command's own output, and
+               --json consumers parse it *)
             (match dropped_row with
              | Some row ->
-               Printf.printf
+               Printf.eprintf
                  "warning: dropped torn checkpoint tail %S (crash during \
                   checkpoint write)\n"
                  row
@@ -1455,8 +1466,7 @@ let stats_cmd =
       Option.iter
         (fun path ->
           try write_file path (Metrics.snapshot_to_json snap)
-          with Sys_error msg ->
-            Printf.eprintf "wolves: cannot write metrics dump: %s\n" msg)
+          with Sys_error msg -> report_io_failure "metrics dump" msg)
         metrics;
       if json then
         (* The summary object is assembled with the CLI's Json type; the
@@ -1815,6 +1825,235 @@ let store_cmd =
           $(b,init), $(b,ingest), $(b,verify), $(b,recover), $(b,stats).")
     [ init_cmd; ingest_cmd; verify_cmd; recover_cmd; stats_cmd ]
 
+(* --- serve / call --- *)
+
+module Srv = Wolves_server.Server
+module Svc = Wolves_server.Service
+module Sclient = Wolves_server.Client
+module Sproto = Wolves_server.Protocol
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "unix-socket" ] ~docv:"PATH"
+         ~doc:"Serve (or call) over a Unix domain socket at PATH.")
+
+let port_arg =
+  Arg.(value & opt (some int) None & info [ "port"; "p" ] ~docv:"PORT"
+         ~doc:"Serve (or call) over TCP on this port (0 picks a free one).")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+         ~doc:"Bind/connect address for $(b,--port).")
+
+let serve_cmd =
+  let files_arg =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Workflow documents to serve ($(b,.wf) or MoML); each is \
+                 published under its basename without extension.")
+  in
+  let store_flag =
+    Arg.(value & opt (some dir) None & info [ "store" ] ~docv:"DIR"
+           ~doc:"Serve every workflow of this $(b,wolves store) directory.")
+  in
+  let synthesize_flag =
+    Arg.(value & flag & info [ "synthesize" ]
+           ~doc:"Serve a synthesized corpus (all families x sizes x view \
+                 policies) instead of reading files.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"PRNG seed for $(b,--synthesize).")
+  in
+  let per_cell_arg =
+    Arg.(value & opt int 1 & info [ "per-cell" ] ~docv:"N"
+           ~doc:"Synthesized workflows per family x size x policy cell.")
+  in
+  let sizes_arg =
+    Arg.(value & opt (list int) [ 12; 24 ] & info [ "sizes" ] ~docv:"N,..."
+           ~doc:"Workflow sizes (task counts) for $(b,--synthesize).")
+  in
+  let workers_arg =
+    Arg.(value & opt int Srv.default_config.Srv.workers
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue_arg =
+    Arg.(value & opt int Srv.default_config.Srv.queue_depth
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"Admission queue bound; beyond it new connections are \
+                   shed with $(b,OVERLOADED).")
+  in
+  let read_timeout_arg =
+    Arg.(value & opt float Srv.default_config.Srv.read_timeout_s
+         & info [ "read-timeout" ] ~docv:"S"
+             ~doc:"Per-connection receive deadline in seconds (slow-loris \
+                   defence).")
+  in
+  let write_timeout_arg =
+    Arg.(value & opt float Srv.default_config.Srv.write_timeout_s
+         & info [ "write-timeout" ] ~docv:"S"
+             ~doc:"Per-connection send deadline in seconds.")
+  in
+  let max_request_arg =
+    Arg.(value & opt int Srv.default_config.Srv.max_request_bytes
+         & info [ "max-request-bytes" ] ~docv:"B"
+             ~doc:"Longest accepted request line.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS"
+           ~doc:"Default correction budget in milliseconds: bare \
+                 $(b,CORRECT <id>) requests run \
+                 $(b,Corrector.correct_with_deadline) under it (queue wait \
+                 included), degrading optimal → strong → weak under load.")
+  in
+  let retry_after_arg =
+    Arg.(value & opt int Srv.default_config.Srv.retry_after_ms
+         & info [ "retry-after" ] ~docv:"MS"
+             ~doc:"Retry-after hint carried by $(b,OVERLOADED) replies.")
+  in
+  let run files store synthesize seed per_cell sizes host port socket workers
+      queue_depth read_timeout write_timeout max_request_bytes deadline
+      retry_after metrics =
+    let corpus =
+      match (store, synthesize, files) with
+      | Some dir, false, [] -> Svc.of_store dir
+      | None, true, [] -> (
+          match R.synthesize ~seed ~per_cell ~sizes () with
+          | repo -> Ok (Svc.of_repository repo)
+          | exception Invalid_argument msg -> Error msg)
+      | None, false, (_ :: _ as files) -> Svc.of_files files
+      | None, false, [] ->
+        Error "nothing to serve: give FILEs, --store DIR or --synthesize"
+      | _ -> Error "FILEs, --store and --synthesize are mutually exclusive"
+    in
+    match corpus with
+    | Error msg -> fail "%s" msg
+    | Ok service ->
+      let listen =
+        match (socket, port) with
+        | Some path, None -> Ok (Srv.Unix_socket path)
+        | None, Some port -> Ok (Srv.Tcp (host, port))
+        | None, None -> Error "need --port or --unix-socket"
+        | Some _, Some _ -> Error "--port and --unix-socket are exclusive"
+      in
+      match listen with
+      | Error msg -> fail "%s" msg
+      | Ok listen ->
+        let config =
+          { Srv.default_config with
+            Srv.workers;
+            queue_depth;
+            read_timeout_s = read_timeout;
+            write_timeout_s = write_timeout;
+            max_request_bytes;
+            default_deadline_ms = deadline;
+            retry_after_ms = retry_after }
+        in
+        with_metrics metrics (fun () ->
+            match Srv.start ~config listen service with
+            | exception Invalid_argument msg -> fail "%s" msg
+            | Error msg -> fail "%s" msg
+            | Ok server ->
+              List.iter
+                (fun s ->
+                  try Sys.set_signal s
+                        (Sys.Signal_handle (fun _ -> Srv.request_stop server))
+                  with Invalid_argument _ | Sys_error _ -> ())
+                [ Sys.sigint; Sys.sigterm ];
+              let where =
+                match Srv.address server with
+                | Some (Unix.ADDR_INET (a, p)) ->
+                  Printf.sprintf "tcp %s:%d" (Unix.string_of_inet_addr a) p
+                | Some (Unix.ADDR_UNIX p) -> Printf.sprintf "unix %s" p
+                | None -> "?"
+              in
+              Printf.printf
+                "serving %d workflow(s) on %s: %d worker domain(s), queue \
+                 %d\n%!"
+                (Svc.size service) where config.Srv.workers
+                config.Srv.queue_depth;
+              (* SIGINT/SIGTERM flip the flag; everything else — drain,
+                 join, unlink, metrics flush — happens here, in signal-free
+                 context. *)
+              while not (Srv.stop_requested server) do
+                try Unix.sleepf 0.2
+                with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              done;
+              Srv.stop server;
+              let s = Srv.stats server in
+              Printf.printf
+                "drained: %d connection(s), %d request(s), %d error(s), %d \
+                 shed\n%!"
+                s.Srv.connections s.Srv.requests s.Srv.errors s.Srv.shed;
+              `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running provenance query service: load a corpus once, pin \
+          closure + label indexes, and answer \
+          validate/correct/query/lint/analyze requests concurrently over a \
+          line protocol (see docs/PROTOCOL.md). Bounded admission queue \
+          with $(b,OVERLOADED) load-shedding, per-connection timeouts, \
+          per-request deadlines that degrade correction tiers, graceful \
+          drain on SIGINT/SIGTERM (exit 0).")
+    Term.(ret (const run $ files_arg $ store_flag $ synthesize_flag
+               $ seed_arg $ per_cell_arg $ sizes_arg $ host_arg $ port_arg
+               $ socket_arg $ workers_arg $ queue_arg $ read_timeout_arg
+               $ write_timeout_arg $ max_request_arg $ deadline_arg
+               $ retry_after_arg $ metrics_arg))
+
+let call_cmd =
+  let words_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"WORD"
+           ~doc:"The request, e.g. $(b,VALIDATE montage) or $(b,CORRECT \
+                 montage DEADLINE 5). Words are joined with spaces.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 10. & info [ "timeout" ] ~docv:"S"
+           ~doc:"Connect/receive/send deadline in seconds.")
+  in
+  let run host port socket timeout words =
+    let target =
+      match (socket, port) with
+      | Some path, None -> Ok (`Unix path)
+      | None, Some port -> Ok (`Tcp (host, port))
+      | None, None -> Error "need --port or --unix-socket"
+      | Some _, Some _ -> Error "--port and --unix-socket are exclusive"
+    in
+    match target with
+    | Error msg -> fail "%s" msg
+    | Ok target ->
+      match Sclient.connect ~timeout_s:timeout target with
+      | Error msg -> fail "%s" msg
+      | Ok client ->
+        let result = Sclient.request client (String.concat " " words) in
+        Sclient.close client;
+        (match result with
+         | Error msg -> fail "%s" msg
+         | Ok (Sproto.Ok_lines lines) ->
+           (* The client ignored SIGPIPE for the socket's sake; restore the
+              default before printing so `wolves call ... | head` dies
+              silently like any filter instead of tripping over EPIPE at
+              the exit-time stdout flush. *)
+           (try ignore (Sys.signal Sys.sigpipe Sys.Signal_default)
+            with Invalid_argument _ | Sys_error _ -> ());
+           List.iter print_endline lines;
+           `Ok ()
+         | Ok (Sproto.Err (code, msg)) ->
+           Printf.eprintf "ERR %s %s\n" code msg;
+           exit 1
+         | Ok (Sproto.Overloaded ms) ->
+           Printf.eprintf "OVERLOADED %d\n" ms;
+           exit 2)
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Send one request to a running $(b,wolves serve) and print the \
+          reply payload. Exits 1 on an $(b,ERR) reply, 2 on \
+          $(b,OVERLOADED).")
+    Term.(ret (const run $ host_arg $ port_arg $ socket_arg $ timeout_arg
+               $ words_arg))
+
 let main =
   let doc =
     "WOLVES: detect and resolve unsound workflow views for correct \
@@ -1826,6 +2065,12 @@ let main =
       merge_cmd;
       resolve_cmd; diagnose_cmd; provenance_cmd; query_cmd; simulate_cmd;
       stats_cmd; profile_cmd; suggest_cmd; evolve_cmd; edit_cmd; report_cmd;
-      estimate_cmd; generate_cmd; audit_cmd; store_cmd ]
+      estimate_cmd; generate_cmd; audit_cmd; store_cmd; serve_cmd; call_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  let code = Cmd.eval main in
+  (* A command whose primary work succeeded but whose requested artifact
+     (metrics dump, trace) could not be written must still fail: scripts
+     and --json consumers depend on the exit code, not on spotting a
+     warning line on stderr. *)
+  exit (if code = 0 && !io_failure then 1 else code)

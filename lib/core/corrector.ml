@@ -602,10 +602,14 @@ let pp_tier_outcome ppf o =
 let default_check_cost_s = 1e-4
 
 let with_deadline ?(config = default_config) ?(node_budget = 2_000_000)
-    ?(check_cost_s = default_check_cost_s) ~deadline_s spec members =
+    ?(check_cost_s = default_check_cost_s) ?(spent_s = 0.) ~deadline_s spec
+    members =
+  if spent_s < 0.0 then
+    invalid_arg "Corrector.with_deadline: spent_s must be non-negative";
   Obs.time t_deadline
     ~args:(fun () ->
       [ ("deadline_s", Printf.sprintf "%g" deadline_s);
+        ("spent_s", Printf.sprintf "%g" spent_s);
         ("members", string_of_int (List.length members)) ])
   @@ fun () ->
   let start = Clock.now () in
@@ -617,10 +621,14 @@ let with_deadline ?(config = default_config) ?(node_budget = 2_000_000)
      so small that every tier finishes in microseconds, which would make
      deadline behaviour a lottery of hardware speed); the wall-clock
      component keeps the deadline honest on instances large enough for real
-     time to dominate. *)
+     time to dominate. [spent_s] pre-charges the budget with time the caller
+     already consumed on the request's behalf before correction started —
+     the query service passes its admission-queue wait here, so a request
+     that waited degrades further instead of overstaying its deadline. *)
   let consumed () =
-    Float.max (Clock.elapsed_since start)
-      (float_of_int !(ctx.checks) *. check_cost_s)
+    spent_s
+    +. Float.max (Clock.elapsed_since start)
+         (float_of_int !(ctx.checks) *. check_cost_s)
   in
   let expired () = consumed () >= deadline_s in
   let member_set = Bitset.of_list ctx.n members in
@@ -782,11 +790,14 @@ let correct ?(config = default_config) ?domains criterion view =
   (rebuild_view view replacements, outcomes)
 
 let correct_with_deadline ?(config = default_config) ?(node_budget = 2_000_000)
-    ?(check_cost_s = default_check_cost_s) ~deadline_s view =
+    ?(check_cost_s = default_check_cost_s) ?(spent_s = 0.) ~deadline_s view =
+  if spent_s < 0.0 then
+    invalid_arg "Corrector.correct_with_deadline: spent_s must be non-negative";
   Obs.with_span "corrector.correct"
     ~args:(fun () ->
       [ ("workflow", Spec.name (View.spec view));
-        ("deadline_s", Printf.sprintf "%g" deadline_s) ])
+        ("deadline_s", Printf.sprintf "%g" deadline_s);
+        ("spent_s", Printf.sprintf "%g" spent_s) ])
   @@ fun () ->
   let spec = View.spec view in
   let report = Soundness.validate view in
@@ -794,8 +805,8 @@ let correct_with_deadline ?(config = default_config) ?(node_budget = 2_000_000)
      remains when its turn comes (clamped at zero — the weak floor still
      guarantees a sound answer for every composite). Consumption is each
      composite's, under the same wall-vs-modeled accounting as
-     {!with_deadline}. *)
-  let remaining = ref deadline_s in
+     {!with_deadline}; [spent_s] is charged up front. *)
+  let remaining = ref (deadline_s -. spent_s) in
   let outcomes =
     List.map
       (fun (c, _) ->

@@ -126,6 +126,7 @@ val with_deadline :
   ?config:config ->
   ?node_budget:int ->
   ?check_cost_s:float ->
+  ?spent_s:float ->
   deadline_s:float ->
   Spec.t ->
   Spec.task list ->
@@ -145,18 +146,28 @@ val with_deadline :
     answer is always a valid sound split — and with [deadline_s = 0.] it is
     also the answer. With a generous deadline the chain behaves exactly
     like {!split_subset_anytime} (the optimal tier still honours
-    [node_budget]). @raise Invalid_argument as {!split_subset}. *)
+    [node_budget]).
+
+    [spent_s] (default [0.]) pre-charges the budget with time the caller
+    already spent on the request's behalf before correction started — a
+    query service passes its admission-queue wait here so a request that
+    queued long degrades to a cheaper tier instead of overstaying its
+    deadline. The weak floor is unaffected: it runs even with
+    [spent_s >= deadline_s]. @raise Invalid_argument as {!split_subset},
+    or when [spent_s] is negative. *)
 
 val correct_with_deadline :
   ?config:config ->
   ?node_budget:int ->
   ?check_cost_s:float ->
+  ?spent_s:float ->
   deadline_s:float ->
   View.t ->
   View.t * (View.composite * tier_outcome) list
 (** {!correct} under one shared deadline: each unsound composite gets the
     budget remaining when its turn comes (possibly zero — the weak floor
-    still answers). The returned view is sound. *)
+    still answers). [spent_s] is charged against the shared budget up
+    front, as in {!with_deadline}. The returned view is sound. *)
 
 val split_composite :
   ?config:config -> criterion -> View.t -> View.composite -> View.t * outcome

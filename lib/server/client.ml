@@ -1,0 +1,87 @@
+type t = { conn : Net_io.t; reader : Net_io.Lines.reader }
+
+let max_reply_line = 1 lsl 20
+
+let ignore_sigpipe () =
+  if Sys.os_type = "Unix" then
+    try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> ()
+
+let connect ?(timeout_s = 10.) target =
+  ignore_sigpipe ();
+  match
+    let fd =
+      match target with
+      | `Tcp (host, port) ->
+          let addr =
+            try Unix.inet_addr_of_string host
+            with Failure _ -> (
+              match Unix.gethostbyname host with
+              | { Unix.h_addr_list = [||]; _ } ->
+                  failwith (Printf.sprintf "cannot resolve %s" host)
+              | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+              | exception Not_found ->
+                  failwith (Printf.sprintf "cannot resolve %s" host))
+          in
+          let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+           with e ->
+             (try Unix.close fd with _ -> ());
+             raise e);
+          fd
+      | `Unix path ->
+          let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd (Unix.ADDR_UNIX path)
+           with e ->
+             (try Unix.close fd with _ -> ());
+             raise e);
+          fd
+    in
+    let conn =
+      Net_io.of_fd ~read_timeout_s:timeout_s ~write_timeout_s:timeout_s fd
+    in
+    { conn; reader = Net_io.Lines.reader conn }
+  with
+  | t -> Ok t
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+  | exception Failure msg -> Error msg
+
+let close t = try t.conn.Net_io.close () with _ -> ()
+
+let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let read_line t =
+  match Net_io.Lines.read_line t.reader ~max_bytes:max_reply_line with
+  | `Line l -> Ok l
+  | `Eof -> Error "connection closed by server"
+  | `Too_long -> Error "oversized reply line"
+
+let request t line =
+  match
+    Net_io.send_all t.conn (line ^ "\n");
+    let ( let* ) = Result.bind in
+    let* head = read_line t in
+    match words head with
+    | [ "OK"; count ] -> (
+        match int_of_string_opt count with
+        | Some k when k >= 0 ->
+            let rec payload acc n =
+              if n = 0 then Ok (Protocol.Ok_lines (List.rev acc))
+              else
+                let* l = read_line t in
+                payload (l :: acc) (n - 1)
+            in
+            payload [] k
+        | _ -> Error (Printf.sprintf "malformed reply header %S" head))
+    | "ERR" :: code :: rest ->
+        Ok (Protocol.Err (code, String.concat " " rest))
+    | [ "OVERLOADED"; ms ] -> (
+        match int_of_string_opt ms with
+        | Some v -> Ok (Protocol.Overloaded v)
+        | None -> Error (Printf.sprintf "malformed reply %S" head))
+    | _ -> Error (Printf.sprintf "unparseable reply line %S" head)
+  with
+  | r -> r
+  | exception Net_io.Timeout -> Error "timed out waiting for reply"
+  | exception Net_io.Net_error msg -> Error ("connection failed: " ^ msg)

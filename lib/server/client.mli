@@ -1,0 +1,19 @@
+(** A small blocking client for the {!Protocol} line protocol — the
+    in-process harness behind bench E-SERVE, the test-suite's scripted
+    sessions, and the [wolves call] CLI. *)
+
+type t
+
+val connect :
+  ?timeout_s:float ->
+  [ `Tcp of string * int | `Unix of string ] ->
+  (t, string) result
+(** Connect with [timeout_s] (default 10) as both receive and send
+    deadline. *)
+
+val request : t -> string -> (Protocol.reply, string) result
+(** Send one request line (the terminator is appended) and read the full
+    framed reply. [Error] on transport failure, deadline, or a framing
+    violation — after which the connection should be {!close}d. *)
+
+val close : t -> unit

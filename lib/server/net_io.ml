@@ -1,0 +1,199 @@
+exception Timeout
+exception Net_error of string
+
+type t = {
+  recv : bytes -> int -> int -> int;
+  send : string -> int -> int -> int;
+  close : unit -> unit;
+}
+
+let of_fd ?(read_timeout_s = 10.) ?(write_timeout_s = 10.) fd =
+  (* SO_RCVTIMEO/SO_SNDTIMEO turn a wedged peer into EAGAIN without any
+     select bookkeeping; a timeout of 0 means "block forever" to the
+     kernel, so clamp to a small positive floor instead. *)
+  let clamp s = Float.max 0.01 s in
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO (clamp read_timeout_s);
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO (clamp write_timeout_s)
+   with Unix.Unix_error _ -> ());
+  let rec recv buf off len =
+    match Unix.read fd buf off len with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv buf off len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        raise Timeout
+    | exception Unix.Unix_error (e, _, _) ->
+        raise (Net_error (Unix.error_message e))
+  in
+  let rec send s off len =
+    match Unix.write_substring fd s off len with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> send s off len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        raise Timeout
+    | exception Unix.Unix_error (e, _, _) ->
+        raise (Net_error (Unix.error_message e))
+  in
+  let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+  { recv; send; close }
+
+let of_string input out =
+  let pos = ref 0 in
+  let recv buf off len =
+    let n = min len (String.length input - !pos) in
+    if n > 0 then begin
+      Bytes.blit_string input !pos buf off n;
+      pos := !pos + n
+    end;
+    max n 0
+  in
+  let send s off len =
+    Buffer.add_substring out s off len;
+    len
+  in
+  { recv; send; close = (fun () -> ()) }
+
+let send_all t s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then begin
+      let w = t.send s off (n - off) in
+      if w <= 0 then raise (Net_error "send made no progress");
+      go (off + w)
+    end
+  in
+  go 0
+
+module Lines = struct
+  type reader = { conn : t; buf : Buffer.t; chunk : bytes }
+
+  let reader conn = { conn; buf = Buffer.create 256; chunk = Bytes.create 4096 }
+
+  let read_line r ~max_bytes =
+    let rec go () =
+      let s = Buffer.contents r.buf in
+      match String.index_opt s '\n' with
+      | Some i when i > max_bytes -> `Too_long
+      | Some i ->
+          let line = String.sub s 0 i in
+          Buffer.clear r.buf;
+          Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+          let line =
+            let n = String.length line in
+            if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+            else line
+          in
+          `Line line
+      | None ->
+          if String.length s > max_bytes then `Too_long
+          else
+            let n = r.conn.recv r.chunk 0 (Bytes.length r.chunk) in
+            if n = 0 then `Eof
+            else begin
+              Buffer.add_subbytes r.buf r.chunk 0 n;
+              go ()
+            end
+    in
+    go ()
+end
+
+type fault =
+  | Short_reads
+  | Short_writes
+  | Disconnect_after_recv of int
+  | Error_after_send of int
+  | Stall_after_recv of int
+  | Garbage_after_recv of int * int
+
+type injector = {
+  mutable received : int;
+  mutable sent : int;
+  mutable fired : bool;
+}
+
+(* Deterministic per-(seed, offset) garbage byte: a murmur-style finaliser
+   so neighbouring offsets decorrelate. *)
+let garbage_byte seed off =
+  let x = (seed * 0x9E3779B1) lxor (off * 0x85EBCA77) in
+  let x = x lxor (x lsr 13) in
+  let x = x * 0xC2B2AE3D in
+  (x lxor (x lsr 16)) land 0xFF
+
+let faulty fault inner =
+  let inj = { received = 0; sent = 0; fired = false } in
+  let recv buf off len =
+    match fault with
+    | Disconnect_after_recv n ->
+        if inj.received >= n then begin
+          inj.fired <- true;
+          0
+        end
+        else begin
+          let len = min len (n - inj.received) in
+          let r = inner.recv buf off len in
+          inj.received <- inj.received + r;
+          r
+        end
+    | Stall_after_recv n ->
+        if inj.received >= n then begin
+          inj.fired <- true;
+          raise Timeout
+        end
+        else begin
+          let len = min len (n - inj.received) in
+          let r = inner.recv buf off len in
+          inj.received <- inj.received + r;
+          r
+        end
+    | Garbage_after_recv (n, seed) ->
+        let r = inner.recv buf off len in
+        for k = 0 to r - 1 do
+          let global = inj.received + k in
+          if global >= n then begin
+            inj.fired <- true;
+            Bytes.set buf (off + k) (Char.chr (garbage_byte seed global))
+          end
+        done;
+        inj.received <- inj.received + r;
+        r
+    | Short_reads ->
+        if len = 0 then 0
+        else begin
+          inj.fired <- true;
+          let r = inner.recv buf off 1 in
+          inj.received <- inj.received + r;
+          r
+        end
+    | Short_writes | Error_after_send _ ->
+        let r = inner.recv buf off len in
+        inj.received <- inj.received + r;
+        r
+  in
+  let send s off len =
+    match fault with
+    | Short_writes ->
+        if len = 0 then 0
+        else begin
+          inj.fired <- true;
+          let w = inner.send s off 1 in
+          inj.sent <- inj.sent + w;
+          w
+        end
+    | Error_after_send n ->
+        if inj.sent >= n then begin
+          inj.fired <- true;
+          raise (Net_error "injected send failure")
+        end
+        else begin
+          let len = min len (n - inj.sent) in
+          let w = inner.send s off len in
+          inj.sent <- inj.sent + w;
+          w
+        end
+    | Short_reads | Disconnect_after_recv _ | Stall_after_recv _
+    | Garbage_after_recv _ ->
+        let w = inner.send s off len in
+        inj.sent <- inj.sent + w;
+        w
+  in
+  ({ recv; send; close = inner.close }, inj)

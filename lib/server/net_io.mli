@@ -1,0 +1,89 @@
+(** The pluggable connection I/O layer underneath {!Server}.
+
+    Every byte the server exchanges with a client goes through one of these
+    records — the real implementation wraps a connected socket with receive
+    and send timeouts, the in-memory one backs unit tests, and {!faulty}
+    wraps either with injected network pathologies (short reads and writes,
+    mid-request disconnects, byte-level garbage, stalled peers). The design
+    mirrors {!Wolves_storage.Storage_io}: production code cannot tell the
+    implementations apart, so the chaos property tests exercise exactly the
+    code that serves real connections. *)
+
+exception Timeout
+(** A receive or send exceeded its deadline (slow-loris client, stalled
+    consumer). The connection is unusable afterwards. *)
+
+exception Net_error of string
+(** The peer vanished or the transport failed (reset, broken pipe, injected
+    fault). The connection is unusable afterwards. *)
+
+type t = {
+  recv : bytes -> int -> int -> int;
+      (** [recv buf off len] reads at most [len] bytes into [buf] at
+          [off]; returns the count actually read, [0] meaning end of
+          stream. May return fewer bytes than asked (short read).
+          @raise Timeout / Net_error as above. *)
+  send : string -> int -> int -> int;
+      (** [send s off len] writes at most [len] bytes of [s] from [off];
+          returns the count actually written, possibly short. Use
+          {!send_all} to write a whole reply. *)
+  close : unit -> unit;  (** Release the transport. Idempotence is the
+                             caller's concern; {!Server} guards it. *)
+}
+
+val of_fd : ?read_timeout_s:float -> ?write_timeout_s:float ->
+  Unix.file_descr -> t
+(** Wrap a connected socket. Timeouts (default 10 s each) are enforced with
+    [SO_RCVTIMEO]/[SO_SNDTIMEO] and surface as {!Timeout}; [EINTR] is
+    retried; every other transport error surfaces as {!Net_error}.
+    [close] closes the descriptor. *)
+
+val of_string : string -> Buffer.t -> t
+(** [of_string input out] is an in-memory connection: [recv] drains
+    [input] then reports end of stream, [send] appends to [out], [close]
+    does nothing. Deterministic — the chaos tests' substrate. *)
+
+val send_all : t -> string -> unit
+(** Write the whole string, looping over short writes.
+    @raise Net_error if the connection makes no progress. *)
+
+(** Buffered line reading on top of a connection. *)
+module Lines : sig
+  type reader
+
+  val reader : t -> reader
+
+  val read_line : reader -> max_bytes:int -> [ `Line of string | `Eof | `Too_long ]
+  (** Next LF-terminated line, without its terminator (a trailing CR is
+      also stripped, so CRLF clients work). [`Too_long] once a line
+      exceeds [max_bytes] without a terminator — the stream cannot be
+      re-synchronised, the caller must close. A trailing partial line at
+      end of stream is discarded ([`Eof]). Receive exceptions propagate. *)
+end
+
+(** One injected network pathology. Byte counts are cumulative over the
+    connection's lifetime, so a schedule is a single integer — the chaos
+    test sweeps it across every byte offset of a session. *)
+type fault =
+  | Short_reads  (** every receive returns at most one byte *)
+  | Short_writes  (** every send accepts at most one byte *)
+  | Disconnect_after_recv of int
+      (** end of stream after [n] bytes have been received *)
+  | Error_after_send of int
+      (** [Net_error] once [n] bytes have been sent (peer reset mid-reply) *)
+  | Stall_after_recv of int
+      (** {!Timeout} once [n] bytes have been received (slow-loris) *)
+  | Garbage_after_recv of int * int
+      (** [(n, seed)]: every received byte from offset [n] on is replaced
+          with deterministic pseudo-random garbage *)
+
+(** Live counters exposed to the test harness. *)
+type injector = {
+  mutable received : int;  (** bytes delivered to the server so far *)
+  mutable sent : int;  (** bytes accepted from the server so far *)
+  mutable fired : bool;  (** the fault actually triggered *)
+}
+
+val faulty : fault -> t -> t * injector
+(** Wrap a connection with one fault. The returned connection behaves
+    identically up to the fault point. *)

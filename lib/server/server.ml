@@ -1,0 +1,510 @@
+module Metrics = Wolves_obs.Metrics
+module Clock = Wolves_obs.Clock
+
+type config = {
+  workers : int;
+  queue_depth : int;
+  read_timeout_s : float;
+  write_timeout_s : float;
+  max_request_bytes : int;
+  default_deadline_ms : float option;
+  retry_after_ms : int;
+  drain_grace_s : float;
+}
+
+let default_config =
+  { workers = 4;
+    queue_depth = 64;
+    read_timeout_s = 10.;
+    write_timeout_s = 10.;
+    max_request_bytes = 64 * 1024;
+    default_deadline_ms = None;
+    retry_after_ms = 100;
+    drain_grace_s = 5. }
+
+let validate_config c =
+  if c.workers < 1 then invalid_arg "Server: workers must be >= 1";
+  if c.queue_depth < 1 then invalid_arg "Server: queue_depth must be >= 1";
+  if c.read_timeout_s <= 0. || c.write_timeout_s <= 0. then
+    invalid_arg "Server: timeouts must be positive";
+  if c.max_request_bytes < 16 then
+    invalid_arg "Server: max_request_bytes must be >= 16";
+  if c.retry_after_ms < 0 then invalid_arg "Server: retry_after_ms must be >= 0";
+  if c.drain_grace_s < 0. then invalid_arg "Server: drain_grace_s must be >= 0"
+
+type stats = {
+  connections : int;
+  requests : int;
+  errors : int;
+  shed : int;
+  timeouts : int;
+  in_flight : int;
+  queue_depth : int;
+  draining : bool;
+}
+
+(* Log-scale latency histogram over lock-free buckets: bucket [i] counts
+   requests in [2^(i-1), 2^i) microseconds. Good to ~70 s with 1-bit
+   resolution, which is all a p50/p99 readout needs. *)
+module Hist = struct
+  let buckets = 40
+
+  type t = int Atomic.t array
+
+  let create () = Array.init buckets (fun _ -> Atomic.make 0)
+
+  let observe (h : t) seconds =
+    let us = int_of_float (Float.max 0. seconds *. 1e6) in
+    let rec index i v = if v = 0 || i >= buckets - 1 then i else index (i + 1) (v lsr 1) in
+    Atomic.incr h.(index 0 us)
+
+  let quantile (h : t) q =
+    let total = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h in
+    if total = 0 then 0.
+    else begin
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int total))) in
+      let rec go i acc =
+        let acc = acc + Atomic.get h.(i) in
+        if acc >= rank || i = buckets - 1 then
+          (* upper bound of bucket i, in seconds *)
+          Float.of_int (1 lsl i) *. 1e-6
+        else go (i + 1) acc
+      in
+      go 0 0
+    end
+end
+
+type t = {
+  config : config;
+  service : Service.t;
+  stop_flag : bool Atomic.t;
+  drained_flag : bool Atomic.t;
+  queue : (Unix.file_descr * float) Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  merge_lock : Mutex.t;  (** serialises obs shard merges across domains *)
+  stop_lock : Mutex.t;
+  mutable stopped : bool;
+  mutable acceptor : unit Domain.t option;
+  mutable worker_domains : unit Domain.t list;
+  mutable listener : Unix.file_descr option;
+  mutable socket_path : string option;
+  active : Unix.file_descr option Atomic.t array;
+      (** per-worker connection being served, for drain cut-off *)
+  c_connections : int Atomic.t;
+  c_requests : int Atomic.t;
+  c_errors : int Atomic.t;
+  c_shed : int Atomic.t;
+  c_timeouts : int Atomic.t;
+  c_in_flight : int Atomic.t;
+  latency : Hist.t;
+  started_at : float;
+}
+
+(* Obs handles; recorded through per-domain shards (workers are not the
+   main domain), merged under [merge_lock]. *)
+let m_requests = Metrics.counter "server.requests"
+let m_errors = Metrics.counter "server.errors"
+let m_shed = Metrics.counter "server.shed"
+let m_connections = Metrics.counter "server.connections"
+let m_request_time = Metrics.timer "server.request"
+let m_queue_depth = Metrics.gauge "server.queue_depth"
+let m_in_flight = Metrics.gauge "server.in_flight"
+
+let create ?(config = default_config) service =
+  validate_config config;
+  { config;
+    service;
+    stop_flag = Atomic.make false;
+    drained_flag = Atomic.make false;
+    queue = Queue.create ();
+    qlock = Mutex.create ();
+    qcond = Condition.create ();
+    merge_lock = Mutex.create ();
+    stop_lock = Mutex.create ();
+    stopped = false;
+    acceptor = None;
+    worker_domains = [];
+    listener = None;
+    socket_path = None;
+    active = Array.init config.workers (fun _ -> Atomic.make None);
+    c_connections = Atomic.make 0;
+    c_requests = Atomic.make 0;
+    c_errors = Atomic.make 0;
+    c_shed = Atomic.make 0;
+    c_timeouts = Atomic.make 0;
+    c_in_flight = Atomic.make 0;
+    latency = Hist.create ();
+    started_at = Clock.now () }
+
+let queue_len t =
+  Mutex.lock t.qlock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.qlock;
+  n
+
+let stop_requested t = Atomic.get t.stop_flag
+let drained t = Atomic.get t.drained_flag
+
+let stats t =
+  { connections = Atomic.get t.c_connections;
+    requests = Atomic.get t.c_requests;
+    errors = Atomic.get t.c_errors;
+    shed = Atomic.get t.c_shed;
+    timeouts = Atomic.get t.c_timeouts;
+    in_flight = Atomic.get t.c_in_flight;
+    queue_depth = queue_len t;
+    draining = stop_requested t }
+
+let stats_lines t =
+  let s = stats t in
+  [ Printf.sprintf "uptime_s %.3f" (Clock.elapsed_since t.started_at);
+    Printf.sprintf "corpus %d" (Service.size t.service);
+    Printf.sprintf "workers %d" t.config.workers;
+    Printf.sprintf "connections %d" s.connections;
+    Printf.sprintf "requests %d" s.requests;
+    Printf.sprintf "errors %d" s.errors;
+    Printf.sprintf "shed %d" s.shed;
+    Printf.sprintf "timeouts %d" s.timeouts;
+    Printf.sprintf "in_flight %d" s.in_flight;
+    Printf.sprintf "queue_depth %d" s.queue_depth;
+    Printf.sprintf "latency_p50_ms %.3f" (Hist.quantile t.latency 0.5 *. 1e3);
+    Printf.sprintf "latency_p99_ms %.3f" (Hist.quantile t.latency 0.99 *. 1e3);
+    Printf.sprintf "draining %b" s.draining ]
+
+let handle_request t ?(spent_s = 0.) request =
+  match request with
+  | Protocol.Stats -> Protocol.Ok_lines (stats_lines t)
+  | Protocol.Health ->
+      Protocol.Ok_lines
+        [ (if stop_requested t then "draining" else "ok");
+          Printf.sprintf "corpus %d" (Service.size t.service) ]
+  | request ->
+      Service.handle ~domains:1 ~spent_s
+        ?default_deadline_ms:t.config.default_deadline_ms t.service request
+
+(* Merge one request's metrics into the registry. Shards keep worker-domain
+   recording race-free; the merge itself is serialised by [merge_lock]
+   (merge_shard's contract is one merging domain at a time). *)
+let record_obs t ~kind ~is_error ~elapsed_s =
+  if Metrics.is_enabled () then begin
+    let (), shard =
+      Metrics.with_new_shard (fun () ->
+          Metrics.incr m_requests;
+          if is_error then Metrics.incr m_errors;
+          Metrics.observe m_request_time elapsed_s;
+          Metrics.set m_queue_depth (float_of_int (queue_len t));
+          Metrics.set m_in_flight (float_of_int (Atomic.get t.c_in_flight));
+          Metrics.instant "server.request" (fun () -> [ ("kind", kind) ]))
+    in
+    Mutex.lock t.merge_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.merge_lock)
+      (fun () -> Metrics.merge_shard shard)
+  end
+
+let merge_counter t counter =
+  if Metrics.is_enabled () then begin
+    let (), shard = Metrics.with_new_shard (fun () -> Metrics.incr counter) in
+    Mutex.lock t.merge_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.merge_lock)
+      (fun () -> Metrics.merge_shard shard)
+  end
+
+let serve_connection t ?(queued_s = 0.) (conn : Net_io.t) =
+  Atomic.incr t.c_connections;
+  merge_counter t m_connections;
+  let reader = Net_io.Lines.reader conn in
+  (* best-effort send: a dying peer must not take the worker with it *)
+  let send s =
+    match Net_io.send_all conn s with
+    | () -> true
+    | exception Net_io.Timeout ->
+        Atomic.incr t.c_timeouts;
+        false
+    | exception Net_io.Net_error _ -> false
+  in
+  let spent = ref queued_s in
+  (try
+     let continue = ref true in
+     while !continue do
+       if stop_requested t then begin
+         ignore
+           (send
+              (Protocol.render
+                 (Protocol.Err ("shutting-down", "server is draining"))));
+         continue := false
+       end
+       else
+         match
+           Net_io.Lines.read_line reader ~max_bytes:t.config.max_request_bytes
+         with
+         | `Eof -> continue := false
+         | `Too_long ->
+             (* framing is lost: reply once, then the connection must die *)
+             Atomic.incr t.c_errors;
+             ignore
+               (send
+                  (Protocol.render
+                     (Protocol.Err
+                        ( "too-large",
+                          Printf.sprintf "request exceeds %d bytes"
+                            t.config.max_request_bytes ))));
+             continue := false
+         | `Line line when String.trim line = "" -> ()
+         | `Line line ->
+             let t0 = Clock.now () in
+             Atomic.incr t.c_in_flight;
+             let parsed = Protocol.parse line in
+             let reply =
+               match parsed with
+               | Error (code, msg) -> Protocol.Err (code, msg)
+               | Ok request -> (
+                   (* isolation: a raising handler costs one ERR reply *)
+                   try handle_request t ~spent_s:!spent request
+                   with e -> Protocol.Err ("internal", Printexc.to_string e))
+             in
+             spent := 0.;
+             let sent_ok = send (Protocol.render reply) in
+             let elapsed_s = Clock.elapsed_since t0 in
+             Hist.observe t.latency elapsed_s;
+             Atomic.incr t.c_requests;
+             let is_error =
+               match reply with Protocol.Err _ -> true | _ -> false
+             in
+             if is_error then Atomic.incr t.c_errors;
+             Atomic.decr t.c_in_flight;
+             let kind =
+               match parsed with
+               | Ok request -> Protocol.kind request
+               | Error _ -> "malformed"
+             in
+             record_obs t ~kind ~is_error ~elapsed_s;
+             (match parsed with
+             | Ok Protocol.Quit -> continue := false
+             | _ -> ());
+             if not sent_ok then continue := false
+     done
+   with
+  | Net_io.Timeout ->
+      (* slow-loris or idle past the read deadline *)
+      Atomic.incr t.c_timeouts;
+      (try
+         Net_io.send_all conn
+           (Protocol.render
+              (Protocol.Err ("timeout", "no complete request within deadline")))
+       with Net_io.Timeout | Net_io.Net_error _ -> ())
+  | Net_io.Net_error _ -> ()
+  | _ -> Atomic.incr t.c_errors);
+  try conn.Net_io.close () with _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop, workers, lifecycle                                     *)
+(* ------------------------------------------------------------------ *)
+
+let shed_connection t fd =
+  Atomic.incr t.c_shed;
+  merge_counter t m_shed;
+  let conn = Net_io.of_fd ~read_timeout_s:0.1 ~write_timeout_s:0.5 fd in
+  (try
+     Net_io.send_all conn
+       (Protocol.render (Protocol.Overloaded t.config.retry_after_ms))
+   with Net_io.Timeout | Net_io.Net_error _ -> ());
+  try conn.Net_io.close () with _ -> ()
+
+let accept_loop t fd =
+  let stop = ref false in
+  while not !stop do
+    if stop_requested t then stop := true
+    else
+      match Unix.select [ fd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept ~cloexec:true fd with
+          | exception
+              Unix.Unix_error
+                ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                  | Unix.ECONNABORTED ),
+                  _,
+                  _ ) ->
+              ()
+          | exception Unix.Unix_error _ -> stop := true
+          | cfd, _ ->
+              Mutex.lock t.qlock;
+              if Queue.length t.queue >= t.config.queue_depth then begin
+                Mutex.unlock t.qlock;
+                (* load-shedding: refuse in O(1), never block the acceptor *)
+                shed_connection t cfd
+              end
+              else begin
+                Queue.push (cfd, Clock.now ()) t.queue;
+                Condition.signal t.qcond;
+                Mutex.unlock t.qlock
+              end)
+  done;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  match t.socket_path with
+  | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+  | None -> ()
+
+let worker_loop t i =
+  let rec next () =
+    Mutex.lock t.qlock;
+    let rec await () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if stop_requested t then None
+      else begin
+        Condition.wait t.qcond t.qlock;
+        await ()
+      end
+    in
+    let item = await () in
+    Mutex.unlock t.qlock;
+    match item with
+    | None -> ()
+    | Some (fd, enqueued_at) ->
+        Atomic.set t.active.(i) (Some fd);
+        (if stop_requested t then begin
+           (* accepted but never served: a fast typed refusal beats a hang *)
+           let conn = Net_io.of_fd ~read_timeout_s:0.1 ~write_timeout_s:0.5 fd in
+           (try
+              Net_io.send_all conn
+                (Protocol.render
+                   (Protocol.Err ("shutting-down", "server is draining")))
+            with Net_io.Timeout | Net_io.Net_error _ -> ());
+           try conn.Net_io.close () with _ -> ()
+         end
+         else
+           let conn =
+             Net_io.of_fd ~read_timeout_s:t.config.read_timeout_s
+               ~write_timeout_s:t.config.write_timeout_s fd
+           in
+           serve_connection t ~queued_s:(Clock.elapsed_since enqueued_at) conn);
+        Atomic.set t.active.(i) None;
+        next ()
+  in
+  next ()
+
+type listen = Tcp of string * int | Unix_socket of string
+
+(* A peer that disappears mid-reply must surface as EPIPE (mapped to
+   Net_error by Net_io), not kill the process with SIGPIPE. *)
+let ignore_sigpipe () =
+  if Sys.os_type = "Unix" then
+    try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> ()
+
+let start ?(config = default_config) listen service =
+  ignore_sigpipe ();
+  match
+    let t = create ~config service in
+    let fd, path =
+      match listen with
+      | Tcp (host, port) ->
+          let addr =
+            try Unix.inet_addr_of_string host
+            with Failure _ -> (
+              match Unix.gethostbyname host with
+              | { Unix.h_addr_list = [||]; _ } ->
+                  failwith (Printf.sprintf "cannot resolve %s" host)
+              | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+              | exception Not_found ->
+                  failwith (Printf.sprintf "cannot resolve %s" host))
+          in
+          let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+          (try
+             Unix.setsockopt fd Unix.SO_REUSEADDR true;
+             Unix.bind fd (Unix.ADDR_INET (addr, port));
+             Unix.listen fd 128
+           with e ->
+             (try Unix.close fd with _ -> ());
+             raise e);
+          (fd, None)
+      | Unix_socket p ->
+          if Sys.file_exists p then (try Unix.unlink p with _ -> ());
+          let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try
+             Unix.bind fd (Unix.ADDR_UNIX p);
+             Unix.listen fd 128
+           with e ->
+             (try Unix.close fd with _ -> ());
+             raise e);
+          (fd, Some p)
+    in
+    t.listener <- Some fd;
+    t.socket_path <- path;
+    t.acceptor <- Some (Domain.spawn (fun () -> accept_loop t fd));
+    t.worker_domains <-
+      List.init config.workers (fun i -> Domain.spawn (fun () -> worker_loop t i));
+    t
+  with
+  | t -> Ok t
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let address t =
+  match t.listener with
+  | None -> None
+  | Some fd -> ( try Some (Unix.getsockname fd) with Unix.Unix_error _ -> None)
+
+let request_stop t = Atomic.set t.stop_flag true
+
+let stop t =
+  Mutex.lock t.stop_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.stop_lock)
+    (fun () ->
+      if not t.stopped then begin
+        t.stopped <- true;
+        Atomic.set t.stop_flag true;
+        Mutex.lock t.qlock;
+        Condition.broadcast t.qcond;
+        Mutex.unlock t.qlock;
+        (match t.acceptor with
+        | Some d ->
+            Domain.join d;
+            t.acceptor <- None
+        | None -> ());
+        t.listener <- None;
+        (* grace for in-flight connections, then cut their sockets so a
+           worker blocked in a receive comes back *)
+        let deadline = Clock.now () +. t.config.drain_grace_s in
+        let all_idle () =
+          Array.for_all (fun a -> Atomic.get a = None) t.active
+        in
+        while (not (all_idle ())) && Clock.now () < deadline do
+          Unix.sleepf 0.02
+        done;
+        Array.iter
+          (fun a ->
+            match Atomic.get a with
+            | Some fd -> (
+                try Unix.shutdown fd Unix.SHUTDOWN_ALL
+                with Unix.Unix_error _ -> ())
+            | None -> ())
+          t.active;
+        Mutex.lock t.qlock;
+        Condition.broadcast t.qcond;
+        Mutex.unlock t.qlock;
+        List.iter Domain.join t.worker_domains;
+        t.worker_domains <- [];
+        (* flush final gauge values so a post-drain dump reads zero *)
+        if Metrics.is_enabled () then begin
+          let (), shard =
+            Metrics.with_new_shard (fun () ->
+                Metrics.set m_queue_depth 0.;
+                Metrics.set m_in_flight 0.)
+          in
+          Mutex.lock t.merge_lock;
+          (try Metrics.merge_shard shard
+           with e ->
+             Mutex.unlock t.merge_lock;
+             raise e);
+          Mutex.unlock t.merge_lock
+        end;
+        Atomic.set t.drained_flag true
+      end)

@@ -1,0 +1,105 @@
+(** The concurrent provenance query server (ROADMAP item 1).
+
+    A {!Service.t} corpus served over a line protocol ({!Protocol}) by a
+    pool of OCaml 5 worker domains, built to stay correct {e and} available
+    under hostile traffic:
+
+    - {b Admission control}: accepted connections enter a bounded queue;
+      once it is full, new arrivals get an immediate [OVERLOADED
+      <retry-after-ms>] reply and are closed — a shed client learns its
+      fate in microseconds instead of wedging a worker.
+    - {b Deadlines}: a request's queue wait is charged against its
+      correction deadline ({!Corrector.correct_with_deadline}'s [spent_s]),
+      so load degrades answer {e tiers} (optimal → strong → weak), never
+      latency honesty.
+    - {b Slow-loris defence}: per-connection receive/send timeouts and a
+      maximum request size; a stalled or oversized client costs one typed
+      error reply, not a worker.
+    - {b Isolation}: a request that raises produces [ERR internal] on its
+      own connection; shared indexes are immutable after {!Service.load},
+      so no request can poison another's view of the corpus.
+    - {b Graceful drain}: {!request_stop} (safe from a signal handler)
+      stops the acceptor; in-flight requests finish, queued-but-unserved
+      connections get [ERR shutting-down], stragglers are cut after a
+      grace period, metrics are flushed, and {!stop} returns — the CLI
+      then exits 0.
+
+    All I/O goes through {!Net_io}, so the chaos tests drive
+    {!serve_connection} — the exact production read-dispatch-reply loop —
+    over fault-injecting in-memory connections. *)
+
+type config = {
+  workers : int;  (** worker domains (default 4) *)
+  queue_depth : int;  (** admission queue bound (default 64) *)
+  read_timeout_s : float;  (** per-receive deadline (default 10) *)
+  write_timeout_s : float;  (** per-send deadline (default 10) *)
+  max_request_bytes : int;  (** request line bound (default 65536) *)
+  default_deadline_ms : float option;
+      (** budget for bare [CORRECT <id>] requests (default none: strong) *)
+  retry_after_ms : int;  (** hint in [OVERLOADED] replies (default 100) *)
+  drain_grace_s : float;
+      (** how long {!stop} lets in-flight connections finish before
+          cutting their sockets (default 5) *)
+}
+
+val default_config : config
+
+(** Counter snapshot behind the [STATS] request. *)
+type stats = {
+  connections : int;  (** accepted and handed to a worker *)
+  requests : int;  (** request lines answered (including errors) *)
+  errors : int;  (** [ERR] replies *)
+  shed : int;  (** connections refused with [OVERLOADED] *)
+  timeouts : int;  (** connections cut by a receive/send deadline *)
+  in_flight : int;
+  queue_depth : int;
+  draining : bool;
+}
+
+type t
+
+val create : ?config:config -> Service.t -> t
+(** A server with no listener: counters, histogram and dispatch only.
+    This is what the chaos tests drive via {!serve_connection}. *)
+
+type listen = Tcp of string * int | Unix_socket of string
+
+val start : ?config:config -> listen -> Service.t -> (t, string) result
+(** Bind, listen, spawn the acceptor and worker domains. A [Unix_socket]
+    path is unlinked first if present and unlinked again on {!stop}.
+    [Tcp] port [0] binds an ephemeral port — read it back with
+    {!address}. *)
+
+val address : t -> Unix.sockaddr option
+(** The bound address, when started. *)
+
+val serve_connection : t -> ?queued_s:float -> Net_io.t -> unit
+(** The per-connection loop: read lines, parse, dispatch, reply, until
+    end-of-stream, [QUIT], a fault, or drain. Never raises; always closes
+    the connection. [queued_s] is charged as [spent_s] against the first
+    request's deadline. *)
+
+val handle_request : t -> ?spent_s:float -> Protocol.request -> Protocol.reply
+(** Dispatch one request exactly as {!serve_connection} does, including
+    the server-level [STATS]/[HEALTH] answers — the oracle the chaos tests
+    compare wire bytes against. *)
+
+val stats : t -> stats
+
+val stats_lines : t -> string list
+(** The [STATS] reply payload: one [key value] line per field, plus
+    uptime, corpus size and latency percentiles. *)
+
+val request_stop : t -> unit
+(** Begin draining. Async-signal-safe: sets a flag, takes no locks. *)
+
+val stop_requested : t -> bool
+
+val stop : t -> unit
+(** Drain and join everything; idempotent, safe to call concurrently.
+    After [stop], the listener is closed (and a Unix socket path
+    unlinked), all domains are joined, and final gauge values are
+    flushed to {!Wolves_obs.Metrics}. *)
+
+val drained : t -> bool
+(** The server has fully stopped (all domains joined). *)

@@ -372,6 +372,38 @@ let test_deadline_tiers () =
   check_bool "tier part counts monotone" true
     (List.length full.C.result.C.parts <= List.length zero.C.result.C.parts)
 
+let test_deadline_spent_precharge () =
+  let spec, view = Examples.figure3 () in
+  let members = View.members view (Examples.figure3_composite view) in
+  (* A pre-charge at or over the budget (a request that waited out its whole
+     deadline in a server queue) degrades to the weak floor — which still
+     answers with a valid sound split. *)
+  let pre = C.with_deadline ~deadline_s:60.0 ~spent_s:60.0 spec members in
+  check_bool "spent >= deadline answers weak" true (pre.C.tier = C.Weak);
+  check_bool "strong abandoned under full pre-charge" true
+    (pre.C.abandoned = Some C.Strong);
+  check_bool "pre-charged floor still a valid sound split" true
+    (C.Oracle.valid_split spec members pre.C.result.C.parts);
+  (* An explicit zero pre-charge is the default behaviour. *)
+  let zero = C.with_deadline ~deadline_s:60.0 ~spent_s:0.0 spec members in
+  check_bool "zero pre-charge reaches optimal" true (zero.C.tier = C.Optimal);
+  Alcotest.check_raises "negative spent_s rejected"
+    (Invalid_argument "Corrector.with_deadline: spent_s must be non-negative")
+    (fun () ->
+      ignore (C.with_deadline ~deadline_s:1.0 ~spent_s:(-0.1) spec members));
+  (* Same contract on the whole-view driver. *)
+  let view', outcomes =
+    C.correct_with_deadline ~deadline_s:60.0 ~spent_s:120.0 view
+  in
+  check_bool "pre-charged corrected view sound" true (S.is_sound view');
+  let _, o = List.hd outcomes in
+  check_bool "pre-charged correct_with_deadline answers weak" true
+    (o.C.tier = C.Weak);
+  Alcotest.check_raises "negative spent_s rejected (view driver)"
+    (Invalid_argument
+       "Corrector.correct_with_deadline: spent_s must be non-negative")
+    (fun () -> ignore (C.correct_with_deadline ~deadline_s:1.0 ~spent_s:(-1.) view))
+
 let test_correct_with_deadline () =
   let _, view = Examples.figure3 () in
   let view', outcomes = C.correct_with_deadline ~deadline_s:60.0 view in
@@ -720,6 +752,8 @@ let () =
             test_deadline_tiers;
           Alcotest.test_case "correct_with_deadline" `Quick
             test_correct_with_deadline;
+          Alcotest.test_case "deadline spent_s pre-charge" `Quick
+            test_deadline_spent_precharge;
           qt prop_weak_is_weakly_optimal;
           qt prop_strong_is_strongly_optimal;
           qt prop_part_count_ordering;

@@ -59,6 +59,50 @@ let test_nested_runs_inline () =
       Par.parallel_for ~domains:2 8 (fun _ -> ignore (Atomic.fetch_and_add total 1)));
   check_int "all inner iterations ran" 64 (Atomic.get total)
 
+let test_shutdown_restart_cycles () =
+  (* shutdown joins the workers; the next parallel call must transparently
+     rebuild the pool, through resizes, repeatedly. *)
+  let input = Array.init 64 Fun.id in
+  let expect = Array.map (fun i -> i * i) input in
+  let sq domains = Par.map_ordered ~domains (fun i -> i * i) input in
+  let check_arr msg got = check_bool msg true (got = expect) in
+  Par.shutdown ();
+  check_arr "fresh pool after shutdown" (sq 3);
+  check_arr "resize up without shutdown" (sq 5);
+  check_arr "resize down without shutdown" (sq 2);
+  Par.shutdown ();
+  Par.shutdown ();
+  (* idempotent *)
+  check_arr "rebuilt after double shutdown" (sq 2);
+  Par.shutdown ();
+  check_arr "inline (1 domain) needs no pool" (sq 1);
+  check_arr "and the pool comes back once more" (sq 4);
+  (* parallel_for across the same cycle *)
+  Par.shutdown ();
+  let hits = Array.make 128 0 in
+  Par.parallel_for ~domains:3 128 (fun i -> hits.(i) <- hits.(i) + 1);
+  check_bool "parallel_for covers after restart" true
+    (Array.for_all (( = ) 1) hits);
+  Par.shutdown ()
+
+let test_nested_inline_single_domain () =
+  (* With the process default pinned to 1 domain, nesting must stay fully
+     inline — no pool is created, results are the sequential ones. *)
+  let saved = Par.default_domains () in
+  Par.set_default_domains 1;
+  Fun.protect
+    ~finally:(fun () -> Par.set_default_domains saved)
+    (fun () ->
+      Par.shutdown ();
+      let out = Array.make 16 (-1) in
+      Par.parallel_for 4 (fun i ->
+          Par.parallel_for 4 (fun j -> out.((i * 4) + j) <- (i * 4) + j));
+      check_bool "nested inline covers every index" true
+        (out = Array.init 16 Fun.id);
+      let ys = Par.map_ordered (fun x -> -x) (Array.init 8 Fun.id) in
+      check_bool "inline map_ordered after shutdown" true
+        (ys = Array.init 8 (fun i -> -i)))
+
 (* ------------------------------------------------------------------ *)
 (* Parallel = sequential                                               *)
 (* ------------------------------------------------------------------ *)
@@ -213,7 +257,11 @@ let () =
           Alcotest.test_case "map_ordered exceptions" `Quick
             test_map_ordered_exn;
           Alcotest.test_case "nested calls run inline" `Quick
-            test_nested_runs_inline ] );
+            test_nested_runs_inline;
+          Alcotest.test_case "shutdown/restart cycles" `Quick
+            test_shutdown_restart_cycles;
+          Alcotest.test_case "nested inline under 1 domain" `Quick
+            test_nested_inline_single_domain ] );
       ( "determinism",
         [ qt closure_par_eq_seq;
           Alcotest.test_case "closure over families" `Slow
