@@ -1450,7 +1450,13 @@ let analyze_cmd =
                $ domains_arg))
 
 let stats_cmd =
-  let run file criterion json metrics =
+  let prom_flag =
+    Arg.(value & flag & info [ "prom" ]
+           ~doc:"Print the registry as a Prometheus text-format exposition \
+                 page (the same renderer behind the server's $(b,METRICS) \
+                 verb) instead of tables.")
+  in
+  let run file criterion json prom metrics =
     match load_view file with
     | Error msg -> fail "%s" msg
     | Ok view ->
@@ -1468,7 +1474,9 @@ let stats_cmd =
           try write_file path (Metrics.snapshot_to_json snap)
           with Sys_error msg -> report_io_failure "metrics dump" msg)
         metrics;
-      if json then
+      if prom then
+        print_string (Wolves_obs.Prom.render snap)
+      else if json then
         (* The summary object is assembled with the CLI's Json type; the
            registry dump is already JSON text, so splice it in verbatim. *)
         Printf.printf "{\"summary\":%s,\"metrics\":%s}\n"
@@ -1531,8 +1539,9 @@ let stats_cmd =
           whole-view provenance audit) and report the Wolves_obs registry: \
           soundness checks vs pruning probes, cache hit rates, timer \
           histograms. $(b,--metrics) additionally dumps the raw registry as \
-          JSON.")
-    Term.(ret (const run $ file_arg $ criterion_arg $ json_arg $ metrics_arg))
+          JSON; $(b,--prom) prints Prometheus text exposition instead.")
+    Term.(ret (const run $ file_arg $ criterion_arg $ json_arg $ prom_flag
+               $ metrics_arg))
 
 (* --- profile --- *)
 
@@ -1909,9 +1918,40 @@ let serve_cmd =
          & info [ "retry-after" ] ~docv:"MS"
              ~doc:"Retry-after hint carried by $(b,OVERLOADED) replies.")
   in
+  let access_log_arg =
+    Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE"
+           ~doc:"Append one structured JSONL record per request (id, verb, \
+                 deadline, queue wait, handler time, bytes, outcome) to \
+                 FILE; $(b,-) logs to stderr.")
+  in
+  let log_level_arg =
+    Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Minimum level written to the access log: debug, info, \
+                 warn or error.")
+  in
+  let slow_ms_arg =
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Log a $(b,slow_request) warning — with the request's span \
+                 tree when it was sampled — for any request whose handler \
+                 takes longer than MS milliseconds.")
+  in
+  let trace_sample_arg =
+    Arg.(value & opt int 0 & info [ "trace-sample" ] ~docv:"N"
+           ~doc:"Keep every Nth request's spans in the trace ring, \
+                 drainable live with the $(b,TRACE) verb. 0 disables \
+                 sampling.")
+  in
+  let trace_perfetto_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-perfetto" ] ~docv:"FILE"
+             ~doc:"On shutdown, export the sampled spans still in the ring \
+                   as Chrome trace-event JSON (openable in Perfetto). \
+                   Requires $(b,--trace-sample).")
+  in
   let run files store synthesize seed per_cell sizes host port socket workers
       queue_depth read_timeout write_timeout max_request_bytes deadline
-      retry_after metrics =
+      retry_after access_log log_level slow_ms trace_sample trace_perfetto
+      metrics =
     let corpus =
       match (store, synthesize, files) with
       | Some dir, false, [] -> Svc.of_store dir
@@ -1945,7 +1985,41 @@ let serve_cmd =
             write_timeout_s = write_timeout;
             max_request_bytes;
             default_deadline_ms = deadline;
-            retry_after_ms = retry_after }
+            retry_after_ms = retry_after;
+            slow_threshold_s = Option.map (fun ms -> ms /. 1e3) slow_ms;
+            trace_sample }
+        in
+        let module Olog = Wolves_obs.Log in
+        match Olog.level_of_string (String.lowercase_ascii log_level) with
+        | None -> fail "unknown --log-level %s" log_level
+        | Some level ->
+        if trace_perfetto <> None && trace_sample = 0 then
+          fail "--trace-perfetto needs --trace-sample N"
+        else
+        let log_channel =
+          (* opened before the server starts so a bad path fails fast *)
+          match access_log with
+          | None -> Ok None
+          | Some "-" -> Ok (Some (stderr, false))
+          | Some path -> (
+            try
+              Ok
+                (Some
+                   ( open_out_gen [ Open_append; Open_creat ] 0o644 path,
+                     true ))
+            with Sys_error msg -> Error msg)
+        in
+        match log_channel with
+        | Error msg -> fail "--access-log: %s" msg
+        | Ok log_channel ->
+        (match log_channel with
+        | Some (oc, _) -> Olog.set ~level (Some (Olog.channel_sink oc))
+        | None -> ());
+        let close_log () =
+          Olog.set None;
+          match log_channel with
+          | Some (oc, close) -> if close then close_out_noerr oc
+          | None -> ()
         in
         with_metrics metrics (fun () ->
             match Srv.start ~config listen service with
@@ -1978,6 +2052,17 @@ let serve_cmd =
                 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
               done;
               Srv.stop server;
+              (* the ring survives stop; export what sampling retained *)
+              Option.iter
+                (fun path ->
+                  try
+                    Trace_export.write Trace_export.Chrome
+                      (Srv.trace_events server)
+                      path
+                  with Sys_error msg ->
+                    report_io_failure "perfetto trace" msg)
+                trace_perfetto;
+              close_log ();
               let s = Srv.stats server in
               Printf.printf
                 "drained: %d connection(s), %d request(s), %d error(s), %d \
@@ -1994,12 +2079,17 @@ let serve_cmd =
           line protocol (see docs/PROTOCOL.md). Bounded admission queue \
           with $(b,OVERLOADED) load-shedding, per-connection timeouts, \
           per-request deadlines that degrade correction tiers, graceful \
-          drain on SIGINT/SIGTERM (exit 0).")
+          drain on SIGINT/SIGTERM (exit 0). Observability: structured \
+          access logs ($(b,--access-log)), Prometheus exposition (the \
+          $(b,METRICS) verb, read by $(b,wolves top)), sampled request \
+          tracing ($(b,--trace-sample), drained by $(b,TRACE)).")
     Term.(ret (const run $ files_arg $ store_flag $ synthesize_flag
                $ seed_arg $ per_cell_arg $ sizes_arg $ host_arg $ port_arg
                $ socket_arg $ workers_arg $ queue_arg $ read_timeout_arg
                $ write_timeout_arg $ max_request_arg $ deadline_arg
-               $ retry_after_arg $ metrics_arg))
+               $ retry_after_arg $ access_log_arg $ log_level_arg
+               $ slow_ms_arg $ trace_sample_arg $ trace_perfetto_arg
+               $ metrics_arg))
 
 let call_cmd =
   let words_arg =
@@ -2054,6 +2144,98 @@ let call_cmd =
     Term.(ret (const run $ host_arg $ port_arg $ socket_arg $ timeout_arg
                $ words_arg))
 
+let top_cmd =
+  let module D = Wolves_server.Dashboard in
+  let interval_arg =
+    Arg.(value & opt float 2. & info [ "interval"; "n" ] ~docv:"S"
+           ~doc:"Seconds between polls.")
+  in
+  let once_flag =
+    Arg.(value & flag & info [ "once" ]
+           ~doc:"Scrape once, print the panel, exit (for scripts and CI).")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 10. & info [ "timeout" ] ~docv:"S"
+           ~doc:"Connect/receive/send deadline in seconds.")
+  in
+  let run host port socket timeout interval once =
+    if interval <= 0. then fail "--interval must be positive"
+    else
+      let target =
+        match (socket, port) with
+        | Some path, None -> Ok (`Unix path)
+        | None, Some port -> Ok (`Tcp (host, port))
+        | None, None -> Error "need --port or --unix-socket"
+        | Some _, Some _ -> Error "--port and --unix-socket are exclusive"
+      in
+      match target with
+      | Error msg -> fail "%s" msg
+      | Ok target -> (
+        match Sclient.connect ~timeout_s:timeout target with
+        | Error msg -> fail "%s" msg
+        | Ok client ->
+          let finish r =
+            Sclient.close client;
+            r
+          in
+          let rec loop prev =
+            match D.fetch client with
+            | Error msg -> finish (fail "%s" msg)
+            | Ok sample ->
+              if once then finish (`Ok (print_string (D.render ?prev sample)))
+              else begin
+                (* clear + home, then the panel: a cheap full-screen
+                   refresh that needs no terminal library *)
+                print_string "\027[H\027[2J";
+                print_string (D.render ?prev sample);
+                flush stdout;
+                (try Unix.sleepf interval
+                 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                loop (Some sample)
+              end
+          in
+          loop None)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running $(b,wolves serve): polls the \
+          $(b,METRICS) verb and renders qps, shed rate, in-flight, error \
+          counts and per-verb p50/p99. $(b,--once) prints a single panel \
+          and exits; otherwise refreshes every $(b,--interval) seconds \
+          until interrupted.")
+    Term.(ret (const run $ host_arg $ port_arg $ socket_arg $ timeout_arg
+               $ interval_arg $ once_flag))
+
+let promcheck_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"An exposition page, e.g. the payload of a $(b,METRICS) \
+                 call or the output of $(b,wolves stats --prom).")
+  in
+  let run file =
+    let page =
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Wolves_obs.Prom.check page with
+    | Ok samples ->
+      Printf.printf "ok: %d sample(s)\n" samples;
+      `Ok ()
+    | Error msg -> fail "%s: %s" file msg
+  in
+  Cmd.v
+    (Cmd.info "promcheck"
+       ~doc:
+         "Validate a Prometheus text-format exposition page: every sample \
+          parses, every family has a $(b,# TYPE) line and is contiguous, \
+          histogram buckets are cumulative with increasing bounds and a \
+          terminal $(b,+Inf) bucket matching $(b,_count). Exits 1 on the \
+          first violation — the CI gate for $(b,METRICS) scrapes.")
+    Term.(ret (const run $ file_arg))
+
 let main =
   let doc =
     "WOLVES: detect and resolve unsound workflow views for correct \
@@ -2065,7 +2247,8 @@ let main =
       merge_cmd;
       resolve_cmd; diagnose_cmd; provenance_cmd; query_cmd; simulate_cmd;
       stats_cmd; profile_cmd; suggest_cmd; evolve_cmd; edit_cmd; report_cmd;
-      estimate_cmd; generate_cmd; audit_cmd; store_cmd; serve_cmd; call_cmd ]
+      estimate_cmd; generate_cmd; audit_cmd; store_cmd; serve_cmd; call_cmd;
+      top_cmd; promcheck_cmd ]
 
 let () =
   let code = Cmd.eval main in

@@ -1,0 +1,138 @@
+(* Structured JSONL logging. The design mirrors Metrics: a process-global
+   "is anything installed" check guards every call site, so disabled
+   logging costs one load and branch and never forces field thunks.
+
+   JSON rendering is inlined here (as in Metrics.snapshot_to_json) because
+   Wolves_cli.Json sits above this library in the dependency order. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type sink = { write : string -> unit; sink_flush : unit -> unit }
+
+let channel_sink ?(flush_every_record = true) oc =
+  {
+    write =
+      (fun line ->
+        output_string oc line;
+        if flush_every_record then flush oc);
+    sink_flush = (fun () -> flush oc);
+  }
+
+let buffer_sink buf =
+  { write = (fun line -> Buffer.add_string buf line); sink_flush = ignore }
+
+(* [installed] is the hot-path gate: None means every Log.event call
+   returns after one load. Writes to the sink (and swaps of it) are
+   serialised by [lock] so concurrent domains never interleave lines. *)
+let installed : (sink * level) option ref = ref None
+let lock = Mutex.create ()
+let sink_errors = Metrics.counter "log.sink_errors"
+let records = Metrics.counter "log.records"
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let flush () =
+  locked (fun () ->
+      match !installed with
+      | Some (s, _) -> ( try s.sink_flush () with _ -> ())
+      | None -> ())
+
+let set ?(level = Info) sink =
+  locked (fun () ->
+      (match !installed with
+      | Some (old, _) -> ( try old.sink_flush () with _ -> ())
+      | None -> ());
+      installed := (match sink with None -> None | Some s -> Some (s, level)))
+
+let current () = !installed
+
+let enabled lvl =
+  match !installed with
+  | None -> false
+  | Some (_, min_level) -> level_rank lvl >= level_rank min_level
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_value buf = function
+  | Str s -> add_escaped buf s
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%g" f)
+      else Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+
+let event lvl name fields =
+  match !installed with
+  | None -> ()
+  | Some (_, min_level) when level_rank lvl < level_rank min_level -> ()
+  | Some _ ->
+      (* Format on the emitting domain, outside the lock. *)
+      let fields = fields () in
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"ts\":%.6f,\"level\":\"%s\",\"event\":"
+           (Unix.gettimeofday ()) (level_name lvl));
+      add_escaped buf name;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          add_value buf v)
+        fields;
+      Buffer.add_string buf "}\n";
+      let line = Buffer.contents buf in
+      locked (fun () ->
+          (* Re-check under the lock: the sink may have been swapped out. *)
+          match !installed with
+          | None -> ()
+          | Some (s, _) -> (
+              try
+                s.write line;
+                Metrics.incr records
+              with _ ->
+                (* A dead sink (closed pipe, full disk) must not take the
+                   server down; drop it and count the loss. *)
+                installed := None;
+                Metrics.incr sink_errors))
+
+let with_sink ?level sink f =
+  let prev = !installed in
+  set ?level (Some sink);
+  Fun.protect
+    ~finally:(fun () ->
+      locked (fun () -> installed := prev))
+    f

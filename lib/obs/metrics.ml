@@ -87,9 +87,9 @@ let current_shard () = Domain.DLS.get shard_key
 type span_args = (string * string) list
 
 type tracer = {
-  on_begin : string -> span_args -> unit;
+  on_begin : string -> (unit -> span_args) -> unit;
   on_end : string -> unit;
-  on_instant : string -> span_args -> unit;
+  on_instant : string -> (unit -> span_args) -> unit;
 }
 
 let flag = ref false
@@ -116,6 +116,8 @@ let set_tracer t =
   refresh_hot ()
 
 let has_tracer () = !tracer <> None
+
+let current_tracer () = !tracer
 
 let with_tracer t f =
   let saved = !tracer in
@@ -238,7 +240,7 @@ let no_args () = []
 
 let trace_begin name args =
   match !tracer with
-  | Some tr when current_shard () = None -> tr.on_begin name (args ())
+  | Some tr when current_shard () = None -> tr.on_begin name args
   | _ -> ()
 
 let trace_end name =
@@ -260,7 +262,7 @@ let time ?(args = no_args) t f =
 
 let instant name args =
   match !tracer with
-  | Some tr when current_shard () = None -> tr.on_instant name (args ())
+  | Some tr when current_shard () = None -> tr.on_instant name args
   | _ -> ()
 
 (* --- spans --- *)
@@ -307,11 +309,17 @@ type timer_stats = {
 }
 
 let timer_stats t =
-  { count = t.t_count;
-    sum = t.t_sum;
-    max = t.t_max;
-    buckets =
-      List.init n_buckets (fun i -> (bucket_bounds.(i), t.t_buckets.(i))) }
+  (* Read the bucket array once and derive [count] from that copy rather
+     than from [t_count]: unsharded recorders (a server worker crossing an
+     instrumented region mid-handler) race the two fields apart, and a
+     published histogram whose +Inf bucket disagrees with its _count fails
+     exposition validation. Deriving one from the other makes every
+     snapshot internally consistent no matter how the races land. *)
+  let buckets =
+    List.init n_buckets (fun i -> (bucket_bounds.(i), t.t_buckets.(i)))
+  in
+  let count = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+  { count; sum = t.t_sum; max = t.t_max; buckets }
 
 type snapshot = {
   counters : (string * int) list;
@@ -396,7 +404,12 @@ let merge_shard sh =
     (fun name ->
       let v = !(Hashtbl.find sh.sh_gauges name) in
       let g = gauge name in
-      g.g_value <- v;
+      (* High-water semantics: shards are parallel workers reporting levels
+         (queue depth, in-flight); "what was the worst moment" is the only
+         merge that doesn't depend on merge order. Coordinators that want
+         to overwrite (e.g. a final post-drain zero) call [set] directly
+         from outside any shard. *)
+      g.g_value <- (if g.g_set then Float.max g.g_value v else v);
       g.g_set <- true)
     (sorted_names sh.sh_gauges);
   List.iter
@@ -451,6 +464,18 @@ let snapshot_to_json snap =
   in
   Buffer.add_char buf '{';
   let first = ref true in
+  field first "bucket_bounds_s" (fun () ->
+      (* The shared log-scale bounds, once, so consumers of the per-timer
+         bucket maps don't have to re-derive the scale. The unbounded last
+         bucket renders as null (JSON has no infinity); it matches the
+         "inf" key used in the per-timer maps. *)
+      Buffer.add_char buf '[';
+      Array.iteri
+        (fun i bound ->
+          if i > 0 then Buffer.add_char buf ',';
+          num bound)
+        bucket_bounds;
+      Buffer.add_char buf ']');
   field first "counters" (fun () ->
       obj snap.counters (fun v -> Buffer.add_string buf (string_of_int v)));
   field first "gauges" (fun () -> obj snap.gauges num);

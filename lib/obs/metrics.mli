@@ -43,22 +43,30 @@ type span_args = (string * string) list
     composite names, tier names, retry attempts, ...). *)
 
 type tracer = {
-  on_begin : string -> span_args -> unit;
+  on_begin : string -> (unit -> span_args) -> unit;
       (** a timed region ([time] or [with_span]) opened *)
   on_end : string -> unit;  (** the matching region closed *)
-  on_instant : string -> span_args -> unit;
+  on_instant : string -> (unit -> span_args) -> unit;
       (** a point event ([instant]) *)
 }
 (** Event-level observer. Installing one makes every already-instrumented
     region ({!time} / {!with_span} call site) emit begin/end events in
     addition to — and independently of — histogram recording: tracing works
-    with metrics disabled and vice versa. [Wolves_trace.Trace] provides the
-    standard ring-buffer implementation. *)
+    with metrics disabled and vice versa. The argument thunk is passed
+    through unforced so a tracer that drops an event (e.g. the server's
+    per-request sampling gate) never pays for its annotations; force it at
+    most once, at the moment the event is actually kept.
+    [Wolves_trace.Trace] provides the standard ring-buffer
+    implementation. *)
 
 val set_tracer : tracer option -> unit
 (** Install (or remove, with [None]) the process-wide tracer. *)
 
 val has_tracer : unit -> bool
+
+val current_tracer : unit -> tracer option
+(** The installed tracer, for callers that need to chain or save/restore
+    around a temporary installation of their own. *)
 
 val with_tracer : tracer -> (unit -> 'a) -> 'a
 (** Run a thunk with the given tracer installed, restoring the previous one
@@ -129,10 +137,15 @@ val with_new_shard : (unit -> 'a) -> 'a * shard
 
 val merge_shard : shard -> unit
 (** Fold a shard into the shared records: counter values and timer
-    count/sum/histograms add, timer maxima combine, gauges overwrite (last
-    merge wins). Call from one domain at a time — typically the coordinator
-    after joining its workers. Metric names inside the shard are merged in
-    sorted order, so first-registration order is deterministic. *)
+    count/sum/histograms add, timer maxima combine, and gauges merge as
+    {e high-water marks} — the merged value is the max of the current value
+    and the shard's last [set], so N shards merged in any order report the
+    worst level any worker saw. (A coordinator that needs to overwrite —
+    e.g. recording a final post-drain zero — calls {!set} directly from
+    outside any shard; direct sets always overwrite.) Call from one domain
+    at a time — typically the coordinator after joining its workers. Metric
+    names inside the shard are merged in sorted order, so
+    first-registration order is deterministic. *)
 
 val shard_counters : shard -> (string * int) list
 (** The counters recorded in a shard, sorted by name (for tests). *)
@@ -142,6 +155,10 @@ val shard_counters : shard -> (string * int) list
 val counter_value : counter -> int
 val gauge_value : gauge -> float option
 (** [None] until the gauge is first {!set}. *)
+
+val bucket_bounds : float array
+(** The fixed log-scale bucket upper bounds, in seconds, shared by every
+    timer: powers of 4 from 4ns, the last entry [infinity]. *)
 
 type timer_stats = {
   count : int;  (** number of observations *)
@@ -174,9 +191,11 @@ val reset : unit -> unit
 
 val snapshot_to_json : snapshot -> string
 (** Render a snapshot as a JSON object
-    [{"counters": {..}, "gauges": {..}, "timers": {..}}]. Timer histograms
-    list only non-empty buckets; the unbounded bucket bound is the string
-    ["inf"]. *)
+    [{"bucket_bounds_s": [..], "counters": {..}, "gauges": {..},
+    "timers": {..}}]. [bucket_bounds_s] lists the shared log-scale bucket
+    upper bounds in seconds, the unbounded last bound as [null]. Timer
+    histograms list only non-empty buckets keyed by the rendered bound
+    (the unbounded bucket keyed ["inf"]). *)
 
 val dump_json : unit -> string
 (** [snapshot_to_json (snapshot ())]. *)

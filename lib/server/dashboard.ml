@@ -1,0 +1,149 @@
+(* The wolves top data path: scrape METRICS over a client connection,
+   index the samples, render an operator-facing text panel. Kept in the
+   library (not the CLI) so the bench harness can exercise the exact
+   rendering CI sees from `wolves top --once`. *)
+
+module Clock = Wolves_obs.Clock
+
+type series = {
+  name : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+type sample = { at : float; series : series list }
+
+let parse_line line =
+  (* the exposition grammar, minus the validation Prom.check does *)
+  let n = String.length line in
+  if n = 0 || line.[0] = '#' then None
+  else
+    let is_name_char c =
+      (c >= 'a' && c <= 'z')
+      || (c >= 'A' && c <= 'Z')
+      || (c >= '0' && c <= '9')
+      || c = '_' || c = ':'
+    in
+    let i = ref 0 in
+    while !i < n && is_name_char line.[!i] do incr i done;
+    if !i = 0 then None
+    else begin
+      let name = String.sub line 0 !i in
+      let labels = ref [] in
+      (if !i < n && line.[!i] = '{' then
+         match String.index_from_opt line !i '}' with
+         | None -> i := n
+         | Some close ->
+             let body = String.sub line (!i + 1) (close - !i - 1) in
+             String.split_on_char ',' body
+             |> List.iter (fun kv ->
+                    match String.index_opt kv '=' with
+                    | None -> ()
+                    | Some eq ->
+                        let k = String.sub kv 0 eq in
+                        let v = String.sub kv (eq + 1) (String.length kv - eq - 1) in
+                        let v =
+                          if String.length v >= 2 && v.[0] = '"' then
+                            String.sub v 1 (String.length v - 2)
+                          else v
+                        in
+                        labels := (k, v) :: !labels);
+             i := close + 1);
+      let rest = String.trim (String.sub line !i (n - !i)) in
+      let tok =
+        match String.index_opt rest ' ' with
+        | None -> rest
+        | Some sp -> String.sub rest 0 sp
+      in
+      match float_of_string_opt (String.lowercase_ascii tok) with
+      | None -> None
+      | Some value -> Some { name; labels = List.rev !labels; value }
+    end
+
+let parse_exposition lines =
+  { at = Clock.now (); series = List.filter_map parse_line lines }
+
+let value ?(labels = []) sample name =
+  let matches s =
+    s.name = name
+    && List.for_all
+         (fun (k, v) -> List.assoc_opt k s.labels = Some v)
+         labels
+  in
+  match List.find_opt matches sample.series with
+  | Some s -> Some s.value
+  | None -> None
+
+let fetch client =
+  match Client.request client "METRICS" with
+  | Error e -> Error e
+  | Ok (Protocol.Ok_lines lines) -> Ok (parse_exposition lines)
+  | Ok (Protocol.Err (code, msg)) -> Error (Printf.sprintf "%s: %s" code msg)
+  | Ok (Protocol.Overloaded ms) ->
+      Error (Printf.sprintf "overloaded, retry in %dms" ms)
+
+let v0 ?labels sample name = Option.value ~default:0. (value ?labels sample name)
+
+let render ?prev sample =
+  let buf = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let uptime = v0 sample "wolves_server_uptime_seconds" in
+  let requests = v0 sample "wolves_server_requests_total" in
+  let qps =
+    match prev with
+    | Some p when sample.at > p.at ->
+        (requests -. v0 p "wolves_server_requests_total")
+        /. (sample.at -. p.at)
+    | _ -> if uptime > 0. then requests /. uptime else 0.
+  in
+  let shed = v0 sample "wolves_server_shed_total" in
+  let shed_rate =
+    match prev with
+    | Some p when sample.at > p.at ->
+        (shed -. v0 p "wolves_server_shed_total") /. (sample.at -. p.at)
+    | _ -> if uptime > 0. then shed /. uptime else 0.
+  in
+  line "wolves top — uptime %.1fs%s" uptime
+    (if v0 sample "wolves_server_draining" > 0. then "  DRAINING" else "");
+  line
+    "requests %.0f  qps %.1f  errors %.0f  shed %.0f (%.1f/s)  timeouts %.0f"
+    requests qps
+    (v0 sample "wolves_server_errors_total")
+    shed shed_rate
+    (v0 sample "wolves_server_timeouts_total");
+  line "in-flight %.0f  queue %.0f  connections %.0f  p50 %.2fms  p99 %.2fms"
+    (v0 sample "wolves_server_in_flight")
+    (v0 sample "wolves_server_queue_depth")
+    (v0 sample "wolves_server_connections_total")
+    (v0 sample "wolves_server_latency_seconds_quantile"
+       ~labels:[ ("quantile", "0.5") ]
+    *. 1e3)
+    (v0 sample "wolves_server_latency_seconds_quantile"
+       ~labels:[ ("quantile", "0.99") ]
+    *. 1e3);
+  line "";
+  line "%-10s %10s %8s %10s %10s" "verb" "requests" "errors" "p50_ms" "p99_ms";
+  Array.iter
+    (fun verb ->
+      let n =
+        v0 sample "wolves_server_verb_requests_total"
+          ~labels:[ ("verb", verb) ]
+      in
+      if n > 0. then
+        line "%-10s %10.0f %8.0f %10.2f %10.2f" verb n
+          (v0 sample "wolves_server_verb_errors_total"
+             ~labels:[ ("verb", verb) ])
+          (v0 sample "wolves_server_verb_latency_seconds_quantile"
+             ~labels:[ ("verb", verb); ("quantile", "0.5") ]
+          *. 1e3)
+          (v0 sample "wolves_server_verb_latency_seconds_quantile"
+             ~labels:[ ("verb", verb); ("quantile", "0.99") ]
+          *. 1e3))
+    Server.verbs;
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** The data path behind [wolves top]: scrape the [METRICS] exposition
+    from a live server, index it, render an operator panel — qps (from
+    deltas between polls), shed rate, in-flight, per-verb request/error
+    counts and p50/p99. Lives in the library so the bench harness and
+    tests can drive the exact rendering [wolves top --once] prints. *)
+
+type series = {
+  name : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+type sample = { at : float;  (** monotonic scrape time *) series : series list }
+
+val parse_exposition : string list -> sample
+(** Index exposition lines (comments skipped, unparsable lines dropped —
+    validation is {!Wolves_obs.Prom.check}'s job), stamped with the
+    monotonic clock. *)
+
+val value : ?labels:(string * string) list -> sample -> string -> float option
+(** First series with that name whose labels include all of [labels]. *)
+
+val fetch : Client.t -> (sample, string) result
+(** One [METRICS] round trip, parsed. *)
+
+val render : ?prev:sample -> sample -> string
+(** The panel. With [prev] (the previous poll), qps and shed rate are
+    deltas over the poll interval; without it they are lifetime
+    averages. *)

@@ -9,6 +9,8 @@ type request =
   | List_ids
   | Stats
   | Health
+  | Metrics
+  | Trace
   | Quit
   | Validate of string
   | Correct of string * correction option
@@ -55,7 +57,8 @@ let next_token s =
 let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
 
 let usage = function
-  | "PING" | "LIST" | "STATS" | "HEALTH" | "QUIT" -> "takes no argument"
+  | "PING" | "LIST" | "STATS" | "HEALTH" | "METRICS" | "TRACE" | "QUIT" ->
+      "takes no argument"
   | "VALIDATE" -> "usage: VALIDATE <id>"
   | "CORRECT" -> "usage: CORRECT <id> [weak|strong|optimal | DEADLINE <ms>]"
   | "QUERY" -> "usage: QUERY <id> <expr>"
@@ -70,7 +73,8 @@ let parse line =
       let c = String.uppercase_ascii cmd in
       let bad () = Error ("bad-request", usage c) in
       match c with
-      | "PING" | "LIST" | "STATS" | "HEALTH" | "QUIT" -> (
+      | "PING" | "LIST" | "STATS" | "HEALTH" | "METRICS" | "TRACE" | "QUIT"
+        -> (
           match words rest with
           | [] ->
               Ok
@@ -79,6 +83,8 @@ let parse line =
                 | "LIST" -> List_ids
                 | "STATS" -> Stats
                 | "HEALTH" -> Health
+                | "METRICS" -> Metrics
+                | "TRACE" -> Trace
                 | _ -> Quit)
           | _ -> bad ())
       | "VALIDATE" | "LINT" | "ANALYZE" -> (
@@ -136,6 +142,8 @@ let kind = function
   | List_ids -> "list"
   | Stats -> "stats"
   | Health -> "health"
+  | Metrics -> "metrics"
+  | Trace -> "trace"
   | Quit -> "quit"
   | Validate _ -> "validate"
   | Correct _ -> "correct"

@@ -3,7 +3,7 @@
 
     Requests (one line, space-separated, command case-insensitive):
     {v
-    PING | LIST | STATS | HEALTH | QUIT
+    PING | LIST | STATS | HEALTH | METRICS | TRACE | QUIT
     VALIDATE <id>
     CORRECT <id> [weak|strong|optimal]
     CORRECT <id> DEADLINE <ms>
@@ -32,6 +32,12 @@ type request =
   | List_ids
   | Stats
   | Health
+  | Metrics
+      (** Prometheus text-format exposition of the server's own families
+          plus the {!Wolves_obs.Metrics} registry *)
+  | Trace
+      (** drain the sampled-request trace ring as Chrome trace-event JSONL
+          (requires the server to run with trace sampling on) *)
   | Quit
   | Validate of string
   | Correct of string * correction option

@@ -1,5 +1,8 @@
 module Metrics = Wolves_obs.Metrics
 module Clock = Wolves_obs.Clock
+module Log = Wolves_obs.Log
+module Prom = Wolves_obs.Prom
+module Ring = Wolves_trace.Trace
 
 type config = {
   workers : int;
@@ -10,6 +13,8 @@ type config = {
   default_deadline_ms : float option;
   retry_after_ms : int;
   drain_grace_s : float;
+  slow_threshold_s : float option;
+  trace_sample : int;
 }
 
 let default_config =
@@ -20,7 +25,9 @@ let default_config =
     max_request_bytes = 64 * 1024;
     default_deadline_ms = None;
     retry_after_ms = 100;
-    drain_grace_s = 5. }
+    drain_grace_s = 5.;
+    slow_threshold_s = None;
+    trace_sample = 0 }
 
 let validate_config c =
   if c.workers < 1 then invalid_arg "Server: workers must be >= 1";
@@ -30,7 +37,11 @@ let validate_config c =
   if c.max_request_bytes < 16 then
     invalid_arg "Server: max_request_bytes must be >= 16";
   if c.retry_after_ms < 0 then invalid_arg "Server: retry_after_ms must be >= 0";
-  if c.drain_grace_s < 0. then invalid_arg "Server: drain_grace_s must be >= 0"
+  if c.drain_grace_s < 0. then invalid_arg "Server: drain_grace_s must be >= 0";
+  (match c.slow_threshold_s with
+  | Some s when s < 0. -> invalid_arg "Server: slow_threshold_s must be >= 0"
+  | _ -> ());
+  if c.trace_sample < 0 then invalid_arg "Server: trace_sample must be >= 0"
 
 type stats = {
   connections : int;
@@ -45,26 +56,35 @@ type stats = {
 
 (* Log-scale latency histogram over lock-free buckets: bucket [i] counts
    requests in [2^(i-1), 2^i) microseconds. Good to ~70 s with 1-bit
-   resolution, which is all a p50/p99 readout needs. *)
+   resolution, which is all a p50/p99 readout needs. The microsecond sum
+   rides along so the exposition can serve a faithful [_sum]. *)
 module Hist = struct
   let buckets = 40
 
-  type t = int Atomic.t array
+  type t = { cells : int Atomic.t array; sum_us : int Atomic.t }
 
-  let create () = Array.init buckets (fun _ -> Atomic.make 0)
+  let create () =
+    { cells = Array.init buckets (fun _ -> Atomic.make 0);
+      sum_us = Atomic.make 0 }
 
   let observe (h : t) seconds =
     let us = int_of_float (Float.max 0. seconds *. 1e6) in
     let rec index i v = if v = 0 || i >= buckets - 1 then i else index (i + 1) (v lsr 1) in
-    Atomic.incr h.(index 0 us)
+    ignore (Atomic.fetch_and_add h.sum_us us);
+    Atomic.incr h.cells.(index 0 us)
+
+  let count (h : t) =
+    Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.cells
+
+  let sum_s (h : t) = float_of_int (Atomic.get h.sum_us) *. 1e-6
 
   let quantile (h : t) q =
-    let total = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h in
+    let total = count h in
     if total = 0 then 0.
     else begin
       let rank = max 1 (int_of_float (ceil (q *. float_of_int total))) in
       let rec go i acc =
-        let acc = acc + Atomic.get h.(i) in
+        let acc = acc + Atomic.get h.cells.(i) in
         if acc >= rank || i = buckets - 1 then
           (* upper bound of bucket i, in seconds *)
           Float.of_int (1 lsl i) *. 1e-6
@@ -72,7 +92,31 @@ module Hist = struct
       in
       go 0 0
     end
+
+  (* (upper bound in seconds, cumulative count) per bucket, the last bound
+     [infinity] — bucket [buckets-1] already catches everything beyond. *)
+  let cumulative (h : t) =
+    let acc = ref 0 in
+    List.init buckets (fun i ->
+        acc := !acc + Atomic.get h.cells.(i);
+        let bound =
+          if i = buckets - 1 then infinity
+          else Float.of_int (1 lsl i) *. 1e-6
+        in
+        (bound, !acc))
 end
+
+(* The fixed verb families every per-verb counter/histogram is keyed by:
+   one slot per protocol request kind, plus "malformed" for lines that
+   never parsed. Indexing is by [verb_index], total over any kind string. *)
+let verbs =
+  [| "ping"; "list"; "stats"; "health"; "metrics"; "trace"; "quit";
+     "validate"; "correct"; "query"; "lint"; "analyze"; "malformed" |]
+
+let verb_index kind =
+  let n = Array.length verbs in
+  let rec go i = if i >= n - 1 then n - 1 else if verbs.(i) = kind then i else go (i + 1) in
+  go 0
 
 type t = {
   config : config;
@@ -98,6 +142,12 @@ type t = {
   c_timeouts : int Atomic.t;
   c_in_flight : int Atomic.t;
   latency : Hist.t;
+  next_req_id : int Atomic.t;
+  verb_requests : int Atomic.t array;  (** indexed like [verbs] *)
+  verb_errors : int Atomic.t array;
+  verb_latency : Hist.t array;
+  trace_ring : Ring.t option;  (** sampled request spans, when sampling *)
+  mutable saved_tracer : Metrics.tracer option;  (** restored on [stop] *)
   started_at : float;
 }
 
@@ -111,8 +161,48 @@ let m_request_time = Metrics.timer "server.request"
 let m_queue_depth = Metrics.gauge "server.queue_depth"
 let m_in_flight = Metrics.gauge "server.in_flight"
 
+(* --- request-scoped trace sampling ---------------------------------- *)
+
+(* A sampled request buffers its span events domain-locally while the
+   handler runs (the gate below), then commits them to the shared ring in
+   one atomic batch at request end — so each request's spans are
+   contiguous in the ring and reconstruct as one balanced tree, and the
+   unsampled hot path never touches the ring at all. *)
+let req_trace_gate : Ring.event list ref option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let no_args () = []
+
+let buffering_tracer =
+  (* The annotation thunk arrives unforced, so an unsampled request pays
+     one domain-local read per event and never materialises its args. *)
+  let push phase name args =
+    match !(Domain.DLS.get req_trace_gate) with
+    | None -> ()
+    | Some buf ->
+        buf := { Ring.phase; name; ts = Clock.now (); args = args () } :: !buf
+  in
+  { Metrics.on_begin = (fun name args -> push Ring.Begin name args);
+    on_end = (fun name -> push Ring.End name no_args);
+    on_instant = (fun name args -> push Ring.Instant name args) }
+
 let create ?(config = default_config) service =
   validate_config config;
+  let trace_ring =
+    if config.trace_sample > 0 then Some (Ring.create ()) else None
+  in
+  let saved_tracer =
+    (* Sampling needs the instrumented regions to emit events, so the
+       buffering tracer goes in process-wide for the server's lifetime
+       (it is inert outside sampled requests); [stop] restores whatever
+       was installed before. *)
+    if trace_ring <> None then begin
+      let prev = Metrics.current_tracer () in
+      Metrics.set_tracer (Some buffering_tracer);
+      prev
+    end
+    else None
+  in
   { config;
     service;
     stop_flag = Atomic.make false;
@@ -135,6 +225,12 @@ let create ?(config = default_config) service =
     c_timeouts = Atomic.make 0;
     c_in_flight = Atomic.make 0;
     latency = Hist.create ();
+    next_req_id = Atomic.make 1;
+    verb_requests = Array.init (Array.length verbs) (fun _ -> Atomic.make 0);
+    verb_errors = Array.init (Array.length verbs) (fun _ -> Atomic.make 0);
+    verb_latency = Array.init (Array.length verbs) (fun _ -> Hist.create ());
+    trace_ring;
+    saved_tracer;
     started_at = Clock.now () }
 
 let queue_len t =
@@ -162,15 +258,117 @@ let stats_lines t =
     Printf.sprintf "corpus %d" (Service.size t.service);
     Printf.sprintf "workers %d" t.config.workers;
     Printf.sprintf "connections %d" s.connections;
-    Printf.sprintf "requests %d" s.requests;
-    Printf.sprintf "errors %d" s.errors;
-    Printf.sprintf "shed %d" s.shed;
-    Printf.sprintf "timeouts %d" s.timeouts;
-    Printf.sprintf "in_flight %d" s.in_flight;
-    Printf.sprintf "queue_depth %d" s.queue_depth;
-    Printf.sprintf "latency_p50_ms %.3f" (Hist.quantile t.latency 0.5 *. 1e3);
-    Printf.sprintf "latency_p99_ms %.3f" (Hist.quantile t.latency 0.99 *. 1e3);
-    Printf.sprintf "draining %b" s.draining ]
+    Printf.sprintf "requests %d" s.requests ]
+  @ Array.to_list
+      (Array.mapi
+         (fun i verb ->
+           Printf.sprintf "requests_%s %d" verb (Atomic.get t.verb_requests.(i)))
+         verbs)
+  @ [ Printf.sprintf "errors %d" s.errors;
+      Printf.sprintf "shed %d" s.shed;
+      Printf.sprintf "timeouts %d" s.timeouts;
+      Printf.sprintf "in_flight %d" s.in_flight;
+      Printf.sprintf "queue_depth %d" s.queue_depth;
+      Printf.sprintf "latency_p50_ms %.3f" (Hist.quantile t.latency 0.5 *. 1e3);
+      Printf.sprintf "latency_p99_ms %.3f" (Hist.quantile t.latency 0.99 *. 1e3);
+      Printf.sprintf "draining %b" s.draining ]
+
+(* --- Prometheus exposition ------------------------------------------ *)
+
+let fmt_bound b = if b = infinity then "+Inf" else Printf.sprintf "%.12g" b
+
+(* The server's own families are rendered by hand under a [wolves_] prefix
+   so they can never collide with registry-derived names (the registry's
+   [server.requests] counter becomes [server_requests_total]); the
+   registry snapshot is appended through [Prom.render]. *)
+let metrics_lines t =
+  let buf = Buffer.create 4096 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let counter name v =
+    line "# TYPE %s counter" name;
+    line "%s %d" name v
+  in
+  let gauge name v =
+    line "# TYPE %s gauge" name;
+    line "%s %s" name v
+  in
+  let s = stats t in
+  gauge "wolves_server_uptime_seconds"
+    (Printf.sprintf "%.3f" (Clock.elapsed_since t.started_at));
+  counter "wolves_server_requests_total" s.requests;
+  counter "wolves_server_connections_total" s.connections;
+  counter "wolves_server_errors_total" s.errors;
+  counter "wolves_server_shed_total" s.shed;
+  counter "wolves_server_timeouts_total" s.timeouts;
+  gauge "wolves_server_in_flight" (string_of_int s.in_flight);
+  gauge "wolves_server_queue_depth" (string_of_int s.queue_depth);
+  gauge "wolves_server_draining" (if s.draining then "1" else "0");
+  line "# TYPE wolves_server_verb_requests_total counter";
+  Array.iteri
+    (fun i verb ->
+      line "wolves_server_verb_requests_total{verb=\"%s\"} %d" verb
+        (Atomic.get t.verb_requests.(i)))
+    verbs;
+  line "# TYPE wolves_server_verb_errors_total counter";
+  Array.iteri
+    (fun i verb ->
+      line "wolves_server_verb_errors_total{verb=\"%s\"} %d" verb
+        (Atomic.get t.verb_errors.(i)))
+    verbs;
+  let total = Hist.count t.latency in
+  if total > 0 then begin
+    line "# TYPE wolves_server_latency_seconds histogram";
+    List.iter
+      (fun (bound, cum) ->
+        line "wolves_server_latency_seconds_bucket{le=\"%s\"} %d"
+          (fmt_bound bound) cum)
+      (Hist.cumulative t.latency);
+    line "wolves_server_latency_seconds_sum %.9g" (Hist.sum_s t.latency);
+    line "wolves_server_latency_seconds_count %d" total;
+    line "# TYPE wolves_server_latency_seconds_quantile gauge";
+    List.iter
+      (fun q ->
+        line "wolves_server_latency_seconds_quantile{quantile=\"%g\"} %.9g" q
+          (Hist.quantile t.latency q))
+      [ 0.5; 0.9; 0.99 ]
+  end;
+  line "# TYPE wolves_server_verb_latency_seconds_quantile gauge";
+  Array.iteri
+    (fun i verb ->
+      if Hist.count t.verb_latency.(i) > 0 then
+        List.iter
+          (fun q ->
+            line
+              "wolves_server_verb_latency_seconds_quantile{verb=\"%s\",quantile=\"%g\"} %.9g"
+              verb q
+              (Hist.quantile t.verb_latency.(i) q))
+          [ 0.5; 0.99 ])
+    verbs;
+  (match t.trace_ring with
+  | Some ring ->
+      gauge "wolves_server_trace_ring_events" (string_of_int (Ring.length ring));
+      counter "wolves_server_trace_ring_dropped_total" (Ring.dropped ring)
+  | None -> ());
+  (* Registry families (only meaningful when serving with metrics on);
+     snapshot under merge_lock so no worker's half-merged shard is read. *)
+  let snap =
+    Mutex.lock t.merge_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.merge_lock)
+      Metrics.snapshot
+  in
+  Buffer.add_string buf (Prom.render snap);
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+
+let trace_events t =
+  match t.trace_ring with None -> [] | Some ring -> Ring.events ring
 
 let handle_request t ?(spent_s = 0.) request =
   match request with
@@ -179,6 +377,18 @@ let handle_request t ?(spent_s = 0.) request =
       Protocol.Ok_lines
         [ (if stop_requested t then "draining" else "ok");
           Printf.sprintf "corpus %d" (Service.size t.service) ]
+  | Protocol.Metrics -> Protocol.Ok_lines (metrics_lines t)
+  | Protocol.Trace -> (
+      match t.trace_ring with
+      | None ->
+          Protocol.Err
+            ("bad-request", "tracing is off (serve with --trace-sample N)")
+      | Some ring ->
+          let events = Ring.drain ring in
+          Wolves_trace.Export.to_jsonl events
+          |> String.split_on_char '\n'
+          |> List.filter (fun l -> l <> "")
+          |> fun lines -> Protocol.Ok_lines lines)
   | request ->
       Service.handle ~domains:1 ~spent_s
         ?default_deadline_ms:t.config.default_deadline_ms t.service request
@@ -210,6 +420,68 @@ let merge_counter t counter =
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.merge_lock)
       (fun () -> Metrics.merge_shard shard)
+  end
+
+(* --- access log ------------------------------------------------------ *)
+
+let outcome_fields reply =
+  match reply with
+  | Protocol.Ok_lines lines ->
+      [ ("outcome", Log.Str "ok");
+        ("payload_lines", Log.Int (List.length lines)) ]
+  | Protocol.Err (code, _) ->
+      [ ("outcome", Log.Str "err"); ("code", Log.Str code) ]
+  | Protocol.Overloaded ms ->
+      [ ("outcome", Log.Str "overloaded"); ("retry_after_ms", Log.Int ms) ]
+
+let deadline_ms_of t parsed =
+  match parsed with
+  | Ok (Protocol.Correct (_, Some (Protocol.Deadline_ms ms))) -> Some ms
+  | Ok (Protocol.Correct (_, None)) -> t.config.default_deadline_ms
+  | _ -> None
+
+(* One flat line per reconstructed span: [path dur_us self_us]. Compact
+   enough for a log field, complete enough to see where a slow request
+   went. *)
+let span_tree_string events =
+  let spans, _orphans = Ring.spans events in
+  String.concat " | "
+    (List.map
+       (fun (sp : Ring.span) ->
+         Printf.sprintf "%s %.0fus self %.0fus"
+           (String.concat "/" sp.stack)
+           ((sp.end_ts -. sp.begin_ts) *. 1e6)
+           (sp.self_s *. 1e6))
+       spans)
+
+let log_request t ~rid ~kind ~parsed ~reply ~queued_s ~handler_s ~elapsed_s
+    ~bytes_in ~bytes_out ~sampled ~events =
+  if Log.enabled Log.Info then begin
+    Log.event Log.Info "request" (fun () ->
+        [ ("req_id", Log.Int rid);
+          ("verb", Log.Str kind);
+          ("deadline_ms",
+           match deadline_ms_of t parsed with
+           | Some ms -> Log.Float ms
+           | None -> Log.Str "-");
+          ("queue_wait_ms", Log.Float (queued_s *. 1e3));
+          ("handler_ms", Log.Float (handler_s *. 1e3));
+          ("total_ms", Log.Float (elapsed_s *. 1e3));
+          ("bytes_in", Log.Int bytes_in);
+          ("bytes_out", Log.Int bytes_out);
+          ("sampled", Log.Bool sampled) ]
+        @ outcome_fields reply);
+    match t.config.slow_threshold_s with
+    | Some threshold when handler_s >= threshold ->
+        Log.event Log.Warn "slow_request" (fun () ->
+            [ ("req_id", Log.Int rid);
+              ("verb", Log.Str kind);
+              ("handler_ms", Log.Float (handler_s *. 1e3));
+              ("threshold_ms", Log.Float (threshold *. 1e3));
+              ("spans",
+               if sampled then Log.Str (span_tree_string events)
+               else Log.Str "unsampled (raise --trace-sample)") ])
+    | _ -> ()
   end
 
 let serve_connection t ?(queued_s = 0.) (conn : Net_io.t) =
@@ -256,7 +528,34 @@ let serve_connection t ?(queued_s = 0.) (conn : Net_io.t) =
          | `Line line ->
              let t0 = Clock.now () in
              Atomic.incr t.c_in_flight;
+             let rid = Atomic.fetch_and_add t.next_req_id 1 in
              let parsed = Protocol.parse line in
+             let kind =
+               match parsed with
+               | Ok request -> Protocol.kind request
+               | Error _ -> "malformed"
+             in
+             let this_queued_s = !spent in
+             (* head-based sampling: every Nth request id buffers its span
+                events; the rest never touch the tracer gate again *)
+             let sample_buf =
+               if
+                 t.config.trace_sample > 0
+                 && rid mod t.config.trace_sample = 0
+               then begin
+                 let buf =
+                   ref
+                     [ { Ring.phase = Ring.Begin;
+                         name = "request";
+                         ts = t0;
+                         args =
+                           [ ("req_id", string_of_int rid); ("verb", kind) ] } ]
+                 in
+                 Domain.DLS.get req_trace_gate := Some buf;
+                 Some buf
+               end
+               else None
+             in
              let reply =
                match parsed with
                | Error (code, msg) -> Protocol.Err (code, msg)
@@ -265,22 +564,46 @@ let serve_connection t ?(queued_s = 0.) (conn : Net_io.t) =
                    try handle_request t ~spent_s:!spent request
                    with e -> Protocol.Err ("internal", Printexc.to_string e))
              in
+             let handler_s = Clock.elapsed_since t0 in
+             let sampled_events =
+               match sample_buf with
+               | None -> []
+               | Some buf ->
+                   Domain.DLS.get req_trace_gate := None;
+                   buf :=
+                     { Ring.phase = Ring.End;
+                       name = "request";
+                       ts = Clock.now ();
+                       args = [] }
+                     :: !buf;
+                   let events = List.rev !buf in
+                   (match t.trace_ring with
+                   | Some ring -> Ring.record_all ring events
+                   | None -> ());
+                   events
+             in
              spent := 0.;
-             let sent_ok = send (Protocol.render reply) in
+             let rendered = Protocol.render reply in
+             let sent_ok = send rendered in
              let elapsed_s = Clock.elapsed_since t0 in
              Hist.observe t.latency elapsed_s;
              Atomic.incr t.c_requests;
+             let vi = verb_index kind in
+             Atomic.incr t.verb_requests.(vi);
+             Hist.observe t.verb_latency.(vi) elapsed_s;
              let is_error =
                match reply with Protocol.Err _ -> true | _ -> false
              in
-             if is_error then Atomic.incr t.c_errors;
+             if is_error then begin
+               Atomic.incr t.c_errors;
+               Atomic.incr t.verb_errors.(vi)
+             end;
              Atomic.decr t.c_in_flight;
-             let kind =
-               match parsed with
-               | Ok request -> Protocol.kind request
-               | Error _ -> "malformed"
-             in
              record_obs t ~kind ~is_error ~elapsed_s;
+             log_request t ~rid ~kind ~parsed ~reply ~queued_s:this_queued_s
+               ~handler_s ~elapsed_s ~bytes_in:(String.length line + 1)
+               ~bytes_out:(String.length rendered) ~sampled:(sample_buf <> None)
+               ~events:sampled_events;
              (match parsed with
              | Ok Protocol.Quit -> continue := false
              | _ -> ());
@@ -306,6 +629,14 @@ let serve_connection t ?(queued_s = 0.) (conn : Net_io.t) =
 let shed_connection t fd =
   Atomic.incr t.c_shed;
   merge_counter t m_shed;
+  let rid = Atomic.fetch_and_add t.next_req_id 1 in
+  Log.event Log.Info "request" (fun () ->
+      (* the request line was never read — the connection was refused at
+         the door — but the shed is still one numbered access-log record *)
+      [ ("req_id", Log.Int rid);
+        ("verb", Log.Str "-");
+        ("outcome", Log.Str "overloaded");
+        ("retry_after_ms", Log.Int t.config.retry_after_ms) ]);
   let conn = Net_io.of_fd ~read_timeout_s:0.1 ~write_timeout_s:0.5 fd in
   (try
      Net_io.send_all conn
@@ -492,19 +823,15 @@ let stop t =
         Mutex.unlock t.qlock;
         List.iter Domain.join t.worker_domains;
         t.worker_domains <- [];
-        (* flush final gauge values so a post-drain dump reads zero *)
+        (* flush final gauge values so a post-drain dump reads zero —
+           directly, not via a shard: shards merge as high-water marks and
+           would keep the busy-period peak instead of the zero *)
         if Metrics.is_enabled () then begin
-          let (), shard =
-            Metrics.with_new_shard (fun () ->
-                Metrics.set m_queue_depth 0.;
-                Metrics.set m_in_flight 0.)
-          in
-          Mutex.lock t.merge_lock;
-          (try Metrics.merge_shard shard
-           with e ->
-             Mutex.unlock t.merge_lock;
-             raise e);
-          Mutex.unlock t.merge_lock
+          Metrics.set m_queue_depth 0.;
+          Metrics.set m_in_flight 0.
         end;
+        (* hand the tracer slot back and get the access log on disk *)
+        if t.trace_ring <> None then Metrics.set_tracer t.saved_tracer;
+        Log.flush ();
         Atomic.set t.drained_flag true
       end)

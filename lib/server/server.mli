@@ -23,6 +23,14 @@
       connections get [ERR shutting-down], stragglers are cut after a
       grace period, metrics are flushed, and {!stop} returns — the CLI
       then exits 0.
+    - {b Observability}: every request gets a monotonically assigned id
+      and (when a {!Wolves_obs.Log} sink is installed) one structured
+      access-log record carrying verb, deadline, queue wait, handler time,
+      bytes and outcome; per-verb counters and latency histograms feed the
+      [STATS] reply and the [METRICS] Prometheus exposition; with
+      [trace_sample > 0] every Nth request's spans are buffered
+      domain-locally and committed contiguously to a shared ring, drained
+      live by the [TRACE] verb.
 
     All I/O goes through {!Net_io}, so the chaos tests drive
     {!serve_connection} — the exact production read-dispatch-reply loop —
@@ -40,6 +48,16 @@ type config = {
   drain_grace_s : float;
       (** how long {!stop} lets in-flight connections finish before
           cutting their sockets (default 5) *)
+  slow_threshold_s : float option;
+      (** handler time beyond which a [slow_request] warning record — with
+          the request's span tree, when sampled — is logged (default
+          none) *)
+  trace_sample : int;
+      (** keep every Nth request's spans in the trace ring; [0] (the
+          default) disables sampling and the [TRACE] verb. While positive,
+          {!create} installs the server's buffering tracer as the
+          process-wide {!Wolves_obs.Metrics.tracer} (restored by
+          {!stop}) *)
 }
 
 val default_config : config
@@ -86,9 +104,26 @@ val handle_request : t -> ?spent_s:float -> Protocol.request -> Protocol.reply
 
 val stats : t -> stats
 
+val verbs : string array
+(** The fixed verb families per-verb counters are keyed by: every
+    {!Protocol.request} kind plus ["malformed"]. *)
+
 val stats_lines : t -> string list
-(** The [STATS] reply payload: one [key value] line per field, plus
-    uptime, corpus size and latency percentiles. *)
+(** The [STATS] reply payload: one [key value] line per field — uptime,
+    corpus size, aggregate counters, one [requests_<verb>] line per
+    {!verbs} entry, queue/in-flight levels and latency percentiles. *)
+
+val metrics_lines : t -> string list
+(** The [METRICS] reply payload: Prometheus text exposition of the
+    server's own families ([wolves_server_*]: counters, per-verb counters,
+    the latency histogram with explicit bucket bounds and [+Inf], derived
+    quantile gauges) followed by the {!Wolves_obs.Metrics} registry
+    rendered by {!Wolves_obs.Prom.render}. *)
+
+val trace_events : t -> Wolves_trace.Trace.event list
+(** The sampled-request events currently retained in the trace ring,
+    oldest first, without draining them ([[]] when sampling is off) — for
+    exporting a Perfetto trace at shutdown. *)
 
 val request_stop : t -> unit
 (** Begin draining. Async-signal-safe: sets a flag, takes no locks. *)

@@ -166,8 +166,10 @@ let handle ?(domains = 1) ?(spent_s = 0.) ?default_deadline_ms t request =
     | Protocol.Ping -> Protocol.Ok_lines [ "pong" ]
     | Protocol.Quit -> Protocol.Ok_lines [ "bye" ]
     | Protocol.List_ids -> Protocol.Ok_lines (List.map (list_line t) t.ids)
-    | Protocol.Stats | Protocol.Health ->
-        Protocol.Err ("bad-request", "STATS and HEALTH are served, not library calls")
+    | Protocol.Stats | Protocol.Health | Protocol.Metrics | Protocol.Trace ->
+        Protocol.Err
+          ( "bad-request",
+            "STATS, HEALTH, METRICS and TRACE are served, not library calls" )
     | Protocol.Validate id ->
         with_view id (fun v -> Protocol.Ok_lines (validate_lines ~domains v))
     | Protocol.Correct (id, what) ->

@@ -16,6 +16,7 @@ type t = {
   mutable head : int;  (* index of the oldest retained event *)
   mutable len : int;
   mutable evicted : int;
+  lock : Mutex.t;
 }
 
 let m_dropped = Metrics.counter "trace.dropped"
@@ -23,14 +24,22 @@ let m_events = Metrics.counter "trace.events"
 
 let create ?(capacity = 65536) () =
   if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
-  { buf = Array.make capacity None; cap = capacity; head = 0; len = 0; evicted = 0 }
+  { buf = Array.make capacity None;
+    cap = capacity;
+    head = 0;
+    len = 0;
+    evicted = 0;
+    lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let length t = t.len
 let capacity t = t.cap
 let dropped t = t.evicted
 
-let record t phase name args =
-  let ev = { phase; name; ts = Clock.now (); args } in
+let push t ev =
   Metrics.incr m_events;
   if t.len < t.cap then begin
     t.buf.((t.head + t.len) mod t.cap) <- Some ev;
@@ -47,23 +56,43 @@ let record t phase name args =
     Metrics.incr m_dropped
   end
 
-let events t =
+let record t phase name args =
+  let ev = { phase; name; ts = Clock.now (); args } in
+  locked t (fun () -> push t ev)
+
+let record_event t ev = locked t (fun () -> push t ev)
+
+let record_all t evs = locked t (fun () -> List.iter (push t) evs)
+
+let events_unlocked t =
   List.init t.len (fun i ->
       match t.buf.((t.head + i) mod t.cap) with
       | Some ev -> ev
       | None -> assert false)
 
-let clear t =
+let events t = locked t (fun () -> events_unlocked t)
+
+let clear_unlocked t =
   Array.fill t.buf 0 t.cap None;
   t.head <- 0;
   t.len <- 0;
   t.evicted <- 0
 
+let clear t = locked t (fun () -> clear_unlocked t)
+
+let drain t =
+  locked t (fun () ->
+      let evs = events_unlocked t in
+      clear_unlocked t;
+      evs)
+
+(* This collector keeps every event, so the annotation thunk is forced
+   right away (exactly once). *)
 let tracer t =
   {
-    Metrics.on_begin = (fun name args -> record t Begin name args);
+    Metrics.on_begin = (fun name args -> record t Begin name (args ()));
     on_end = (fun name -> record t End name []);
-    on_instant = (fun name args -> record t Instant name args);
+    on_instant = (fun name args -> record t Instant name (args ()));
   }
 
 let install t = Metrics.set_tracer (Some (tracer t))

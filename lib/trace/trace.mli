@@ -14,6 +14,12 @@
     [trace.dropped] registry counter), so tracing a long run keeps the most
     recent window instead of failing or growing without bound.
 
+    {b Domain safety.} Every ring operation — record, read, clear, drain —
+    takes an internal per-collector lock, so server worker domains can
+    flush sampled request spans into one shared ring while another
+    connection drains it. ({!length} and {!dropped} read single fields
+    without the lock; treat them as monitoring hints under concurrency.)
+
     Exporters live in {!Export} (Chrome trace-event JSON for
     Perfetto / [chrome://tracing], JSONL, collapsed stacks for flamegraphs)
     and {!Profile} (in-process top-k self/total-time reports). *)
@@ -42,6 +48,17 @@ val record : t -> phase -> string -> (string * string) list -> unit
 (** Append one event, stamped with the monotonic clock now. When the
     buffer is full the oldest event is dropped. *)
 
+val record_event : t -> event -> unit
+(** Append one already-stamped event — for buffered producers (the server's
+    per-request samplers) that stamp events as they happen but only commit
+    them to the shared ring at request end. *)
+
+val record_all : t -> event list -> unit
+(** Append a batch of already-stamped events atomically: no event from
+    another domain interleaves inside the batch, so a sampled request's
+    spans stay contiguous in the ring and always reconstruct as one
+    balanced tree. *)
+
 val length : t -> int
 val capacity : t -> int
 
@@ -53,6 +70,12 @@ val events : t -> event list
 (** The retained events, oldest first. *)
 
 val clear : t -> unit
+
+val drain : t -> event list
+(** Atomically take the retained events (oldest first) and {!clear} the
+    ring — the [TRACE] protocol verb: concurrent recorders land either
+    before the drain (and are returned) or after (and are retained), never
+    lost. *)
 
 val tracer : t -> Wolves_obs.Metrics.tracer
 (** The collector as a metrics-registry tracer. *)

@@ -1,11 +1,23 @@
-(* The Wolves_obs metrics registry: enable-flag gating, counter/gauge/timer
-   semantics, span nesting, reset, and a round-trip through the JSON dump. *)
+(* The Wolves_obs observability stack: the metrics registry (enable-flag
+   gating, counter/gauge/timer semantics, span nesting, shard merges, reset,
+   a round-trip through the JSON dump), the monotonic clock's clamping, the
+   structured JSONL logger, and the Prometheus exposition
+   renderer/validator. *)
 
 module M = Wolves_obs.Metrics
+module L = Wolves_obs.Log
+module P = Wolves_obs.Prom
+module Clk = Wolves_obs.Clock
 
 let check = Alcotest.check
 let check_int = check Alcotest.int
 let check_bool = check Alcotest.bool
+let check_string = check Alcotest.string
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
 
 (* ------------------------------------------------------------------ *)
 (* A tiny JSON reader, just enough to round-trip the registry dump.    *)
@@ -13,8 +25,10 @@ let check_bool = check Alcotest.bool
 
 type json =
   | Null
+  | Bool of bool
   | Num of float
   | Str of string
+  | Arr of json list
   | Obj of (string * json) list
 
 exception Bad_json of string
@@ -84,10 +98,38 @@ let parse_json s =
         done;
         Obj (List.rev !fields)
       end
+    | Some '[' ->
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let more = ref true in
+        while !more do
+          items := parse_value () :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> incr pos
+          | Some ']' ->
+            incr pos;
+            more := false
+          | _ -> raise (Bad_json "bad array")
+        done;
+        Arr (List.rev !items)
+      end
     | Some '"' -> Str (parse_string ())
     | Some 'n' ->
       pos := !pos + 4;
       Null
+    | Some 't' ->
+      pos := !pos + 4;
+      Bool true
+    | Some 'f' ->
+      pos := !pos + 5;
+      Bool false
     | Some _ ->
       let start = !pos in
       while
@@ -229,9 +271,9 @@ let test_tracer_hooks () =
   M.set_enabled false;
   let log = ref [] in
   let tracer =
-    { M.on_begin = (fun name args -> log := `B (name, args) :: !log);
+    { M.on_begin = (fun name args -> log := `B (name, args ()) :: !log);
       on_end = (fun name -> log := `E name :: !log);
-      on_instant = (fun name args -> log := `I (name, args) :: !log) }
+      on_instant = (fun name args -> log := `I (name, args ()) :: !log) }
   in
   let t = M.timer "test.tracer.t" in
   M.with_tracer tracer (fun () ->
@@ -264,7 +306,18 @@ let test_tracer_args_lazy () =
   M.time t ~args (fun () -> ());
   M.with_span "s" ~args (fun () -> ());
   M.instant "i" args;
-  check_int "args never forced without a tracer" 0 !forced
+  check_int "args never forced without a tracer" 0 !forced;
+  (* The thunk reaches the tracer unforced, so a dropping tracer (the
+     server's sampling gate) costs nothing for annotations either. *)
+  let dropping =
+    { M.on_begin = (fun _ _ -> ());
+      on_end = (fun _ -> ());
+      on_instant = (fun _ _ -> ()) }
+  in
+  M.with_tracer dropping (fun () ->
+      M.time t ~args (fun () -> ());
+      M.instant "i" args);
+  check_int "args never forced by a dropping tracer" 0 !forced
 
 (* ------------------------------------------------------------------ *)
 (* reset, snapshot, JSON                                               *)
@@ -317,6 +370,28 @@ let test_json_round_trip () =
       M.observe t 1e-8;
       M.observe t 0.5);
   let doc = parse_json (M.dump_json ()) in
+  (* the dump leads with the shared log-scale bucket bounds, so consumers
+     of the per-timer bucket maps never have to re-derive the scale *)
+  (match member "bucket_bounds_s" doc with
+  | Arr bounds ->
+      check_int "one bound per bucket"
+        (Array.length M.bucket_bounds)
+        (List.length bounds);
+      List.iteri
+        (fun i b ->
+          match (b, M.bucket_bounds.(i)) with
+          | Null, expected ->
+              check_bool "only the unbounded bucket is null" true
+                (expected = infinity)
+          | Num got, expected ->
+              (* %.12g keeps 12 significant digits, so compare relatively *)
+              check_bool
+                (Printf.sprintf "bound %d round-trips" i)
+                true
+                (Float.abs (got -. expected) <= 1e-9 *. expected)
+          | _ -> Alcotest.failf "bound %d is not a number" i)
+        bounds
+  | _ -> Alcotest.fail "bucket_bounds_s is an array");
   check (Alcotest.float 0.0) "counter round-trips" 3.0
     (as_num (member "test.rt.c" (member "counters" doc)));
   check (Alcotest.float 0.0) "gauge round-trips" 2.5
@@ -338,6 +413,246 @@ let test_json_round_trip () =
   check_bool "only non-empty buckets emitted" true
     (List.for_all (fun (_, v) -> as_num v > 0.0) buckets)
 
+(* ------------------------------------------------------------------ *)
+(* shard merges: gauges are high-water marks                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_gauge_merge_high_water () =
+  M.reset ();
+  let g = M.gauge "test.merge.g" in
+  M.enabled (fun () ->
+      M.set g 3.0;
+      let (), sh_high = M.with_new_shard (fun () -> M.set g 7.0) in
+      let (), sh_low = M.with_new_shard (fun () -> M.set g 5.0) in
+      (* merge order must not matter: the registry keeps the worst level
+         any worker saw *)
+      M.merge_shard sh_high;
+      check_bool "higher shard raises the gauge" true
+        (M.gauge_value g = Some 7.0);
+      M.merge_shard sh_low;
+      check_bool "lower shard cannot lower it" true
+        (M.gauge_value g = Some 7.0);
+      (* a coordinator that needs to overwrite uses a direct set *)
+      M.set g 1.0;
+      check_bool "direct set overwrites the high-water mark" true
+        (M.gauge_value g = Some 1.0));
+  (* a never-set gauge adopts the shard's value on first merge *)
+  let fresh = M.gauge "test.merge.fresh" in
+  M.enabled (fun () ->
+      let (), sh = M.with_new_shard (fun () -> M.set fresh 2.0) in
+      M.merge_shard sh);
+  check_bool "unset gauge adopts the merged value" true
+    (M.gauge_value fresh = Some 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* clock clamping, percentile estimation                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_clamping () =
+  check (Alcotest.float 0.0) "a future start clamps to zero" 0.0
+    (Clk.elapsed_since (Clk.now () +. 1000.));
+  check_bool "normal elapsed is non-negative" true
+    (Clk.elapsed_since (Clk.now ()) >= 0.);
+  let v, dt = Clk.time (fun () -> 41 + 1) in
+  check_int "time returns the thunk's value" 42 v;
+  check_bool "timed duration is non-negative" true (dt >= 0.)
+
+(* The log-scale histogram guarantees percentile estimates within the
+   bucket growth factor: for a true quantile x >= 4ns, x <= estimate <= 4x
+   (clamped to the observed max). *)
+let test_percentile_bounds () =
+  M.reset ();
+  let t = M.timer "test.pct" in
+  check (Alcotest.float 0.0) "empty timer estimates 0" 0.0
+    (P.percentile (M.timer_stats t) 0.5);
+  M.enabled (fun () ->
+      for _ = 1 to 50 do M.observe t 1e-3 done;
+      for _ = 1 to 50 do M.observe t 1e-1 done);
+  let st = M.timer_stats t in
+  List.iter
+    (fun (q, exact) ->
+      let est = P.percentile st q in
+      check_bool
+        (Printf.sprintf "p%.0f estimate %g within [x, 4x] of %g" (q *. 100.)
+           est exact)
+        true
+        (exact <= est +. 1e-12 && est <= (4. *. exact) +. 1e-12))
+    [ (0.25, 1e-3); (0.5, 1e-3); (0.75, 1e-1); (0.99, 1e-1) ];
+  (* the unbounded bucket and q=1 clamp to the observed maximum *)
+  check (Alcotest.float 1e-12) "p100 is the max" 1e-1 (P.percentile st 1.0);
+  (* all-equal observations: the clamp makes the estimate exact *)
+  let u = M.timer "test.pct.uniform" in
+  M.enabled (fun () -> for _ = 1 to 9 do M.observe u 2e-2 done);
+  check (Alcotest.float 1e-12) "uniform sample is exact via the max clamp"
+    2e-2
+    (P.percentile (M.timer_stats u) 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* structured logging                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_disabled_is_free () =
+  L.set None;
+  let forced = ref 0 in
+  L.event L.Info "nope" (fun () ->
+      incr forced;
+      []);
+  check_int "field thunk never forced without a sink" 0 !forced;
+  check_bool "nothing enabled" false (L.enabled L.Error)
+
+let test_log_levels_and_format () =
+  L.set None;
+  let buf = Buffer.create 256 in
+  L.with_sink ~level:L.Info (L.buffer_sink buf) (fun () ->
+      check_bool "info enabled" true (L.enabled L.Info);
+      check_bool "warn enabled" true (L.enabled L.Warn);
+      check_bool "debug filtered" false (L.enabled L.Debug);
+      let forced = ref 0 in
+      L.event L.Debug "dropped" (fun () ->
+          incr forced;
+          []);
+      check_int "below-threshold thunk not forced" 0 !forced;
+      L.event L.Info "req" (fun () ->
+          [ ("verb", L.Str "va\"l\nue");
+            ("n", L.Int 42);
+            ("ratio", L.Float 0.5);
+            ("bad", L.Float Float.nan);
+            ("ok", L.Bool true) ]));
+  check_bool "sink uninstalled afterwards" true (L.current () = None);
+  let lines =
+    Buffer.contents buf |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "exactly one record written" 1 (List.length lines);
+  let record = List.hd lines in
+  match parse_json record with
+  | Obj fields ->
+      check_bool "ts leads and is numeric" true
+        (match fields with
+        | ("ts", Num ts) :: _ -> ts > 0.
+        | _ -> false);
+      Alcotest.(check (list string))
+        "field order preserved after the header"
+        [ "ts"; "level"; "event"; "verb"; "n"; "ratio"; "bad"; "ok" ]
+        (List.map fst fields);
+      check_bool "level rendered" true
+        (List.assoc_opt "level" fields = Some (Str "info"));
+      check_bool "event rendered" true
+        (List.assoc_opt "event" fields = Some (Str "req"));
+      check_bool "string escapes round-trip" true
+        (List.assoc_opt "verb" fields = Some (Str "va\"l\nue"));
+      check_bool "int rendered" true
+        (List.assoc_opt "n" fields = Some (Num 42.));
+      check_bool "non-finite float renders null" true
+        (List.assoc_opt "bad" fields = Some Null);
+      check_bool "bool rendered" true
+        (List.assoc_opt "ok" fields = Some (Bool true))
+  | _ -> Alcotest.failf "record is not a JSON object: %s" record
+
+let test_log_with_sink_restores () =
+  L.set None;
+  let outer = Buffer.create 64 and inner = Buffer.create 64 in
+  L.with_sink ~level:L.Warn (L.buffer_sink outer) (fun () ->
+      L.with_sink ~level:L.Debug (L.buffer_sink inner) (fun () ->
+          check_bool "inner level applies" true (L.enabled L.Debug);
+          L.event L.Debug "in" (fun () -> []));
+      check_bool "outer level restored" false (L.enabled L.Info);
+      L.event L.Warn "out" (fun () -> []));
+  check_bool "fully uninstalled" true (L.current () = None);
+  check_bool "inner sink got the inner record" true
+    (contains (Buffer.contents inner) "\"event\":\"in\"");
+  check_bool "outer sink got only the outer record" true
+    (contains (Buffer.contents outer) "\"event\":\"out\""
+    && not (contains (Buffer.contents outer) "\"event\":\"in\""))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition: render and check                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_prom_metric_name () =
+  check_string "dots become underscores" "server_requests_total"
+    (P.metric_name "server.requests.total");
+  check_string "illegal chars become underscores" "a_b_c_d"
+    (P.metric_name "a-b/c d");
+  check_string "leading digit gains a prefix" "_9lives" (P.metric_name "9lives");
+  check_string "legal names pass through" "already_fine:ok"
+    (P.metric_name "already_fine:ok")
+
+let test_prom_render_passes_check () =
+  M.reset ();
+  let c = M.counter "test.prom.c" in
+  let g = M.gauge "test.prom.g" in
+  let t = M.timer "test.prom.t" in
+  let _empty = M.timer "test.prom.empty" in
+  M.enabled (fun () ->
+      M.add c 3;
+      M.set g 1.5;
+      M.observe t 1e-3;
+      M.observe t 1e-1);
+  let page = P.render (M.snapshot ()) in
+  (match P.check page with
+  | Ok n -> check_bool "non-trivial sample count" true (n >= 8)
+  | Error e -> Alcotest.failf "render fails its own checker: %s" e);
+  let lines = String.split_on_char '\n' page in
+  check_bool "counter rendered as _total" true
+    (List.mem "test_prom_c_total 3" lines);
+  check_bool "gauge rendered verbatim" true (List.mem "test_prom_g 1.5" lines);
+  check_bool "histogram terminal +Inf carries the count" true
+    (List.mem "test_prom_t_seconds_bucket{le=\"+Inf\"} 2" lines);
+  check_bool "histogram count matches" true
+    (List.mem "test_prom_t_seconds_count 2" lines);
+  check_bool "quantile gauges derived" true
+    (List.exists
+       (fun l -> contains l "test_prom_t_seconds_quantile{quantile=\"0.99\"}")
+       lines);
+  check_bool "empty timer omitted" false
+    (List.exists (fun l -> contains l "test_prom_empty") lines)
+
+let test_prom_check_rejects () =
+  let histogram header buckets tail =
+    String.concat "\n" (("# TYPE h histogram" :: header) @ buckets @ tail)
+    ^ "\n"
+  in
+  List.iter
+    (fun (name, page) ->
+      match P.check page with
+      | Ok _ -> Alcotest.failf "checker accepted %s" name
+      | Error _ -> ())
+    [ ("sample without TYPE", "foo 1\n");
+      ("unknown type", "# TYPE foo widget\nfoo 1\n");
+      ("unparsable value", "# TYPE x counter\nx_total one\n");
+      ( "non-contiguous family",
+        "# TYPE a counter\na_total 1\n# TYPE b counter\nb_total 1\na_total 2\n"
+      );
+      ( "le not increasing",
+        histogram []
+          [ "h_bucket{le=\"0.5\"} 1"; "h_bucket{le=\"0.1\"} 2";
+            "h_bucket{le=\"+Inf\"} 2" ]
+          [ "h_sum 0.6"; "h_count 2" ] );
+      ( "counts not cumulative",
+        histogram []
+          [ "h_bucket{le=\"0.1\"} 5"; "h_bucket{le=\"0.5\"} 3";
+            "h_bucket{le=\"+Inf\"} 5" ]
+          [ "h_sum 0.9"; "h_count 5" ] );
+      ( "missing terminal +Inf",
+        histogram []
+          [ "h_bucket{le=\"0.1\"} 1"; "h_bucket{le=\"0.5\"} 2" ]
+          [ "h_sum 0.3"; "h_count 2" ] );
+      ( "count disagrees with +Inf",
+        histogram []
+          [ "h_bucket{le=\"0.1\"} 1"; "h_bucket{le=\"+Inf\"} 2" ]
+          [ "h_sum 0.2"; "h_count 3" ] ) ];
+  (* and the well-formed variant of the same histogram passes *)
+  match
+    P.check
+      (histogram []
+         [ "h_bucket{le=\"0.1\"} 1"; "h_bucket{le=\"0.5\"} 2";
+           "h_bucket{le=\"+Inf\"} 2" ]
+         [ "h_sum 0.3"; "h_count 2" ])
+  with
+  | Ok n -> check_int "well-formed histogram accepted" 5 n
+  | Error e -> Alcotest.failf "well-formed histogram rejected: %s" e
+
 let () =
   Alcotest.run "obs"
     [ ( "metrics",
@@ -356,4 +671,25 @@ let () =
           Alcotest.test_case "reset" `Quick test_reset;
           Alcotest.test_case "reset unwinds the span stack" `Quick
             test_reset_unwinds_span_stack;
-          Alcotest.test_case "JSON round-trip" `Quick test_json_round_trip ] ) ]
+          Alcotest.test_case "JSON round-trip" `Quick test_json_round_trip;
+          Alcotest.test_case "gauges merge as high-water marks" `Quick
+            test_gauge_merge_high_water ] );
+      ( "clock",
+        [ Alcotest.test_case "elapsed_since clamps at zero" `Quick
+            test_clock_clamping ] );
+      ( "log",
+        [ Alcotest.test_case "disabled logging is free" `Quick
+            test_log_disabled_is_free;
+          Alcotest.test_case "levels, field order, JSON rendering" `Quick
+            test_log_levels_and_format;
+          Alcotest.test_case "with_sink restores" `Quick
+            test_log_with_sink_restores ] );
+      ( "prom",
+        [ Alcotest.test_case "metric name sanitiser" `Quick
+            test_prom_metric_name;
+          Alcotest.test_case "percentile error bounds" `Quick
+            test_percentile_bounds;
+          Alcotest.test_case "render passes check" `Quick
+            test_prom_render_passes_check;
+          Alcotest.test_case "check rejects malformed pages" `Quick
+            test_prom_check_rejects ] ) ]

@@ -12,6 +12,9 @@ module Service = Wolves_server.Service
 module Server = Wolves_server.Server
 module Client = Wolves_server.Client
 module C = Wolves_core.Corrector
+module Olog = Wolves_obs.Log
+module Prom = Wolves_obs.Prom
+module Ring = Wolves_trace.Trace
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -74,6 +77,10 @@ let test_parse () =
   check_parse "  LiSt  " Protocol.List_ids;
   check_parse "STATS" Protocol.Stats;
   check_parse "HEALTH" Protocol.Health;
+  check_parse "METRICS" Protocol.Metrics;
+  check_parse "  metrics " Protocol.Metrics;
+  check_parse "TRACE" Protocol.Trace;
+  check_parse "trace" Protocol.Trace;
   check_parse "QUIT" Protocol.Quit;
   check_parse "VALIDATE fig1" (Protocol.Validate "fig1");
   check_parse " validate   fig1 " (Protocol.Validate "fig1");
@@ -93,6 +100,8 @@ let test_parse () =
   check_parse_err "" "bad-request";
   check_parse_err "   " "bad-request";
   check_parse_err "PING extra" "bad-request";
+  check_parse_err "METRICS now" "bad-request";
+  check_parse_err "TRACE x" "bad-request";
   check_parse_err "VALIDATE" "bad-request";
   check_parse_err "VALIDATE a b" "bad-request";
   check_parse_err "CORRECT x bogus" "bad-request";
@@ -174,10 +183,16 @@ let test_service_handle () =
   (match Service.handle t (Protocol.Validate "nope") with
   | Protocol.Err ("unknown-id", _) -> ()
   | r -> Alcotest.failf "unknown id: %s" (Protocol.render r));
-  (* STATS/HEALTH are owned by the server, not the library *)
+  (* STATS/HEALTH/METRICS/TRACE are owned by the server, not the library *)
   (match Service.handle t Protocol.Stats with
   | Protocol.Err ("bad-request", _) -> ()
   | r -> Alcotest.failf "stats via service: %s" (Protocol.render r));
+  (match Service.handle t Protocol.Metrics with
+  | Protocol.Err ("bad-request", _) -> ()
+  | r -> Alcotest.failf "metrics via service: %s" (Protocol.render r));
+  (match Service.handle t Protocol.Trace with
+  | Protocol.Err ("bad-request", _) -> ()
+  | r -> Alcotest.failf "trace via service: %s" (Protocol.render r));
   (* isolation: the oversized-optimal Invalid_argument becomes a typed error *)
   (match Service.handle t (Protocol.Correct ("big", Some (Protocol.Criterion C.Optimal))) with
   | Protocol.Err ("bad-request", _) -> ()
@@ -454,6 +469,182 @@ let test_chaos_too_long () =
   | Error e -> Alcotest.failf "too-long: %s" e
 
 (* ------------------------------------------------------------------ *)
+(* Chaos x observability: the access log and the trace ring             *)
+(* ------------------------------------------------------------------ *)
+
+(* Pull one field's raw value out of a rendered JSONL access-log record.
+   Good enough for the fixed field names the server emits (none of whose
+   string values contain escapes). *)
+let field_value line key =
+  let needle = Printf.sprintf "\"%s\":" key in
+  let n = String.length line and m = String.length needle in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = needle then
+      let j = i + m in
+      if j < n && line.[j] = '"' then
+        match String.index_from_opt line (j + 1) '"' with
+        | Some k -> Some (String.sub line (j + 1) (k - j - 1))
+        | None -> None
+      else begin
+        let k = ref j in
+        while !k < n && line.[!k] <> ',' && line.[!k] <> '}' do incr k done;
+        Some (String.sub line j (!k - j))
+      end
+    else go (i + 1)
+  in
+  go 0
+
+let access_records buf =
+  Buffer.contents buf |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+  |> List.filter (fun l -> field_value l "event" = Some "request")
+
+(* The tentpole's exactly-once property: under every fault schedule, each
+   request the server completed appears exactly once in the access log, in
+   order, with an outcome matching its wire reply. The wire may trail the
+   log by at most one record (a reply whose send the fault ate), and a
+   connection-level timeout error is wire-only by design (no request line
+   was ever read). *)
+let test_chaos_access_log_exactly_once () =
+  let schedules =
+    [ ("clean", None);
+      ("short reads", Some Net_io.Short_reads);
+      ("short writes", Some Net_io.Short_writes);
+      ("disconnect", Some (Net_io.Disconnect_after_recv 40));
+      ("stall", Some (Net_io.Stall_after_recv 25));
+      ("send error", Some (Net_io.Error_after_send 30));
+      ("garbage", Some (Net_io.Garbage_after_recv (50, 7))) ]
+  in
+  List.iter
+    (fun (name, fault) ->
+      let srv = server () in
+      let buf = Buffer.create 4096 in
+      let out, _ =
+        Olog.with_sink (Olog.buffer_sink buf) (fun () ->
+            run_session srv ?fault session_input)
+      in
+      let frames =
+        match Protocol.parse_reply_stream out with
+        | Ok (frames, _torn_tail) -> frames
+        | Error e -> Alcotest.failf "%s: ill-formed wire output: %s" name e
+      in
+      (* the stall schedule's trailing timeout error is connection-level *)
+      let frames =
+        List.filter
+          (function Protocol.Err ("timeout", _) -> false | _ -> true)
+          frames
+      in
+      let records = access_records buf in
+      List.iter
+        (fun l ->
+          check_bool
+            (Printf.sprintf "%s: record is one JSON object" name)
+            true
+            (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+        records;
+      let n_frames = List.length frames and n_logs = List.length records in
+      check_bool
+        (Printf.sprintf "%s: every wire reply is logged (%d frames, %d logs)"
+           name n_frames n_logs)
+        true
+        (n_logs >= n_frames && n_logs <= n_frames + 1);
+      (* outcomes match the wire, frame by frame, in order *)
+      List.iteri
+        (fun i frame ->
+          let record = List.nth records i in
+          let want_outcome, detail_key, detail_value =
+            match frame with
+            | Protocol.Ok_lines lines ->
+                ("ok", "payload_lines", string_of_int (List.length lines))
+            | Protocol.Err (code, _) -> ("err", "code", code)
+            | Protocol.Overloaded ms -> ("overloaded", "retry_after_ms", string_of_int ms)
+          in
+          check_string
+            (Printf.sprintf "%s: reply %d outcome" name i)
+            want_outcome
+            (Option.value ~default:"<missing>" (field_value record "outcome"));
+          check_string
+            (Printf.sprintf "%s: reply %d %s" name i detail_key)
+            detail_value
+            (Option.value ~default:"<missing>" (field_value record detail_key)))
+        frames;
+      (* request ids are unique and strictly increasing *)
+      let ids =
+        List.map
+          (fun r ->
+            match field_value r "req_id" with
+            | Some s -> int_of_string s
+            | None -> Alcotest.failf "%s: record without req_id: %s" name r)
+          records
+      in
+      let rec ascending = function
+        | a :: (b :: _ as rest) -> a < b && ascending rest
+        | _ -> true
+      in
+      check_bool (Printf.sprintf "%s: req_ids strictly increasing" name) true
+        (ascending ids))
+    schedules
+
+(* Sampled requests must commit their span events contiguously, so the ring
+   always reconstructs into balanced per-request trees — even though the
+   handler's library spans and the request root come from different code. *)
+let test_chaos_sampled_spans_balanced () =
+  let config = { Server.default_config with trace_sample = 1 } in
+  let srv = Server.create ~config (Lazy.force service) in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let out, _ = run_session srv session_input in
+      check_bool "session answered" true (String.length out > 0);
+      let events = Server.trace_events srv in
+      check_bool "sampling recorded events" true (List.length events > 0);
+      (* begin/end balance over the whole ring *)
+      let depth =
+        List.fold_left
+          (fun d e ->
+            (match e.Ring.phase with
+            | Ring.Begin -> d + 1
+            | Ring.End -> d - 1
+            | Ring.Instant -> d))
+          0 events
+      in
+      check_int "begin/end balanced" 0 depth;
+      let spans, orphans = Ring.spans events in
+      check_int "no orphan End events" 0 orphans;
+      let roots =
+        List.filter (fun sp -> sp.Ring.stack = [ "request" ]) spans
+      in
+      (* one root span per non-empty session line, each tagged *)
+      let n_requests =
+        List.length (List.filter (fun l -> String.trim l <> "") session)
+      in
+      check_int "one request root per session line" n_requests
+        (List.length roots);
+      List.iter
+        (fun sp ->
+          check_bool "root carries req_id" true
+            (List.mem_assoc "req_id" sp.Ring.args);
+          check_bool "root carries verb" true
+            (List.mem_assoc "verb" sp.Ring.args))
+        roots;
+      (* every non-root span nests under a request root *)
+      List.iter
+        (fun sp ->
+          match sp.Ring.stack with
+          | "request" :: _ -> ()
+          | stack ->
+              Alcotest.failf "span outside a request root: %s"
+                (String.concat "/" stack))
+        spans;
+      (* TRACE drains: a second drain sees nothing *)
+      (match Server.handle_request srv Protocol.Trace with
+      | Protocol.Ok_lines lines ->
+          check_bool "TRACE drains events" true (List.length lines > 0)
+      | r -> Alcotest.failf "trace: %s" (Protocol.render r));
+      check_int "ring drained" 0 (List.length (Server.trace_events srv)))
+
+(* ------------------------------------------------------------------ *)
 (* Sockets: lifecycle, overload, slow-loris, drain                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -538,15 +729,61 @@ let test_socket_end_to_end () =
           | r -> Alcotest.failf "health: %s" (Protocol.render r));
           (match request c "STATS" with
           | Protocol.Ok_lines lines ->
-              check_int "stats line count" 13 (List.length lines);
+              (* 5 header counters + one requests_<verb> per verb family +
+                 8 level/latency/drain lines *)
+              check_int "stats line count"
+                (13 + Array.length Server.verbs)
+                (List.length lines);
               check_bool "stats leads with uptime" true
                 (String.length (List.hd lines) > 8
-                && String.sub (List.hd lines) 0 8 = "uptime_s")
+                && String.sub (List.hd lines) 0 8 = "uptime_s");
+              (* per-verb counters reflect this very session: two PINGs and
+                 two VALIDATEs answered so far, one malformed FROB *)
+              check_bool "per-verb ping counter" true
+                (List.mem "requests_ping 2" lines);
+              check_bool "per-verb validate counter" true
+                (List.mem "requests_validate 2" lines);
+              check_bool "per-verb malformed counter" true
+                (List.mem "requests_malformed 1" lines)
           | r -> Alcotest.failf "stats: %s" (Protocol.render r)));
       let s = Server.stats srv in
       check_bool "requests counted" true (s.Server.requests >= 13);
       check_bool "errors counted" true (s.Server.errors >= 3);
       check_int "one connection" 1 s.Server.connections)
+
+(* METRICS over a real socket renders a valid Prometheus text page; TRACE
+   without sampling is a typed refusal, not a hang or a crash. *)
+let test_socket_metrics_exposition () =
+  with_server (fun _srv path ->
+      let c = connect path in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          List.iter
+            (fun line -> ignore (request c line))
+            [ "PING"; "VALIDATE fig1"; "FROB nonsense" ];
+          (match request c "METRICS" with
+          | Protocol.Ok_lines lines ->
+              let page = String.concat "\n" lines ^ "\n" in
+              (match Prom.check page with
+              | Ok n ->
+                  check_bool "exposition non-trivial" true (n > 20)
+              | Error e ->
+                  Alcotest.failf "METRICS fails the exposition checker: %s" e);
+              check_bool "per-verb counter exposed" true
+                (List.mem
+                   "wolves_server_verb_requests_total{verb=\"ping\"} 1" lines);
+              check_bool "latency histogram exposed" true
+                (List.exists
+                   (fun l ->
+                     String.length l > 36
+                     && String.sub l 0 36
+                        = "wolves_server_latency_seconds_bucket")
+                   lines)
+          | r -> Alcotest.failf "metrics: %s" (Protocol.render r));
+          match request c "TRACE" with
+          | Protocol.Err ("bad-request", _) -> ()
+          | r -> Alcotest.failf "trace while sampling off: %s" (Protocol.render r)))
 
 let test_socket_quit_and_reconnect () =
   with_server (fun _srv path ->
@@ -886,10 +1123,16 @@ let () =
           qt chaos_random;
           Alcotest.test_case "raising request is isolated" `Quick
             test_chaos_isolation;
-          Alcotest.test_case "oversized request" `Quick test_chaos_too_long ] );
+          Alcotest.test_case "oversized request" `Quick test_chaos_too_long;
+          Alcotest.test_case "access log exactly-once under faults" `Quick
+            test_chaos_access_log_exactly_once;
+          Alcotest.test_case "sampled spans reconstruct balanced" `Quick
+            test_chaos_sampled_spans_balanced ] );
       ( "sockets",
         [ Alcotest.test_case "end-to-end byte identity" `Quick
             test_socket_end_to_end;
+          Alcotest.test_case "metrics exposition and trace gating" `Quick
+            test_socket_metrics_exposition;
           Alcotest.test_case "quit and reconnect" `Quick
             test_socket_quit_and_reconnect;
           Alcotest.test_case "oversized request closes" `Quick
